@@ -1,0 +1,87 @@
+"""Ablation B/C — design-choice validation for the SCC algorithm.
+
+* **Structure sweep**: the same 60 queries arranged as a list, a ring
+  (one big SCC — the safe+unique regime), a star, and a scale-free
+  graph.  The ring needs ONE database query (everything stands
+  together); the list needs 60.  This isolates how coordination
+  *structure*, not query count, drives the cost — the core insight of
+  contracting SCCs.
+* **Preprocessing**: a list whose middle query can never be satisfied;
+  preprocessing discards the doomed prefix before any unification.
+* **Online vs. batch**: the Youtopia-style engine processing arrivals
+  one at a time vs. one batch evaluation.
+"""
+
+import pytest
+
+from repro.core import CoordinationEngine, scc_coordinate
+from repro.networks import list_digraph, ring_digraph, scale_free_digraph, star_digraph
+from repro.workloads import list_workload, partner_query, queries_from_structure
+
+SIZE = 60
+
+STRUCTURES = {
+    "list": lambda: list_digraph(SIZE),
+    "ring": lambda: ring_digraph(SIZE),
+    "star": lambda: star_digraph(SIZE),
+    "scale-free": lambda: scale_free_digraph(SIZE, out_degree=2, seed=1),
+}
+
+
+@pytest.mark.parametrize("structure", sorted(STRUCTURES))
+def test_ablation_structure_sweep(benchmark, members_db, structure):
+    queries = queries_from_structure(STRUCTURES[structure]())
+
+    result = benchmark.pedantic(
+        lambda: scc_coordinate(members_db, queries),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.found
+    # The chosen set is the largest reachability set R(q): the whole
+    # workload for list/ring/star, but not for a scale-free DAG (no
+    # single query reaches every other).
+    if structure != "scale-free":
+        assert result.chosen.size == SIZE
+    if structure == "ring":
+        assert result.stats.scc_count == 1
+        assert result.stats.db_queries == 1
+    if structure == "list":
+        assert result.stats.db_queries == SIZE
+    benchmark.extra_info["db_queries"] = result.stats.db_queries
+    benchmark.extra_info["sccs"] = result.stats.scc_count
+
+
+@pytest.mark.parametrize("preprocessing", [True, False])
+def test_ablation_preprocessing_toggle(benchmark, members_db, preprocessing):
+    queries = list_workload(SIZE)
+    queries[SIZE // 2] = partner_query(queries[SIZE // 2].name, ["nobody-home"])
+
+    result = benchmark.pedantic(
+        lambda: scc_coordinate(
+            members_db, queries, run_preprocessing=preprocessing
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.found
+    # The suffix after the broken query still coordinates.
+    assert result.chosen.size == SIZE - SIZE // 2 - 1
+    benchmark.extra_info["db_queries"] = result.stats.db_queries
+    benchmark.extra_info["removed"] = result.stats.preprocessing_removed
+
+
+@pytest.mark.parametrize("mode", ["online", "batch"])
+def test_ablation_online_vs_batch(benchmark, members_db, mode):
+    queries = list_workload(30)
+
+    def online():
+        engine = CoordinationEngine(members_db)
+        outcomes = [engine.submit(q) for q in queries]
+        return outcomes
+
+    def batch():
+        return scc_coordinate(members_db, queries)
+
+    benchmark.pedantic(online if mode == "online" else batch, rounds=2, iterations=1)

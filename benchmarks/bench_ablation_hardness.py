@@ -1,0 +1,48 @@
+"""Ablation A — the exponential wall the practical algorithms avoid.
+
+Theorem 1 instances (two-value database) solved two ways:
+
+* the exponential brute-force coordinating-set search (the only option
+  for arbitrary query sets, per Theorem 1's NP-completeness);
+* the DPLL oracle on the original formula (for reference).
+
+The brute-force times blow up with the variable count while DPLL stays
+flat — quantifying the value of the safety/consistency restrictions the
+paper's polynomial algorithms rely on.
+"""
+
+import pytest
+
+from repro.core import find_coordinating_set
+from repro.hardness import dpll, random_3sat, theorem1
+
+# m=5 already exceeds minutes per run (measured: 0.05 s at m=3, ~50 s
+# at m=4 with ratio 3) — the blow-up IS the result, so two points are
+# plenty.
+VARIABLE_COUNTS = [3, 4]
+
+
+@pytest.mark.parametrize("variables", VARIABLE_COUNTS)
+def test_ablation_bruteforce_search(benchmark, variables):
+    formula = random_3sat(variables, variables * 2, seed=42)
+    instance = theorem1.encode(formula)
+
+    found = benchmark.pedantic(
+        lambda: find_coordinating_set(instance.db, instance.queries),
+        rounds=1,
+        iterations=1,
+    )
+    expected = dpll.is_satisfiable(formula)
+    assert (found is not None) == expected
+    benchmark.extra_info["queries"] = len(instance.queries)
+    benchmark.extra_info["satisfiable"] = expected
+
+
+@pytest.mark.parametrize("variables", VARIABLE_COUNTS)
+def test_ablation_dpll_reference(benchmark, variables):
+    formula = random_3sat(variables, variables * 2, seed=42)
+    benchmark.pedantic(
+        lambda: dpll.solve(formula),
+        rounds=5,
+        iterations=2,
+    )

@@ -1,0 +1,42 @@
+"""Ablation E — parallel value checking (the paper's stated future work).
+
+Section 6.2: "our algorithm naturally breaks into parallel processes,
+where each possible value can be easily checked independently.  We
+believe that this could even further reduce the running time."
+
+Measured on the Figure 7 worst case (every value survives, nothing
+prunes): workers = 1 is the serial algorithm; workers > 1 partitions
+``V(Q)`` across processes.  The honest result: the speedup is *modest*
+— the serial phase (option lists, pruned graph, candidate merging) and
+per-worker shipping costs bound the win per Amdahl, matching the
+paper's hedged phrasing ("we believe that this could even further
+reduce the running time").  The cleaning phase itself parallelises
+cleanly; workloads where it dominates (many users × many values) see
+the benefit.
+"""
+
+import pytest
+
+from repro.core import consistent_coordinate_parallel
+from repro.workloads import flight_setup, worst_case_database, worst_case_queries
+
+NUM_FLIGHTS = 400
+NUM_USERS = 100
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_ablation_parallel_workers(benchmark, workers):
+    db = worst_case_database(NUM_FLIGHTS, NUM_USERS)
+    setup = flight_setup()
+    queries = worst_case_queries(NUM_USERS)
+
+    result = benchmark.pedantic(
+        lambda: consistent_coordinate_parallel(
+            db, setup, queries, workers=workers
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.found
+    assert len(result.candidates) == NUM_FLIGHTS
+    benchmark.extra_info["workers"] = workers

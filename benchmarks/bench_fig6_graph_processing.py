@@ -1,0 +1,41 @@
+"""Figure 6 — graph construction and preprocessing time only.
+
+Paper setup: scale-free workloads of 100–1000 queries; measure just the
+coordination-graph build, the unsatisfiable-postcondition preprocessing,
+and the SCC/condensation computation — no database work.
+
+Paper claim: even for very large coordination graphs, graph processing
+time is negligible and grows very slowly.
+"""
+
+import pytest
+
+from repro.core import CoordinationGraph, preprocess
+from repro.graphs import condensation
+from repro.workloads import scale_free_workload
+
+SIZES = list(range(100, 1001, 100))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_fig6_graph_processing_time(benchmark, size):
+    workloads = [
+        scale_free_workload(size, out_degree=2, seed=seed) for seed in range(10)
+    ]
+    state = {"round": 0, "cond": None}
+
+    def run():
+        queries = workloads[state["round"] % len(workloads)]
+        state["round"] += 1
+        graph = CoordinationGraph.build(queries)
+        pre = preprocess(graph)
+        state["cond"] = condensation(pre.graph.graph)
+        return state["cond"]
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+
+    cond = state["cond"]
+    # Scale-free partner structures are acyclic: every query is its own
+    # component, and nothing is removed by preprocessing.
+    assert cond.component_count == size
+    benchmark.extra_info["components"] = cond.component_count

@@ -1,0 +1,43 @@
+"""Figure 7 — Consistent Coordination Algorithm vs. number of values.
+
+Paper setup: 50 unconstrained queries, complete friendship graph, and
+Flights tables of 100–1000 rows in which every flight has a unique
+(destination, day) pair — so the number of candidate coordination
+values equals the table size and no pruning ever fires.  The paper
+calls this "the absolutely worst possible scenario".
+
+Paper claim: processing time grows linearly with the number of options
+for the coordination attributes.
+"""
+
+import pytest
+
+from repro.core import consistent_coordinate
+from repro.workloads import flight_setup, worst_case_database, worst_case_queries
+
+FLIGHT_COUNTS = list(range(100, 1001, 100))
+NUM_USERS = 50
+
+
+@pytest.mark.parametrize("flights", FLIGHT_COUNTS)
+def test_fig7_values_processing_time(benchmark, flights):
+    db = worst_case_database(flights, NUM_USERS)
+    setup = flight_setup()
+    queries = worst_case_queries(NUM_USERS)
+
+    result = benchmark.pedantic(
+        lambda: consistent_coordinate(db, setup, queries),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    assert result.found
+    # Worst case: every distinct value is a candidate...
+    assert result.stats.candidate_values == flights
+    # ...and nothing is ever pruned: everyone coordinates everywhere.
+    assert all(c.size == NUM_USERS for c in result.candidates)
+    # O(n) database queries regardless of the table size.
+    assert result.stats.db_queries <= 3 * NUM_USERS
+    benchmark.extra_info["values"] = result.stats.candidate_values
+    benchmark.extra_info["db_queries"] = result.stats.db_queries

@@ -1,0 +1,36 @@
+"""Figure 8 — Consistent Coordination Algorithm vs. number of queries.
+
+Paper setup: a fixed 100-row Flights table (one row per distinct
+(destination, day) combination), 10–100 queries, complete friendship
+graph, all values satisfying all queries — the worst case again.
+
+Paper claim: processing time grows linearly with the number of queries.
+"""
+
+import pytest
+
+from repro.core import consistent_coordinate
+from repro.workloads import flight_setup, worst_case_database, worst_case_queries
+
+USER_COUNTS = list(range(10, 101, 10))
+NUM_FLIGHTS = 100
+
+
+@pytest.mark.parametrize("users", USER_COUNTS)
+def test_fig8_queries_processing_time(benchmark, users):
+    db = worst_case_database(NUM_FLIGHTS, users)
+    setup = flight_setup()
+    queries = worst_case_queries(users)
+
+    result = benchmark.pedantic(
+        lambda: consistent_coordinate(db, setup, queries),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+    assert result.found
+    assert result.chosen is not None and len(result.chosen.selections) == users
+    assert result.stats.candidate_values == NUM_FLIGHTS
+    assert result.stats.db_queries <= 3 * users
+    benchmark.extra_info["db_queries"] = result.stats.db_queries

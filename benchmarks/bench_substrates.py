@@ -1,0 +1,66 @@
+"""Substrate micro-benchmarks: the engine pieces the algorithms stand on.
+
+Not a paper figure; these keep the cost model honest (index lookups
+must stay O(1)-ish, SCC linear) so regressions in the substrates don't
+masquerade as algorithmic effects in Figures 4–8.
+"""
+
+import pytest
+
+from repro.core import CoordinationGraph
+from repro.db import ConjunctiveQuery
+from repro.graphs import condensation, strongly_connected_components
+from repro.logic import Atom, unify_atoms, var
+from repro.networks import gnp_digraph, member_name
+from repro.workloads import scale_free_workload
+
+
+def test_bench_point_lookup(benchmark, members_db):
+    """Indexed single-row lookup on the 82k-row member table."""
+    atom = Atom(
+        "Members",
+        [member_name(41_000 % len(members_db.rows("Members"))), var("r"), var("i"), var("k")],
+    )
+    query = ConjunctiveQuery([atom])
+    solution = benchmark(lambda: members_db.first_solution(query))
+    assert solution is not None
+
+
+def test_bench_two_way_join(benchmark, members_db):
+    """Join of two member lookups through a shared karma variable."""
+    shared = var("k")
+    query = ConjunctiveQuery(
+        [
+            Atom("Members", [member_name(7), var("r1"), var("i1"), shared]),
+            Atom("Members", [var("u"), var("r2"), "linux", shared]),
+        ]
+    )
+    benchmark(lambda: members_db.first_solution(query))
+
+
+def test_bench_unification(benchmark):
+    """A single atom unification (the inner loop of graph building)."""
+    left = Atom("R", [var("x"), "user00042", var("z")])
+    right = Atom("R", [17, var("y"), var("w")])
+    result = benchmark(lambda: unify_atoms(left, right))
+    assert result is not None
+
+
+def test_bench_scc_1000(benchmark):
+    """Tarjan on a 1000-node random digraph."""
+    graph = gnp_digraph(1000, 0.004, seed=3)
+    components = benchmark(lambda: strongly_connected_components(graph))
+    assert sum(len(c) for c in components) == 1000
+
+
+def test_bench_condensation_1000(benchmark):
+    graph = gnp_digraph(1000, 0.004, seed=4)
+    cond = benchmark(lambda: condensation(graph))
+    assert cond.component_count >= 1
+
+
+def test_bench_graph_build_500(benchmark):
+    """Coordination-graph construction for 500 queries (head-indexed)."""
+    queries = scale_free_workload(500, out_degree=2, seed=5)
+    graph = benchmark(lambda: CoordinationGraph.build(queries))
+    assert graph.graph.node_count() == 500

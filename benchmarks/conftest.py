@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark suite.
+
+The member table is the expensive shared resource (the paper's
+Slashdot-sized 82 168-row table); it is built once per session.  Set
+``REPRO_BENCH_MEMBERS`` to override the size (e.g. for a quick CI run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.networks import SLASHDOT_SIZE
+from repro.workloads import members_database
+
+
+def member_table_size() -> int:
+    """Paper-faithful by default; overridable for quick runs."""
+    return int(os.environ.get("REPRO_BENCH_MEMBERS", SLASHDOT_SIZE))
+
+
+@pytest.fixture(scope="session")
+def members_db():
+    """The Slashdot-sized member table (Section 6.1 experiments)."""
+    return members_database(size=member_table_size(), seed=2012)

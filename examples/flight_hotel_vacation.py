@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The flight–hotel vacation scenario of Section 2.2 / Figures 1–2.
+
+Chris, Guy, Jonny and Will plan a vacation with interlocking flight and
+hotel requirements.  Jonny's wish (Athens, but on Chris and Guy's
+flight to Paris) is unsatisfiable, and Will depends on Jonny; the SCC
+Coordination Algorithm works that out from the components graph and
+books Chris and Guy together.  Run::
+
+    python examples/flight_hotel_vacation.py
+"""
+
+from repro.core import CoordinationGraph, is_unique, safety_report, scc_coordinate
+from repro.graphs import condensation
+from repro.workloads import vacation_database, vacation_queries
+
+
+def main() -> None:
+    db = vacation_database()
+    queries = vacation_queries()
+
+    print("queries (Figure 1):")
+    for query in queries:
+        print(f"  {query.name}: {query}")
+
+    # The coordination graph of Figure 2 and its SCCs.
+    graph = CoordinationGraph.build(queries)
+    print("\ncoordination graph (Figure 2):")
+    for name in sorted(graph.names()):
+        successors = ", ".join(sorted(graph.graph.successors(name))) or "-"
+        print(f"  {name} -> {successors}")
+    print(f"safe: {safety_report(graph).is_safe}, unique: {is_unique(graph)}")
+
+    cond = condensation(graph.graph)
+    print("\nstrongly connected components (processed in this order):")
+    for component in cond.reverse_topological_order():
+        members = ", ".join(sorted(cond.members(component)))
+        print(f"  component {component}: {{{members}}}")
+
+    # Run the Section 4 algorithm.
+    result = scc_coordinate(db, queries)
+    assert result.found
+    chosen = result.chosen
+    print(f"\ncoordinating set: {chosen}")
+
+    flight = chosen.value_of("qC", "x1")
+    hotel = chosen.value_of("qC", "x2")
+    print(f"Chris and Guy fly on flight {flight} and stay at hotel {hotel}")
+    destination = next(row[1] for row in db.rows("F") if row[0] == flight)
+    print(f"destination: {destination}")
+
+    print(
+        "\nJonny (Athens on the same flight) and Will (depends on Jonny) "
+        "cannot be satisfied:"
+    )
+    for candidate in result.candidates:
+        print(f"  candidate: {candidate} (size {candidate.size})")
+    print(
+        f"cost: {result.stats.db_queries} database queries for "
+        f"{result.stats.scc_count} components"
+    )
+
+
+if __name__ == "__main__":
+    main()

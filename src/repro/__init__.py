@@ -1,0 +1,86 @@
+"""repro — a reproduction of "The Complexity of Social Coordination".
+
+Mamouras, Oren, Seeman, Kot, Gehrke.  PVLDB 5(11), 2012.
+
+The library implements entangled queries end-to-end: the formalism and
+its semantics, the SCC Coordination Algorithm (safe sets), the
+Consistent Coordination Algorithm (A-consistent sets), the Gupta et al.
+baseline, the three NP-hardness reductions, and every substrate the
+paper's system relies on (an in-memory relational engine, unification,
+graph algorithms, social-network generators).
+
+Quickstart::
+
+    from repro import parse_query, scc_coordinate
+    from repro.db import DatabaseBuilder
+
+    db = (DatabaseBuilder()
+          .table("Flights", ["flightId", "destination"], key="flightId")
+          .rows("Flights", [(101, "Zurich")])
+          .build())
+    q1 = parse_query("q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich')")
+    q2 = parse_query("q2: {} R(Chris, y) :- Flights(y, 'Zurich')")
+    result = scc_coordinate(db, [q1, q2])
+    assert result.found and result.chosen.value_of("q1", "x") == 101
+"""
+
+from . import core, db, graphs, hardness, logic, networks, workloads
+from .core import (
+    ConsistentCoordinator,
+    ConsistentQuery,
+    ConsistentSetup,
+    CoordinatingSet,
+    CoordinationEngine,
+    CoordinationResult,
+    EntangledQuery,
+    FriendSlot,
+    NamedPartner,
+    consistent_coordinate,
+    find_coordinating_set,
+    find_maximum_coordinating_set,
+    gupta_coordinate,
+    is_safe,
+    is_unique,
+    parse_queries,
+    parse_query,
+    scc_coordinate,
+    single_connected_coordinate,
+    verify_coordinating_set,
+)
+from .db import Database, DatabaseBuilder
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConsistentCoordinator",
+    "ConsistentQuery",
+    "ConsistentSetup",
+    "CoordinatingSet",
+    "CoordinationEngine",
+    "CoordinationResult",
+    "Database",
+    "DatabaseBuilder",
+    "EntangledQuery",
+    "FriendSlot",
+    "NamedPartner",
+    "ReproError",
+    "__version__",
+    "consistent_coordinate",
+    "core",
+    "db",
+    "find_coordinating_set",
+    "find_maximum_coordinating_set",
+    "graphs",
+    "gupta_coordinate",
+    "hardness",
+    "is_safe",
+    "is_unique",
+    "logic",
+    "networks",
+    "parse_queries",
+    "parse_query",
+    "scc_coordinate",
+    "single_connected_coordinate",
+    "verify_coordinating_set",
+]

@@ -1,0 +1,46 @@
+"""Benchmark harness: experiment runners for Figures 4–8 and ablations."""
+
+from .figures import (
+    FIGURES,
+    Experiment,
+    ablation_db_queries,
+    ablation_hardness,
+    ablation_preprocessing,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from .harness import Point, Series, run_series, time_call
+from .reporting import (
+    format_seconds,
+    render_figure,
+    render_figure_markdown,
+    render_series,
+    render_series_markdown,
+    sparkline,
+)
+
+__all__ = [
+    "FIGURES",
+    "Experiment",
+    "Point",
+    "Series",
+    "ablation_db_queries",
+    "ablation_hardness",
+    "ablation_preprocessing",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_seconds",
+    "render_figure",
+    "render_figure_markdown",
+    "render_series",
+    "render_series_markdown",
+    "run_series",
+    "sparkline",
+    "time_call",
+]

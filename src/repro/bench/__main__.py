@@ -1,0 +1,99 @@
+"""Command-line entry point: rerun the paper's evaluation.
+
+Usage::
+
+    python -m repro.bench            # all figures + ablations
+    python -m repro.bench fig4 fig7  # a subset
+    python -m repro.bench --fast     # scaled-down parameters (CI-sized)
+
+Prints each figure as an aligned x/y table with a linear-fit summary —
+the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .figures import (
+    FIGURES,
+    ablation_db_queries,
+    ablation_hardness,
+    ablation_preprocessing,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from .reporting import render_figure, render_figure_markdown
+
+_FAST_RUNNERS = {
+    "fig4": lambda: [figure4(sizes=range(10, 51, 10), member_count=5000, repeats=1)],
+    "fig5": lambda: [
+        figure5(sizes=range(10, 51, 10), member_count=5000, graphs_per_size=3)
+    ],
+    "fig6": lambda: [figure6(sizes=range(100, 501, 100), graphs_per_size=3)],
+    "fig7": lambda: [figure7(flight_counts=range(100, 501, 100), repeats=1)],
+    "fig8": lambda: [figure8(user_counts=range(10, 51, 10), repeats=1)],
+    "ablation-hardness": lambda: list(
+        ablation_hardness(variable_counts=(3, 4), clause_ratio=1.5)
+    ),
+    "ablation-db-queries": lambda: [ablation_db_queries(sizes=range(10, 51, 10))],
+    "ablation-preprocessing": lambda: list(
+        ablation_preprocessing(sizes=(20, 40, 60))
+    ),
+}
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[*FIGURES.keys(), []],
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="scaled-down parameters for a quick end-to-end run",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit EXPERIMENTS.md-style markdown instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.figures or list(FIGURES)
+    for key in selected:
+        experiment = FIGURES[key]
+        runner = _FAST_RUNNERS[key] if args.fast else experiment.run
+        series_list = runner()
+        if args.markdown:
+            print(
+                render_figure_markdown(
+                    experiment.figure_id,
+                    experiment.caption,
+                    experiment.paper_claim,
+                    series_list,
+                )
+            )
+        else:
+            print(
+                render_figure(
+                    experiment.figure_id, experiment.caption, series_list
+                )
+            )
+            print(f"paper claim: {experiment.paper_claim}")
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

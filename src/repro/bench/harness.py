@@ -1,0 +1,128 @@
+"""Timing harness for the experiment reproductions.
+
+The paper reports *processing time* as a function of a swept parameter
+(number of queries, table size).  :func:`run_series` executes one
+experiment point per parameter value, with optional repetition and
+averaging — Figure 5 averages over ten random graphs, for example — and
+returns a structured :class:`Series` the reporting layer can print or
+the tests can assert trends on (linearity, monotonicity).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Point:
+    """One measured point of a series."""
+
+    x: float
+    seconds: float
+    repeats: int
+    seconds_stdev: float = 0.0
+    extra: Tuple[Tuple[str, float], ...] = ()
+
+    def extra_map(self) -> Dict[str, float]:
+        """Auxiliary counters (db queries, graph sizes, ...)."""
+        return dict(self.extra)
+
+
+@dataclass
+class Series:
+    """A named x→time series, the unit every figure is made of."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: List[Point] = field(default_factory=list)
+
+    def xs(self) -> List[float]:
+        """Parameter values."""
+        return [p.x for p in self.points]
+
+    def ys(self) -> List[float]:
+        """Mean seconds per point."""
+        return [p.seconds for p in self.points]
+
+    def is_monotone_nondecreasing(self, tolerance: float = 0.25) -> bool:
+        """``True`` when times grow with x, modulo ``tolerance`` jitter.
+
+        Timing noise makes exact monotonicity too strict; a point may
+        undercut its predecessor by up to ``tolerance`` fraction.
+        """
+        ys = self.ys()
+        return all(b >= a * (1 - tolerance) for a, b in zip(ys, ys[1:]))
+
+    def linear_fit(self) -> Tuple[float, float, float]:
+        """Least-squares fit ``y = a·x + b``; returns (a, b, R²).
+
+        Used to assert the paper's "grows linearly" claims: the fits on
+        our reproduction should explain most of the variance.
+        """
+        xs, ys = self.xs(), self.ys()
+        n = len(xs)
+        if n < 2:
+            return 0.0, ys[0] if ys else 0.0, 1.0
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        sxx = sum((x - mean_x) ** 2 for x in xs)
+        sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        slope = sxy / sxx if sxx else 0.0
+        intercept = mean_y - slope * mean_x
+        ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+        ss_tot = sum((y - mean_y) ** 2 for y in ys)
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+        return slope, intercept, r_squared
+
+
+def time_call(fn: Callable[[], T]) -> Tuple[float, T]:
+    """Wall-clock one call; returns (seconds, result)."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run_series(
+    name: str,
+    xs: Sequence[float],
+    make_point: Callable[[float, int], Callable[[], object]],
+    repeats: int = 1,
+    x_label: str = "n",
+    y_label: str = "seconds",
+    extra_from_result: Optional[Callable[[object], Dict[str, float]]] = None,
+) -> Series:
+    """Measure one series.
+
+    ``make_point(x, repeat)`` returns the zero-argument callable to time
+    for parameter value ``x`` on repetition ``repeat`` — returning a
+    fresh callable per repeat lets experiments regenerate their random
+    structure each time, as Figure 5's ten-graph averaging requires.
+    ``extra_from_result`` extracts auxiliary counters from the last
+    repeat's result.
+    """
+    series = Series(name, x_label, y_label)
+    for x in xs:
+        times: List[float] = []
+        last_result: object = None
+        for repeat in range(repeats):
+            seconds, last_result = time_call(make_point(x, repeat))
+            times.append(seconds)
+        extra: Dict[str, float] = {}
+        if extra_from_result is not None and last_result is not None:
+            extra = extra_from_result(last_result)
+        series.points.append(
+            Point(
+                x=x,
+                seconds=statistics.fmean(times),
+                repeats=repeats,
+                seconds_stdev=statistics.pstdev(times) if len(times) > 1 else 0.0,
+                extra=tuple(sorted(extra.items())),
+            )
+        )
+    return series

@@ -1,0 +1,124 @@
+"""Plain-text reporting of experiment series.
+
+The paper presents Figures 4–8 as line charts; in a terminal we print
+the same x/y series as aligned tables plus a crude ASCII sparkline, and
+summarise the linear fit so the "grows linearly" claims are visible at
+a glance.  EXPERIMENTS.md is generated from these renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .harness import Series
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a value sequence."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - low) / (high - low) * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale time formatting (µs/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.3f} s "
+
+
+def render_series(series: Series, title: str = "") -> str:
+    """Render one series as an aligned table with a fit summary."""
+    lines: List[str] = []
+    header = title or series.name
+    lines.append(header)
+    lines.append("=" * len(header))
+    extra_keys: List[str] = []
+    for point in series.points:
+        for key, _ in point.extra:
+            if key not in extra_keys:
+                extra_keys.append(key)
+    columns = [series.x_label.rjust(10), ("mean " + series.y_label).rjust(14)]
+    columns.extend(key.rjust(14) for key in extra_keys)
+    lines.append("  ".join(columns))
+    for point in series.points:
+        row = [f"{point.x:10g}", format_seconds(point.seconds).rjust(14)]
+        extras = point.extra_map()
+        row.extend(f"{extras.get(key, float('nan')):14g}" for key in extra_keys)
+        lines.append("  ".join(row))
+    slope, intercept, r_squared = series.linear_fit()
+    lines.append(
+        f"trend: {sparkline(series.ys())}   linear fit "
+        f"y = {slope:.3g}·x + {intercept:.3g}   R² = {r_squared:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def render_figure(
+    figure_id: str,
+    caption: str,
+    series_list: Iterable[Series],
+) -> str:
+    """Render a whole figure (one or more series) with its caption."""
+    blocks = [f"{figure_id}: {caption}", "-" * 72]
+    for series in series_list:
+        blocks.append(render_series(series))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def render_series_markdown(series: Series) -> str:
+    """Render one series as a GitHub-flavoured markdown table.
+
+    This is the format EXPERIMENTS.md records; ``python -m repro.bench
+    --markdown`` regenerates the whole report mechanically.
+    """
+    extra_keys: List[str] = []
+    for point in series.points:
+        for key, _ in point.extra:
+            if key not in extra_keys:
+                extra_keys.append(key)
+    header = [series.x_label, "mean time"] + extra_keys
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---:" for _ in header) + "|",
+    ]
+    for point in series.points:
+        extras = point.extra_map()
+        row = [f"{point.x:g}", format_seconds(point.seconds).strip()]
+        row.extend(f"{extras.get(key, float('nan')):g}" for key in extra_keys)
+        lines.append("| " + " | ".join(row) + " |")
+    slope, intercept, r_squared = series.linear_fit()
+    lines.append("")
+    lines.append(
+        f"Linear fit: `y = {slope:.3g}·x + {intercept:.3g}` with "
+        f"R² = {r_squared:.3f}."
+    )
+    return "\n".join(lines)
+
+
+def render_figure_markdown(
+    figure_id: str,
+    caption: str,
+    paper_claim: str,
+    series_list: Iterable[Series],
+) -> str:
+    """Render a whole figure as a markdown section (EXPERIMENTS.md style)."""
+    blocks = [f"## {figure_id} — {caption}", "", f"**Paper claim:** {paper_claim}", ""]
+    for series in series_list:
+        blocks.append(f"**Measured** (`{series.name}`):")
+        blocks.append("")
+        blocks.append(render_series_markdown(series))
+        blocks.append("")
+    return "\n".join(blocks)

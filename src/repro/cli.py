@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``check DB.json QUERIES.eq`` — parse a query program, validate it
+  against the database schema, and report the structural properties
+  (safety, uniqueness, single-connectedness) that decide which
+  algorithm applies;
+* ``coordinate DB.json QUERIES.eq [--algorithm scc|gupta|exact]
+  [--trace] [--dot FILE]`` — run a coordination algorithm and print the
+  chosen set with its assignment;
+* ``demo`` — the Gwyneth/Chris example end to end, no files needed.
+
+Query programs use the textual syntax of :mod:`repro.core.parser`
+(``;``-separated, ``name:`` prefixes optional); databases are the JSON
+spec format of :mod:`repro.db.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import (
+    CoordinationGraph,
+    Trace,
+    coordination_graph_dot,
+    find_coordinating_set,
+    gupta_coordinate,
+    is_single_connected,
+    is_unique,
+    parse_queries,
+    render_trace,
+    safety_report,
+    scc_coordinate,
+    validate_query_set,
+    verify_coordinating_set,
+)
+from .db import load_database
+from .errors import ReproError
+
+
+def _load_inputs(db_path: str, queries_path: str):
+    db = load_database(db_path)
+    source = Path(queries_path).read_text(encoding="utf-8")
+    queries = parse_queries(source)
+    validate_query_set(queries, db.schema)
+    return db, queries
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    db, queries = _load_inputs(args.database, args.queries)
+    graph = CoordinationGraph.build(queries)
+    report = safety_report(graph)
+    print(f"queries: {len(queries)}")
+    print(f"coordination graph: {graph.graph.node_count()} nodes, "
+          f"{graph.graph.edge_count()} edges")
+    print(f"safe: {report.is_safe}")
+    if not report.is_safe:
+        print(f"  unsafe queries: {', '.join(report.unsafe_queries())}")
+    print(f"unique: {is_unique(graph)}")
+    print(f"single-connected: {is_single_connected(graph)}")
+    if report.is_safe and is_unique(graph):
+        print("=> the Gupta et al. baseline applies (one combined query)")
+    elif report.is_safe:
+        print("=> the SCC Coordination Algorithm applies (Section 4)")
+    else:
+        print(
+            "=> unsafe: use the Consistent Coordination Algorithm if all "
+            "queries share coordination attributes (Section 5), or the "
+            "exponential exact solver"
+        )
+    return 0
+
+
+def _cmd_coordinate(args: argparse.Namespace) -> int:
+    db, queries = _load_inputs(args.database, args.queries)
+    trace: Optional[Trace] = Trace() if args.trace else None
+
+    if args.algorithm == "gupta":
+        result = gupta_coordinate(db, queries)
+        chosen = result.chosen
+    elif args.algorithm == "exact":
+        chosen = find_coordinating_set(db, queries)
+    else:
+        result = scc_coordinate(db, queries, trace=trace)
+        chosen = result.chosen
+
+    if args.dot:
+        graph = CoordinationGraph.build(queries)
+        Path(args.dot).write_text(
+            coordination_graph_dot(graph), encoding="utf-8"
+        )
+        print(f"coordination graph written to {args.dot}")
+
+    if trace is not None:
+        print(render_trace(trace))
+        print()
+
+    if chosen is None:
+        print("no coordinating set exists")
+        return 1
+    print(f"coordinating set ({chosen.size} queries): {chosen}")
+    for variable in sorted(chosen.assignment, key=str):
+        print(f"  {variable} = {chosen.assignment[variable]!r}")
+    verification = verify_coordinating_set(
+        db, queries, chosen.members, chosen.assignment
+    )
+    print(f"Definition 1 check: {'OK' if verification.ok else verification.reason}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .db import DatabaseBuilder
+
+    db = (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich")])
+        .build()
+    )
+    queries = parse_queries(
+        """
+        gwyneth: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+        chris:   {} R(Chris, y) :- Flights(y, 'Zurich');
+        """
+    )
+    result = scc_coordinate(db, queries)
+    assert result.chosen is not None
+    print("demo: Gwyneth flies with Chris (Section 2.1)")
+    print(f"coordinating set: {result.chosen}")
+    print(f"shared flight: {result.chosen.value_of('gwyneth', 'x')}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Entangled-query coordination (VLDB 2012 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser(
+        "check", help="validate a query program and report its properties"
+    )
+    check.add_argument("database", help="database JSON spec")
+    check.add_argument("queries", help="entangled-query program file")
+    check.set_defaults(func=_cmd_check)
+
+    coordinate = subparsers.add_parser(
+        "coordinate", help="find a coordinating set"
+    )
+    coordinate.add_argument("database", help="database JSON spec")
+    coordinate.add_argument("queries", help="entangled-query program file")
+    coordinate.add_argument(
+        "--algorithm",
+        choices=["scc", "gupta", "exact"],
+        default="scc",
+        help="which solver to run (default: scc)",
+    )
+    coordinate.add_argument(
+        "--trace", action="store_true", help="print the execution narration"
+    )
+    coordinate.add_argument(
+        "--dot", metavar="FILE", help="also write the coordination graph as dot"
+    )
+    coordinate.set_defaults(func=_cmd_coordinate)
+
+    demo = subparsers.add_parser("demo", help="run the built-in example")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+"""The paper's core contribution: entangled queries and coordination.
+
+Public surface:
+
+* :class:`EntangledQuery` and the textual :func:`parse_query` /
+  :func:`parse_queries` syntax;
+* coordination graphs and structural properties (safety, uniqueness,
+  single-connectedness);
+* Definition-1 semantics (:func:`verify_coordinating_set`) and the
+  exponential exact solvers (test oracle);
+* the Gupta et al. baseline (safe + unique sets);
+* the SCC Coordination Algorithm (safe sets, Section 4);
+* the Consistent Coordination Algorithm (A-consistent sets, Section 5);
+* the single-connected solver (Theorem 3);
+* an online :class:`CoordinationEngine` facade in the Youtopia style.
+"""
+
+from .bruteforce import (
+    coordinating_set_exists,
+    enumerate_coordinating_sets,
+    find_coordinating_set,
+    find_maximum_coordinating_set,
+)
+from .consistent import (
+    ConsistentCandidate,
+    ConsistentCoordinator,
+    ConsistentOutcome,
+    ConsistentQuery,
+    ConsistentResult,
+    ConsistentSetup,
+    FriendSlot,
+    NamedPartner,
+    consistent_coordinate,
+    largest_consistent_candidate,
+)
+from .consistent_analysis import analyze_consistent, analyze_program
+from .consistent_lowering import (
+    classify_attributes,
+    is_a_consistent,
+    lower_all,
+    outcome_witness,
+    to_entangled,
+)
+from .coordination_graph import CoordinationGraph, ExtendedEdge
+from .engine import ArrivalOutcome, CoordinationEngine
+from .gupta import gupta_coordinate
+from .parallel import consistent_coordinate_parallel, partition_values
+from .parser import parse_queries, parse_query
+from .properties import (
+    SafetyReport,
+    is_safe,
+    is_safe_and_unique,
+    is_single_connected,
+    is_unique,
+    postcondition_fanout,
+    safety_report,
+)
+from .query import EntangledQuery, check_distinct_names, validate_query_set
+from .result import CoordinatingSet, CoordinationResult, GroundedView
+from .scc_coordination import (
+    PreprocessResult,
+    containing_query,
+    largest_candidate,
+    preprocess,
+    scc_coordinate,
+    scc_coordinate_on_graph,
+)
+from .semantics import (
+    VerificationReport,
+    complete_assignment,
+    grounded_view,
+    verify_coordinating_set,
+    verify_result_set,
+)
+from .single_connected import single_connected_coordinate
+from .trace import (
+    ComponentProcessed,
+    PreprocessingRemoved,
+    SelectionMade,
+    Trace,
+    ValueExamined,
+    render_trace,
+)
+from .visualize import (
+    condensation_dot,
+    coordination_graph_dot,
+    extended_graph_dot,
+    pruned_graph_dot,
+)
+
+__all__ = [
+    "ArrivalOutcome",
+    "ComponentProcessed",
+    "PreprocessingRemoved",
+    "SelectionMade",
+    "Trace",
+    "ValueExamined",
+    "condensation_dot",
+    "coordination_graph_dot",
+    "extended_graph_dot",
+    "pruned_graph_dot",
+    "render_trace",
+    "ConsistentCandidate",
+    "ConsistentCoordinator",
+    "ConsistentOutcome",
+    "ConsistentQuery",
+    "ConsistentResult",
+    "ConsistentSetup",
+    "CoordinatingSet",
+    "CoordinationEngine",
+    "CoordinationGraph",
+    "CoordinationResult",
+    "EntangledQuery",
+    "ExtendedEdge",
+    "FriendSlot",
+    "GroundedView",
+    "NamedPartner",
+    "PreprocessResult",
+    "SafetyReport",
+    "VerificationReport",
+    "analyze_consistent",
+    "analyze_program",
+    "check_distinct_names",
+    "classify_attributes",
+    "complete_assignment",
+    "consistent_coordinate",
+    "consistent_coordinate_parallel",
+    "containing_query",
+    "partition_values",
+    "coordinating_set_exists",
+    "enumerate_coordinating_sets",
+    "find_coordinating_set",
+    "find_maximum_coordinating_set",
+    "grounded_view",
+    "gupta_coordinate",
+    "is_a_consistent",
+    "is_safe",
+    "is_safe_and_unique",
+    "is_single_connected",
+    "is_unique",
+    "largest_candidate",
+    "largest_consistent_candidate",
+    "lower_all",
+    "outcome_witness",
+    "parse_queries",
+    "parse_query",
+    "postcondition_fanout",
+    "preprocess",
+    "safety_report",
+    "scc_coordinate",
+    "scc_coordinate_on_graph",
+    "single_connected_coordinate",
+    "to_entangled",
+    "validate_query_set",
+    "verify_coordinating_set",
+    "verify_result_set",
+]

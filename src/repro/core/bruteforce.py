@@ -1,0 +1,166 @@
+"""Exact (exponential-time) solvers for entangled query evaluation.
+
+These implement the two decision/search problems of Section 3 directly:
+
+* :func:`find_coordinating_set` — decide ``Entangled(Q)`` and produce a
+  witness (any coordinating set);
+* :func:`find_maximum_coordinating_set` — solve ``EntangledMax(Q)``.
+
+Both work on *arbitrary* query sets — no safety, uniqueness or
+consistency assumptions — by enumerating subsets and
+postcondition-to-head matchings with unification pruning.  They are the
+test oracle for every polynomial-time algorithm in the library and the
+baseline for the hardness ablation benchmark; they are exponential by
+necessity (Theorems 1 and 2).
+
+Completeness argument.  Any coordinating set ``(S, h)`` induces, for
+each postcondition atom of ``S``, at least one head atom of ``S`` with
+the same grounding; choosing one gives a matching whose pairs are
+simultaneously unifiable (``h`` is a unifier, hence an MGU exists).
+Conversely a matching whose MGU admits a database grounding for the
+combined body — with leftover free variables filled from the active
+domain — satisfies Definition 1.  Searching over subsets and matchings
+is therefore exactly equivalent to searching over coordinating sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..db import ConjunctiveQuery, Database
+from ..logic import Atom, Substitution, Variable, apply_substitution_all
+from .query import EntangledQuery, check_distinct_names
+from .result import CoordinatingSet
+from .semantics import complete_assignment
+
+
+def _matchings(
+    posts: List[Tuple[str, Atom]],
+    heads: List[Tuple[str, Atom]],
+    substitution: Substitution,
+) -> Iterator[Substitution]:
+    """Enumerate substitutions matching every postcondition to some head.
+
+    Backtracks over postconditions in order; each must unify with one of
+    the candidate heads under the growing substitution.  Yields one
+    substitution per complete matching (duplicates possible when
+    different matchings induce the same constraints; harmless for the
+    oracle's purposes).
+    """
+    if not posts:
+        yield substitution
+        return
+    (_, post), *rest = posts
+    for _, head in heads:
+        if post.relation != head.relation or post.arity != head.arity:
+            continue
+        attempt = substitution.copy()
+        ok = True
+        for pt, ht in zip(post.terms, head.terms):
+            if not attempt.unify_terms(pt, ht):
+                ok = False
+                break
+        if ok:
+            yield from _matchings(rest, heads, attempt)
+
+
+def _ground_subset(
+    db: Database,
+    by_name: Dict[str, EntangledQuery],
+    subset: Tuple[str, ...],
+) -> Optional[Dict[Variable, Hashable]]:
+    """Try to witness ``subset`` as a coordinating set.
+
+    Returns a total assignment over the subset's (standardised)
+    variables, or ``None``.
+    """
+    standardized = {name: by_name[name].standardized() for name in subset}
+    posts: List[Tuple[str, Atom]] = []
+    heads: List[Tuple[str, Atom]] = []
+    bodies: List[Atom] = []
+    for name in subset:
+        query = standardized[name]
+        posts.extend((name, a) for a in query.postconditions)
+        heads.extend((name, a) for a in query.head)
+        bodies.extend(query.body)
+
+    for substitution in _matchings(posts, heads, Substitution()):
+        rewritten = apply_substitution_all(bodies, substitution)
+        solution = db.first_solution(ConjunctiveQuery(tuple(rewritten)))
+        if solution is None:
+            continue
+        # Recover values for the original (pre-rewrite) variables.
+        partial: Dict[Variable, Hashable] = {}
+        for name in subset:
+            for variable in standardized[name].variables():
+                representative = substitution.resolve(variable)
+                if isinstance(representative, Variable):
+                    if representative in solution:
+                        partial[variable] = solution[representative]
+                else:
+                    partial[variable] = representative.value
+        total = complete_assignment(db, by_name, subset, partial)
+        if total is not None:
+            return total
+    return None
+
+
+def enumerate_coordinating_sets(
+    db: Database,
+    queries: Iterable[EntangledQuery],
+    max_size: Optional[int] = None,
+) -> Iterator[CoordinatingSet]:
+    """Enumerate coordinating sets by increasing subset size.
+
+    Every yielded set passes Definition 1; not every coordinating set is
+    yielded exactly once (supersets with independent witnesses appear
+    separately), but every coordinating *subset* of queries that admits
+    a witness is yielded.
+    """
+    query_list = check_distinct_names(queries)
+    by_name = {q.name: q for q in query_list}
+    names = tuple(by_name)
+    top = len(names) if max_size is None else min(max_size, len(names))
+    for size in range(1, top + 1):
+        for subset in combinations(names, size):
+            assignment = _ground_subset(db, by_name, subset)
+            if assignment is not None:
+                yield CoordinatingSet(subset, assignment)
+
+
+def find_coordinating_set(
+    db: Database, queries: Iterable[EntangledQuery]
+) -> Optional[CoordinatingSet]:
+    """Decide ``Entangled(Q)``: any coordinating set, or ``None``.
+
+    Searches smallest subsets first, so the witness returned is one of
+    minimum cardinality.
+    """
+    for found in enumerate_coordinating_sets(db, queries):
+        return found
+    return None
+
+
+def find_maximum_coordinating_set(
+    db: Database, queries: Iterable[EntangledQuery]
+) -> Optional[CoordinatingSet]:
+    """Solve ``EntangledMax(Q)``: a maximum-size coordinating set.
+
+    NP-hard in general (Theorem 2); exponential enumeration from the
+    largest subset downward.
+    """
+    query_list = check_distinct_names(queries)
+    by_name = {q.name: q for q in query_list}
+    names = tuple(by_name)
+    for size in range(len(names), 0, -1):
+        for subset in combinations(names, size):
+            assignment = _ground_subset(db, by_name, subset)
+            if assignment is not None:
+                return CoordinatingSet(subset, assignment)
+    return None
+
+
+def coordinating_set_exists(db: Database, queries: Iterable[EntangledQuery]) -> bool:
+    """Boolean form of :func:`find_coordinating_set`."""
+    return find_coordinating_set(db, queries) is not None

@@ -1,0 +1,687 @@
+"""The Consistent Coordination Algorithm (Section 5 of the paper).
+
+The algorithm targets the common coordination pattern in which safety
+fails — "go to a party at least one friend attends", "fly to a
+conference with some colleague" — but every user coordinates on the
+*same* attribute set ``A`` of one relation ``S`` (flights, concerts,
+classes).  For such *A-consistent* query sets (Definitions 7–9),
+Proposition 1 guarantees that a coordinating set exists iff one exists
+in which all chosen tuples agree on ``A``, which the algorithm exploits:
+
+1. For every query ``q`` compute the option list ``V(q)``: all value
+   tuples for the coordination attributes that make ``q``'s own
+   requirements satisfiable (Definition 10).  One database query each.
+2. Build the **pruned coordination graph** over queries with non-empty
+   ``V(q)``: an edge ``q_i → q_j`` iff ``q_i`` named ``q_j``'s user as a
+   coordination partner, or ``q_j``'s user is a friend of ``q_i``'s user
+   (per the friendship relation) and ``q_i`` has an open friend slot.
+3. For every candidate value ``v ∈ V(Q) = ∪ V(q)``, take the subgraph
+   ``G_v`` of queries with ``v ∈ V(q)`` and run a **cleaning phase**:
+   iteratively remove queries whose coordination requirements cannot
+   hold in ``G_v`` (a named partner missing, or no friend present).
+   A non-empty ``G_v`` is a coordinating set for value ``v``.
+4. Choose among the recorded candidates (largest by default) and ground
+   it: one final database query per member retrieves a concrete tuple
+   key, producing the user → key mapping the paper's prototype outputs.
+
+Generalisations implemented (paper's Discussion subsection): partner
+slots may require ``k ≥ 1`` friends (not expressible in entangled-query
+syntax, as the paper notes), several friendship relations may coexist,
+and named partners may demand the *same tuple* (``y_i = x``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..db import ConjunctiveQuery, CoordinationStats, Database
+from ..errors import MalformedQueryError, PreconditionError
+from ..graphs import DiGraph
+from ..logic import Atom, Variable
+from .trace import SelectionMade, Trace, ValueExamined
+
+Value = Tuple[Hashable, ...]
+
+
+# ---------------------------------------------------------------------------
+# Query model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NamedPartner:
+    """A coordination partner given by constant (``c_i`` in the paper).
+
+    ``same_tuple`` encodes the paper's ``y_i = x`` option: the partner
+    must receive the *same* tuple (e.g. the same flight), not merely a
+    tuple agreeing on the coordination attributes.
+    """
+
+    user: str
+    same_tuple: bool = False
+
+
+@dataclass(frozen=True)
+class FriendSlot:
+    """A coordination partner chosen from a friendship relation.
+
+    ``f_1`` in the paper's general form: any user ``w`` with
+    ``F(user, w)`` may fill the slot.  ``count`` generalises to "at
+    least ``count`` friends" (Discussion subsection); ``relation``
+    allows multiple friendship relations in one workload.
+    """
+
+    relation: str = "Friends"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise MalformedQueryError("friend slot count must be >= 1")
+
+
+Partner = Union[NamedPartner, FriendSlot]
+
+
+@dataclass(frozen=True)
+class ConsistentQuery:
+    """One user's A-consistent coordination request.
+
+    ``constraints`` maps attributes of the coordination relation ``S``
+    to required constants for the *user's own* tuple; attributes absent
+    from the mapping are "don't care".  Constraints on coordination
+    attributes restrict the whole group (by A-consistency everyone gets
+    the same values); constraints on other attributes are private.
+    """
+
+    user: str
+    constraints: Tuple[Tuple[str, Hashable], ...] = ()
+    partners: Tuple[Partner, ...] = ()
+
+    def __init__(
+        self,
+        user: str,
+        constraints: Union[Mapping[str, Hashable], Iterable[Tuple[str, Hashable]]] = (),
+        partners: Iterable[Partner] = (),
+    ) -> None:
+        if not user:
+            raise MalformedQueryError("consistent query must name a user")
+        if isinstance(constraints, Mapping):
+            constraint_items = tuple(sorted(constraints.items()))
+        else:
+            constraint_items = tuple(sorted(constraints))
+        names = [attr for attr, _ in constraint_items]
+        if len(set(names)) != len(names):
+            raise MalformedQueryError(
+                f"query of user {user!r} constrains an attribute twice"
+            )
+        object.__setattr__(self, "user", user)
+        object.__setattr__(self, "constraints", constraint_items)
+        object.__setattr__(self, "partners", tuple(partners))
+
+    def constraint_map(self) -> Dict[str, Hashable]:
+        """Constraints as a plain dict."""
+        return dict(self.constraints)
+
+    def named_partners(self) -> Tuple[NamedPartner, ...]:
+        """Partners given by constant."""
+        return tuple(p for p in self.partners if isinstance(p, NamedPartner))
+
+    def friend_slots(self) -> Tuple[FriendSlot, ...]:
+        """Partners to be filled from a friendship relation."""
+        return tuple(p for p in self.partners if isinstance(p, FriendSlot))
+
+    def __str__(self) -> str:
+        parts = [f"user={self.user}"]
+        if self.constraints:
+            inner = ", ".join(f"{a}={v!r}" for a, v in self.constraints)
+            parts.append(f"constraints({inner})")
+        for partner in self.partners:
+            parts.append(str(partner))
+        return f"ConsistentQuery({'; '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class ConsistentSetup:
+    """Application knowledge the algorithm is parameterised by.
+
+    ``table`` is the coordination relation ``S`` (its declared key is
+    used for output); ``coordination_attributes`` is the set ``A``;
+    ``friend_relations`` lists the binary relations partner slots may
+    reference (all of the form ``(user, friend)``).
+    """
+
+    table: str
+    coordination_attributes: Tuple[str, ...]
+    friend_relations: Tuple[str, ...] = ("Friends",)
+
+    def __init__(
+        self,
+        table: str,
+        coordination_attributes: Iterable[str],
+        friend_relations: Iterable[str] = ("Friends",),
+    ) -> None:
+        coordination_attributes = tuple(coordination_attributes)
+        if not coordination_attributes:
+            raise PreconditionError("at least one coordination attribute required")
+        object.__setattr__(self, "table", table)
+        object.__setattr__(
+            self, "coordination_attributes", coordination_attributes
+        )
+        object.__setattr__(self, "friend_relations", tuple(friend_relations))
+
+    def validate(self, db: Database, queries: Sequence[ConsistentQuery]) -> None:
+        """Check the setup and queries against the database schema."""
+        table_schema = db.schema.get(self.table)
+        for attribute in self.coordination_attributes:
+            table_schema.position_of(attribute)
+        if table_schema.key is None:
+            raise PreconditionError(
+                f"coordination table {self.table!r} must declare a key"
+            )
+        if table_schema.key in self.coordination_attributes:
+            raise PreconditionError("the key cannot be a coordination attribute")
+        for relation in self.friend_relations:
+            friend_schema = db.schema.get(relation)
+            if friend_schema.arity != 2:
+                raise PreconditionError(
+                    f"friendship relation {relation!r} must be binary"
+                )
+        seen_users: Set[str] = set()
+        for query in queries:
+            if query.user in seen_users:
+                raise PreconditionError(
+                    f"user {query.user!r} submitted more than one query"
+                )
+            seen_users.add(query.user)
+            for attribute, _ in query.constraints:
+                table_schema.position_of(attribute)
+                if attribute == table_schema.key:
+                    raise PreconditionError(
+                        f"user {query.user!r} constrains the key attribute"
+                    )
+            for slot in query.friend_slots():
+                if slot.relation not in self.friend_relations:
+                    raise PreconditionError(
+                        f"user {query.user!r} references friendship relation "
+                        f"{slot.relation!r} outside the setup"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ConsistentCandidate:
+    """A surviving subgraph ``G_v``: a coordinating set for value ``v``."""
+
+    value: Value
+    users: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of users in the set."""
+        return len(self.users)
+
+
+@dataclass(frozen=True)
+class ConsistentOutcome:
+    """The grounded output: per-user tuple keys plus partner witnesses."""
+
+    value: Value
+    selections: Dict[str, Hashable]
+    friend_witnesses: Dict[str, Tuple[str, ...]]
+
+    @property
+    def users(self) -> Tuple[str, ...]:
+        """Users in the coordinating set."""
+        return tuple(self.selections)
+
+
+@dataclass
+class ConsistentResult:
+    """Outcome of a Consistent Coordination Algorithm run."""
+
+    chosen: Optional[ConsistentOutcome]
+    candidates: List[ConsistentCandidate] = field(default_factory=list)
+    option_lists: Dict[str, FrozenSet[Value]] = field(default_factory=dict)
+    stats: CoordinationStats = field(default_factory=CoordinationStats)
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a coordinating set was found."""
+        return self.chosen is not None
+
+
+CandidateCriterion = Callable[
+    [Sequence[ConsistentCandidate]], Optional[ConsistentCandidate]
+]
+
+
+def largest_consistent_candidate(
+    candidates: Sequence[ConsistentCandidate],
+) -> Optional[ConsistentCandidate]:
+    """Default criterion: largest set; ties broken by value order."""
+    if not candidates:
+        return None
+    return max(candidates, key=lambda c: (c.size, tuple(repr(x) for x in c.value)))
+
+
+# ---------------------------------------------------------------------------
+# The algorithm
+# ---------------------------------------------------------------------------
+class ConsistentCoordinator:
+    """Runs the Consistent Coordination Algorithm over one database.
+
+    Instances cache schema positions; call :meth:`coordinate` per batch
+    of queries (the paper's prototype buffers queries and processes them
+    in batches).
+    """
+
+    def __init__(self, db: Database, setup: ConsistentSetup) -> None:
+        self.db = db
+        self.setup = setup
+        self._table_schema = db.schema.get(setup.table)
+        self._key = self._table_schema.key
+        self._coord_positions = self._table_schema.positions_of(
+            setup.coordination_attributes
+        )
+
+    # -- step 1: option lists -------------------------------------------
+    def option_list(self, query: ConsistentQuery) -> FrozenSet[Value]:
+        """``V(q)``: coordination-attribute values satisfying ``q``'s body."""
+        body, coord_vars, _ = self._own_atom(query)
+        values = self.db.distinct_bindings(
+            ConjunctiveQuery((body,)), tuple(coord_vars)
+        )
+        return frozenset(values)
+
+    def _own_atom(
+        self, query: ConsistentQuery
+    ) -> Tuple[Atom, List[Variable], Variable]:
+        """The user's ``S(x, ...)`` body atom, its coordination variables
+        and its key variable."""
+        constraints = query.constraint_map()
+        terms: List[object] = []
+        coord_vars: List[Variable] = []
+        key_var = Variable("x", query.user)
+        for attribute in self._table_schema.attributes:
+            if attribute == self._key:
+                terms.append(key_var)
+            elif attribute in constraints:
+                terms.append(constraints[attribute])
+            else:
+                terms.append(Variable(f"a_{attribute}", query.user))
+        for attribute, position in zip(
+            self.setup.coordination_attributes, self._coord_positions
+        ):
+            term = terms[position]
+            if isinstance(term, Variable):
+                coord_vars.append(term)
+            else:
+                # Constant constraint on a coordination attribute: bind a
+                # variable equal to it so projections stay uniform.
+                pinned = Variable(f"a_{attribute}", query.user)
+                terms[position] = pinned
+                coord_vars.append(pinned)
+                # Re-add the constant restriction via a second atom would
+                # be wasteful; instead remember it for filtering below.
+        atom = Atom(self.setup.table, terms)
+        return atom, coord_vars, key_var
+
+    def _constrained_option_list(self, query: ConsistentQuery) -> FrozenSet[Value]:
+        """Option list honouring constant coordination constraints."""
+        constraints = query.constraint_map()
+        values = self.option_list(query)
+        pinned = [
+            (i, constraints[attribute])
+            for i, attribute in enumerate(self.setup.coordination_attributes)
+            if attribute in constraints
+        ]
+        if not pinned:
+            return values
+        return frozenset(
+            v for v in values if all(v[i] == c for i, c in pinned)
+        )
+
+    # -- step 2: pruned coordination graph ------------------------------
+    def _friends_of(self, user: str, relation: str) -> FrozenSet[str]:
+        """All ``w`` with ``relation(user, w)`` — one database query."""
+        friend = Variable("f", user)
+        query = ConjunctiveQuery((Atom(relation, [user, friend]),))
+        return frozenset(
+            assignment[friend] for assignment in self.db.solutions(query)
+        )
+
+    def pruned_graph(
+        self,
+        queries: Sequence[ConsistentQuery],
+        option_lists: Mapping[str, FrozenSet[Value]],
+        stats: CoordinationStats,
+    ) -> Tuple[DiGraph, Dict[Tuple[str, str], FrozenSet[str]]]:
+        """Build the pruned coordination graph.
+
+        Nodes: users whose option list is non-empty.  Edge ``u → w``
+        when ``u`` named ``w`` as a partner or ``w`` is a friend of
+        ``u`` (for some open friend slot's relation).  Also returns the
+        friends cache for the cleaning phase.
+        """
+        alive = [q for q in queries if option_lists[q.user]]
+        users_present = {q.user for q in alive}
+        graph = DiGraph()
+        graph.add_nodes(users_present)
+        friends: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        for query in alive:
+            for partner in query.named_partners():
+                if partner.user in users_present:
+                    graph.add_edge(query.user, partner.user)
+            for slot in query.friend_slots():
+                cache_key = (query.user, slot.relation)
+                if cache_key not in friends:
+                    stats.db_queries += 1
+                    friends[cache_key] = self._friends_of(query.user, slot.relation)
+                for friend in friends[cache_key]:
+                    if friend in users_present:
+                        graph.add_edge(query.user, friend)
+        return graph, friends
+
+    # -- step 4: cleaning phase ------------------------------------------
+    def _clean(
+        self,
+        members: Set[str],
+        by_user: Mapping[str, ConsistentQuery],
+        friends: Mapping[Tuple[str, str], FrozenSet[str]],
+        value: Value,
+        stats: CoordinationStats,
+        removals: Optional[List[Tuple[str, str]]] = None,
+    ) -> Set[str]:
+        """Iteratively remove users whose requirements fail in ``G_v``.
+
+        ``removals`` (when given) collects ``(user, reason)`` pairs for
+        tracing — the paper-style narration "remove q_w from the graph;
+        now Jonny's coordination requirements are also unsatisfied".
+        """
+        changed = True
+        while changed:
+            changed = False
+            stats.cleaning_rounds += 1
+            for user in sorted(members):
+                query = by_user[user]
+                failure = self._requirement_failure(query, members, friends, value)
+                if failure is not None:
+                    members.discard(user)
+                    changed = True
+                    if removals is not None:
+                        removals.append((user, failure))
+        return members
+
+    def _requirement_failure(
+        self,
+        query: ConsistentQuery,
+        members: Set[str],
+        friends: Mapping[Tuple[str, str], FrozenSet[str]],
+        value: Value,
+    ) -> Optional[str]:
+        """``None`` when all requirements hold, else a human reason."""
+        for partner in query.named_partners():
+            if partner.user not in members:
+                return f"named partner {partner.user} is not available here"
+            if partner.same_tuple and not self._common_tuple_exists(
+                query, partner.user, value
+            ):
+                return (
+                    f"no single tuple satisfies both {query.user} and "
+                    f"{partner.user} for this value"
+                )
+        for slot in query.friend_slots():
+            present = friends.get((query.user, slot.relation), frozenset())
+            live = sum(1 for w in present if w in members and w != query.user)
+            if live < slot.count:
+                needed = (
+                    "no friend" if slot.count == 1 else f"fewer than {slot.count} friends"
+                )
+                return f"{needed} (via {slot.relation}) present in the subgraph"
+        return None
+
+    def _common_tuple_exists(
+        self, query: ConsistentQuery, other_user: str, value: Value
+    ) -> bool:
+        """Same-tuple check: one tuple with value ``v`` satisfying both."""
+        # Merged constraints: conflict => unsatisfiable.
+        merged = query.constraint_map()
+        # The other user's query is guaranteed to exist by validate().
+        other = self._by_user[other_user]
+        for attribute, constant in other.constraints:
+            if attribute in merged and merged[attribute] != constant:
+                return False
+            merged[attribute] = constant
+        return self._tuple_exists(merged, value)
+
+    def _tuple_exists(
+        self, constraints: Mapping[str, Hashable], value: Value
+    ) -> bool:
+        terms: List[object] = []
+        for attribute in self._table_schema.attributes:
+            if attribute in self.setup.coordination_attributes:
+                index = self.setup.coordination_attributes.index(attribute)
+                if attribute in constraints and constraints[attribute] != value[index]:
+                    return False
+                terms.append(value[index])
+            elif attribute in constraints:
+                terms.append(constraints[attribute])
+            else:
+                terms.append(Variable(f"w_{attribute}"))
+        return self.db.is_satisfiable(
+            ConjunctiveQuery((Atom(self.setup.table, terms),))
+        )
+
+    # -- step 5: grounding -------------------------------------------------
+    def _ground(
+        self,
+        candidate: ConsistentCandidate,
+        by_user: Mapping[str, ConsistentQuery],
+        friends: Mapping[Tuple[str, str], FrozenSet[str]],
+        stats: CoordinationStats,
+    ) -> Optional[ConsistentOutcome]:
+        """Pick a concrete tuple key for every member (one query each).
+
+        Users linked by same-tuple constraints are grouped (union–find)
+        and each group resolved by a single query over the merged
+        constraints, so chains ``a = b = c`` receive one common tuple.
+        """
+        members = set(candidate.users)
+        parent: Dict[str, str] = {user: user for user in members}
+
+        def find(user: str) -> str:
+            while parent[user] != user:
+                parent[user] = parent[parent[user]]
+                user = parent[user]
+            return user
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for user in members:
+            for partner in by_user[user].named_partners():
+                if partner.same_tuple and partner.user in members:
+                    union(user, partner.user)
+
+        groups: Dict[str, List[str]] = {}
+        for user in members:
+            groups.setdefault(find(user), []).append(user)
+
+        selections: Dict[str, Hashable] = {}
+        for group in groups.values():
+            merged: Dict[str, Hashable] = {}
+            for user in group:
+                for attribute, constant in by_user[user].constraints:
+                    if attribute in merged and merged[attribute] != constant:
+                        return None
+                    merged[attribute] = constant
+            key = self._select_key(merged, candidate.value, stats)
+            if key is None:
+                return None
+            for user in group:
+                selections[user] = key
+
+        witnesses: Dict[str, Tuple[str, ...]] = {}
+        for user in sorted(members):
+            found: List[str] = []
+            for slot in by_user[user].friend_slots():
+                present = friends.get((user, slot.relation), frozenset())
+                live = sorted(w for w in present if w in members and w != user)
+                found.extend(live[: slot.count])
+            if found:
+                witnesses[user] = tuple(found)
+        return ConsistentOutcome(candidate.value, selections, witnesses)
+
+    def _select_key(
+        self,
+        constraints: Mapping[str, Hashable],
+        value: Value,
+        stats: CoordinationStats,
+    ) -> Optional[Hashable]:
+        terms: List[object] = []
+        key_var = Variable("x")
+        for attribute in self._table_schema.attributes:
+            if attribute == self._key:
+                terms.append(key_var)
+            elif attribute in self.setup.coordination_attributes:
+                index = self.setup.coordination_attributes.index(attribute)
+                if attribute in constraints and constraints[attribute] != value[index]:
+                    return None
+                terms.append(value[index])
+            elif attribute in constraints:
+                terms.append(constraints[attribute])
+            else:
+                terms.append(Variable(f"w_{attribute}"))
+        stats.db_queries += 1
+        solution = self.db.first_solution(
+            ConjunctiveQuery((Atom(self.setup.table, terms),))
+        )
+        if solution is None:
+            return None
+        return solution[key_var]
+
+    # -- the full pipeline ----------------------------------------------
+    def coordinate(
+        self,
+        queries: Sequence[ConsistentQuery],
+        choose: CandidateCriterion = largest_consistent_candidate,
+        stop_at_first: bool = False,
+        trace: Optional["Trace"] = None,
+    ) -> ConsistentResult:
+        """Run all five steps and return the grounded outcome.
+
+        ``stop_at_first`` returns as soon as some value yields a
+        non-empty cleaned subgraph (the paper notes the loop over values
+        "can keep going ... till it finds the one for which the
+        coordinating set is maximal, or until another appropriate
+        criterion ... is satisfied").
+        """
+        queries = tuple(queries)
+        self.setup.validate(self.db, queries)
+        by_user = {q.user: q for q in queries}
+        self._by_user = by_user
+        stats = CoordinationStats()
+
+        # Step 1: option lists (one DB query per entangled query).
+        option_lists: Dict[str, FrozenSet[Value]] = {}
+        for query in queries:
+            stats.db_queries += 1
+            option_lists[query.user] = self._constrained_option_list(query)
+
+        # Step 2: pruned coordination graph.
+        graph, friends = self.pruned_graph(queries, option_lists, stats)
+        stats.graph_nodes = graph.node_count()
+        stats.graph_edges = graph.edge_count()
+
+        # Step 3: the union of all option lists.
+        all_values: Set[Value] = set()
+        for values in option_lists.values():
+            all_values.update(values)
+        ordered_values = sorted(all_values, key=repr)
+        stats.candidate_values = len(ordered_values)
+
+        # Step 4: per-value subgraph + cleaning phase.
+        candidates: List[ConsistentCandidate] = []
+        for value in ordered_values:
+            members = {
+                user
+                for user in graph.nodes()
+                if value in option_lists[user]
+            }
+            initial = tuple(sorted(members))
+            removals: Optional[List[Tuple[str, str]]] = (
+                [] if trace is not None else None
+            )
+            members = self._clean(
+                members, by_user, friends, value, stats, removals
+            )
+            if trace is not None:
+                trace.add(
+                    ValueExamined(
+                        value,
+                        initial,
+                        tuple(sorted(members)),
+                        tuple(removals or ()),
+                    )
+                )
+            if members:
+                candidates.append(
+                    ConsistentCandidate(value, tuple(sorted(members)))
+                )
+                if stop_at_first:
+                    break
+        stats.candidate_sets = len(candidates)
+
+        # Step 5: choose and ground.  A candidate can fail to ground in
+        # rare same-tuple cases (a chain of same-tuple constraints whose
+        # merged constraints admit no common tuple for this value); fall
+        # back to the next-preferred candidate rather than giving up.
+        remaining = list(candidates)
+        chosen_candidate = None
+        outcome = None
+        while remaining:
+            chosen_candidate = choose(remaining)
+            if chosen_candidate is None:
+                break
+            outcome = self._ground(chosen_candidate, by_user, friends, stats)
+            if outcome is not None:
+                break
+            remaining.remove(chosen_candidate)
+            chosen_candidate = None
+        if trace is not None:
+            if chosen_candidate is None:
+                trace.add(SelectionMade("no value admits a coordinating set"))
+            else:
+                trace.add(
+                    SelectionMade(
+                        f"value {chosen_candidate.value} with "
+                        f"{chosen_candidate.size} users"
+                    )
+                )
+        return ConsistentResult(outcome, candidates, option_lists, stats)
+
+
+def consistent_coordinate(
+    db: Database,
+    setup: ConsistentSetup,
+    queries: Sequence[ConsistentQuery],
+    choose: CandidateCriterion = largest_consistent_candidate,
+) -> ConsistentResult:
+    """Convenience one-shot entry point for the algorithm."""
+    return ConsistentCoordinator(db, setup).coordinate(queries, choose=choose)

@@ -1,0 +1,242 @@
+"""Recognising the canonical A-consistent form in raw entangled queries.
+
+:func:`repro.core.consistent_lowering.to_entangled` lowers structured
+:class:`~repro.core.consistent.ConsistentQuery` objects to the paper's
+general entangled form.  This module provides the *inverse*:
+:func:`analyze_consistent` inspects an arbitrary
+:class:`~repro.core.query.EntangledQuery` (e.g. one produced by the
+text parser) and recovers the structured query — user, own constraints,
+named partners, same-tuple partners, friend slots — or raises
+:class:`~repro.errors.MalformedQueryError` explaining which part of the
+canonical shape is violated.
+
+This closes the loop for textual workflows::
+
+    queries  = parse_queries(source)
+    requests = [analyze_consistent(q, setup, db) for q in queries]
+    result   = consistent_coordinate(db, setup, requests)
+
+and gives an executable characterisation of Definitions 7–9: a query is
+A-consistent exactly when analysis succeeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Set
+
+from ..db import Database
+from ..errors import MalformedQueryError
+from ..logic import Atom, Constant, Variable
+from .consistent import ConsistentQuery, ConsistentSetup, FriendSlot, NamedPartner
+from .query import EntangledQuery
+
+
+def _constant(term: object, context: str) -> Hashable:
+    if not isinstance(term, Constant):
+        raise MalformedQueryError(f"{context}: expected a constant, got {term}")
+    return term.value
+
+
+def analyze_consistent(
+    query: EntangledQuery,
+    setup: ConsistentSetup,
+    db: Database,
+    answer_relation: str = "R",
+) -> ConsistentQuery:
+    """Recover the structured consistent query from the general form.
+
+    The canonical shape (paper, Section 5)::
+
+        {R(y1, f1), R(y2, c2), ...}
+            R(x, User) :- S(x, ...), F(User, f1), S(y1, ...), S(y2, ...)
+
+    Checks performed: exactly one head ``R(x, User)`` with a constant
+    user; every postcondition over ``R`` with a key variable and a
+    partner term; friend variables bound by a friendship atom
+    ``F(User, f)``; one ``S``-atom per distinct partner key variable;
+    A-coordination (coordination attributes share the user's terms) and
+    A-non-coordination (other attributes are fresh distinct variables)
+    per Definitions 7–9.
+    """
+    table_schema = db.schema.get(setup.table)
+    key = table_schema.key
+    if key is None:
+        raise MalformedQueryError(f"table {setup.table!r} must declare a key")
+    key_position = table_schema.key_position
+
+    # --- head -----------------------------------------------------------
+    if len(query.head) != 1:
+        raise MalformedQueryError("canonical form has exactly one head atom")
+    head = query.head[0]
+    if head.relation != answer_relation or head.arity != 2:
+        raise MalformedQueryError(
+            f"head must be {answer_relation}(x, User), got {head}"
+        )
+    own_key = head.terms[0]
+    if not isinstance(own_key, Variable):
+        raise MalformedQueryError("head key position must be a variable")
+    user = _constant(head.terms[1], "head user position")
+
+    # --- bucket the body ---------------------------------------------------
+    s_atoms: List[Atom] = []
+    friend_atoms: List[Atom] = []
+    for atom in query.body:
+        if atom.relation == setup.table:
+            s_atoms.append(atom)
+        elif atom.relation in setup.friend_relations:
+            friend_atoms.append(atom)
+        else:
+            raise MalformedQueryError(
+                f"body atom {atom} is neither the coordination table nor a "
+                f"friendship relation"
+            )
+
+    own_atoms = [a for a in s_atoms if a.terms[key_position] == own_key]
+    if len(own_atoms) != 1:
+        raise MalformedQueryError(
+            "exactly one body atom must select the user's own tuple"
+        )
+    own_atom = own_atoms[0]
+    partner_atoms: Dict[Variable, Atom] = {}
+    for atom in s_atoms:
+        if atom is own_atom:
+            continue
+        partner_key = atom.terms[key_position]
+        if not isinstance(partner_key, Variable):
+            raise MalformedQueryError(
+                f"partner tuple atom {atom} must have a variable key"
+            )
+        if partner_key in partner_atoms:
+            raise MalformedQueryError(
+                f"two body atoms share the partner key {partner_key}"
+            )
+        partner_atoms[partner_key] = atom
+
+    # --- friendship atoms: F(User, f) ------------------------------------
+    friend_vars: Dict[Variable, str] = {}
+    for atom in friend_atoms:
+        if atom.arity != 2:
+            raise MalformedQueryError(f"friendship atom {atom} must be binary")
+        owner = _constant(atom.terms[0], f"friendship atom {atom}")
+        if owner != user:
+            raise MalformedQueryError(
+                f"friendship atom {atom} does not belong to user {user!r}"
+            )
+        friend = atom.terms[1]
+        if not isinstance(friend, Variable):
+            raise MalformedQueryError(
+                f"friendship atom {atom} must bind a friend variable"
+            )
+        if friend in friend_vars:
+            raise MalformedQueryError(f"friend variable {friend} bound twice")
+        friend_vars[friend] = atom.relation
+
+    # --- own constraints ---------------------------------------------------
+    constraints: Dict[str, Hashable] = {}
+    for position, attribute in enumerate(table_schema.attributes):
+        if attribute == key:
+            continue
+        term = own_atom.terms[position]
+        if isinstance(term, Constant):
+            constraints[attribute] = term.value
+
+    # --- postconditions → partners --------------------------------------
+    partners: List[object] = []
+    used_friend_vars: Set[Variable] = set()
+    used_partner_keys: Set[Variable] = set()
+    for post in query.postconditions:
+        if post.relation != answer_relation or post.arity != 2:
+            raise MalformedQueryError(
+                f"postcondition {post} must be {answer_relation}(y, partner)"
+            )
+        partner_key, partner_term = post.terms
+        if not isinstance(partner_key, Variable):
+            raise MalformedQueryError(
+                f"postcondition {post} must carry a key variable"
+            )
+        if isinstance(partner_term, Variable):
+            # Friend slot: the partner variable must come from F(User, f).
+            relation = friend_vars.get(partner_term)
+            if relation is None:
+                raise MalformedQueryError(
+                    f"friend variable {partner_term} has no friendship atom"
+                )
+            if partner_term in used_friend_vars:
+                raise MalformedQueryError(
+                    f"friend variable {partner_term} used by two postconditions"
+                )
+            used_friend_vars.add(partner_term)
+            partners.append(FriendSlot(relation))
+        else:
+            same_tuple = partner_key == own_key
+            partners.append(NamedPartner(partner_term.value, same_tuple=same_tuple))
+        if partner_key != own_key:
+            atom = partner_atoms.get(partner_key)
+            if atom is None:
+                raise MalformedQueryError(
+                    f"partner key {partner_key} has no body atom over "
+                    f"{setup.table!r}"
+                )
+            used_partner_keys.add(partner_key)
+            _check_partner_atom(atom, own_atom, table_schema, setup)
+
+    unused = set(partner_atoms) - used_partner_keys
+    if unused:
+        raise MalformedQueryError(
+            f"body atoms with keys {sorted(map(str, unused))} are not "
+            f"referenced by any postcondition"
+        )
+    unused_friends = set(friend_vars) - used_friend_vars
+    if unused_friends:
+        raise MalformedQueryError(
+            f"friendship atoms for {sorted(map(str, unused_friends))} are not "
+            f"referenced by any postcondition"
+        )
+
+    return ConsistentQuery(str(user), constraints, partners)
+
+
+def _check_partner_atom(
+    atom: Atom,
+    own_atom: Atom,
+    table_schema,
+    setup: ConsistentSetup,
+) -> None:
+    """Definitions 7/8 position checks for one partner atom."""
+    seen_vars: Set[Variable] = set()
+    for position, attribute in enumerate(table_schema.attributes):
+        if attribute == table_schema.key:
+            continue
+        own_term = own_atom.terms[position]
+        partner_term = atom.terms[position]
+        if attribute in setup.coordination_attributes:
+            if partner_term != own_term:
+                raise MalformedQueryError(
+                    f"coordination attribute {attribute!r} differs between "
+                    f"{own_atom} and {atom} (not A-coordinating)"
+                )
+        else:
+            if not isinstance(partner_term, Variable):
+                raise MalformedQueryError(
+                    f"non-coordination attribute {attribute!r} of {atom} must "
+                    f"be a fresh variable (not A-non-coordinating)"
+                )
+            if partner_term == own_term or partner_term in seen_vars:
+                raise MalformedQueryError(
+                    f"non-coordination attribute {attribute!r} of {atom} "
+                    f"reuses a variable (not A-non-coordinating)"
+                )
+            seen_vars.add(partner_term)
+
+
+def analyze_program(
+    queries: Sequence[EntangledQuery],
+    setup: ConsistentSetup,
+    db: Database,
+    answer_relation: str = "R",
+) -> List[ConsistentQuery]:
+    """Analyse a whole program; raises on the first non-canonical query."""
+    return [
+        analyze_consistent(q, setup, db, answer_relation=answer_relation)
+        for q in queries
+    ]

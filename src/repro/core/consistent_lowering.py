@@ -1,0 +1,285 @@
+"""Lowering consistent queries to entangled queries, and Definitions 7–9.
+
+Section 5 of the paper presents the general entangled-query form of an
+A-consistent request::
+
+    {R(y1, f1), R(y2, c2), ..., R(yk, ck)}
+        R(x, User) :- S(x, a^x_1, ..., a^x_d), F(User, f1),
+                      ⋀_i S(yi, a^i_1, ..., a^i_d)
+
+This module converts between that form and the structured
+:class:`~repro.core.consistent.ConsistentQuery` model:
+
+* :func:`to_entangled` — lower a structured query to the raw syntax
+  (used to cross-validate the Consistent Coordination Algorithm against
+  the brute-force Definition-1 oracle);
+* :func:`classify_attributes` — check Definitions 7 (A-coordinating),
+  8 (A-non-coordinating) and 9 (A-consistent) on a lowered query;
+* :func:`outcome_witness` — turn a
+  :class:`~repro.core.consistent.ConsistentOutcome` into a Definition-1
+  assignment over the lowered queries, so the algorithm's answers can be
+  verified mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..db import Database
+from ..errors import MalformedQueryError
+from ..logic import Atom, Constant, Variable
+from .consistent import (
+    ConsistentOutcome,
+    ConsistentQuery,
+    ConsistentSetup,
+    FriendSlot,
+    NamedPartner,
+)
+from .query import EntangledQuery
+
+ANSWER_RELATION = "R"
+
+
+def to_entangled(
+    query: ConsistentQuery,
+    setup: ConsistentSetup,
+    db: Database,
+    answer_relation: str = ANSWER_RELATION,
+) -> EntangledQuery:
+    """Lower a :class:`ConsistentQuery` to the paper's general form.
+
+    Friend slots with ``count > 1`` are rejected: as the paper observes,
+    "coordinate with k friends" is *not expressible* in entangled-query
+    syntax (Discussion subsection of Section 5).
+    """
+    table_schema = db.schema.get(setup.table)
+    key = table_schema.key
+    if key is None:
+        raise MalformedQueryError(f"table {setup.table!r} must declare a key")
+    constraints = query.constraint_map()
+
+    own_key = Variable("x")
+    shared: Dict[str, object] = {}
+    for attribute in setup.coordination_attributes:
+        if attribute in constraints:
+            shared[attribute] = Constant(constraints[attribute])
+        else:
+            shared[attribute] = Variable(f"v_{attribute}")
+
+    def own_term(attribute: str) -> object:
+        if attribute == key:
+            return own_key
+        if attribute in setup.coordination_attributes:
+            return shared[attribute]
+        if attribute in constraints:
+            return Constant(constraints[attribute])
+        return Variable(f"own_{attribute}")
+
+    body: List[Atom] = [
+        Atom(setup.table, [own_term(a) for a in table_schema.attributes])
+    ]
+    postconditions: List[Atom] = []
+
+    def partner_atom(index: int, key_term: object) -> Atom:
+        terms: List[object] = []
+        for attribute in table_schema.attributes:
+            if attribute == key:
+                terms.append(key_term)
+            elif attribute in setup.coordination_attributes:
+                terms.append(shared[attribute])
+            else:
+                terms.append(Variable(f"p{index}_{attribute}"))
+        return Atom(setup.table, terms)
+
+    for index, partner in enumerate(query.partners):
+        if isinstance(partner, FriendSlot):
+            if partner.count > 1:
+                raise MalformedQueryError(
+                    "k-friend coordination is not expressible in entangled "
+                    "query syntax (paper, Section 5 Discussion)"
+                )
+            friend_var = Variable(f"f{index}")
+            partner_key = Variable(f"y{index}")
+            body.append(Atom(partner.relation, [Constant(query.user), friend_var]))
+            body.append(partner_atom(index, partner_key))
+            postconditions.append(
+                Atom(answer_relation, [partner_key, friend_var])
+            )
+        else:
+            assert isinstance(partner, NamedPartner)
+            partner_key = own_key if partner.same_tuple else Variable(f"y{index}")
+            if not partner.same_tuple:
+                body.append(partner_atom(index, partner_key))
+            postconditions.append(
+                Atom(answer_relation, [partner_key, Constant(partner.user)])
+            )
+
+    head = [Atom(answer_relation, [own_key, Constant(query.user)])]
+    return EntangledQuery(query.user, postconditions, head, body)
+
+
+def lower_all(
+    queries: Sequence[ConsistentQuery],
+    setup: ConsistentSetup,
+    db: Database,
+) -> List[EntangledQuery]:
+    """Lower a whole batch of consistent queries."""
+    return [to_entangled(q, setup, db) for q in queries]
+
+
+# ---------------------------------------------------------------------------
+# Definitions 7–9 on the lowered form
+# ---------------------------------------------------------------------------
+def classify_attributes(
+    query: EntangledQuery,
+    setup: ConsistentSetup,
+    db: Database,
+) -> Dict[str, str]:
+    """Classify each attribute of ``S`` as coordinating / non-coordinating.
+
+    Returns a map attribute → ``"coordinating"`` | ``"non-coordinating"``
+    | ``"other"`` following Definitions 7 and 8: an attribute is
+    *coordinating* for the query when the user's own ``S``-atom and all
+    partner ``S``-atoms carry the **same** constant or variable in that
+    position; *non-coordinating* when the partner positions are pairwise
+    distinct variables also distinct from the user's term (unless the
+    user pinned a private constant).
+    """
+    table_schema = db.schema.get(setup.table)
+    s_atoms = [a for a in query.body if a.relation == setup.table]
+    if not s_atoms:
+        raise MalformedQueryError("query has no atom over the coordination table")
+    own, partners = s_atoms[0], s_atoms[1:]
+
+    out: Dict[str, str] = {}
+    for position, attribute in enumerate(table_schema.attributes):
+        if attribute == table_schema.key:
+            out[attribute] = "other"
+            continue
+        own_term = own.terms[position]
+        partner_terms = [p.terms[position] for p in partners]
+        if all(t == own_term for t in partner_terms):
+            out[attribute] = "coordinating"
+            continue
+        distinct = len(set(partner_terms)) == len(partner_terms)
+        all_vars = all(isinstance(t, Variable) for t in partner_terms)
+        own_clear = own_term not in partner_terms
+        if distinct and all_vars and own_clear:
+            out[attribute] = "non-coordinating"
+        else:
+            out[attribute] = "other"
+    return out
+
+
+def is_a_consistent(
+    query: EntangledQuery,
+    setup: ConsistentSetup,
+    db: Database,
+) -> bool:
+    """Definition 9: A-coordinating on ``A``, non-coordinating elsewhere.
+
+    A query with no partner ``S``-atoms is vacuously consistent.
+    """
+    table_schema = db.schema.get(setup.table)
+    classes = classify_attributes(query, setup, db)
+    for attribute in table_schema.attributes:
+        if attribute == table_schema.key:
+            continue
+        expected = (
+            "coordinating"
+            if attribute in setup.coordination_attributes
+            else "non-coordinating"
+        )
+        actual = classes[attribute]
+        if actual == "coordinating" and expected == "non-coordinating":
+            # A lone partner atom can be simultaneously "same term" and
+            # "distinct variables" only if there are no partners at all;
+            # with zero partners both checks pass vacuously.
+            if len([a for a in query.body if a.relation == setup.table]) > 1:
+                return False
+            continue
+        if actual != expected:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Witness extraction
+# ---------------------------------------------------------------------------
+def outcome_witness(
+    outcome: ConsistentOutcome,
+    queries: Sequence[ConsistentQuery],
+    setup: ConsistentSetup,
+    db: Database,
+) -> Optional[Dict[Variable, Hashable]]:
+    """Build a Definition-1 assignment witnessing a consistent outcome.
+
+    Maps the standardised variables of each lowered query of the
+    coordinating set: the user's key variable to the selected tuple key,
+    coordination variables to the agreed value, partner key variables to
+    the partner's selected key, friend variables to the witnessing
+    friend, and the private attribute variables to the attributes of the
+    actually-selected tuples.  Returns ``None`` when a required tuple
+    cannot be found (which indicates an algorithm bug; tests assert this
+    never happens).
+    """
+    table_schema = db.schema.get(setup.table)
+    key_position = table_schema.key_position
+    by_user = {q.user: q for q in queries}
+    members = set(outcome.selections)
+
+    def tuple_for_key(key_value: Hashable) -> Optional[Tuple[Hashable, ...]]:
+        for row in db.relation(setup.table).match({key_position: key_value}):
+            return row
+        return None
+
+    assignment: Dict[Variable, Hashable] = {}
+    for user in members:
+        query = by_user[user]
+        namespace = user
+        own_row = tuple_for_key(outcome.selections[user])
+        if own_row is None:
+            return None
+        assignment[Variable("x", namespace)] = outcome.selections[user]
+        for position, attribute in enumerate(table_schema.attributes):
+            if attribute == table_schema.key:
+                continue
+            if attribute in setup.coordination_attributes:
+                index = setup.coordination_attributes.index(attribute)
+                if attribute not in query.constraint_map():
+                    assignment[Variable(f"v_{attribute}", namespace)] = (
+                        outcome.value[index]
+                    )
+            elif attribute not in query.constraint_map():
+                assignment[Variable(f"own_{attribute}", namespace)] = own_row[
+                    position
+                ]
+
+        witness_iter = iter(outcome.friend_witnesses.get(user, ()))
+        for index, partner in enumerate(query.partners):
+            if isinstance(partner, FriendSlot):
+                friend = next(witness_iter, None)
+                if friend is None or friend not in members:
+                    return None
+                partner_user = friend
+                assignment[Variable(f"f{index}", namespace)] = friend
+            else:
+                partner_user = partner.user
+                if partner.same_tuple:
+                    # y_i = x: no separate variables to assign.
+                    continue
+            partner_key = outcome.selections.get(partner_user)
+            if partner_key is None:
+                return None
+            partner_row = tuple_for_key(partner_key)
+            if partner_row is None:
+                return None
+            assignment[Variable(f"y{index}", namespace)] = partner_key
+            for position, attribute in enumerate(table_schema.attributes):
+                if attribute == table_schema.key:
+                    continue
+                if attribute not in setup.coordination_attributes:
+                    assignment[Variable(f"p{index}_{attribute}", namespace)] = (
+                        partner_row[position]
+                    )
+    return assignment

@@ -1,0 +1,305 @@
+"""Coordination graphs (Section 2.3 of the paper).
+
+Two structures are defined over a set of entangled queries ``Q``:
+
+* the **extended coordination graph** — a directed multigraph whose
+  vertices are the queries, with a labelled edge
+  ``((q, a_p), (q', a_h))`` for every postcondition atom ``a_p`` of
+  ``q`` that unifies with a head atom ``a_h`` of ``q'``;
+* the **coordination graph** — obtained by collapsing parallel edges;
+  the edge ``(q, q')`` means "q potentially needs q' to coordinate".
+
+Queries are standardised apart (each into its own namespace) before
+unification, so a shared variable name across two queries never creates
+a spurious edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graphs import DiGraph
+from ..logic import Atom, Constant, unifiable
+from .query import EntangledQuery, check_distinct_names
+
+
+class _HeadIndex:
+    """Index of head atoms for fast unifiability-candidate lookup.
+
+    Building the extended coordination graph naively compares every
+    postcondition against every head — quadratic in the query count,
+    which Figure 6's 1000-query graphs make painful.  Heads are bucketed
+    by (relation, arity); within a bucket, per-position maps record
+    which heads carry which constant (or a variable) at that position.
+    A postcondition with a constant at some position can only unify with
+    heads that have the *same* constant or a variable there, so probing
+    the post's most selective constant position yields a near-minimal
+    candidate list.  Full unification still validates every candidate.
+    """
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self) -> None:
+        # (relation, arity) -> {
+        #   "all": [(query, head_index, atom)],
+        #   "by_pos": [ {const_value: [entry]} per position ],
+        #   "var_at": [ [entry] per position ],
+        # }
+        self._buckets: Dict[tuple, dict] = {}
+
+    def add(self, query: str, head_index: int, atom: Atom) -> None:
+        key = (atom.relation, atom.arity)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = {
+                "all": [],
+                "by_pos": [dict() for _ in range(atom.arity)],
+                "var_at": [[] for _ in range(atom.arity)],
+            }
+            self._buckets[key] = bucket
+        entry = (query, head_index, atom)
+        bucket["all"].append(entry)
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                bucket["by_pos"][position].setdefault(term.value, []).append(entry)
+            else:
+                bucket["var_at"][position].append(entry)
+
+    def copy(self) -> "_HeadIndex":
+        """A structurally independent copy (buckets are rebuilt shallow)."""
+        dup = _HeadIndex()
+        for key, bucket in self._buckets.items():
+            dup._buckets[key] = {
+                "all": list(bucket["all"]),
+                "by_pos": [dict((v, list(es)) for v, es in m.items()) for m in bucket["by_pos"]],
+                "var_at": [list(es) for es in bucket["var_at"]],
+            }
+        return dup
+
+    def candidates(self, post: Atom) -> List[tuple]:
+        """Entries possibly unifiable with ``post`` (superset, validated
+        by the caller with real unification)."""
+        bucket = self._buckets.get((post.relation, post.arity))
+        if bucket is None:
+            return []
+        best: Optional[List[tuple]] = None
+        for position, term in enumerate(post.terms):
+            if not isinstance(term, Constant):
+                continue
+            matching = bucket["by_pos"][position].get(term.value, [])
+            candidate = matching + bucket["var_at"][position]
+            if best is None or len(candidate) < len(best):
+                best = candidate
+        return bucket["all"] if best is None else best
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedEdge:
+    """One labelled edge of the extended coordination graph.
+
+    ``source``/``target`` are query names; ``post_index`` selects the
+    postcondition atom of the source and ``head_index`` the head atom of
+    the target it unifies with.
+    """
+
+    source: str
+    post_index: int
+    target: str
+    head_index: int
+
+    def endpoints(self) -> Tuple[str, str]:
+        """The (source, target) query-name pair."""
+        return (self.source, self.target)
+
+
+@dataclass
+class CoordinationGraph:
+    """The extended and collapsed coordination graphs of a query set.
+
+    Attributes
+    ----------
+    queries:
+        Original queries by name.
+    standardized:
+        The same queries with variables namespaced by query name; all
+        unification in the coordination layers happens on these.
+    extended_edges:
+        All labelled edges of the extended coordination graph.
+    graph:
+        The collapsed coordination graph (a :class:`DiGraph` over query
+        names).
+    """
+
+    queries: Dict[str, EntangledQuery]
+    standardized: Dict[str, EntangledQuery]
+    extended_edges: List[ExtendedEdge]
+    graph: DiGraph
+    _out_by_post: Dict[Tuple[str, int], List[ExtendedEdge]] = field(
+        default_factory=dict
+    )
+    _head_index: Optional[_HeadIndex] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        queries: Iterable[EntangledQuery],
+        include_self_edges: bool = True,
+    ) -> "CoordinationGraph":
+        """Build both graphs for a query set.
+
+        ``include_self_edges`` controls whether a query's postcondition
+        may be matched against the query's own head atoms.  The paper's
+        definition quantifies over all "head atoms that appear in Q",
+        which includes the query's own; no example in the paper has a
+        self-unifiable pair, so the flag only matters for synthetic
+        inputs.
+        """
+        query_list = check_distinct_names(queries)
+        by_name = {q.name: q for q in query_list}
+        standardized = {q.name: q.standardized() for q in query_list}
+
+        index = _HeadIndex()
+        for name, std in standardized.items():
+            for hi, head in enumerate(std.head):
+                index.add(name, hi, head)
+
+        edges: List[ExtendedEdge] = []
+        graph = DiGraph()
+        graph.add_nodes(by_name.keys())
+        for source in query_list:
+            source_std = standardized[source.name]
+            for pi, post in enumerate(source_std.postconditions):
+                for target_name, hi, head in index.candidates(post):
+                    if not include_self_edges and target_name == source.name:
+                        continue
+                    if unifiable(post, head):
+                        edges.append(
+                            ExtendedEdge(source.name, pi, target_name, hi)
+                        )
+                        graph.add_edge(source.name, target_name)
+
+        built = cls(dict(by_name), standardized, edges, graph, _head_index=index)
+        for edge in edges:
+            built._out_by_post.setdefault(
+                (edge.source, edge.post_index), []
+            ).append(edge)
+        return built
+
+    def with_query(self, query: EntangledQuery) -> "CoordinationGraph":
+        """Incrementally extend the graph with one new query.
+
+        Computes only the edges incident to the newcomer — its
+        postconditions against all existing heads (via the head index)
+        and every existing postcondition against its heads — so an
+        online arrival costs O(candidate pairs), not a full rebuild.
+        The receiver is not mutated; a new graph sharing the unchanged
+        structure is returned.
+        """
+        if query.name in self.queries:
+            from ..errors import MalformedQueryError
+
+            raise MalformedQueryError(f"duplicate query name {query.name!r}")
+        std = query.standardized()
+
+        queries = dict(self.queries)
+        queries[query.name] = query
+        standardized = dict(self.standardized)
+        standardized[query.name] = std
+        edges = list(self.extended_edges)
+        graph = self.graph.copy()
+        graph.add_node(query.name)
+
+        # Extend a private copy of the head index with the new heads
+        # (the receiver's index must not see queries it doesn't hold).
+        if self._head_index is not None:
+            index = self._head_index.copy()
+        else:
+            index = _HeadIndex()
+            for name, existing in self.standardized.items():
+                for hi, head in enumerate(existing.head):
+                    index.add(name, hi, head)
+        new_edges: List[ExtendedEdge] = []
+        for hi, head in enumerate(std.head):
+            index.add(query.name, hi, head)
+
+        # New query's postconditions against every head (including its own).
+        for pi, post in enumerate(std.postconditions):
+            for target_name, hi, head in index.candidates(post):
+                if unifiable(post, head):
+                    new_edges.append(
+                        ExtendedEdge(query.name, pi, target_name, hi)
+                    )
+
+        # Existing postconditions against the new query's heads.
+        for name, existing in self.standardized.items():
+            for pi, post in enumerate(existing.postconditions):
+                for hi, head in enumerate(std.head):
+                    if unifiable(post, head):
+                        new_edges.append(
+                            ExtendedEdge(name, pi, query.name, hi)
+                        )
+
+        for edge in new_edges:
+            edges.append(edge)
+            graph.add_edge(edge.source, edge.target)
+
+        extended = CoordinationGraph(
+            queries, standardized, edges, graph, _head_index=index
+        )
+        extended._out_by_post = {
+            key: list(values) for key, values in self._out_by_post.items()
+        }
+        for edge in new_edges:
+            extended._out_by_post.setdefault(
+                (edge.source, edge.post_index), []
+            ).append(edge)
+        return extended
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def edges_from_postcondition(self, query: str, post_index: int) -> List[ExtendedEdge]:
+        """All extended edges emanating from one postcondition atom."""
+        return list(self._out_by_post.get((query, post_index), ()))
+
+    def post_atom(self, edge: ExtendedEdge) -> Atom:
+        """The (standardised) postcondition atom of an edge."""
+        return self.standardized[edge.source].postconditions[edge.post_index]
+
+    def head_atom(self, edge: ExtendedEdge) -> Atom:
+        """The (standardised) head atom of an edge."""
+        return self.standardized[edge.target].head[edge.head_index]
+
+    def names(self) -> Tuple[str, ...]:
+        """All query names."""
+        return tuple(self.queries)
+
+    def restricted_to(self, names: Iterable[str]) -> "CoordinationGraph":
+        """The coordination graph induced on a subset of queries.
+
+        Rebuilding from scratch would recompute unifications; instead we
+        filter the cached edges, which is exactly the induced structure.
+        """
+        keep = set(names)
+        queries = {n: q for n, q in self.queries.items() if n in keep}
+        standardized = {n: q for n, q in self.standardized.items() if n in keep}
+        edges = [
+            e for e in self.extended_edges if e.source in keep and e.target in keep
+        ]
+        graph = DiGraph()
+        graph.add_nodes(queries.keys())
+        for edge in edges:
+            graph.add_edge(edge.source, edge.target)
+        sub = CoordinationGraph(queries, standardized, edges, graph)
+        for edge in edges:
+            sub._out_by_post.setdefault((edge.source, edge.post_index), []).append(
+                edge
+            )
+        return sub
+
+    def __len__(self) -> int:
+        return len(self.queries)

@@ -1,0 +1,156 @@
+"""An online coordination engine in the style of the Youtopia system.
+
+Section 6.1 describes how the paper's implementation is embedded:
+queries arrive one at a time; the system updates the coordination graph,
+then calls an evaluation method on the *connected component* the new
+query belongs to; when evaluation succeeds, the satisfied queries are
+deleted from the system's data structures.
+
+:class:`CoordinationEngine` reproduces that control loop on top of the
+SCC Coordination Algorithm, giving the library a realistic online entry
+point (and the benchmarks a faithful way to measure per-arrival
+processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..db import Database
+from ..errors import PreconditionError
+from .coordination_graph import CoordinationGraph
+from .properties import safety_report
+from .query import EntangledQuery
+from .result import CoordinationResult
+from .scc_coordination import (
+    SelectionCriterion,
+    largest_candidate,
+    scc_coordinate_on_graph,
+)
+
+
+@dataclass
+class ArrivalOutcome:
+    """What happened when one query arrived."""
+
+    query: str
+    component: Tuple[str, ...]
+    result: Optional[CoordinationResult]
+    satisfied: Tuple[str, ...] = ()
+
+    @property
+    def coordinated(self) -> bool:
+        """``True`` when the arrival completed a coordinating set."""
+        return bool(self.satisfied)
+
+
+class CoordinationEngine:
+    """Buffers entangled queries and coordinates them on arrival.
+
+    Parameters
+    ----------
+    db:
+        The shared database instance.
+    choose:
+        Selection criterion forwarded to the SCC algorithm.
+    check_safety:
+        When ``True`` (default) an arrival that makes the pending set
+        unsafe is rejected with
+        :class:`~repro.errors.PreconditionError` — the engine's
+        evaluation method is the safe-set algorithm.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        choose: SelectionCriterion = largest_candidate,
+        check_safety: bool = True,
+        reuse_groundings: bool = False,
+    ) -> None:
+        self.db = db
+        self.choose = choose
+        self.check_safety = check_safety
+        self.reuse_groundings = reuse_groundings
+        self._pending: Dict[str, EntangledQuery] = {}
+        self._graph: CoordinationGraph = CoordinationGraph.build([])
+
+    # ------------------------------------------------------------------
+    def pending(self) -> Tuple[str, ...]:
+        """Names of queries currently waiting to coordinate."""
+        return tuple(self._pending)
+
+    def graph(self) -> CoordinationGraph:
+        """The incrementally-maintained coordination graph."""
+        return self._graph
+
+    def submit(self, query: EntangledQuery) -> ArrivalOutcome:
+        """Add one query, evaluate its connected component, reap results.
+
+        Returns an :class:`ArrivalOutcome`; when the component produced
+        a coordinating set, its members are removed from the pending
+        pool (as the Youtopia loop does).  The coordination graph is
+        maintained *incrementally*: an arrival only computes its own
+        incident edges (the paper's future-work question of Section 7).
+        """
+        if query.name in self._pending:
+            raise PreconditionError(f"query {query.name!r} already pending")
+
+        graph = self._graph.with_query(query)
+        if self.check_safety:
+            report = safety_report(graph)
+            if not report.is_safe:
+                raise PreconditionError(
+                    f"arrival {query.name!r} makes the set unsafe "
+                    f"(unsafe queries: {report.unsafe_queries()})"
+                )
+        self._pending[query.name] = query
+        self._graph = graph
+
+        component = self._weak_component(graph, query.name)
+        restricted = graph.restricted_to(component)
+        result = scc_coordinate_on_graph(
+            self.db,
+            restricted,
+            choose=self.choose,
+            reuse_groundings=self.reuse_groundings,
+        )
+
+        satisfied: Tuple[str, ...] = ()
+        if result.chosen is not None:
+            satisfied = result.chosen.members
+            for name in satisfied:
+                self._pending.pop(name, None)
+            self._graph = self._graph.restricted_to(self._pending.keys())
+        return ArrivalOutcome(query.name, tuple(component), result, satisfied)
+
+    def flush(self) -> CoordinationResult:
+        """Evaluate everything still pending as one batch."""
+        result = scc_coordinate_on_graph(
+            self.db,
+            self._graph,
+            choose=self.choose,
+            reuse_groundings=self.reuse_groundings,
+        )
+        if result.chosen is not None:
+            for name in result.chosen.members:
+                self._pending.pop(name, None)
+            self._graph = self._graph.restricted_to(self._pending.keys())
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _weak_component(graph: CoordinationGraph, start: str) -> List[str]:
+        """The weakly connected component of ``start`` in the graph."""
+        seen: Set[str] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            neighbours = graph.graph.successors(node) | graph.graph.predecessors(
+                node
+            )
+            for neighbour in neighbours:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return sorted(seen)

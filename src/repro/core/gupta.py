@@ -1,0 +1,117 @@
+"""The baseline algorithm of Gupta et al. for safe *and* unique sets.
+
+Section 2.3 of the paper summarises the prior algorithm [5] that this
+paper's SCC Coordination Algorithm generalises: when a query set is
+safe and unique, any coordinating set must contain *all* queries (by
+safety, a member's successors are members; by uniqueness the
+coordination graph is strongly connected).  The algorithm therefore:
+
+1. traverses the extended coordination graph, computing the most
+   general unifier that enforces every postcondition/head constraint;
+2. builds one *combined query* from the unified heads and bodies of all
+   queries;
+3. issues it to the database; a valuation witnesses the coordinating
+   set ``S = Q``.
+
+We implement it both as the historical baseline for benchmarks and as
+the degenerate case the SCC algorithm must agree with on safe + unique
+inputs (asserted by integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional
+
+from ..db import ConjunctiveQuery, CoordinationStats, Database
+from ..errors import PreconditionError
+from ..logic import Substitution, Variable, apply_substitution_all
+from .coordination_graph import CoordinationGraph
+from .properties import is_unique, safety_report
+from .query import EntangledQuery
+from .result import CoordinatingSet, CoordinationResult
+from .semantics import complete_assignment
+
+
+def gupta_coordinate(
+    db: Database,
+    queries: Iterable[EntangledQuery],
+    check_preconditions: bool = True,
+) -> CoordinationResult:
+    """Run the Gupta et al. baseline on a safe and unique query set.
+
+    Raises :class:`~repro.errors.PreconditionError` when the set is not
+    safe + unique (disable with ``check_preconditions=False`` to observe
+    the baseline's behaviour outside its contract, as the paper's
+    Example 1 discusses).
+    """
+    graph = CoordinationGraph.build(queries)
+    stats = CoordinationStats(
+        graph_nodes=graph.graph.node_count(),
+        graph_edges=graph.graph.edge_count(),
+    )
+    if not graph.queries:
+        return CoordinationResult(None, [], stats)
+    if check_preconditions:
+        report = safety_report(graph)
+        if not report.is_safe:
+            raise PreconditionError(
+                f"query set is not safe (unsafe: {report.unsafe_queries()})"
+            )
+        if not is_unique(graph):
+            raise PreconditionError("query set is not unique")
+
+    if not graph.queries:
+        return CoordinationResult(None, [], stats)
+
+    # One pass over the extended edges computes the MGU of all
+    # postcondition/head constraints.  For a safe set each postcondition
+    # has at most one edge; a postcondition with none is unsatisfiable
+    # and the whole set fails (uniqueness: all queries stand together).
+    substitution = Substitution()
+    for name, query in graph.standardized.items():
+        for pi in range(len(query.postconditions)):
+            edges = graph.edges_from_postcondition(name, pi)
+            if not edges:
+                return CoordinationResult(None, [], stats)
+            edge = edges[0]
+            stats.unifications += 1
+            post = graph.post_atom(edge)
+            head = graph.head_atom(edge)
+            for pt, ht in zip(post.terms, head.terms):
+                if not substitution.unify_terms(pt, ht):
+                    stats.unification_failures += 1
+                    return CoordinationResult(None, [], stats)
+
+    combined_body = []
+    for query in graph.standardized.values():
+        combined_body.extend(query.body)
+    rewritten = apply_substitution_all(combined_body, substitution)
+    stats.db_queries += 1
+    solution = db.first_solution(ConjunctiveQuery(tuple(rewritten)))
+    if solution is None:
+        return CoordinationResult(None, [], stats)
+
+    assignment = _recover_assignment(db, graph, substitution, solution)
+    if assignment is None:
+        return CoordinationResult(None, [], stats)
+    found = CoordinatingSet(tuple(graph.queries), assignment)
+    return CoordinationResult(found, [found], stats)
+
+
+def _recover_assignment(
+    db: Database,
+    graph: CoordinationGraph,
+    substitution: Substitution,
+    solution: Dict[Variable, Hashable],
+) -> Optional[Dict[Variable, Hashable]]:
+    """Map standardised variables to values via the MGU + body solution."""
+    partial: Dict[Variable, Hashable] = {}
+    for query in graph.standardized.values():
+        for variable in query.variables():
+            representative = substitution.resolve(variable)
+            if isinstance(representative, Variable):
+                if representative in solution:
+                    partial[variable] = solution[representative]
+            else:
+                partial[variable] = representative.value
+    return complete_assignment(db, graph.queries, tuple(graph.queries), partial)

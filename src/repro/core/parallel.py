@@ -1,0 +1,177 @@
+"""Parallel value-checking for the Consistent Coordination Algorithm.
+
+Section 6.2 of the paper closes with: *"our implementation does not use
+any parallelism, although our algorithm naturally breaks into parallel
+processes, where each possible value can be easily checked
+independently.  We believe that this could even further reduce the
+running time, but we leave this enhancement open for future work."*
+
+This module implements that future work.  The algorithm's value loop is
+embarrassingly parallel: for each candidate value ``v`` the cleaning
+phase of ``G_v`` depends only on (the pruned graph, the option lists,
+``v``) — no shared mutable state.  We partition ``V(Q)`` into chunks
+and clean them in worker processes:
+
+* phase 1 (serial): option lists + friends cache + pruned graph — the
+  ``O(n)`` database queries happen once, in the parent;
+* phase 2 (parallel): each worker rebuilds the (read-only) database
+  from a plain JSON-able spec and runs the cleaning loop over its chunk;
+* phase 3 (serial): candidates are merged, the selection criterion is
+  applied, and the chosen set is grounded in the parent.
+
+Determinism: the merged candidate list is sorted exactly as the serial
+loop would produce it, so parallel and serial runs choose the same set.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..db import CoordinationStats, Database, database_from_spec, database_to_spec
+from .consistent import (
+    CandidateCriterion,
+    ConsistentCandidate,
+    ConsistentCoordinator,
+    ConsistentQuery,
+    ConsistentResult,
+    ConsistentSetup,
+    Value,
+    largest_consistent_candidate,
+)
+
+_WorkerPayload = Tuple[
+    dict,  # database spec
+    ConsistentSetup,
+    Tuple[ConsistentQuery, ...],
+    Dict[Tuple[str, str], FrozenSet[str]],  # friends cache
+    Dict[str, FrozenSet[Value]],  # option lists
+    Tuple[str, ...],  # pruned-graph nodes
+    Tuple[Value, ...],  # this worker's chunk of V(Q)
+]
+
+
+def partition_values(
+    values: Sequence[Value], chunks: int
+) -> List[Tuple[Value, ...]]:
+    """Split the ordered value list into ``chunks`` contiguous slices."""
+    chunks = max(1, min(chunks, len(values)))
+    size, remainder = divmod(len(values), chunks)
+    out: List[Tuple[Value, ...]] = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < remainder else 0)
+        out.append(tuple(values[start:end]))
+        start = end
+    return [chunk for chunk in out if chunk]
+
+
+def _clean_chunk(payload: _WorkerPayload) -> List[Tuple[Value, Tuple[str, ...]]]:
+    """Worker: run the cleaning phase for one chunk of values.
+
+    Module-level so it pickles under ``ProcessPoolExecutor``; rebuilds a
+    read-only database from the spec (needed only for same-tuple
+    checks, which query the coordination table).
+    """
+    spec, setup, queries, friends, option_lists, nodes, values = payload
+    db = database_from_spec(spec)
+    coordinator = ConsistentCoordinator(db, setup)
+    by_user = {q.user: q for q in queries}
+    coordinator._by_user = by_user
+    stats = CoordinationStats()
+    node_set = set(nodes)
+
+    out: List[Tuple[Value, Tuple[str, ...]]] = []
+    for value in values:
+        members = {
+            user for user in node_set if value in option_lists[user]
+        }
+        members = coordinator._clean(members, by_user, friends, value, stats)
+        if members:
+            out.append((value, tuple(sorted(members))))
+    return out
+
+
+def consistent_coordinate_parallel(
+    db: Database,
+    setup: ConsistentSetup,
+    queries: Sequence[ConsistentQuery],
+    workers: int = 2,
+    choose: CandidateCriterion = largest_consistent_candidate,
+) -> ConsistentResult:
+    """The Consistent Coordination Algorithm with parallel value checks.
+
+    Semantically identical to
+    :func:`repro.core.consistent.consistent_coordinate`; with
+    ``workers <= 1`` it simply delegates to the serial implementation.
+    """
+    queries = tuple(queries)
+    if workers <= 1 or len(queries) == 0:
+        return ConsistentCoordinator(db, setup).coordinate(queries, choose=choose)
+
+    setup.validate(db, queries)
+    coordinator = ConsistentCoordinator(db, setup)
+    by_user = {q.user: q for q in queries}
+    coordinator._by_user = by_user
+    stats = CoordinationStats()
+
+    # Phase 1 (serial): option lists and pruned graph.
+    option_lists: Dict[str, FrozenSet[Value]] = {}
+    for query in queries:
+        stats.db_queries += 1
+        option_lists[query.user] = coordinator._constrained_option_list(query)
+    graph, friends = coordinator.pruned_graph(queries, option_lists, stats)
+    stats.graph_nodes = graph.node_count()
+    stats.graph_edges = graph.edge_count()
+
+    all_values = set()
+    for values in option_lists.values():
+        all_values.update(values)
+    ordered_values = sorted(all_values, key=repr)
+    stats.candidate_values = len(ordered_values)
+
+    if not ordered_values:
+        return ConsistentResult(None, [], option_lists, stats)
+
+    # Phase 2 (parallel): cleaning per value chunk.  Workers only touch
+    # the database for same-tuple checks; when no query uses them, ship
+    # a schema-only spec so workers skip rebuilding the data.
+    needs_rows = any(
+        partner.same_tuple
+        for query in queries
+        for partner in query.named_partners()
+    )
+    spec = database_to_spec(db)
+    if not needs_rows:
+        spec = {
+            "tables": [
+                {**table, "rows": []} for table in spec["tables"]
+            ]
+        }
+    nodes = tuple(sorted(graph.nodes(), key=str))
+    chunks = partition_values(ordered_values, workers)
+    payloads: List[_WorkerPayload] = [
+        (spec, setup, queries, dict(friends), option_lists, nodes, chunk)
+        for chunk in chunks
+    ]
+    survived: List[Tuple[Value, Tuple[str, ...]]] = []
+    with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        for chunk_result in pool.map(_clean_chunk, payloads):
+            survived.extend(chunk_result)
+    stats.extra["workers"] = len(payloads)
+
+    # Phase 3 (serial): merge deterministically, choose, ground.
+    survived.sort(key=lambda item: repr(item[0]))
+    candidates = [ConsistentCandidate(value, users) for value, users in survived]
+    stats.candidate_sets = len(candidates)
+    remaining = list(candidates)
+    outcome = None
+    while remaining:
+        chosen_candidate = choose(remaining)
+        if chosen_candidate is None:
+            break
+        outcome = coordinator._ground(chosen_candidate, by_user, friends, stats)
+        if outcome is not None:
+            break
+        remaining.remove(chosen_candidate)
+    return ConsistentResult(outcome, candidates, option_lists, stats)

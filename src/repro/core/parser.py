@@ -1,0 +1,231 @@
+"""A parser for the paper's textual entangled-query syntax.
+
+Grammar (whitespace-insensitive)::
+
+    program  := statement (';' statement)* ';'?
+    statement:= [ident ':'] query
+    query    := '{' atoms? '}' atoms ':-' body
+    body     := atoms | '∅' | 'empty' | <nothing>
+    atoms    := atom (',' atom)*
+    atom     := ident '(' terms? ')'
+    terms    := term (',' term)*
+    term     := variable | constant
+    variable := identifier starting with a lowercase letter
+    constant := identifier starting with an uppercase letter
+              | integer literal
+              | single- or double-quoted string
+
+Examples::
+
+    q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich')
+    q2: {} R(Chris, y) :- Flights(y, 'Zurich')
+
+The lowercase-variable / capitalised-constant convention follows the
+paper's notation (``x1, y2`` are variables; ``Chris``, ``Paris`` are
+constants).  Quoted strings and integers are always constants, so any
+value can be expressed regardless of capitalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from ..logic import Atom, Constant, Term, Variable
+from .query import EntangledQuery
+
+_PUNCT = {"{", "}", "(", ")", ",", ";", ":"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'ident' | 'int' | 'string' | 'punct' | 'entails' | 'end'
+    text: str
+    position: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith(":-", i):
+            tokens.append(_Token("entails", ":-", i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(_Token("punct", ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                j += 1
+            if j >= n:
+                raise ParseError(f"unterminated string literal at position {i}")
+            tokens.append(_Token("string", source[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch == "∅":
+            tokens.append(_Token("ident", "∅", i))
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and source[i + 1].isdigit()):
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(_Token("int", source[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_*'"):
+                j += 1
+            tokens.append(_Token("ident", source[i:j], i))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(_Token("end", "", n))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r} at position {token.position}, "
+                f"found {token.text!r}"
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse_term(self) -> Term:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return Constant(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Constant(token.text)
+        if token.kind == "ident":
+            self._advance()
+            if token.text[0].islower() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        raise ParseError(
+            f"expected a term at position {token.position}, found {token.text!r}"
+        )
+
+    def parse_atom(self) -> Atom:
+        name = self._expect("ident")
+        self._expect("punct", "(")
+        terms: List[Term] = []
+        if not self._accept("punct", ")"):
+            terms.append(self.parse_term())
+            while self._accept("punct", ","):
+                terms.append(self.parse_term())
+            self._expect("punct", ")")
+        return Atom(name.text, terms)
+
+    def parse_atom_list(self, stop_kinds: Tuple[str, ...]) -> List[Atom]:
+        atoms: List[Atom] = []
+        token = self._peek()
+        if token.kind in stop_kinds or (token.kind == "punct" and token.text == "}"):
+            return atoms
+        atoms.append(self.parse_atom())
+        while self._accept("punct", ","):
+            atoms.append(self.parse_atom())
+        return atoms
+
+    def parse_query(self, name: str) -> EntangledQuery:
+        self._expect("punct", "{")
+        postconditions = self.parse_atom_list(stop_kinds=())
+        self._expect("punct", "}")
+        head: List[Atom] = []
+        if self._peek().kind == "ident":
+            head.append(self.parse_atom())
+            while self._accept("punct", ","):
+                head.append(self.parse_atom())
+        self._expect("entails")
+        body: List[Atom] = []
+        token = self._peek()
+        if token.kind == "ident" and token.text in ("∅", "empty"):
+            self._advance()
+        elif token.kind == "ident":
+            body.append(self.parse_atom())
+            while self._accept("punct", ","):
+                body.append(self.parse_atom())
+        return EntangledQuery(name, postconditions, head, body)
+
+    def parse_statement(self, default_name: str) -> EntangledQuery:
+        name = default_name
+        token = self._peek()
+        if token.kind == "ident":
+            save = self._index
+            candidate = self._advance()
+            if self._accept("punct", ":"):
+                name = candidate.text
+            else:
+                self._index = save
+        return self.parse_query(name)
+
+    def parse_program(self) -> List[EntangledQuery]:
+        queries: List[EntangledQuery] = []
+        while self._peek().kind != "end":
+            queries.append(self.parse_statement(default_name=f"q{len(queries)}"))
+            while self._accept("punct", ";"):
+                pass
+        return queries
+
+
+def parse_query(source: str, name: str = "q0") -> EntangledQuery:
+    """Parse a single entangled query from text.
+
+    An optional ``name:`` prefix in the text overrides ``name``.
+    """
+    parser = _Parser(source)
+    query = parser.parse_statement(default_name=name)
+    parser._accept("punct", ";")
+    token = parser._peek()
+    if token.kind != "end":
+        raise ParseError(
+            f"trailing input at position {token.position}: {token.text!r}"
+        )
+    return query
+
+
+def parse_queries(source: str) -> List[EntangledQuery]:
+    """Parse a ``;``-separated program of entangled queries.
+
+    Unnamed queries receive names ``q0, q1, ...`` by position.
+    """
+    return _Parser(source).parse_program()

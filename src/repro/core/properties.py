@@ -1,0 +1,105 @@
+"""Structural properties of query sets: safety, uniqueness, single-connectedness.
+
+These are Definitions 2, 3 and 6 of the paper; the practical algorithms
+use them as preconditions:
+
+* the Gupta et al. baseline requires safety *and* uniqueness;
+* the SCC Coordination Algorithm requires safety only;
+* the solver of Theorem 3 requires single-connectedness;
+* the Consistent Coordination Algorithm requires neither, but requires
+  A-consistency (see :mod:`repro.core.consistent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from ..graphs import has_unique_simple_paths, is_strongly_connected
+from .coordination_graph import CoordinationGraph
+from .query import EntangledQuery
+
+
+@dataclass(frozen=True)
+class SafetyReport:
+    """Outcome of a safety check.
+
+    ``violations`` lists, for every unsafe postcondition, the
+    ``(query name, postcondition index, matching head count)`` triple.
+    """
+
+    is_safe: bool
+    violations: Tuple[Tuple[str, int, int], ...]
+
+    def unsafe_queries(self) -> Tuple[str, ...]:
+        """Names of queries with at least one unsafe postcondition."""
+        seen: List[str] = []
+        for name, _, _ in self.violations:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+
+def safety_report(graph: CoordinationGraph) -> SafetyReport:
+    """Check Definition 2 on a built coordination graph.
+
+    A query is unsafe when one of its postcondition atoms unifies with
+    more than one head atom appearing in the set (equivalently: more
+    than one arrow emanates from it with the same left-endpoint label in
+    the extended coordination graph).
+    """
+    violations: List[Tuple[str, int, int]] = []
+    for name, query in graph.queries.items():
+        for pi in range(len(query.postconditions)):
+            count = len(graph.edges_from_postcondition(name, pi))
+            if count > 1:
+                violations.append((name, pi, count))
+    return SafetyReport(not violations, tuple(violations))
+
+
+def is_safe(queries: Iterable[EntangledQuery]) -> bool:
+    """Convenience wrapper: build the graph and check safety."""
+    return safety_report(CoordinationGraph.build(queries)).is_safe
+
+
+def is_unique(graph: CoordinationGraph) -> bool:
+    """Check Definition 3: the coordination graph is strongly connected.
+
+    Uniqueness is only defined for safe sets; callers should check
+    safety first.  A single query with no edges is trivially unique (a
+    one-vertex graph is strongly connected).
+    """
+    return is_strongly_connected(graph.graph)
+
+
+def is_safe_and_unique(queries: Iterable[EntangledQuery]) -> bool:
+    """The combined precondition of the Gupta et al. baseline."""
+    graph = CoordinationGraph.build(queries)
+    return safety_report(graph).is_safe and is_unique(graph)
+
+
+def is_single_connected(graph: CoordinationGraph) -> bool:
+    """Check Definition 6 on a built coordination graph.
+
+    Two conditions: every query has at most one postcondition atom, and
+    the coordination graph has at most one simple path between every
+    ordered pair of vertices.
+    """
+    for query in graph.queries.values():
+        if len(query.postconditions) > 1:
+            return False
+    return has_unique_simple_paths(graph.graph)
+
+
+def postcondition_fanout(graph: CoordinationGraph) -> Dict[Tuple[str, int], int]:
+    """Matching-head count for every postcondition atom in the set.
+
+    Useful for diagnostics: a safe set has every value at most 1; a
+    value of 0 means the postcondition can never be satisfied and its
+    query will be removed by the SCC algorithm's preprocessing.
+    """
+    out: Dict[Tuple[str, int], int] = {}
+    for name, query in graph.queries.items():
+        for pi in range(len(query.postconditions)):
+            out[(name, pi)] = len(graph.edges_from_postcondition(name, pi))
+    return out

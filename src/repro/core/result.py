@@ -1,0 +1,98 @@
+"""Result types returned by the coordination algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..db import CoordinationStats
+from ..logic import GroundAtom, Variable
+
+
+@dataclass(frozen=True)
+class CoordinatingSet:
+    """A coordinating set: query names plus a witnessing assignment.
+
+    The assignment maps *standardised* variables (namespaced by query
+    name) to database values, covering every variable of every included
+    query, as Definition 1 requires.
+    """
+
+    members: Tuple[str, ...]
+    assignment: Dict[Variable, Hashable]
+
+    @property
+    def size(self) -> int:
+        """Number of queries in the set."""
+        return len(self.members)
+
+    def member_set(self) -> frozenset:
+        """The members as a frozenset (order-insensitive comparisons)."""
+        return frozenset(self.members)
+
+    def value_of(self, query: str, variable_name: str) -> Hashable:
+        """The value assigned to a given query's variable.
+
+        Variables are looked up in the query's namespace, so callers use
+        the variable names as written in the original query.
+        """
+        return self.assignment[Variable(variable_name, query)]
+
+    def __contains__(self, query_name: str) -> bool:
+        return query_name in self.member_set()
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(sorted(self.members)) + "}"
+
+
+@dataclass
+class CoordinationResult:
+    """Outcome of a coordination algorithm run.
+
+    Attributes
+    ----------
+    chosen:
+        The selected coordinating set (by default a maximum-size one
+        among the candidates the algorithm is able to see), or ``None``
+        when no coordinating set exists.
+    candidates:
+        Every candidate coordinating set the algorithm verified against
+        the database (the paper's algorithms record one per successful
+        component / per candidate value).
+    stats:
+        Machine-independent cost counters for the run.
+    """
+
+    chosen: Optional[CoordinatingSet]
+    candidates: List[CoordinatingSet] = field(default_factory=list)
+    stats: CoordinationStats = field(default_factory=CoordinationStats)
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a coordinating set was found."""
+        return self.chosen is not None
+
+    def sizes(self) -> List[int]:
+        """Sizes of all candidate sets (for reporting)."""
+        return [c.size for c in self.candidates]
+
+
+@dataclass(frozen=True)
+class GroundedView:
+    """Grounded postconditions and heads of a coordinating set.
+
+    Produced by :func:`repro.core.semantics.grounded_view`; useful in
+    tests and for explaining *why* a set coordinates: the postcondition
+    multiset must be a subset of the head set.
+    """
+
+    postconditions: Tuple[GroundAtom, ...]
+    heads: Tuple[GroundAtom, ...]
+
+    def satisfied(self) -> bool:
+        """Condition (3) of Definition 1."""
+        heads = set(self.heads)
+        return all(p in heads for p in self.postconditions)

@@ -1,0 +1,153 @@
+"""Coordinating-set semantics: Definition 1, checked mechanically.
+
+This module is the ground truth the rest of the library is tested
+against.  :func:`verify_coordinating_set` checks the three conditions of
+Definition 1 for an explicit subset + assignment; every algorithm's
+output must pass it (and the property-based tests assert exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+from ..db import Database
+from ..logic import GroundAtom, Variable
+from .query import EntangledQuery
+from .result import CoordinatingSet, GroundedView
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of checking Definition 1, with a human-readable reason."""
+
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def grounded_view(
+    queries: Mapping[str, EntangledQuery],
+    members: Iterable[str],
+    assignment: Mapping[Variable, Hashable],
+) -> GroundedView:
+    """Ground all postconditions and heads of ``members`` under ``assignment``.
+
+    Queries are standardised apart (variables namespaced by query name)
+    before grounding, matching how algorithms produce assignments.
+    """
+    posts: List[GroundAtom] = []
+    heads: List[GroundAtom] = []
+    for name in members:
+        query = queries[name].standardized()
+        for atom in query.postconditions:
+            posts.append(atom.ground(assignment))
+        for atom in query.head:
+            heads.append(atom.ground(assignment))
+    return GroundedView(tuple(posts), tuple(heads))
+
+
+def verify_coordinating_set(
+    db: Database,
+    queries: Iterable[EntangledQuery],
+    members: Iterable[str],
+    assignment: Mapping[Variable, Hashable],
+) -> VerificationReport:
+    """Check the three conditions of Definition 1.
+
+    Parameters
+    ----------
+    db:
+        The database instance ``I``.
+    queries:
+        The full query set ``Q`` (only ``members`` are examined, but the
+        full set makes call sites uniform).
+    members:
+        Names of the queries in the claimed coordinating set ``S``.
+    assignment:
+        Mapping from *standardised* variables (namespaced by query name)
+        to values of the domain of ``I``.
+    """
+    by_name = {q.name: q for q in queries}
+    member_list = list(members)
+    if not member_list:
+        return VerificationReport(False, "coordinating set must be non-empty")
+    for name in member_list:
+        if name not in by_name:
+            return VerificationReport(False, f"unknown query {name!r}")
+
+    # Condition (1): every variable in S is assigned a value.
+    for name in member_list:
+        std = by_name[name].standardized()
+        for variable in std.variables():
+            if variable not in assignment:
+                return VerificationReport(
+                    False, f"variable {variable} of query {name!r} is unassigned"
+                )
+
+    # Condition (2): every grounded body atom appears in I.
+    for name in member_list:
+        std = by_name[name].standardized()
+        for atom in std.body:
+            ground = atom.ground(assignment)
+            if ground.relation not in db:
+                return VerificationReport(
+                    False, f"body relation {ground.relation!r} not in instance"
+                )
+            if not db.contains(ground.relation, ground.values):
+                return VerificationReport(
+                    False, f"grounded body atom {ground} not in instance"
+                )
+
+    # Condition (3): grounded postconditions ⊆ grounded heads.
+    view = grounded_view(by_name, member_list, assignment)
+    head_set = set(view.heads)
+    for post in view.postconditions:
+        if post not in head_set:
+            return VerificationReport(
+                False, f"grounded postcondition {post} matched by no head"
+            )
+    return VerificationReport(True)
+
+
+def verify_result_set(
+    db: Database,
+    queries: Iterable[EntangledQuery],
+    candidate: CoordinatingSet,
+) -> VerificationReport:
+    """Verify an algorithm-produced :class:`CoordinatingSet`."""
+    return verify_coordinating_set(db, queries, candidate.members, candidate.assignment)
+
+
+def complete_assignment(
+    db: Database,
+    queries: Mapping[str, EntangledQuery],
+    members: Iterable[str],
+    partial: Mapping[Variable, Hashable],
+) -> Optional[Dict[Variable, Hashable]]:
+    """Extend a partial assignment to all variables of ``members``.
+
+    Variables not constrained by any body atom or unification (the
+    paper's queries can mention head variables that never reach the
+    body) may take an arbitrary value of the active domain; this helper
+    picks the deterministic minimum.  Returns ``None`` when unassigned
+    variables exist but the domain is empty.
+    """
+    assignment: Dict[Variable, Hashable] = dict(partial)
+    missing: List[Variable] = []
+    for name in members:
+        std = queries[name].standardized()
+        for variable in std.variables():
+            if variable not in assignment:
+                missing.append(variable)
+    if not missing:
+        return assignment
+    domain = db.domain()
+    if not domain:
+        return None
+    filler = min(domain, key=repr)
+    for variable in missing:
+        assignment[variable] = filler
+    return assignment

@@ -1,0 +1,196 @@
+"""Coordination for single-connected query sets (Definition 6, Theorem 3).
+
+A query set is *single-connected* when every query has at most one
+postcondition atom and the coordination graph has at most one simple
+path between every pair of vertices.  Theorem 3 states that evaluation
+is then possible with a linear number of conjunctive queries (of linear
+size) to the database.
+
+The paper states the theorem without a published proof, so this module
+documents the realisation we implement (DESIGN.md, deviation 3):
+
+* contract SCCs and process the condensation in reverse topological
+  order, exactly like the SCC Coordination Algorithm;
+* the one difference is that single-connected sets may be *unsafe*: one
+  postcondition can unify with several heads.  Per component we resolve
+  each postcondition by trying its candidate edges in order,
+  backtracking on unification or database failure.  For genuinely
+  single-connected inputs, two candidate edges of one postcondition
+  lead to vertex-disjoint reachable regions (a shared vertex would give
+  two simple paths), so choices are independent, first-fit composition
+  is sound, and the number of database queries is bounded by the number
+  of extended-graph edges — linear, as Theorem 3 promises.
+* on inputs that are *not* single-connected the solver stays correct
+  (it is a complete backtracking search) but may lose the linear bound;
+  ``strict=True`` enforces the precondition instead.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..db import ConjunctiveQuery, CoordinationStats, Database
+from ..errors import PreconditionError
+from ..graphs import condensation
+from ..logic import Atom, Substitution, Variable, apply_substitution_all
+from .coordination_graph import CoordinationGraph, ExtendedEdge
+from .properties import is_single_connected
+from .query import EntangledQuery
+from .result import CoordinatingSet, CoordinationResult
+from .scc_coordination import SelectionCriterion, largest_candidate, preprocess
+from .semantics import complete_assignment
+
+
+def single_connected_coordinate(
+    db: Database,
+    queries: Iterable[EntangledQuery],
+    choose: SelectionCriterion = largest_candidate,
+    strict: bool = True,
+) -> CoordinationResult:
+    """Find a coordinating set for a single-connected query set.
+
+    ``strict`` verifies Definition 6 up front (at most one postcondition
+    per query and unique simple paths) and raises
+    :class:`~repro.errors.PreconditionError` otherwise.
+    """
+    graph = CoordinationGraph.build(queries)
+    if strict and not is_single_connected(graph):
+        raise PreconditionError("query set is not single-connected")
+
+    stats = CoordinationStats(
+        graph_nodes=graph.graph.node_count(),
+        graph_edges=graph.graph.edge_count(),
+    )
+    pre = preprocess(graph)
+    graph = pre.graph
+    stats.preprocessing_removed = len(pre.removed)
+    if not graph.queries:
+        return CoordinationResult(None, [], stats)
+
+    cond = condensation(graph.graph)
+    stats.scc_count = cond.component_count
+
+    # Per component: None = failed, else (substitution, involved names).
+    resolved: List[Optional[Tuple[Substitution, Tuple[str, ...]]]] = [
+        None
+    ] * cond.component_count
+    candidates: List[CoordinatingSet] = []
+
+    for component in cond.reverse_topological_order():
+        outcome = _resolve_component(db, graph, cond, component, resolved, stats)
+        resolved[component] = outcome
+        if outcome is None:
+            continue
+        substitution, involved = outcome
+        assignment = _ground(db, graph, involved, substitution, stats)
+        if assignment is not None:
+            candidates.append(CoordinatingSet(involved, assignment))
+
+    stats.candidate_sets = len(candidates)
+    return CoordinationResult(choose(candidates), candidates, stats)
+
+
+def _resolve_component(
+    db: Database,
+    graph: CoordinationGraph,
+    cond,
+    component: int,
+    resolved: Sequence[Optional[Tuple[Substitution, Tuple[str, ...]]]],
+    stats: CoordinationStats,
+) -> Optional[Tuple[Substitution, Tuple[str, ...]]]:
+    """Resolve one component: choose an edge per member postcondition.
+
+    Members have at most one postcondition each.  For each member we
+    enumerate its candidate extended edges (to heads inside the
+    component or in successor components); the cross product is explored
+    with backtracking, pruned by unification, and each complete choice
+    is validated with a single database satisfiability query.
+    """
+    members = cond.members(component)
+    options: List[List[ExtendedEdge]] = []
+    for name in members:
+        query = graph.standardized[name]
+        for pi in range(len(query.postconditions)):
+            edges = [
+                e
+                for e in graph.edges_from_postcondition(name, pi)
+                if cond.component_of(e.target) == component
+                or resolved[cond.component_of(e.target)] is not None
+            ]
+            if not edges:
+                return None
+            options.append(edges)
+
+    for choice in product(*options) if options else [()]:
+        substitution = Substitution()
+        involved: Set[str] = set(members)
+        ok = True
+        # Merge the resolved substitutions of every successor component
+        # this particular choice actually uses.
+        used_components = {
+            cond.component_of(e.target)
+            for e in choice
+            if cond.component_of(e.target) != component
+        }
+        for successor in sorted(used_components):
+            entry = resolved[successor]
+            assert entry is not None
+            successor_sub, successor_involved = entry
+            if not substitution.merge(successor_sub):
+                ok = False
+                break
+            involved.update(successor_involved)
+        if not ok:
+            continue
+        for edge in choice:
+            stats.unifications += 1
+            post = graph.post_atom(edge)
+            head = graph.head_atom(edge)
+            for pt, ht in zip(post.terms, head.terms):
+                if not substitution.unify_terms(pt, ht):
+                    stats.unification_failures += 1
+                    ok = False
+                    break
+            if not ok:
+                break
+        if not ok:
+            continue
+
+        involved_sorted = tuple(sorted(involved, key=str))
+        combined_body: List[Atom] = []
+        for name in involved_sorted:
+            combined_body.extend(graph.standardized[name].body)
+        rewritten = apply_substitution_all(combined_body, substitution)
+        stats.db_queries += 1
+        if db.is_satisfiable(ConjunctiveQuery(tuple(rewritten))):
+            return substitution, involved_sorted
+    return None
+
+
+def _ground(
+    db: Database,
+    graph: CoordinationGraph,
+    involved: Tuple[str, ...],
+    substitution: Substitution,
+    stats: CoordinationStats,
+) -> Optional[Dict[Variable, Hashable]]:
+    """Produce a total assignment for the resolved component."""
+    combined_body: List[Atom] = []
+    for name in involved:
+        combined_body.extend(graph.standardized[name].body)
+    rewritten = apply_substitution_all(combined_body, substitution)
+    stats.db_queries += 1
+    solution = db.first_solution(ConjunctiveQuery(tuple(rewritten)))
+    if solution is None:
+        return None
+    partial: Dict[Variable, Hashable] = {}
+    for name in involved:
+        for variable in graph.standardized[name].variables():
+            representative = substitution.resolve(variable)
+            if isinstance(representative, Variable):
+                if representative in solution:
+                    partial[variable] = solution[representative]
+            else:
+                partial[variable] = representative.value
+    return complete_assignment(db, graph.queries, involved, partial)

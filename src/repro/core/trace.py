@@ -1,0 +1,120 @@
+"""Execution tracing: explain *why* a coordination run did what it did.
+
+The paper's walkthroughs (Sections 4 and 5) narrate their algorithms
+step by step — "the first node we analyse is {qC, qG}...", "we conclude
+that there is no coordinating set that can go to Cinemark".  This
+module captures the same narration mechanically: both algorithms accept
+an optional :class:`Trace` and emit structured events, which
+:func:`render_trace` turns into the human-readable story.
+
+Tracing is opt-in and zero-cost when off (a ``None`` check per event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ComponentProcessed:
+    """One component of the SCC algorithm's reverse-topological pass."""
+
+    component: int
+    members: Tuple[str, ...]
+    involved: Tuple[str, ...]
+    status: str  # 'ok' | 'successor-failed' | 'unification-failed' | 'db-failed'
+    db_queries: int = 0
+
+    def describe(self) -> str:
+        members = ", ".join(self.members)
+        if self.status == "ok":
+            return (
+                f"component {{{members}}}: combined query over "
+                f"{len(self.involved)} queries grounded — candidate recorded"
+            )
+        if self.status == "successor-failed":
+            return f"component {{{members}}}: skipped (a successor already failed)"
+        if self.status == "unification-failed":
+            return f"component {{{members}}}: postcondition/head unification failed"
+        return f"component {{{members}}}: combined query unsatisfiable in the database"
+
+
+@dataclass(frozen=True)
+class PreprocessingRemoved:
+    """Queries discarded before evaluation."""
+
+    removed: Tuple[str, ...]
+
+    def describe(self) -> str:
+        if not self.removed:
+            return "preprocessing: nothing to remove"
+        names = ", ".join(sorted(self.removed))
+        return (
+            f"preprocessing: removed {{{names}}} "
+            f"(unsatisfiable postconditions, cascading)"
+        )
+
+
+@dataclass(frozen=True)
+class ValueExamined:
+    """One candidate value of the Consistent algorithm's main loop."""
+
+    value: Tuple[Hashable, ...]
+    initial_users: Tuple[str, ...]
+    surviving_users: Tuple[str, ...]
+    removals: Tuple[Tuple[str, str], ...]  # (user, reason)
+
+    def describe(self) -> str:
+        value = ", ".join(str(v) for v in self.value)
+        lines = [f"value ({value}): start {{{', '.join(self.initial_users) or '∅'}}}"]
+        for user, reason in self.removals:
+            lines.append(f"    - remove {user}: {reason}")
+        if self.surviving_users:
+            lines.append(
+                f"    => coordinating set {{{', '.join(self.surviving_users)}}}"
+            )
+        else:
+            lines.append("    => cleaned to ∅, no coordinating set here")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SelectionMade:
+    """The final choice among recorded candidates."""
+
+    description: str
+
+    def describe(self) -> str:
+        return f"selection: {self.description}"
+
+
+TraceEvent = Union[
+    ComponentProcessed, PreprocessingRemoved, ValueExamined, SelectionMade
+]
+
+
+@dataclass
+class Trace:
+    """An append-only event log attached to one algorithm run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Record one event."""
+        self.events.append(event)
+
+    def of_type(self, event_type: type) -> List[TraceEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def render_trace(trace: Trace, title: str = "coordination trace") -> str:
+    """Render the event log as the paper-style narration."""
+    lines = [title, "-" * len(title)]
+    for event in trace.events:
+        lines.append(event.describe())
+    return "\n".join(lines)

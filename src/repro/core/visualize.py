@@ -1,0 +1,108 @@
+"""Graphviz (dot) export for coordination structures.
+
+The paper communicates its algorithms through graph drawings
+(Figures 2, 3 and 9).  These helpers emit the same pictures in dot
+syntax so `dot -Tpng` regenerates them from live objects:
+
+* :func:`coordination_graph_dot` — the collapsed coordination graph
+  (Figure 2's right-hand rendering / Figure 3 left);
+* :func:`extended_graph_dot` — the labelled multigraph, edges annotated
+  with the postcondition/head atom pair;
+* :func:`condensation_dot` — the components graph of Section 4, nodes
+  labelled with their member queries;
+* :func:`pruned_graph_dot` — the Consistent algorithm's pruned graph
+  (Figure 3 right), optionally highlighting one value's subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..graphs import Condensation, DiGraph
+from .coordination_graph import CoordinationGraph
+
+
+def _quote(text: object) -> str:
+    escaped = str(text).replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _header(name: str) -> list:
+    return [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontsize=11];',
+    ]
+
+
+def coordination_graph_dot(
+    graph: CoordinationGraph, name: str = "coordination"
+) -> str:
+    """The collapsed coordination graph as a dot digraph."""
+    lines = _header(name)
+    for node in sorted(graph.names()):
+        lines.append(f"  {_quote(node)};")
+    for source in sorted(graph.names()):
+        for target in sorted(graph.graph.successors(source)):
+            lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def extended_graph_dot(
+    graph: CoordinationGraph, name: str = "extended"
+) -> str:
+    """The extended coordination graph with atom-pair edge labels."""
+    lines = _header(name)
+    for node in sorted(graph.names()):
+        lines.append(f"  {_quote(node)};")
+    for edge in graph.extended_edges:
+        post = graph.post_atom(edge)
+        head = graph.head_atom(edge)
+        label = f"{post} ⇒ {head}"
+        lines.append(
+            f"  {_quote(edge.source)} -> {_quote(edge.target)} "
+            f"[label={_quote(label)}, fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def condensation_dot(
+    condensation: Condensation, name: str = "components"
+) -> str:
+    """The components graph, each node labelled with its SCC members."""
+    lines = _header(name)
+    lines[-1] = '  node [shape=box, fontsize=11];'
+    for component in range(condensation.component_count):
+        members = " + ".join(sorted(str(m) for m in condensation.members(component)))
+        lines.append(f"  c{component} [label={_quote(members)}];")
+    for source, target in sorted(condensation.dag.edges()):
+        lines.append(f"  c{source} -> c{target};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pruned_graph_dot(
+    graph: DiGraph,
+    name: str = "pruned",
+    highlight: Optional[Iterable[str]] = None,
+) -> str:
+    """The Consistent algorithm's pruned coordination graph.
+
+    ``highlight`` marks the members of one value's subgraph ``G_v``
+    (filled nodes), as the paper's Figure 3 discussion walks through.
+    """
+    marked: Set[str] = set(highlight or ())
+    lines = _header(name)
+    for node in sorted(graph.nodes(), key=str):
+        if node in marked:
+            lines.append(
+                f"  {_quote(node)} [style=filled, fillcolor=lightgrey];"
+            )
+        else:
+            lines.append(f"  {_quote(node)};")
+    for source, target in sorted(graph.edges(), key=str):
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)

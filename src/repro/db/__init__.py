@@ -1,0 +1,44 @@
+"""In-memory relational database engine.
+
+This package replaces the MySQL + JDBC backend of the paper's
+implementation with a pure-Python engine: schemas, indexed tuple
+storage, a backtracking conjunctive-query evaluator, and
+machine-independent instrumentation counters.
+"""
+
+from .builder import DatabaseBuilder, unary_boolean_database
+from .database import Database
+from .evaluator import Assignment, Evaluator
+from .io import (
+    database_from_spec,
+    database_to_spec,
+    load_csv_table,
+    load_database,
+    save_csv_table,
+    save_database,
+)
+from .query import ConjunctiveQuery
+from .schema import RelationSchema, Schema
+from .stats import CoordinationStats, EngineStats
+from .storage import Relation, Row
+
+__all__ = [
+    "Assignment",
+    "ConjunctiveQuery",
+    "CoordinationStats",
+    "Database",
+    "DatabaseBuilder",
+    "EngineStats",
+    "Evaluator",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "Schema",
+    "database_from_spec",
+    "database_to_spec",
+    "load_csv_table",
+    "load_database",
+    "save_csv_table",
+    "save_database",
+    "unary_boolean_database",
+]

@@ -1,0 +1,71 @@
+"""Fluent helpers for building small databases in tests and examples.
+
+The paper's walkthroughs (flights/hotels in Section 2.2, movies in
+Section 5) use tiny hand-written instances; this module keeps those
+definitions readable::
+
+    db = (DatabaseBuilder()
+          .table("Flights", ["flightId", "destination"], key="flightId")
+          .rows("Flights", [(101, "Zurich"), (102, "Paris")])
+          .build())
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from .database import Database
+from .schema import Schema
+
+
+class DatabaseBuilder:
+    """Accumulates table declarations and rows, then builds a Database."""
+
+    def __init__(self) -> None:
+        self._tables: List[Tuple[str, Tuple[str, ...], Optional[str]]] = []
+        self._rows: List[Tuple[str, List[Tuple[Hashable, ...]]]] = []
+
+    def table(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[str] = None,
+    ) -> "DatabaseBuilder":
+        """Declare a table."""
+        self._tables.append((name, tuple(attributes), key))
+        return self
+
+    def rows(
+        self, name: str, rows: Iterable[Iterable[Hashable]]
+    ) -> "DatabaseBuilder":
+        """Queue rows for a previously declared table."""
+        self._rows.append((name, [tuple(r) for r in rows]))
+        return self
+
+    def row(self, name: str, *values: Hashable) -> "DatabaseBuilder":
+        """Queue a single row given as positional values."""
+        self._rows.append((name, [tuple(values)]))
+        return self
+
+    def build(self) -> Database:
+        """Construct the database and load all queued rows."""
+        schema = Schema()
+        for name, attributes, key in self._tables:
+            schema.relation(name, attributes, key)
+        db = Database(schema)
+        for name, rows in self._rows:
+            db.insert_many(name, rows)
+        return db
+
+
+def unary_boolean_database(relation_name: str = "D") -> Database:
+    """The two-value database used by the hardness reductions.
+
+    Section 3 of the paper uses a database with a single unary relation
+    ``D`` interpreted as ``{0, 1}`` so that conjunctive-query
+    satisfiability is trivially polynomial while finding a coordinating
+    set remains NP-complete.
+    """
+    builder = DatabaseBuilder().table(relation_name, ["value"])
+    builder.rows(relation_name, [(0,), (1,)])
+    return builder.build()

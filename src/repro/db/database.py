@@ -1,0 +1,155 @@
+"""The database facade: schema + relations + evaluator + counters.
+
+This is the component the coordination algorithms talk to.  It plays the
+role MySQL/JDBC played in the paper's implementation (Section 6): the
+algorithms submit conjunctive queries and receive one grounding
+(choose-1 semantics) or enumerate projections for option lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import UnknownRelationError
+from ..logic import Atom, Variable
+from .evaluator import Assignment, Evaluator
+from .query import ConjunctiveQuery
+from .schema import RelationSchema, Schema
+from .stats import EngineStats
+from .storage import Relation, Row
+
+
+class Database:
+    """An in-memory relational database instance.
+
+    Parameters
+    ----------
+    schema:
+        The database schema.  Relations are materialised lazily on first
+        insert/use; all relations declared in the schema exist (empty)
+        from the start.
+    """
+
+    def __init__(self, schema: Optional[Schema] = None) -> None:
+        self.schema = schema if schema is not None else Schema()
+        self._relations: Dict[str, Relation] = {
+            rs.name: Relation(rs) for rs in self.schema
+        }
+        self.stats = EngineStats()
+        self._evaluator = Evaluator(self._relations, self.stats)
+
+    # ------------------------------------------------------------------
+    # Schema / data definition
+    # ------------------------------------------------------------------
+    def create_relation(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[str] = None,
+    ) -> Relation:
+        """Declare a relation and return its (empty) store."""
+        relation_schema = RelationSchema(name, attributes, key)
+        self.schema.add(relation_schema)
+        store = Relation(relation_schema)
+        self._relations[name] = store
+        return store
+
+    def relation(self, name: str) -> Relation:
+        """The tuple store for ``name``; raises if undeclared."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    def insert(self, name: str, row: Iterable[Hashable]) -> bool:
+        """Insert one tuple into relation ``name``."""
+        inserted = self.relation(name).insert(row)
+        if inserted:
+            self.stats.inserts += 1
+        return inserted
+
+    def insert_many(self, name: str, rows: Iterable[Iterable[Hashable]]) -> int:
+        """Insert many tuples into relation ``name``."""
+        count = self.relation(name).insert_many(rows)
+        self.stats.inserts += count
+        return count
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def solutions(self, query: ConjunctiveQuery) -> Iterator[Assignment]:
+        """Enumerate satisfying assignments of a conjunctive query."""
+        query.validate(self.schema)
+        return self._evaluator.solutions(query)
+
+    def first_solution(
+        self,
+        query: ConjunctiveQuery,
+        initial: Optional[Assignment] = None,
+    ) -> Optional[Assignment]:
+        """One satisfying assignment or ``None`` (choose-1 semantics).
+
+        ``initial`` pre-binds variables (see
+        :meth:`repro.db.evaluator.Evaluator.solutions`).
+        """
+        query.validate(self.schema)
+        return self._evaluator.first_solution(query, initial=initial)
+
+    def is_satisfiable(self, query: ConjunctiveQuery) -> bool:
+        """Decide whether the conjunction has any satisfying assignment."""
+        query.validate(self.schema)
+        return self._evaluator.is_satisfiable(query)
+
+    def satisfiable_atoms(self, atoms: Iterable[Atom]) -> bool:
+        """Convenience: satisfiability of a list of atoms."""
+        return self.is_satisfiable(ConjunctiveQuery(tuple(atoms)))
+
+    def first_solution_atoms(self, atoms: Iterable[Atom]) -> Optional[Assignment]:
+        """Convenience: one assignment for a list of atoms."""
+        return self.first_solution(ConjunctiveQuery(tuple(atoms)))
+
+    def distinct_bindings(
+        self, query: ConjunctiveQuery, variables: Tuple[Variable, ...]
+    ) -> Set[Tuple[Hashable, ...]]:
+        """All distinct value tuples for ``variables`` across solutions.
+
+        Used by the Consistent Coordination Algorithm to compute option
+        lists ``V(q)`` (Definition 10).
+        """
+        out: Set[Tuple[Hashable, ...]] = set()
+        for assignment in self.solutions(query):
+            out.add(tuple(assignment[v] for v in variables))
+        return out
+
+    # ------------------------------------------------------------------
+    # Instance inspection
+    # ------------------------------------------------------------------
+    def contains(self, name: str, row: Iterable[Hashable]) -> bool:
+        """Ground-atom membership test."""
+        return self.relation(name).contains(row)
+
+    def domain(self) -> Set[Hashable]:
+        """The active domain: every value in every relation."""
+        out: Set[Hashable] = set()
+        for store in self._relations.values():
+            out.update(store.domain())
+        return out
+
+    def sizes(self) -> Dict[str, int]:
+        """Tuple counts per relation."""
+        return {name: len(store) for name, store in self._relations.items()}
+
+    def rows(self, name: str) -> List[Row]:
+        """Materialised list of all tuples of ``name``."""
+        return list(self.relation(name).scan())
+
+    def reset_stats(self) -> None:
+        """Zero the engine counters (used between benchmark runs)."""
+        self.stats.reset()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}:{len(s)}" for n, s in self._relations.items())
+        return f"Database({inner})"

@@ -1,0 +1,136 @@
+"""Loading and saving databases (JSON specs and CSV tables).
+
+The paper's prototype read its tables from MySQL; a reusable library
+needs file-based fixtures.  Two formats:
+
+* **JSON spec** — one file describing schema *and* rows::
+
+      {
+        "tables": [
+          {"name": "Flights",
+           "attributes": ["flightId", "destination"],
+           "key": "flightId",
+           "rows": [[101, "Zurich"], [102, "Paris"]]}
+        ]
+      }
+
+* **CSV** — one table per file, header row = attribute names; values
+  are strings unless they parse as integers (conjunctive queries match
+  values exactly, so the caller controls typing via ``coerce``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Hashable, Optional, Union
+
+from ..errors import SchemaError
+from .database import Database
+
+PathLike = Union[str, Path]
+
+
+def _default_coerce(text: str) -> Hashable:
+    """CSV cell coercion: int when possible, else the raw string."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+# ---------------------------------------------------------------------------
+# JSON specs
+# ---------------------------------------------------------------------------
+def database_to_spec(db: Database) -> dict:
+    """Serialise a database (schema + rows) to a JSON-able dict."""
+    tables = []
+    for relation_schema in db.schema:
+        tables.append(
+            {
+                "name": relation_schema.name,
+                "attributes": list(relation_schema.attributes),
+                "key": relation_schema.key,
+                "rows": [list(row) for row in db.rows(relation_schema.name)],
+            }
+        )
+    return {"tables": tables}
+
+
+def database_from_spec(spec: dict) -> Database:
+    """Build a database from a JSON-able dict (inverse of the above)."""
+    if "tables" not in spec or not isinstance(spec["tables"], list):
+        raise SchemaError("database spec must have a 'tables' list")
+    db = Database()
+    for table in spec["tables"]:
+        try:
+            name = table["name"]
+            attributes = table["attributes"]
+        except (TypeError, KeyError) as exc:
+            raise SchemaError(f"malformed table entry: {table!r}") from exc
+        db.create_relation(name, attributes, key=table.get("key"))
+        rows = table.get("rows", [])
+        db.insert_many(name, (tuple(row) for row in rows))
+    return db
+
+
+def save_database(db: Database, path: PathLike) -> None:
+    """Write the database as a JSON spec file."""
+    Path(path).write_text(
+        json.dumps(database_to_spec(db), indent=2, default=str),
+        encoding="utf-8",
+    )
+
+
+def load_database(path: PathLike) -> Database:
+    """Read a database from a JSON spec file."""
+    spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    return database_from_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# CSV tables
+# ---------------------------------------------------------------------------
+def load_csv_table(
+    db: Database,
+    name: str,
+    path: PathLike,
+    key: Optional[str] = None,
+    coerce: Callable[[str], Hashable] = _default_coerce,
+) -> int:
+    """Load one CSV file as a new relation; returns rows inserted.
+
+    The header row provides the attribute names.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        db.create_relation(name, header, key=key)
+        count = 0
+        for row in reader:
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"CSV row {row!r} has {len(row)} cells, header has "
+                    f"{len(header)}"
+                )
+            if db.insert(name, tuple(coerce(cell) for cell in row)):
+                count += 1
+    return count
+
+
+def save_csv_table(db: Database, name: str, path: PathLike) -> int:
+    """Write one relation to a CSV file; returns rows written."""
+    relation_schema = db.schema.get(name)
+    rows = db.rows(name)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation_schema.attributes)
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)

@@ -1,0 +1,84 @@
+"""Conjunctive queries over a database schema.
+
+A conjunctive query here is simply a list of body atoms over database
+relations, with optional distinguished (output) variables.  This is the
+only query language the paper's algorithms need: every interaction with
+the database is "ground this conjunction" (find one satisfying
+assignment) or "enumerate distinct values of these variables".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from ..logic import Atom, Variable, atoms_variables
+from .schema import Schema
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunction of atoms, optionally with output variables.
+
+    ``outputs`` defaults to all variables of the body, in first-occurrence
+    order.  An empty body is the trivially true query (the reductions of
+    Section 3 use queries with empty bodies, written ``:- ∅`` in the
+    paper).
+    """
+
+    atoms: Tuple[Atom, ...]
+    outputs: Tuple[Variable, ...] = field(default=())
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        outputs: Optional[Sequence[Variable]] = None,
+    ) -> None:
+        atoms = tuple(atoms)
+        if outputs is None:
+            seen: List[Variable] = []
+            seen_set = set()
+            for atom in atoms:
+                for variable in atom.variables():
+                    if variable not in seen_set:
+                        seen_set.add(variable)
+                        seen.append(variable)
+            outputs = tuple(seen)
+        else:
+            body_vars = atoms_variables(atoms)
+            for variable in outputs:
+                if variable not in body_vars:
+                    raise SchemaError(
+                        f"output variable {variable} does not occur in the body"
+                    )
+            outputs = tuple(outputs)
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "outputs", outputs)
+
+    @property
+    def is_trivial(self) -> bool:
+        """``True`` for the empty conjunction, which is always satisfied."""
+        return not self.atoms
+
+    def variables(self) -> frozenset:
+        """All distinct variables of the body."""
+        return atoms_variables(self.atoms)
+
+    def validate(self, schema: Schema) -> None:
+        """Check every atom against the schema (relation exists, arity)."""
+        for atom in self.atoms:
+            relation = schema.get(atom.relation)
+            if atom.arity != relation.arity:
+                raise SchemaError(
+                    f"atom {atom} has arity {atom.arity}, relation "
+                    f"{relation.name!r} expects {relation.arity}"
+                )
+
+    def __str__(self) -> str:
+        if not self.atoms:
+            return "⊤"
+        return ", ".join(str(a) for a in self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)

@@ -1,0 +1,127 @@
+"""Relation schemas and database schemas.
+
+The paper's experiments run over small, simple schemas (a ``Flights``
+table, a ``Friends`` table, a members table from Slashdot, a unary
+``D = {0, 1}`` relation in the reductions).  This module models schemas
+explicitly so the engine can validate arity and attribute names, and so
+the Consistent Coordination Algorithm can talk about *coordination
+attributes* by name (Definitions 7–9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from ..errors import SchemaError, UnknownRelationError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a single relation: name plus ordered attributes.
+
+    ``key`` optionally names the attribute that uniquely identifies a
+    tuple (e.g. ``flightId``); the Consistent Coordination Algorithm
+    returns (key, user) pairs and therefore needs to know which column
+    is the key.
+    """
+
+    name: str
+    attributes: Tuple[str, ...]
+    key: Optional[str] = None
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[str] = None,
+    ) -> None:
+        attributes = tuple(attributes)
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        if not attributes:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names")
+        if key is not None and key not in attributes:
+            raise SchemaError(
+                f"key {key!r} of relation {name!r} is not one of its attributes"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "key", key)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def position_of(self, attribute: str) -> int:
+        """Index of ``attribute`` within the relation, or raise."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def positions_of(self, attributes: Iterable[str]) -> Tuple[int, ...]:
+        """Indexes of several attributes, in the given order."""
+        return tuple(self.position_of(a) for a in attributes)
+
+    @property
+    def key_position(self) -> int:
+        """Index of the key attribute; raises if no key was declared."""
+        if self.key is None:
+            raise SchemaError(f"relation {self.name!r} has no declared key")
+        return self.position_of(self.key)
+
+    def __str__(self) -> str:
+        inner = ", ".join(self.attributes)
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class Schema:
+    """A database schema: a collection of relation schemas by name."""
+
+    _relations: Dict[str, RelationSchema] = field(default_factory=dict)
+
+    def add(self, relation: RelationSchema) -> "Schema":
+        """Register a relation schema; returns ``self`` for chaining."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already declared")
+        self._relations[relation.name] = relation
+        return self
+
+    def relation(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        key: Optional[str] = None,
+    ) -> "Schema":
+        """Declare a relation inline; returns ``self`` for chaining."""
+        return self.add(RelationSchema(name, attributes, key))
+
+    def get(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name, raising if unknown."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def names(self) -> Tuple[str, ...]:
+        """All declared relation names."""
+        return tuple(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __str__(self) -> str:
+        return "; ".join(str(r) for r in self)

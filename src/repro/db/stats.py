@@ -1,0 +1,99 @@
+"""Instrumentation counters for the database engine.
+
+The paper analyses its algorithms partly in machine-independent units:
+*how many queries are issued to the database* (at most ``|Q|`` for the
+SCC Coordination Algorithm, ``O(n)`` for the Consistent Coordination
+Algorithm).  These counters let tests and benchmarks assert those bounds
+directly instead of relying on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Mutable counters tracked by a :class:`~repro.db.database.Database`.
+
+    Attributes
+    ----------
+    queries_issued:
+        Number of conjunctive-query evaluations started (the unit the
+        paper counts as "queries to the database").
+    tuples_examined:
+        Number of candidate tuples pulled from storage during evaluation
+        (a proxy for I/O work).
+    solutions_found:
+        Number of satisfying assignments produced across all queries.
+    inserts:
+        Number of tuples inserted.
+    """
+
+    queries_issued: int = 0
+    tuples_examined: int = 0
+    solutions_found: int = 0
+    inserts: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.queries_issued = 0
+        self.tuples_examined = 0
+        self.solutions_found = 0
+        self.inserts = 0
+
+    def snapshot(self) -> "EngineStats":
+        """Return an independent copy of the current counters."""
+        return EngineStats(
+            queries_issued=self.queries_issued,
+            tuples_examined=self.tuples_examined,
+            solutions_found=self.solutions_found,
+            inserts=self.inserts,
+        )
+
+    def delta(self, earlier: "EngineStats") -> "EngineStats":
+        """Counters accumulated since an earlier snapshot."""
+        return EngineStats(
+            queries_issued=self.queries_issued - earlier.queries_issued,
+            tuples_examined=self.tuples_examined - earlier.tuples_examined,
+            solutions_found=self.solutions_found - earlier.solutions_found,
+            inserts=self.inserts - earlier.inserts,
+        )
+
+
+@dataclass
+class CoordinationStats:
+    """Counters reported by the coordination algorithms themselves.
+
+    These mirror the cost model of Sections 4 and 6: database queries
+    issued, unifications attempted, graph sizes, and cleaning rounds.
+    """
+
+    db_queries: int = 0
+    unifications: int = 0
+    unification_failures: int = 0
+    graph_nodes: int = 0
+    graph_edges: int = 0
+    scc_count: int = 0
+    cleaning_rounds: int = 0
+    candidate_values: int = 0
+    candidate_sets: int = 0
+    preprocessing_removed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reporting."""
+        out = {
+            "db_queries": self.db_queries,
+            "unifications": self.unifications,
+            "unification_failures": self.unification_failures,
+            "graph_nodes": self.graph_nodes,
+            "graph_edges": self.graph_edges,
+            "scc_count": self.scc_count,
+            "cleaning_rounds": self.cleaning_rounds,
+            "candidate_values": self.candidate_values,
+            "candidate_sets": self.candidate_sets,
+            "preprocessing_removed": self.preprocessing_removed,
+        }
+        out.update(self.extra)
+        return out

@@ -1,0 +1,128 @@
+"""Tuple storage for a single relation, with hash indexes.
+
+The paper's experiments issue two kinds of database work: conjunctive
+query grounding ("is there a tuple matching these constants?") and
+option-list scans ("all distinct values of these attributes").  Both are
+served efficiently by per-column hash indexes built lazily on first use.
+
+A :class:`Relation` stores tuples in insertion order (a list) alongside a
+set for O(1) duplicate/membership checks, mirroring set semantics of the
+relational model while keeping scans deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import ArityError
+from .schema import RelationSchema
+
+Row = Tuple[Hashable, ...]
+
+
+class Relation:
+    """An indexed, in-memory tuple store for one relation."""
+
+    __slots__ = ("schema", "_rows", "_row_set", "_indexes")
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._row_set: Set[Row] = set()
+        # position -> value -> list of row indexes
+        self._indexes: Dict[int, Dict[Hashable, List[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Iterable[Hashable]) -> bool:
+        """Insert a tuple; returns ``False`` if it was already present."""
+        row = tuple(row)
+        if len(row) != self.schema.arity:
+            raise ArityError(
+                f"relation {self.schema.name!r} expects {self.schema.arity} "
+                f"values, got {len(row)}"
+            )
+        if row in self._row_set:
+            return False
+        index = len(self._rows)
+        self._rows.append(row)
+        self._row_set.add(row)
+        for position, bucket in self._indexes.items():
+            bucket.setdefault(row[position], []).append(index)
+        return True
+
+    def insert_many(self, rows: Iterable[Iterable[Hashable]]) -> int:
+        """Insert many tuples; returns the number actually inserted."""
+        return sum(1 for row in rows if self.insert(row))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _index_for(self, position: int) -> Dict[Hashable, List[int]]:
+        """Return (building lazily) the hash index on ``position``."""
+        bucket = self._indexes.get(position)
+        if bucket is None:
+            bucket = {}
+            for i, row in enumerate(self._rows):
+                bucket.setdefault(row[position], []).append(i)
+            self._indexes[position] = bucket
+        return bucket
+
+    def contains(self, row: Iterable[Hashable]) -> bool:
+        """Membership test for a fully ground tuple."""
+        return tuple(row) in self._row_set
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over all tuples in insertion order."""
+        return iter(self._rows)
+
+    def match(self, bindings: Dict[int, Hashable]) -> Iterator[Row]:
+        """Iterate over tuples matching position→value equality bindings.
+
+        Uses the most selective available index among the bound
+        positions, then filters on the rest.  With no bindings this is a
+        full scan.
+        """
+        if not bindings:
+            yield from self._rows
+            return
+        # Pick the bound position whose index bucket is smallest.
+        best_position = None
+        best_rows: Optional[List[int]] = None
+        for position, value in bindings.items():
+            bucket = self._index_for(position).get(value, [])
+            if best_rows is None or len(bucket) < len(best_rows):
+                best_position, best_rows = position, bucket
+                if not bucket:
+                    return
+        assert best_rows is not None
+        rest = [(p, v) for p, v in bindings.items() if p != best_position]
+        for i in best_rows:
+            row = self._rows[i]
+            if all(row[p] == v for p, v in rest):
+                yield row
+
+    def count_match(self, bindings: Dict[int, Hashable]) -> int:
+        """Number of tuples matching the bindings."""
+        return sum(1 for _ in self.match(bindings))
+
+    def distinct_values(self, positions: Tuple[int, ...]) -> Set[Tuple[Hashable, ...]]:
+        """All distinct projections of the relation onto ``positions``."""
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def domain(self) -> Set[Hashable]:
+        """All values appearing anywhere in the relation."""
+        out: Set[Hashable] = set()
+        for row in self._rows:
+            out.update(row)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.scan()
+
+    def __repr__(self) -> str:
+        return f"Relation({self.schema}, {len(self)} rows)"

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch a single base class.  Sub-hierarchies mirror the
+package layout: logic-level errors (unification), database errors
+(schema/arity violations), and coordination-level errors (malformed
+entangled queries, algorithm preconditions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class LogicError(ReproError):
+    """Base class for errors in the logic substrate (:mod:`repro.logic`)."""
+
+
+class UnificationError(LogicError):
+    """Two atoms or atom lists could not be unified.
+
+    Most unification entry points return ``None`` on failure instead of
+    raising; this error signals *structural* misuse, e.g. attempting to
+    unify atoms of different relations when the caller promised they
+    matched.
+    """
+
+
+class DatabaseError(ReproError):
+    """Base class for errors in the database engine (:mod:`repro.db`)."""
+
+
+class SchemaError(DatabaseError):
+    """A relation was declared or used inconsistently with its schema."""
+
+
+class UnknownRelationError(DatabaseError):
+    """A query or insert referenced a relation that does not exist."""
+
+
+class ArityError(DatabaseError):
+    """A tuple or atom has the wrong number of attributes for a relation."""
+
+
+class GraphError(ReproError):
+    """Base class for errors in the graph substrate (:mod:`repro.graphs`)."""
+
+
+class CoordinationError(ReproError):
+    """Base class for errors in the entangled-query core (:mod:`repro.core`)."""
+
+
+class MalformedQueryError(CoordinationError):
+    """An entangled query violates the syntactic requirements of Section 2.1.
+
+    The two syntactic requirements are: (i) all body relation symbols are
+    database relations, and (ii) postcondition/head relation symbols
+    (answer relations) are disjoint from the database schema.
+    """
+
+
+class ParseError(CoordinationError):
+    """The textual entangled-query syntax could not be parsed."""
+
+
+class PreconditionError(CoordinationError):
+    """An algorithm's documented precondition does not hold.
+
+    For example, the Gupta et al. baseline requires a safe *and* unique
+    set of queries; the SCC Coordination Algorithm requires safety.
+    """
+
+
+class HardnessError(ReproError):
+    """Base class for errors in the reductions (:mod:`repro.hardness`)."""
+
+
+class FormulaError(HardnessError):
+    """A CNF formula is malformed (e.g. empty clause set, zero literal)."""

@@ -1,0 +1,33 @@
+"""Directed-graph substrate (replaces JGraphT in the paper's stack)."""
+
+from .condensation import Condensation, condensation
+from .digraph import DiGraph, Node
+from .scc import (
+    component_index,
+    is_strongly_connected,
+    strongly_connected_components,
+)
+from .traversal import (
+    bfs_layers,
+    count_simple_paths,
+    has_unique_simple_paths,
+    is_acyclic,
+    reachable_from,
+    topological_order,
+)
+
+__all__ = [
+    "Condensation",
+    "DiGraph",
+    "Node",
+    "bfs_layers",
+    "component_index",
+    "condensation",
+    "count_simple_paths",
+    "has_unique_simple_paths",
+    "is_acyclic",
+    "is_strongly_connected",
+    "reachable_from",
+    "strongly_connected_components",
+    "topological_order",
+]

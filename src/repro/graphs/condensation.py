@@ -1,0 +1,91 @@
+"""Condensation: the components graph of Section 4.
+
+Given a directed graph ``G``, the *components graph* ``G'`` has the SCCs
+of ``G`` as vertices, with an edge from SCC ``S1`` to SCC ``S2`` when
+some edge of ``G`` crosses from ``S1`` into ``S2``.  ``G'`` is always a
+DAG.  Components are identified by their index in the reverse
+topological order produced by
+:func:`repro.graphs.scc.strongly_connected_components`, so iterating
+component ids ``0, 1, 2, ...`` *is* the reverse topological traversal
+the SCC Coordination Algorithm needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .digraph import DiGraph, Node
+from .scc import component_index, strongly_connected_components
+
+
+@dataclass
+class Condensation:
+    """The condensation of a directed graph.
+
+    Attributes
+    ----------
+    components:
+        SCCs in reverse topological order (successors before
+        predecessors).
+    dag:
+        The components graph; nodes are component indexes into
+        ``components``.
+    node_component:
+        Maps each original node to its component index.
+    """
+
+    components: List[Tuple[Node, ...]]
+    dag: DiGraph
+    node_component: Dict[Node, int]
+
+    @property
+    def component_count(self) -> int:
+        """Number of SCCs."""
+        return len(self.components)
+
+    def component_of(self, node: Node) -> int:
+        """Component index of an original node."""
+        return self.node_component[node]
+
+    def members(self, component: int) -> Tuple[Node, ...]:
+        """Original nodes of a component."""
+        return self.components[component]
+
+    def reverse_topological_order(self) -> range:
+        """Component ids, successors first (see module docstring)."""
+        return range(len(self.components))
+
+    def reachable_nodes(self, component: int) -> List[Node]:
+        """All original nodes in SCCs reachable from ``component``.
+
+        This is the set ``R(q)`` of Section 4 (for ``q`` any member of
+        ``component``): the queries that must join ``q`` in any
+        coordinating set containing ``q``.  Includes the component's own
+        members.
+        """
+        seen = {component}
+        stack = [component]
+        nodes: List[Node] = []
+        while stack:
+            current = stack.pop()
+            nodes.extend(self.components[current])
+            for successor in self.dag.successors(current):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        return nodes
+
+
+def condensation(graph: DiGraph) -> Condensation:
+    """Compute the condensation of ``graph``."""
+    components = strongly_connected_components(graph)
+    node_to_component = component_index(components)
+    dag = DiGraph()
+    dag.add_nodes(range(len(components)))
+    for source, target in graph.edges():
+        cs = node_to_component[source]
+        ct = node_to_component[target]
+        if cs != ct:
+            dag.add_edge(cs, ct)
+    return Condensation(components, dag, node_to_component)

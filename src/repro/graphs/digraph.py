@@ -1,0 +1,151 @@
+"""A small directed-graph data structure.
+
+This replaces JGraphT in the paper's implementation.  Nodes are
+arbitrary hashable objects (the coordination layers use query ids and
+component ids).  Parallel edges are collapsed (the *coordination graph*
+of Section 2.3 is defined exactly by collapsing the parallel edges of
+the extended coordination graph); the extended graph keeps its labelled
+multi-edges in :mod:`repro.core.coordination_graph` on top of this
+class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Set, Tuple
+
+from ..errors import GraphError
+
+Node = Hashable
+
+
+class DiGraph:
+    """A directed graph with O(1) adjacency and predecessor lookup."""
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(self) -> None:
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add a node (no-op if already present)."""
+        if node not in self._succ:
+            self._succ[node] = set()
+            self._pred[node] = set()
+
+    def add_nodes(self, nodes: Iterable[Node]) -> None:
+        """Add several nodes."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add a directed edge, creating endpoints as needed."""
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].add(target)
+        self._pred[target].add(source)
+
+    def add_edges(self, edges: Iterable[Tuple[Node, Node]]) -> None:
+        """Add several directed edges."""
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._succ:
+            raise GraphError(f"node {node!r} not in graph")
+        for target in self._succ.pop(node):
+            self._pred[target].discard(node)
+        for source in self._pred.pop(node):
+            self._succ[source].discard(node)
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove a directed edge if present."""
+        if source in self._succ:
+            self._succ[source].discard(target)
+        if target in self._pred:
+            self._pred[target].discard(source)
+
+    def copy(self) -> "DiGraph":
+        """An independent copy of the graph."""
+        dup = DiGraph()
+        dup._succ = {n: set(s) for n, s in self._succ.items()}
+        dup._pred = {n: set(p) for n, p in self._pred.items()}
+        return dup
+
+    def subgraph(self, nodes: Iterable[Node]) -> "DiGraph":
+        """The induced subgraph on ``nodes`` (unknown nodes ignored)."""
+        keep = {n for n in nodes if n in self._succ}
+        sub = DiGraph()
+        sub.add_nodes(keep)
+        for node in keep:
+            for target in self._succ[node]:
+                if target in keep:
+                    sub.add_edge(node, target)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes (insertion order is not guaranteed)."""
+        return tuple(self._succ)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate over all directed edges."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def successors(self, node: Node) -> Set[Node]:
+        """Out-neighbours of ``node``."""
+        try:
+            return set(self._succ[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def predecessors(self, node: Node) -> Set[Node]:
+        """In-neighbours of ``node``."""
+        try:
+            return set(self._pred[node])
+        except KeyError:
+            raise GraphError(f"node {node!r} not in graph") from None
+
+    def has_node(self, node: Node) -> bool:
+        """Membership test for a node."""
+        return node in self._succ
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """Membership test for an edge."""
+        return source in self._succ and target in self._succ[source]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of out-neighbours."""
+        return len(self._succ.get(node, ()))
+
+    def in_degree(self, node: Node) -> int:
+        """Number of in-neighbours."""
+        return len(self._pred.get(node, ()))
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._succ)
+
+    def edge_count(self) -> int:
+        """Number of directed edges."""
+        return sum(len(s) for s in self._succ.values())
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._succ)
+
+    def __repr__(self) -> str:
+        return f"DiGraph({self.node_count()} nodes, {self.edge_count()} edges)"

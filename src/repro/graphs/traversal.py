@@ -1,0 +1,130 @@
+"""Graph traversal utilities: topological order, reachability, paths.
+
+These support the structural definitions of the paper: uniqueness
+(Definition 3) is strong connectivity; single-connectedness
+(Definition 6) bounds the number of simple paths between vertex pairs;
+``R(q)`` (Section 4) is forward reachability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import GraphError
+from .digraph import DiGraph, Node
+
+
+def reachable_from(graph: DiGraph, start: Node) -> Set[Node]:
+    """All nodes reachable from ``start`` (including ``start``)."""
+    if not graph.has_node(start):
+        raise GraphError(f"node {start!r} not in graph")
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for successor in graph.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen
+
+
+def topological_order(graph: DiGraph) -> List[Node]:
+    """Kahn topological sort; raises :class:`GraphError` on a cycle."""
+    in_degree: Dict[Node, int] = {node: graph.in_degree(node) for node in graph}
+    ready = [node for node, degree in in_degree.items() if degree == 0]
+    order: List[Node] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for successor in graph.successors(node):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                ready.append(successor)
+    if len(order) != graph.node_count():
+        raise GraphError("graph has a cycle; no topological order exists")
+    return order
+
+
+def is_acyclic(graph: DiGraph) -> bool:
+    """``True`` when the graph has no directed cycle."""
+    try:
+        topological_order(graph)
+    except GraphError:
+        return False
+    return True
+
+
+def count_simple_paths(
+    graph: DiGraph, source: Node, target: Node, limit: int = 2
+) -> int:
+    """Count simple paths from ``source`` to ``target``, up to ``limit``.
+
+    The single-connectedness check (Definition 6) only needs to know
+    whether some pair has *two or more* simple paths, so the count stops
+    as soon as it reaches ``limit``.  A node is a path of length zero to
+    itself.  Simple means no repeated *vertices* (which also rules out
+    repeated edges).
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        raise GraphError("both endpoints must be in the graph")
+    if source == target:
+        return 1
+
+    count = 0
+    path_set = {source}
+    stack: List[Tuple[Node, List[Node]]] = [(source, sorted(graph.successors(source), key=repr))]
+    while stack:
+        node, pending = stack[-1]
+        if not pending:
+            stack.pop()
+            path_set.discard(node)
+            continue
+        nxt = pending.pop()
+        if nxt == target:
+            count += 1
+            if count >= limit:
+                return count
+            continue
+        if nxt in path_set:
+            continue
+        path_set.add(nxt)
+        stack.append((nxt, sorted(graph.successors(nxt), key=repr)))
+    return count
+
+
+def has_unique_simple_paths(graph: DiGraph) -> bool:
+    """``True`` when every ordered pair has at most one simple path.
+
+    This is the graph-theoretic half of single-connectedness
+    (Definition 6).  Quadratic in nodes times path exploration; intended
+    for the small query sets the property is checked on.
+    """
+    nodes = graph.nodes()
+    for source in nodes:
+        for target in nodes:
+            if source == target:
+                continue
+            if count_simple_paths(graph, source, target, limit=2) >= 2:
+                return False
+    return True
+
+
+def bfs_layers(graph: DiGraph, start: Node) -> List[List[Node]]:
+    """Breadth-first layers from ``start`` (layer 0 is ``[start]``)."""
+    if not graph.has_node(start):
+        raise GraphError(f"node {start!r} not in graph")
+    seen = {start}
+    layer = [start]
+    layers = [[start]]
+    while layer:
+        nxt: List[Node] = []
+        for node in layer:
+            for successor in sorted(graph.successors(node), key=repr):
+                if successor not in seen:
+                    seen.add(successor)
+                    nxt.append(successor)
+        if nxt:
+            layers.append(nxt)
+        layer = nxt
+    return layers

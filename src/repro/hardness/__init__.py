@@ -1,0 +1,22 @@
+"""Hardness substrate: CNF formulas, a DPLL oracle, and the paper's
+three NP-hardness reductions (Theorem 1, Theorem 2, Appendix B)."""
+
+from . import appendix_b, theorem1, theorem2
+from .cnf import CNF, Clause, Model, three_sat
+from .dpll import brute_force_satisfiable, is_satisfiable, solve
+from .random_sat import random_3sat, random_3sat_at_ratio
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Model",
+    "appendix_b",
+    "brute_force_satisfiable",
+    "is_satisfiable",
+    "random_3sat",
+    "random_3sat_at_ratio",
+    "solve",
+    "theorem1",
+    "theorem2",
+    "three_sat",
+]

@@ -1,0 +1,165 @@
+"""Appendix B: hardness of *mixed* coordination attributes.
+
+Section 5's Consistent Coordination Algorithm requires every user to
+coordinate on the same attribute set ``A``.  Appendix B shows the
+requirement is tight: if some queries coordinate on attribute ``A0``
+and others on ``A0, A1`` the problem is NP-hard again.  The reduction
+from 3SAT uses a flights relation ``Fl(key, date)`` and a friends
+relation ``Fr`` and the following queries (paper's notation):
+
+* ``qC`` — requires all clauses: postconditions ``R(yi, Ci)`` with
+  bodies pinning every ``yi`` to a ``1MAR`` flight;
+* ``qCj`` — one per clause, wanting *some friend* (= some literal that
+  can satisfy the clause, via ``Fr(Cj, f)``) to coordinate;
+* ``qXi`` / ``qX*i`` — positive / negative literal queries; the
+  positive one lives on ``1MAR`` flights, the negative one on ``2MAR``;
+* ``Si`` — the *selection gadget*: its single head can ground to only
+  one flight, and since ``qXi`` needs it on ``1MAR`` while ``qX*i``
+  needs it on ``2MAR``, at most one of the two literal queries of a
+  variable can coordinate — a consistent truth assignment.
+
+The formula is satisfiable iff a coordinating set exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core import CoordinatingSet, EntangledQuery, find_coordinating_set
+from ..db import Database, DatabaseBuilder
+from ..logic import Atom, Variable
+from .cnf import CNF, Model
+
+DATE_TRUE = "1MAR"
+DATE_FALSE = "2MAR"
+
+
+def _literal_user(literal: int) -> str:
+    """The user name of a literal query: ``Xi`` or ``X*i``."""
+    return f"X{abs(literal)}" if literal > 0 else f"X*{abs(literal)}"
+
+
+@dataclass(frozen=True)
+class AppendixBInstance:
+    """The encoded mixed-attribute instance."""
+
+    formula: CNF
+    queries: Tuple[EntangledQuery, ...]
+    db: Database
+
+    def clause_query_name(self, index: int) -> str:
+        """Name of the clause query ``qC{index}``."""
+        return f"qC{index}"
+
+    def literal_query_name(self, literal: int) -> str:
+        """Name of the literal query for ``literal``."""
+        return f"q{_literal_user(literal)}"
+
+    def selector_query_name(self, variable: int) -> str:
+        """Name of the selection-gadget query ``S{variable}``."""
+        return f"S{variable}"
+
+
+def build_database(formula: CNF, flights_per_date: int = 1) -> Database:
+    """``Fl`` with flights on both dates and ``Fr`` mapping clauses to
+    the literals that can satisfy them."""
+    builder = DatabaseBuilder()
+    builder.table("Fl", ["flightId", "date"], key="flightId")
+    rows = []
+    next_id = 100
+    for date in (DATE_TRUE, DATE_FALSE):
+        for _ in range(flights_per_date):
+            rows.append((next_id, date))
+            next_id += 1
+    builder.rows("Fl", rows)
+    builder.table("Fr", ["user", "friend"])
+    friend_rows = []
+    for index, clause in enumerate(formula.clauses):
+        for literal in clause:
+            friend_rows.append((f"C{index}", _literal_user(literal)))
+    builder.rows("Fr", friend_rows)
+    return builder.build()
+
+
+def encode(formula: CNF, flights_per_date: int = 1) -> AppendixBInstance:
+    """Build the Appendix B instance for a 3SAT formula."""
+    db = build_database(formula, flights_per_date)
+    queries: List[EntangledQuery] = []
+
+    # qC: all clauses must hold.
+    posts = []
+    body: List[Atom] = [Atom("Fl", [Variable("x"), DATE_TRUE])]
+    for index in range(formula.clause_count):
+        y = Variable(f"y{index}")
+        posts.append(Atom("R", [y, f"C{index}"]))
+        body.append(Atom("Fl", [y, DATE_TRUE]))
+    queries.append(
+        EntangledQuery(
+            "qC",
+            postconditions=posts,
+            head=[Atom("R", [Variable("x"), "C"])],
+            body=body,
+        )
+    )
+
+    # qCj: clause j wants one of its "friends" (satisfying literals).
+    for index in range(formula.clause_count):
+        friend = Variable("f")
+        queries.append(
+            EntangledQuery(
+                f"qC{index}",
+                postconditions=[Atom("R", [Variable("y"), friend])],
+                head=[Atom("R", [Variable("x"), f"C{index}"])],
+                body=[
+                    Atom("Fr", [f"C{index}", friend]),
+                    Atom("Fl", [Variable("x"), DATE_TRUE]),
+                    Atom("Fl", [Variable("y"), Variable("d")]),
+                ],
+            )
+        )
+
+    # Literal queries + selection gadget per variable.
+    for variable in formula.variables():
+        for literal, date in ((variable, DATE_TRUE), (-variable, DATE_FALSE)):
+            user = _literal_user(literal)
+            queries.append(
+                EntangledQuery(
+                    f"q{user}",
+                    postconditions=[Atom("R", [Variable("y"), f"S{variable}"])],
+                    head=[Atom("R", [Variable("x"), user])],
+                    body=[
+                        Atom("Fl", [Variable("x"), date]),
+                        Atom("Fl", [Variable("y"), date]),
+                    ],
+                )
+            )
+        queries.append(
+            EntangledQuery(
+                f"S{variable}",
+                postconditions=[Atom("R", [Variable("y"), "C"])],
+                head=[Atom("R", [Variable("x"), f"S{variable}"])],
+                body=[
+                    Atom("Fl", [Variable("x"), Variable("d")]),
+                    Atom("Fl", [Variable("y"), Variable("dprime")]),
+                ],
+            )
+        )
+    return AppendixBInstance(formula, tuple(queries), db)
+
+
+def decode(instance: AppendixBInstance, found: CoordinatingSet) -> Model:
+    """``xi`` true iff the positive literal query joined the set."""
+    model: Model = {}
+    for variable in instance.formula.variables():
+        model[variable] = instance.literal_query_name(variable) in found
+    return model
+
+
+def satisfiable_via_entangled(formula: CNF) -> Tuple[bool, Optional[Model]]:
+    """Decide SAT by reduction + exponential coordinating-set search."""
+    instance = encode(formula)
+    found = find_coordinating_set(instance.db, instance.queries)
+    if found is None:
+        return False, None
+    return True, decode(instance, found)

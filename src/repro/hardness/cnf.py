@@ -1,0 +1,113 @@
+"""CNF formulas for the hardness reductions of Section 3 / Appendix B.
+
+Literals are non-zero integers in the DIMACS convention: ``+i`` is the
+positive literal of variable ``i``, ``-i`` its negation.  The paper's
+reductions start from 3SAT, so :class:`CNF` enforces clause width when
+asked (``require_width=3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import FormulaError
+
+Clause = Tuple[int, ...]
+Model = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A propositional formula in conjunctive normal form."""
+
+    clauses: Tuple[Clause, ...]
+
+    def __init__(
+        self,
+        clauses: Iterable[Iterable[int]],
+        require_width: Optional[int] = None,
+    ) -> None:
+        normalised: List[Clause] = []
+        for clause in clauses:
+            clause = tuple(clause)
+            if not clause:
+                raise FormulaError("empty clause (trivially unsatisfiable)")
+            if any(literal == 0 for literal in clause):
+                raise FormulaError("literal 0 is not allowed")
+            if require_width is not None and len(clause) != require_width:
+                raise FormulaError(
+                    f"clause {clause} has width {len(clause)}, "
+                    f"expected {require_width}"
+                )
+            normalised.append(clause)
+        if not normalised:
+            raise FormulaError("formula must have at least one clause")
+        object.__setattr__(self, "clauses", tuple(normalised))
+
+    # ------------------------------------------------------------------
+    @property
+    def clause_count(self) -> int:
+        """Number of clauses ``k``."""
+        return len(self.clauses)
+
+    def variables(self) -> Tuple[int, ...]:
+        """Sorted distinct variables appearing in the formula."""
+        out = sorted({abs(l) for clause in self.clauses for l in clause})
+        return tuple(out)
+
+    @property
+    def variable_count(self) -> int:
+        """Number of distinct variables ``m``."""
+        return len(self.variables())
+
+    def literals_of(self, variable: int) -> Tuple[int, ...]:
+        """All literal occurrences of a variable across the formula."""
+        out: List[int] = []
+        for clause in self.clauses:
+            for literal in clause:
+                if abs(literal) == variable:
+                    out.append(literal)
+        return tuple(out)
+
+    def clauses_with_literal(self, literal: int) -> Tuple[int, ...]:
+        """Indexes of clauses containing exactly ``literal``."""
+        return tuple(
+            i for i, clause in enumerate(self.clauses) if literal in clause
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, model: Model) -> bool:
+        """Evaluate the formula under a (total or partial) assignment.
+
+        Unassigned variables count as ``False`` — convenient for
+        checking decoded assignments that only fix the variables a
+        coordinating set pinned down.
+        """
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                value = model.get(abs(literal), False)
+                if (literal > 0) == value:
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        def lit(l: int) -> str:
+            return f"x{l}" if l > 0 else f"¬x{-l}"
+
+        return " ∧ ".join(
+            "(" + " ∨ ".join(lit(l) for l in clause) + ")"
+            for clause in self.clauses
+        )
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+
+def three_sat(clauses: Iterable[Iterable[int]]) -> CNF:
+    """Construct a 3SAT formula (every clause exactly three literals)."""
+    return CNF(clauses, require_width=3)

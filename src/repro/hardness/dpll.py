@@ -1,0 +1,119 @@
+"""A DPLL SAT solver, used as the oracle that validates the reductions.
+
+The round-trip property the tests assert (Theorem 1, Theorem 2,
+Appendix B) is "formula satisfiable ⇔ coordinating set exists"; one
+side of that equivalence needs an independent SAT decision procedure.
+The solver implements classic DPLL with unit propagation, pure-literal
+elimination, and a most-occurrences branching heuristic — ample for the
+formula sizes the brute-force entangled solver can match.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from .cnf import CNF, Model
+
+
+def solve(formula: CNF) -> Optional[Model]:
+    """Return a satisfying assignment, or ``None`` if unsatisfiable.
+
+    The returned model is total over the formula's variables (branch
+    leftovers default to ``False``).
+    """
+    assignment = _dpll([list(c) for c in formula.clauses], {})
+    if assignment is None:
+        return None
+    model = {variable: assignment.get(variable, False) for variable in formula.variables()}
+    return model
+
+
+def is_satisfiable(formula: CNF) -> bool:
+    """Boolean form of :func:`solve`."""
+    return solve(formula) is not None
+
+
+def _dpll(clauses: List[List[int]], assignment: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+    clauses, assignment, conflict = _propagate(clauses, dict(assignment))
+    if conflict:
+        return None
+    if not clauses:
+        return assignment
+
+    literal = _branch_literal(clauses)
+    for value in (True, False):
+        chosen = literal if value else -literal
+        trial = _assign(clauses, chosen)
+        result = _dpll(trial, {**assignment, abs(literal): chosen > 0})
+        if result is not None:
+            return result
+    return None
+
+
+def _propagate(
+    clauses: List[List[int]], assignment: Dict[int, bool]
+) -> Tuple[List[List[int]], Dict[int, bool], bool]:
+    """Unit propagation + pure-literal elimination to fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        # Unit clauses.
+        for clause in clauses:
+            if len(clause) == 1:
+                literal = clause[0]
+                assignment[abs(literal)] = literal > 0
+                clauses = _assign(clauses, literal)
+                if any(not c for c in clauses):
+                    return clauses, assignment, True
+                changed = True
+                break
+        if changed:
+            continue
+        # Pure literals.
+        counts = Counter(l for clause in clauses for l in clause)
+        for literal in list(counts):
+            if -literal not in counts:
+                assignment[abs(literal)] = literal > 0
+                clauses = _assign(clauses, literal)
+                changed = True
+                break
+    conflict = any(not clause for clause in clauses)
+    return clauses, assignment, conflict
+
+
+def _assign(clauses: List[List[int]], literal: int) -> List[List[int]]:
+    """Simplify clauses under ``literal = True``."""
+    out: List[List[int]] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            out.append([l for l in clause if l != -literal])
+        else:
+            out.append(clause)
+    return out
+
+
+def _branch_literal(clauses: List[List[int]]) -> int:
+    """Branch on the variable with the most occurrences."""
+    counts: Counter = Counter(abs(l) for clause in clauses for l in clause)
+    variable, _ = counts.most_common(1)[0]
+    return variable
+
+
+def brute_force_satisfiable(formula: CNF) -> bool:
+    """Exhaustive 2^m check — a cross-validation oracle for the oracle.
+
+    Only used in tests on tiny formulas, guarding against a DPLL bug
+    silently invalidating the reduction round-trip suite.
+    """
+    variables = formula.variables()
+    m = len(variables)
+    for mask in range(1 << m):
+        model = {
+            variable: bool(mask >> i & 1) for i, variable in enumerate(variables)
+        }
+        if formula.evaluate(model):
+            return True
+    return False

@@ -1,0 +1,61 @@
+"""Random 3SAT instance generation for reduction round-trip testing.
+
+The uniform random 3SAT model: each clause picks three distinct
+variables uniformly and negates each with probability 1/2.  The
+clause-to-variable ratio controls the expected satisfiability (the
+phase transition sits near 4.26); the round-trip tests sample on both
+sides of it so that both "yes" and "no" instances are exercised.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..errors import FormulaError
+from .cnf import CNF, three_sat
+
+
+def random_3sat(
+    variables: int,
+    clauses: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CNF:
+    """Sample a uniform random 3SAT formula.
+
+    Parameters
+    ----------
+    variables:
+        Number of propositional variables (must be ≥ 3 so a clause can
+        pick three distinct ones).
+    clauses:
+        Number of clauses.
+    seed / rng:
+        Either a seed for a fresh generator or an existing generator
+        (exactly the usual mutually-exclusive convention; ``rng`` wins).
+    """
+    if variables < 3:
+        raise FormulaError("random 3SAT needs at least 3 variables")
+    if clauses < 1:
+        raise FormulaError("random 3SAT needs at least 1 clause")
+    generator = rng if rng is not None else random.Random(seed)
+    universe = list(range(1, variables + 1))
+    out: List[Tuple[int, int, int]] = []
+    for _ in range(clauses):
+        picked = generator.sample(universe, 3)
+        clause = tuple(
+            v if generator.random() < 0.5 else -v for v in picked
+        )
+        out.append(clause)  # type: ignore[arg-type]
+    return three_sat(out)
+
+
+def random_3sat_at_ratio(
+    variables: int,
+    ratio: float,
+    seed: Optional[int] = None,
+) -> CNF:
+    """Sample at a given clause/variable ratio (≥ 1 clause)."""
+    clauses = max(1, round(variables * ratio))
+    return random_3sat(variables, clauses, seed=seed)

@@ -1,0 +1,149 @@
+"""Theorem 1: 3SAT ≤p Entangled(Q_all) over a two-value database.
+
+The reduction (Section 3 of the paper) encodes a CNF ``C1 ∧ ... ∧ Ck``
+over variables ``x1 ... xm`` as entangled queries over a database whose
+*only* relation is the unary ``D = {0, 1}`` — so conjunctive-query
+satisfiability is trivially polynomial and all hardness lives in the
+entanglement:
+
+* ``Clause-Query``: ``{C1(1), ..., Ck(1)} C(1) :- ∅`` — all clauses
+  must be satisfied;
+* ``xi-Val``: ``{C(1)} Ri(x) :- D(x)`` — variable ``xi`` picks a truth
+  value; the postcondition ``C(1)`` ties every variable query to the
+  clause query;
+* ``xi-True``: ``{Ri(1)} ⋀_{j: xi ∈ Cj} Cj(1) :- ∅`` — making ``xi``
+  true satisfies the clauses containing the positive literal;
+* ``xi-False``: ``{Ri(0)} ⋀_{j: ¬xi ∈ Cj} Cj(1) :- ∅``.
+
+``C`` is satisfiable iff the instance has a coordinating set
+(Appendix A of the paper; asserted by our round-trip tests against the
+DPLL oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core import CoordinatingSet, EntangledQuery, find_coordinating_set
+from ..db import Database, unary_boolean_database
+from ..logic import Atom, Variable
+from .cnf import CNF, Model
+
+CLAUSE_QUERY_NAME = "clause-query"
+
+
+def _clause_atom(index: int) -> Atom:
+    """The answer atom ``C{index}(1)``."""
+    return Atom(f"C{index}", [1])
+
+
+def _value_relation(variable: int) -> str:
+    """The answer relation ``R{variable}`` carrying a truth value."""
+    return f"R{variable}"
+
+
+@dataclass(frozen=True)
+class Theorem1Instance:
+    """The encoded instance: queries + the two-value database."""
+
+    formula: CNF
+    queries: Tuple[EntangledQuery, ...]
+    db: Database
+
+    def query_names(self) -> Tuple[str, ...]:
+        """Names of all queries in the instance."""
+        return tuple(q.name for q in self.queries)
+
+
+def encode(formula: CNF) -> Theorem1Instance:
+    """Build the Entangled(Q_all) instance for a CNF formula."""
+    db = unary_boolean_database("D")
+    queries: List[EntangledQuery] = []
+
+    clause_posts = [_clause_atom(j) for j in range(formula.clause_count)]
+    queries.append(
+        EntangledQuery(
+            CLAUSE_QUERY_NAME,
+            postconditions=clause_posts,
+            head=[Atom("C", [1])],
+            body=[],
+        )
+    )
+
+    for variable in formula.variables():
+        value_var = Variable("x")
+        queries.append(
+            EntangledQuery(
+                f"x{variable}-val",
+                postconditions=[Atom("C", [1])],
+                head=[Atom(_value_relation(variable), [value_var])],
+                body=[Atom("D", [value_var])],
+            )
+        )
+        positive = formula.clauses_with_literal(variable)
+        negative = formula.clauses_with_literal(-variable)
+        queries.append(
+            EntangledQuery(
+                f"x{variable}-true",
+                postconditions=[Atom(_value_relation(variable), [1])],
+                head=[_clause_atom(j) for j in positive],
+                body=[],
+            )
+        )
+        queries.append(
+            EntangledQuery(
+                f"x{variable}-false",
+                postconditions=[Atom(_value_relation(variable), [0])],
+                head=[_clause_atom(j) for j in negative],
+                body=[],
+            )
+        )
+    return Theorem1Instance(formula, tuple(queries), db)
+
+
+def decode(instance: Theorem1Instance, found: CoordinatingSet) -> Model:
+    """Extract a truth assignment from a coordinating set.
+
+    Per the proof of Theorem 1: ``xi`` is true when ``xi-true`` is in
+    the set, false when ``xi-false`` is, and arbitrary (here: false)
+    otherwise.
+    """
+    members = found.member_set()
+    model: Model = {}
+    for variable in instance.formula.variables():
+        if f"x{variable}-true" in members:
+            model[variable] = True
+        elif f"x{variable}-false" in members:
+            model[variable] = False
+        else:
+            model[variable] = False
+    return model
+
+
+def encode_model(instance: Theorem1Instance, model: Model) -> Tuple[str, ...]:
+    """The coordinating set a satisfying model induces (proof, ⇒ side).
+
+    Contains the clause query, every ``xi-val``, and exactly one of
+    ``xi-true`` / ``xi-false`` per variable.
+    """
+    members: List[str] = [CLAUSE_QUERY_NAME]
+    for variable in instance.formula.variables():
+        members.append(f"x{variable}-val")
+        suffix = "true" if model.get(variable, False) else "false"
+        members.append(f"x{variable}-{suffix}")
+    return tuple(members)
+
+
+def satisfiable_via_entangled(formula: CNF) -> Tuple[bool, Optional[Model]]:
+    """Decide SAT by reduction + (exponential) coordinating-set search.
+
+    Returns (satisfiable, decoded model or ``None``).  Used in the
+    round-trip tests; the decoded model is checked to actually satisfy
+    the formula.
+    """
+    instance = encode(formula)
+    found = find_coordinating_set(instance.db, instance.queries)
+    if found is None:
+        return False, None
+    return True, decode(instance, found)

@@ -1,0 +1,153 @@
+"""Theorem 2: 3SAT ≤p EntangledMax(Q_safe).
+
+Finding a *maximum-size* coordinating set is NP-hard even for safe
+query sets.  The reduction (Section 3 + Appendix A of the paper)
+encodes a 3SAT formula with ``k`` clauses over ``m`` variables as:
+
+* one value query per variable: ``q(xj) = {} Rj(xj) :- D(xj)``;
+* per clause ``C = x_{j1}^{v1} ∨ x_{j2}^{v2} ∨ x_{j3}^{v3}`` a
+  three-query *selection gadget* in which the query for each literal is
+  constrained so it can only be satisfied if the earlier literals were
+  not::
+
+      {R_{j1}(v1)}                          C(1) :- ∅
+      {R_{j2}(v2), R_{j1}(¬v1)}             C(1) :- ∅
+      {R_{j3}(v3), R_{j2}(¬v2), R_{j1}(¬v1)} C(1) :- ∅
+
+  so at most one of a clause's three queries can join a coordinating
+  set, and one can iff the truth assignment satisfies the clause.
+
+The formula is satisfiable iff the maximum coordinating set has size
+exactly ``k + m`` (all value queries + one gadget query per clause).
+Every query's postconditions target the unique value query of their
+variable, so the set is safe — yet the SCC Coordination Algorithm's
+candidates ``R(q)`` only reach size 1 + (≤3) here, demonstrating
+concretely why its guarantee is restricted to ``{R(q) | q ∈ Q}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    CoordinatingSet,
+    EntangledQuery,
+    find_maximum_coordinating_set,
+)
+from ..db import Database, unary_boolean_database
+from ..logic import Atom, Variable
+from .cnf import CNF, Model
+
+
+def _value_relation(variable: int) -> str:
+    """The answer relation ``R{variable}``."""
+    return f"R{variable}"
+
+
+def _bit(literal: int) -> int:
+    """Truth value a literal asserts for its variable (1 pos / 0 neg)."""
+    return 1 if literal > 0 else 0
+
+
+@dataclass(frozen=True)
+class Theorem2Instance:
+    """The encoded EntangledMax(Q_safe) instance."""
+
+    formula: CNF
+    queries: Tuple[EntangledQuery, ...]
+    db: Database
+
+    @property
+    def target_size(self) -> int:
+        """``k + m``: the max coordinating set size iff satisfiable."""
+        return self.formula.clause_count + self.formula.variable_count
+
+    def value_query_name(self, variable: int) -> str:
+        """Name of the value query of a variable."""
+        return f"val-x{variable}"
+
+    def gadget_query_name(self, clause: int, position: int) -> str:
+        """Name of a clause gadget query (position 0, 1, or 2)."""
+        return f"c{clause}-lit{position}"
+
+
+def encode(formula: CNF) -> Theorem2Instance:
+    """Build the safe EntangledMax instance for a 3SAT formula."""
+    db = unary_boolean_database("D")
+    queries: List[EntangledQuery] = []
+
+    for variable in formula.variables():
+        queries.append(
+            EntangledQuery(
+                f"val-x{variable}",
+                postconditions=[],
+                head=[Atom(_value_relation(variable), [Variable("x")])],
+                body=[Atom("D", [Variable("x")])],
+            )
+        )
+
+    for index, clause in enumerate(formula.clauses):
+        for position in range(len(clause)):
+            posts: List[Atom] = []
+            literal = clause[position]
+            posts.append(
+                Atom(_value_relation(abs(literal)), [_bit(literal)])
+            )
+            # Earlier literals must be *unsatisfied*: negated values.
+            for earlier in range(position - 1, -1, -1):
+                prior = clause[earlier]
+                posts.append(
+                    Atom(_value_relation(abs(prior)), [1 - _bit(prior)])
+                )
+            queries.append(
+                EntangledQuery(
+                    f"c{index}-lit{position}",
+                    postconditions=posts,
+                    head=[Atom(f"C{index}", [1])],
+                    body=[],
+                )
+            )
+    return Theorem2Instance(formula, tuple(queries), db)
+
+
+def decode(instance: Theorem2Instance, found: CoordinatingSet) -> Model:
+    """Read the truth assignment off the value queries' groundings."""
+    model: Model = {}
+    for variable in instance.formula.variables():
+        name = instance.value_query_name(variable)
+        if name in found:
+            model[variable] = bool(found.value_of(name, "x"))
+        else:
+            model[variable] = False
+    return model
+
+
+def max_size_via_entangled(formula: CNF) -> Tuple[int, Optional[Model]]:
+    """Maximum coordinating set size, with a decoded model.
+
+    Exponential (Theorem 2 says it must be); used on small formulas by
+    the round-trip tests: ``size == k + m`` iff the DPLL oracle says
+    satisfiable, and in the positive case the decoded model satisfies
+    the formula.
+    """
+    instance = encode(formula)
+    found = find_maximum_coordinating_set(instance.db, instance.queries)
+    if found is None:
+        return 0, None
+    return found.size, decode(instance, found)
+
+
+def gadget_membership_counts(
+    instance: Theorem2Instance, found: CoordinatingSet
+) -> Dict[int, int]:
+    """How many of each clause's gadget queries joined the set.
+
+    The gadget guarantees every count is ≤ 1; tests assert it.
+    """
+    counts = {index: 0 for index in range(instance.formula.clause_count)}
+    for index in range(instance.formula.clause_count):
+        for position in range(3):
+            if instance.gadget_query_name(index, position) in found:
+                counts[index] += 1
+    return counts

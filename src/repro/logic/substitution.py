@@ -1,0 +1,218 @@
+"""Substitutions over flat terms, backed by a union–find structure.
+
+Entangled queries contain only flat terms (variables and constants, no
+function symbols), so unification never needs an occurs check.  A
+substitution is an equivalence relation over variables where each
+equivalence class may additionally be bound to at most one constant.
+This is exactly a union–find forest whose roots optionally carry a
+constant value.
+
+The class is *persistent-friendly*: :meth:`copy` is cheap enough for the
+backtracking used by the coordination algorithms, and all mutating
+operations return ``bool`` success flags instead of raising, because
+"these two things do not unify" is an expected outcome, not an error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .terms import Constant, Term, Variable
+
+
+class Substitution:
+    """A most-general-unifier accumulator for flat terms.
+
+    Internally maintains:
+
+    * ``_parent`` — union–find parent pointers over variables,
+    * ``_value`` — the constant bound to a class root, if any,
+    * ``_rank`` — union-by-rank bookkeeping.
+
+    The public API speaks in terms: :meth:`resolve` maps a term to its
+    current representative (a constant if the class is bound, otherwise
+    the root variable), :meth:`unify_terms` merges two terms, and
+    :meth:`as_assignment` extracts a concrete variable→value mapping once
+    every class is bound.
+    """
+
+    __slots__ = ("_parent", "_value", "_rank")
+
+    def __init__(self) -> None:
+        self._parent: Dict[Variable, Variable] = {}
+        self._value: Dict[Variable, Constant] = {}
+        self._rank: Dict[Variable, int] = {}
+
+    # ------------------------------------------------------------------
+    # Union–find internals
+    # ------------------------------------------------------------------
+    def _find(self, variable: Variable) -> Variable:
+        """Find the class root of ``variable``, with path compression."""
+        parent = self._parent
+        if variable not in parent:
+            parent[variable] = variable
+            self._rank[variable] = 0
+            return variable
+        root = variable
+        while parent[root] != root:
+            root = parent[root]
+        while parent[variable] != root:
+            parent[variable], variable = root, parent[variable]
+        return root
+
+    def _union(self, a: Variable, b: Variable) -> bool:
+        """Merge the classes of ``a`` and ``b``; fail on constant clash."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return True
+        va, vb = self._value.get(ra), self._value.get(rb)
+        if va is not None and vb is not None and va != vb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+            va, vb = vb, va
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        if va is None and vb is not None:
+            self._value[ra] = vb
+        self._value.pop(rb, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def copy(self) -> "Substitution":
+        """Return an independent copy (used for backtracking)."""
+        dup = Substitution()
+        dup._parent = dict(self._parent)
+        dup._value = dict(self._value)
+        dup._rank = dict(self._rank)
+        return dup
+
+    def resolve(self, term: Term) -> Term:
+        """Return the current representative of ``term``.
+
+        Constants resolve to themselves.  A variable resolves to the
+        constant bound to its class if there is one, otherwise to the
+        class root variable.
+        """
+        if isinstance(term, Constant):
+            return term
+        root = self._find(term)
+        bound = self._value.get(root)
+        return bound if bound is not None else root
+
+    def value_of(self, variable: Variable) -> Optional[Hashable]:
+        """The raw value bound to ``variable``'s class, or ``None``."""
+        bound = self._value.get(self._find(variable))
+        return bound.value if bound is not None else None
+
+    def is_bound(self, variable: Variable) -> bool:
+        """Return ``True`` if ``variable``'s class carries a constant."""
+        return self._find(variable) in self._value
+
+    def bind(self, variable: Variable, value: Hashable) -> bool:
+        """Bind ``variable``'s class to a raw value; fail on clash."""
+        return self.unify_terms(variable, Constant(value))
+
+    def unify_terms(self, left: Term, right: Term) -> bool:
+        """Merge two terms; return ``False`` if they cannot be equal."""
+        left = self.resolve(left)
+        right = self.resolve(right)
+        if isinstance(left, Constant) and isinstance(right, Constant):
+            return left == right
+        if isinstance(left, Constant):
+            left, right = right, left
+        # left is now a variable.
+        assert isinstance(left, Variable)
+        if isinstance(right, Constant):
+            root = self._find(left)
+            existing = self._value.get(root)
+            if existing is not None:
+                return existing == right
+            self._value[root] = right
+            return True
+        return self._union(left, right)
+
+    def same_class(self, a: Term, b: Term) -> bool:
+        """Return ``True`` if the two terms are already forced equal."""
+        ra, rb = self.resolve(a), self.resolve(b)
+        return ra == rb
+
+    def variables(self) -> Iterator[Variable]:
+        """Iterate over every variable the substitution has seen."""
+        return iter(self._parent)
+
+    def as_assignment(
+        self, variables: Optional[Iterable[Variable]] = None
+    ) -> Dict[Variable, Hashable]:
+        """Extract a variable→value mapping for bound variables.
+
+        If ``variables`` is given, only those variables are reported
+        (unbound ones are silently skipped); otherwise all bound
+        variables known to the substitution are reported.
+        """
+        targets = self._parent.keys() if variables is None else variables
+        out: Dict[Variable, Hashable] = {}
+        for variable in targets:
+            bound = self._value.get(self._find(variable))
+            if bound is not None:
+                out[variable] = bound.value
+        return out
+
+    def unbound_roots(self, variables: Iterable[Variable]) -> Tuple[Variable, ...]:
+        """Distinct class roots among ``variables`` with no bound value."""
+        seen = []
+        seen_set = set()
+        for variable in variables:
+            root = self._find(variable)
+            if root in self._value or root in seen_set:
+                continue
+            seen_set.add(root)
+            seen.append(root)
+        return tuple(seen)
+
+    def merge(self, other: "Substitution") -> bool:
+        """Merge all constraints of ``other`` into this substitution.
+
+        Returns ``False`` (leaving ``self`` in an unspecified but safe
+        state; callers should discard it) when the two substitutions are
+        incompatible.  Use on a :meth:`copy` when failure must not
+        destroy the original.
+        """
+        for variable in list(other._parent):
+            root = other._find(variable)
+            if variable != root and not self._union(variable, root):
+                return False
+            bound = other._value.get(root)
+            if bound is not None and not self.unify_terms(root, bound):
+                return False
+        return True
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Variable, Hashable]) -> "Substitution":
+        """Build a substitution from a concrete variable→value mapping."""
+        sub = cls()
+        for variable, value in mapping.items():
+            if not sub.bind(variable, value):
+                raise ValueError(f"conflicting binding for {variable}")
+        return sub
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __repr__(self) -> str:
+        parts = []
+        roots: Dict[Variable, list] = {}
+        for variable in self._parent:
+            roots.setdefault(self._find(variable), []).append(variable)
+        for root, members in roots.items():
+            bound = self._value.get(root)
+            names = "=".join(sorted(str(m) for m in members))
+            if bound is not None:
+                parts.append(f"{names}={bound}")
+            elif len(members) > 1:
+                parts.append(names)
+        inner = ", ".join(sorted(parts))
+        return f"Substitution({inner})"

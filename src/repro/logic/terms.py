@@ -1,0 +1,130 @@
+"""Terms of the logic substrate: variables and constants.
+
+Entangled queries (Section 2.1 of the paper) are built from atoms over
+two kinds of terms:
+
+* :class:`Variable` — a named placeholder, local to the query it appears
+  in.  Two queries using the same variable name refer to *different*
+  variables; callers standardise queries apart (see
+  :func:`repro.logic.unify.standardize_apart`) before unifying them.
+* :class:`Constant` — a database value.  Values are ordinary hashable
+  Python objects (strings, ints, ...).
+
+Both classes are immutable, hashable value objects so they can be used
+freely as dictionary keys and set members.  They are hand-written
+(rather than dataclasses) with precomputed hashes: terms are the
+hottest objects in the evaluator and unifier, and a cached hash is a
+measurable win on the paper-scale benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Union
+
+
+class Variable:
+    """A logic variable, identified by name and namespace.
+
+    The ``namespace`` distinguishes variables of the same name that
+    belong to different queries after standardising apart.  The default
+    namespace is the empty string, so ``Variable("x")`` is plain ``x``.
+    """
+
+    __slots__ = ("name", "namespace", "_hash")
+
+    def __init__(self, name: str, namespace: str = "") -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "namespace", namespace)
+        object.__setattr__(self, "_hash", hash((name, namespace, "var")))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Variable is immutable")
+
+    def qualified(self, namespace: str) -> "Variable":
+        """Return a copy of this variable inside the given namespace."""
+        return Variable(self.name, namespace)
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        return (
+            isinstance(other, Variable)
+            and self.name == other.name
+            and self.namespace == other.namespace
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if self.namespace:
+            return f"{self.namespace}.{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({str(self)!r})"
+
+
+class Constant:
+    """A constant term wrapping a hashable database value."""
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value: Hashable) -> None:
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("const", value)))
+
+    def __setattr__(self, key: str, value: object) -> None:
+        raise AttributeError("Constant is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+Term = Union[Variable, Constant]
+"""A term is either a :class:`Variable` or a :class:`Constant`."""
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` if ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def var(name: str, namespace: str = "") -> Variable:
+    """Shorthand constructor for :class:`Variable`."""
+    return Variable(name, namespace)
+
+
+def const(value: Hashable) -> Constant:
+    """Shorthand constructor for :class:`Constant`."""
+    return Constant(value)
+
+
+def as_term(value: object) -> Term:
+    """Coerce ``value`` into a term.
+
+    Existing terms pass through unchanged; any other (hashable) value is
+    wrapped in a :class:`Constant`.  This keeps user-facing constructors
+    convenient: ``Atom("F", [var("x"), "Zurich"])`` works directly.
+    """
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)

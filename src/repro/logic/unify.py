@@ -1,0 +1,102 @@
+"""Unification of atoms and atom lists.
+
+The paper's Section 2.3 defines two atoms as *unifiable* when they are
+over the same relation and "do not contain different constants for the
+same attribute value".  We implement full syntactic unification (via
+:class:`~repro.logic.substitution.Substitution`), which refines the
+paper's position-wise test: it additionally rejects pairs such as
+``R(x, x)`` against ``R(1, 2)`` where repeated variables force a clash.
+For every atom shape that appears in the paper the two notions coincide.
+
+Queries own their variables, so before two queries' atoms are compared
+they must be *standardised apart* — each query's variables moved into a
+unique namespace (:func:`standardize_apart`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .substitution import Substitution
+
+
+def unify_atoms(
+    left: Atom,
+    right: Atom,
+    substitution: Optional[Substitution] = None,
+) -> Optional[Substitution]:
+    """Unify two atoms, optionally extending an existing substitution.
+
+    Returns the extended substitution on success and ``None`` on failure.
+    When ``substitution`` is provided it is *not* mutated on failure; a
+    copy is extended and returned on success.
+    """
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+    sub = Substitution() if substitution is None else substitution.copy()
+    for lt, rt in zip(left.terms, right.terms):
+        if not sub.unify_terms(lt, rt):
+            return None
+    return sub
+
+
+def unifiable(left: Atom, right: Atom) -> bool:
+    """Return ``True`` if the two atoms unify (fresh substitution)."""
+    return unify_atoms(left, right) is not None
+
+
+def unify_atom_lists(
+    pairs: Iterable[Tuple[Atom, Atom]],
+    substitution: Optional[Substitution] = None,
+) -> Optional[Substitution]:
+    """Unify every pair of atoms simultaneously.
+
+    This computes the most general unifier of the pair list: the least
+    restrictive substitution under which each left atom equals its right
+    counterpart.  Returns ``None`` if any pair fails.
+    """
+    sub = Substitution() if substitution is None else substitution.copy()
+    for left, right in pairs:
+        if left.relation != right.relation or left.arity != right.arity:
+            return None
+        for lt, rt in zip(left.terms, right.terms):
+            if not sub.unify_terms(lt, rt):
+                return None
+    return sub
+
+
+def standardize_apart(
+    atom_lists: Sequence[Sequence[Atom]],
+    namespaces: Optional[Sequence[str]] = None,
+) -> List[List[Atom]]:
+    """Rename each atom list's variables into its own namespace.
+
+    ``namespaces`` defaults to ``"q0", "q1", ...``.  Returns new atom
+    lists; inputs are never mutated.
+    """
+    if namespaces is None:
+        namespaces = [f"q{i}" for i in range(len(atom_lists))]
+    if len(namespaces) != len(atom_lists):
+        raise ValueError("one namespace required per atom list")
+    return [
+        [atom.rename(namespace) for atom in atoms]
+        for atoms, namespace in zip(atom_lists, namespaces)
+    ]
+
+
+def apply_substitution(atom: Atom, substitution: Substitution) -> Atom:
+    """Rewrite an atom's terms to their current representatives.
+
+    Variables bound to constants become those constants; variables merged
+    into a class are replaced by the class root, making forced equalities
+    syntactically visible.
+    """
+    return Atom(atom.relation, tuple(substitution.resolve(t) for t in atom.terms))
+
+
+def apply_substitution_all(
+    atoms: Iterable[Atom], substitution: Substitution
+) -> List[Atom]:
+    """Apply :func:`apply_substitution` to every atom in a list."""
+    return [apply_substitution(atom, substitution) for atom in atoms]

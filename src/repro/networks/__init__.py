@@ -1,0 +1,33 @@
+"""Synthetic social networks and graph generators for workloads."""
+
+from .random_graphs import (
+    complete_digraph,
+    gnp_digraph,
+    list_digraph,
+    ring_digraph,
+    star_digraph,
+)
+from .scale_free import degree_tail_ratio, in_degree_sequence, scale_free_digraph
+from .social import (
+    SLASHDOT_SIZE,
+    add_friend_table,
+    member_name,
+    slashdot_like_members,
+    slashdot_like_network,
+)
+
+__all__ = [
+    "SLASHDOT_SIZE",
+    "add_friend_table",
+    "complete_digraph",
+    "degree_tail_ratio",
+    "gnp_digraph",
+    "in_degree_sequence",
+    "list_digraph",
+    "member_name",
+    "ring_digraph",
+    "scale_free_digraph",
+    "slashdot_like_members",
+    "slashdot_like_network",
+    "star_digraph",
+]

@@ -1,0 +1,85 @@
+"""Elementary graph generators used by workloads and tests.
+
+The list/chain structure is the worst case of the paper's first
+experiment (Figure 4): query ``i`` coordinates with query ``i+1`` and
+the last query coordinates with nobody, giving a different coordinating
+set per suffix and the largest possible number of database queries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import GraphError
+from ..graphs import DiGraph
+
+
+def list_digraph(nodes: int) -> DiGraph:
+    """The chain ``0 → 1 → ... → n-1`` (Figure 4's structure)."""
+    if nodes < 1:
+        raise GraphError("list graph needs at least one node")
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    for i in range(nodes - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def ring_digraph(nodes: int) -> DiGraph:
+    """The directed cycle on ``nodes`` vertices (one big SCC — the
+    fully *unique* coordination structure)."""
+    if nodes < 1:
+        raise GraphError("ring graph needs at least one node")
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    for i in range(nodes):
+        graph.add_edge(i, (i + 1) % nodes)
+    return graph
+
+
+def star_digraph(nodes: int) -> DiGraph:
+    """Node 0 points at every other node (one hub query that wants to
+    coordinate with everyone)."""
+    if nodes < 1:
+        raise GraphError("star graph needs at least one node")
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    for i in range(1, nodes):
+        graph.add_edge(0, i)
+    return graph
+
+
+def complete_digraph(nodes: int) -> DiGraph:
+    """Every ordered pair is an edge (the complete friendship graph of
+    the paper's Consistent-algorithm experiments)."""
+    if nodes < 1:
+        raise GraphError("complete graph needs at least one node")
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    for i in range(nodes):
+        for j in range(nodes):
+            if i != j:
+                graph.add_edge(i, j)
+    return graph
+
+
+def gnp_digraph(
+    nodes: int,
+    probability: float,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> DiGraph:
+    """Directed Erdős–Rényi ``G(n, p)``."""
+    if nodes < 1:
+        raise GraphError("G(n,p) needs at least one node")
+    if not 0.0 <= probability <= 1.0:
+        raise GraphError("probability must be in [0, 1]")
+    generator = rng if rng is not None else random.Random(seed)
+    graph = DiGraph()
+    graph.add_nodes(range(nodes))
+    for i in range(nodes):
+        for j in range(nodes):
+            if i != j and generator.random() < probability:
+                graph.add_edge(i, j)
+    return graph

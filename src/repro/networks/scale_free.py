@@ -1,0 +1,87 @@
+"""Directed scale-free graph generation (Barabási–Albert style).
+
+The paper's second and third experiments (Figures 5 and 6) derive each
+query's coordination partners from its successors in a directed
+scale-free network, citing Barabási & Albert [1] as "a reasonable model
+of social networks": in-degrees follow a power law, with few highly
+popular nodes and a long tail.
+
+We implement directed preferential attachment: nodes arrive one at a
+time; each new node draws ``out_degree`` targets among existing nodes
+with probability proportional to ``in_degree + 1`` (the +1 smoothing
+lets fresh nodes ever be chosen).  The repeated-target draw is rejected
+so out-neighbourhoods are sets, matching how partner lists behave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from ..errors import GraphError
+from ..graphs import DiGraph
+
+
+def scale_free_digraph(
+    nodes: int,
+    out_degree: int = 2,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> DiGraph:
+    """Generate a directed scale-free graph on ``nodes`` vertices (0..n-1).
+
+    Each arriving node links to ``min(out_degree, #existing)`` distinct
+    existing nodes chosen by preferential attachment on in-degree.
+    Node 0 has no outgoing edges (there is nothing earlier to cite),
+    mirroring the "last query needs nobody" structure the paper's list
+    experiment also uses.
+    """
+    if nodes < 1:
+        raise GraphError("scale-free graph needs at least one node")
+    if out_degree < 1:
+        raise GraphError("out_degree must be >= 1")
+    generator = rng if rng is not None else random.Random(seed)
+
+    graph = DiGraph()
+    graph.add_node(0)
+    # repeated-nodes list: node i appears (in_degree(i) + 1) times.
+    attachment: List[int] = [0]
+    for new in range(1, nodes):
+        graph.add_node(new)
+        wanted = min(out_degree, new)
+        targets: Set[int] = set()
+        # Rejection sampling over the attachment multiset.
+        guard = 0
+        while len(targets) < wanted and guard < 50 * (wanted + 1):
+            targets.add(generator.choice(attachment))
+            guard += 1
+        # Degenerate fallback (tiny graphs): fill with arbitrary nodes.
+        fill = 0
+        while len(targets) < wanted:
+            targets.add(fill)
+            fill += 1
+        for target in sorted(targets):
+            graph.add_edge(new, target)
+            attachment.append(target)
+        attachment.append(new)
+    return graph
+
+
+def in_degree_sequence(graph: DiGraph) -> List[int]:
+    """Sorted (descending) in-degree sequence — power-law shaped for
+    scale-free graphs; tests check heavy-tailedness."""
+    return sorted((graph.in_degree(n) for n in graph.nodes()), reverse=True)
+
+
+def degree_tail_ratio(graph: DiGraph, top_fraction: float = 0.1) -> float:
+    """Share of total in-degree held by the top ``top_fraction`` nodes.
+
+    A crude heavy-tail statistic: uniform-degree graphs score near
+    ``top_fraction``; preferential-attachment graphs score well above.
+    """
+    degrees = in_degree_sequence(graph)
+    total = sum(degrees)
+    if total == 0:
+        return 0.0
+    top = max(1, int(len(degrees) * top_fraction))
+    return sum(degrees[:top]) / total

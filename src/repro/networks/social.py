@@ -1,0 +1,96 @@
+"""A synthetic Slashdot-like social network and member table.
+
+The paper's SCC-algorithm experiments (Section 6.1) query a table built
+from the Slashdot social-network dataset with **82 168 entries**.  The
+dataset itself is not redistributable here, so this module generates a
+synthetic equivalent (documented substitution — see DESIGN.md §4):
+
+* the same cardinality by default;
+* user names ``user00000 ...`` with a handful of profile attributes so
+  that query bodies have something to select on;
+* a companion directed friendship edge list with a power-law degree
+  distribution (via :func:`repro.networks.scale_free.scale_free_digraph`),
+  matching the qualitative structure of the original signed network.
+
+The SCC experiments only require (a) a large member table in which every
+query body is satisfiable and (b) realistic partner-selection structure;
+both are preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..db import Database, DatabaseBuilder
+from ..graphs import DiGraph
+from .scale_free import scale_free_digraph
+
+SLASHDOT_SIZE = 82_168
+
+_REGIONS = ("NA", "EU", "AS", "SA", "AF", "OC")
+_INTERESTS = ("games", "science", "linux", "apple", "hardware", "politics")
+
+
+def member_name(index: int) -> str:
+    """Canonical synthetic user name for ``index``."""
+    return f"user{index:05d}"
+
+
+def slashdot_like_members(
+    size: int = SLASHDOT_SIZE,
+    seed: int = 2012,
+) -> Database:
+    """A member table of the Slashdot dataset's cardinality.
+
+    Schema: ``Members(username, region, interest, karma)`` with
+    ``username`` as key.  Attribute values are drawn deterministically
+    from the seed, so benchmark databases are identical run-to-run.
+    """
+    rng = random.Random(seed)
+    builder = DatabaseBuilder()
+    builder.table(
+        "Members", ["username", "region", "interest", "karma"], key="username"
+    )
+    rows: List[Tuple[str, str, str, int]] = []
+    for index in range(size):
+        rows.append(
+            (
+                member_name(index),
+                rng.choice(_REGIONS),
+                rng.choice(_INTERESTS),
+                rng.randrange(0, 100),
+            )
+        )
+    builder.rows("Members", rows)
+    return builder.build()
+
+
+def slashdot_like_network(
+    users: int,
+    out_degree: int = 3,
+    seed: int = 2012,
+) -> DiGraph:
+    """A directed power-law friendship graph over ``users`` members.
+
+    Node ``i`` corresponds to :func:`member_name`\\ ``(i)``.
+    """
+    return scale_free_digraph(users, out_degree=out_degree, seed=seed)
+
+
+def add_friend_table(
+    db: Database,
+    graph: DiGraph,
+    relation: str = "Friends",
+) -> int:
+    """Materialise a friendship graph as a ``(user, friend)`` relation.
+
+    Returns the number of edges inserted.  Node indexes are translated
+    through :func:`member_name`.
+    """
+    if relation not in db:
+        db.create_relation(relation, ["user", "friend"])
+    count = 0
+    for source, target in graph.edges():
+        count += db.insert(relation, (member_name(source), member_name(target)))
+    return count

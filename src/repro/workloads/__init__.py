@@ -1,0 +1,67 @@
+"""Workload generators for every experiment and worked example."""
+
+from .flights import (
+    COORDINATION_ATTRIBUTES,
+    FLIGHT_ATTRIBUTES,
+    flight_setup,
+    realistic_flight_rows,
+    realistic_flight_workload,
+    unique_flights_rows,
+    user_name,
+    worst_case_database,
+    worst_case_queries,
+)
+from .movies import (
+    CINEMAS,
+    FRIENDSHIPS,
+    expected_option_lists,
+    movies_database,
+    movies_queries,
+    movies_setup,
+)
+from .partner import (
+    ANSWER_RELATION,
+    list_workload,
+    members_database,
+    partner_query,
+    queries_from_structure,
+    scale_free_workload,
+    shared_venue_query,
+    shared_venue_workload,
+    venues_database,
+)
+from .tables import (
+    expected_coordination_edges,
+    vacation_database,
+    vacation_queries,
+)
+
+__all__ = [
+    "ANSWER_RELATION",
+    "CINEMAS",
+    "COORDINATION_ATTRIBUTES",
+    "FLIGHT_ATTRIBUTES",
+    "FRIENDSHIPS",
+    "expected_coordination_edges",
+    "expected_option_lists",
+    "flight_setup",
+    "list_workload",
+    "members_database",
+    "movies_database",
+    "movies_queries",
+    "movies_setup",
+    "partner_query",
+    "queries_from_structure",
+    "realistic_flight_rows",
+    "realistic_flight_workload",
+    "scale_free_workload",
+    "shared_venue_query",
+    "shared_venue_workload",
+    "unique_flights_rows",
+    "user_name",
+    "vacation_database",
+    "vacation_queries",
+    "venues_database",
+    "worst_case_database",
+    "worst_case_queries",
+]

@@ -1,0 +1,176 @@
+"""Flight-coordination workloads for the Consistent algorithm experiments.
+
+Section 6.2 evaluates the Consistent Coordination Algorithm on a flight
+scenario: users coordinate with a friend on flying to the same
+**destination** on the same **day** (the coordination attributes) and
+may privately pin a **source** airport and **airline** (the
+non-coordination attributes).
+
+Two stress workloads reproduce the paper's figures:
+
+* **Figure 7** — 50 queries, Flights tables of size 100–1000 where
+  every flight has a *unique* (destination, day) pair, a complete
+  friendship graph, and fully unconstrained queries, so the number of
+  candidate values equals the table size and nothing is ever pruned —
+  the worst case;
+* **Figure 8** — a fixed 100-row Flights table (one row per
+  (destination, day) combination) and 10–100 queries, same worst-case
+  structure.
+
+A ``realistic_flight_workload`` is also provided for examples and
+integration tests: limited destinations/dates, user constraints drawn
+at random, and a scale-free friendship graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import ConsistentQuery, ConsistentSetup, FriendSlot, NamedPartner
+from ..db import Database, DatabaseBuilder
+from ..graphs import DiGraph
+from ..networks import complete_digraph, scale_free_digraph
+
+COORDINATION_ATTRIBUTES = ("destination", "day")
+FLIGHT_ATTRIBUTES = ("flightId", "destination", "day", "source", "airline")
+
+_AIRLINES = ("AA", "BA", "LH", "AF", "UA", "EK")
+_SOURCES = ("JFK", "LAX", "ORD", "SFO", "BOS", "SEA")
+
+
+def flight_setup(friend_relation: str = "Friends") -> ConsistentSetup:
+    """The paper's flight-scenario setup: coordinate on destination+day."""
+    return ConsistentSetup(
+        table="Flights",
+        coordination_attributes=COORDINATION_ATTRIBUTES,
+        friend_relations=(friend_relation,),
+    )
+
+
+def user_name(index: int) -> str:
+    """Canonical user name for flight workloads."""
+    return f"traveller{index:03d}"
+
+
+def _friend_rows(graph: DiGraph) -> List[Tuple[str, str]]:
+    return [
+        (user_name(source), user_name(target)) for source, target in graph.edges()
+    ]
+
+
+def unique_flights_rows(count: int) -> List[Tuple]:
+    """``count`` flights, each with a unique (destination, day) pair."""
+    rows = []
+    for i in range(count):
+        rows.append(
+            (
+                1000 + i,
+                f"city{i:04d}",
+                f"day{i:04d}",
+                _SOURCES[i % len(_SOURCES)],
+                _AIRLINES[i % len(_AIRLINES)],
+            )
+        )
+    return rows
+
+
+def worst_case_database(num_flights: int, num_users: int) -> Database:
+    """Flights with all-unique coordination values + complete friendships.
+
+    This is the common substrate of Figures 7 and 8: every value in the
+    database satisfies every query and the friendship graph is complete,
+    so no pruning ever fires — the algorithm's worst case.
+    """
+    builder = DatabaseBuilder()
+    builder.table("Flights", list(FLIGHT_ATTRIBUTES), key="flightId")
+    builder.rows("Flights", unique_flights_rows(num_flights))
+    builder.table("Friends", ["user", "friend"])
+    builder.rows("Friends", _friend_rows(complete_digraph(num_users)))
+    return builder.build()
+
+
+def worst_case_queries(num_users: int) -> List[ConsistentQuery]:
+    """Fully unconstrained friend-coordination queries."""
+    return [
+        ConsistentQuery(user_name(i), {}, [FriendSlot("Friends")])
+        for i in range(num_users)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Realistic variant
+# ---------------------------------------------------------------------------
+def realistic_flight_rows(
+    destinations: Sequence[str],
+    days: Sequence[str],
+    flights_per_pair: int = 2,
+    seed: int = 7,
+) -> List[Tuple]:
+    """Several airlines/sources per (destination, day) combination."""
+    rng = random.Random(seed)
+    rows = []
+    flight_id = 5000
+    for destination in destinations:
+        for day in days:
+            for _ in range(flights_per_pair):
+                rows.append(
+                    (
+                        flight_id,
+                        destination,
+                        day,
+                        rng.choice(_SOURCES),
+                        rng.choice(_AIRLINES),
+                    )
+                )
+                flight_id += 1
+    return rows
+
+
+def realistic_flight_workload(
+    num_users: int = 20,
+    destinations: Sequence[str] = ("Paris", "Zurich", "Istanbul", "Athens"),
+    days: Sequence[str] = ("mon", "tue", "wed"),
+    constraint_probability: float = 0.4,
+    named_partner_probability: float = 0.2,
+    seed: int = 7,
+) -> Tuple[Database, List[ConsistentQuery]]:
+    """A plausible mixed workload: constraints, named partners, friends.
+
+    Each user gets a friend slot; with some probability they pin a
+    destination and/or day (coordination constraints) or a source
+    airport / airline (private constraints); with some probability they
+    additionally name a specific partner, like Chris naming Will in the
+    paper's movies example.
+    """
+    rng = random.Random(seed)
+    builder = DatabaseBuilder()
+    builder.table("Flights", list(FLIGHT_ATTRIBUTES), key="flightId")
+    builder.rows(
+        "Flights", realistic_flight_rows(destinations, days, seed=seed)
+    )
+    builder.table("Friends", ["user", "friend"])
+    graph = scale_free_digraph(num_users, out_degree=3, seed=seed)
+    # Friendship should not be empty for node 0; add a ring as backbone.
+    rows = set(_friend_rows(graph))
+    for i in range(num_users):
+        rows.add((user_name(i), user_name((i + 1) % num_users)))
+    builder.rows("Friends", sorted(rows))
+    db = builder.build()
+
+    queries: List[ConsistentQuery] = []
+    for i in range(num_users):
+        constraints: Dict[str, object] = {}
+        if rng.random() < constraint_probability:
+            constraints["destination"] = rng.choice(list(destinations))
+        if rng.random() < constraint_probability:
+            constraints["day"] = rng.choice(list(days))
+        if rng.random() < constraint_probability:
+            constraints["airline"] = rng.choice(_AIRLINES)
+        partners: List[object] = [FriendSlot("Friends")]
+        if rng.random() < named_partner_probability:
+            other = rng.randrange(num_users)
+            if other != i:
+                partners.append(NamedPartner(user_name(other)))
+        queries.append(ConsistentQuery(user_name(i), constraints, partners))
+    return db, queries

@@ -1,0 +1,105 @@
+"""The movies example of Section 5, reproduced exactly.
+
+Coldplay has a night off: each band member wants to go to a cinema with
+at least one other band member (or, for Chris, specifically with Will),
+with preferences over the movie and/or the cinema:
+
+* Chris wants *Contagion* at *Regal*, with Will (by name — note Will is
+  **not** Chris's friend, which the paper points out is allowed);
+* Guy wants *Project X* at *AMC*, with a friend;
+* Jonny wants *Hugo* anywhere, with a friend;
+* Will wants *Hugo* anywhere, with a friend.
+
+With *Hugo* playing at Regal, AMC and Cinemark, the option lists are
+the paper's table::
+
+    V(qc) = {Regal}
+    V(qg) = {AMC}
+    V(qj) = {Regal, AMC, Cinemark}
+    V(qw) = {Regal, AMC, Cinemark}
+
+and the cleaning phase rejects Cinemark (Jonny and Will have no friends
+there) and accepts Regal with {Chris, Jonny, Will}, exactly as the
+paper traces.  (AMC also survives with {Guy, Jonny, Will} — a valid
+coordinating set the paper's narrative does not discuss; the tests
+assert both.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import ConsistentQuery, ConsistentSetup, FriendSlot, NamedPartner
+from ..db import Database, DatabaseBuilder
+
+CINEMAS = ("Regal", "AMC", "Cinemark")
+
+# (user, friend) orientation: `friend` is a friend of `user`.
+FRIENDSHIPS: Tuple[Tuple[str, str], ...] = (
+    ("Chris", "Jonny"),
+    ("Chris", "Guy"),
+    ("Guy", "Chris"),
+    ("Guy", "Jonny"),
+    ("Jonny", "Chris"),
+    ("Jonny", "Will"),
+    ("Will", "Chris"),
+    ("Will", "Guy"),
+)
+
+
+def movies_database() -> Database:
+    """``M(movieId, cinema, movie)`` and the band's friendship table."""
+    builder = DatabaseBuilder()
+    builder.table("M", ["movieId", "cinema", "movie"], key="movieId")
+    builder.rows(
+        "M",
+        [
+            (1, "Regal", "Contagion"),
+            (2, "AMC", "Project X"),
+            (3, "Regal", "Hugo"),
+            (4, "AMC", "Hugo"),
+            (5, "Cinemark", "Hugo"),
+            (6, "Regal", "Drive"),
+            (7, "AMC", "Moneyball"),
+        ],
+    )
+    builder.table("C", ["user", "friend"])
+    builder.rows("C", FRIENDSHIPS)
+    return builder.build()
+
+
+def movies_setup() -> ConsistentSetup:
+    """Coordinate on the cinema; movie choice is private."""
+    return ConsistentSetup(
+        table="M",
+        coordination_attributes=("cinema",),
+        friend_relations=("C",),
+    )
+
+
+def movies_queries() -> List[ConsistentQuery]:
+    """The four band members' queries (qc, qg, qj, qw)."""
+    return [
+        ConsistentQuery(
+            "Chris",
+            {"cinema": "Regal", "movie": "Contagion"},
+            [NamedPartner("Will")],
+        ),
+        ConsistentQuery(
+            "Guy",
+            {"cinema": "AMC", "movie": "Project X"},
+            [FriendSlot("C")],
+        ),
+        ConsistentQuery("Jonny", {"movie": "Hugo"}, [FriendSlot("C")]),
+        ConsistentQuery("Will", {"movie": "Hugo"}, [FriendSlot("C")]),
+    ]
+
+
+def expected_option_lists() -> Dict[str, frozenset]:
+    """The paper's V(q) table, keyed by user."""
+    return {
+        "Chris": frozenset({("Regal",)}),
+        "Guy": frozenset({("AMC",)}),
+        "Jonny": frozenset({("Regal",), ("AMC",), ("Cinemark",)}),
+        "Will": frozenset({("Regal",), ("AMC",), ("Cinemark",)}),
+    }

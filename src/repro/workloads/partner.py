@@ -1,0 +1,159 @@
+"""Partner-coordination workloads for the SCC algorithm experiments.
+
+Section 6.1 evaluates the SCC Coordination Algorithm on workloads where
+"users post queries looking for other specific users to coordinate
+with" over a Slashdot-sized member table, with two partner structures:
+
+* a **list**: query ``i`` wants to coordinate with query ``i+1``; the
+  last wants nobody (Figure 4's worst case — one coordinating set per
+  suffix, the maximum number of database queries);
+* a **scale-free network**: each query's partners are its successors in
+  a directed scale-free graph (Figures 5 and 6).
+
+Query shape.  User ``u`` with partners ``p_1 ... p_k`` submits::
+
+    {R(y_1, p_1), ..., R(y_k, p_k)}  R(x, u)  :-  Members(u, r, i, x)
+
+The body selects the user's own member row (one indexed lookup, always
+satisfiable — the paper's "most demanding scenario", since nothing is
+pruned early); ``x`` is bound to the user's ``karma`` attribute so the
+combined queries carry real variables through unification.  Every
+postcondition names its partner by constant, so the set is *safe*, and
+list/scale-free structures are *not unique* — precisely the regime the
+SCC algorithm newly supports.
+
+A ``shared-venue`` variant is also provided in which all connected users
+must agree on one venue value, exercising long unification chains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core import EntangledQuery
+from ..db import Database, DatabaseBuilder
+from ..graphs import DiGraph
+from ..logic import Atom, Variable
+from ..networks import (
+    list_digraph,
+    member_name,
+    scale_free_digraph,
+    slashdot_like_members,
+)
+
+ANSWER_RELATION = "R"
+
+
+def members_database(size: int, seed: int = 2012) -> Database:
+    """The member table the queries run against (Slashdot-sized by
+    default in the benchmarks; smaller in tests)."""
+    return slashdot_like_members(size=size, seed=seed)
+
+
+def partner_query(
+    user: str,
+    partners: Sequence[str],
+    member_relation: str = "Members",
+) -> EntangledQuery:
+    """One user's partner-coordination query (shape documented above)."""
+    own_value = Variable("x")
+    body = [
+        Atom(
+            member_relation,
+            [user, Variable("region"), Variable("interest"), own_value],
+        )
+    ]
+    posts = [
+        Atom(ANSWER_RELATION, [Variable(f"y{i}"), partner])
+        for i, partner in enumerate(partners)
+    ]
+    head = [Atom(ANSWER_RELATION, [own_value, user])]
+    return EntangledQuery(user, posts, head, body)
+
+
+def queries_from_structure(
+    structure: DiGraph,
+    users: Optional[Sequence[str]] = None,
+) -> List[EntangledQuery]:
+    """Turn a partner-structure graph into a set of entangled queries.
+
+    Node ``i`` of the graph becomes a query for ``users[i]``
+    (``member_name(i)`` by default); its partners are its successors.
+    """
+    names = (
+        [member_name(i) for i in range(structure.node_count())]
+        if users is None
+        else list(users)
+    )
+    out: List[EntangledQuery] = []
+    for node in sorted(structure.nodes()):
+        partners = [names[t] for t in sorted(structure.successors(node))]
+        out.append(partner_query(names[node], partners))
+    return out
+
+
+def list_workload(size: int) -> List[EntangledQuery]:
+    """The Figure 4 workload: a list of ``size`` queries."""
+    return queries_from_structure(list_digraph(size))
+
+
+def scale_free_workload(
+    size: int,
+    out_degree: int = 2,
+    seed: int = 0,
+) -> List[EntangledQuery]:
+    """The Figure 5/6 workload: partners from a scale-free network."""
+    return queries_from_structure(
+        scale_free_digraph(size, out_degree=out_degree, seed=seed)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared-venue variant: non-trivial unification chains
+# ---------------------------------------------------------------------------
+def venues_database(venues: int = 20) -> Database:
+    """A small ``Venues(venueId, capacity)`` table."""
+    builder = DatabaseBuilder().table("Venues", ["venueId", "capacity"], key="venueId")
+    builder.rows("Venues", [(f"venue{i:03d}", 10 + i) for i in range(venues)])
+    return builder.build()
+
+
+def shared_venue_query(
+    user: str,
+    partners: Sequence[str],
+    min_capacity: Optional[int] = None,
+) -> EntangledQuery:
+    """User ``u`` insists all partners pick the *same* venue as her.
+
+    The postcondition reuses the head variable (``{R(x, p)} R(x, u)``),
+    so unification propagates one venue value across the whole connected
+    component — the interesting case for the combined-query machinery.
+    """
+    venue = Variable("x")
+    capacity = Variable("cap")
+    body: List[Atom] = [Atom("Venues", [venue, capacity])]
+    if min_capacity is not None:
+        # Capacity thresholds are modelled by enumerating the allowed
+        # rows; conjunctive queries have no arithmetic, so workloads
+        # pre-filter via a dedicated relation when they need one.
+        body = [Atom("Venues", [venue, min_capacity])]
+    posts = [Atom(ANSWER_RELATION, [venue, partner]) for partner in partners]
+    head = [Atom(ANSWER_RELATION, [venue, user])]
+    return EntangledQuery(user, posts, head, body)
+
+
+def shared_venue_workload(
+    structure: DiGraph,
+    users: Optional[Sequence[str]] = None,
+) -> List[EntangledQuery]:
+    """Shared-venue queries over an arbitrary partner structure."""
+    names = (
+        [member_name(i) for i in range(structure.node_count())]
+        if users is None
+        else list(users)
+    )
+    out: List[EntangledQuery] = []
+    for node in sorted(structure.nodes()):
+        partners = [names[t] for t in sorted(structure.successors(node))]
+        out.append(shared_venue_query(names[node], partners))
+    return out

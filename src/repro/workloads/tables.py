@@ -1,0 +1,102 @@
+"""The flight–hotel vacation example of Section 2.2 (Figures 1 and 2).
+
+Coldplay members want a break from the tour:
+
+* Chris wants to be on the same flight as Guy (destination: don't care);
+* Guy wants Paris, same flight and same hotel as Chris;
+* Jonny wants Athens, same flight as Chris and Guy;
+* Will wants Madrid, same flight as Chris, same hotel as Jonny.
+
+The queries form the extended coordination graph of Figure 2, with
+SCCs ``{qC, qG}``, ``{qJ}``, ``{qW}``.  Jonny's requirement is
+inherently contradictory (the same flight cannot land in both Paris and
+Athens), so the SCC Coordination Algorithm finds the coordinating set
+``{qC, qG}`` — sending Chris and Guy to Paris — where the safe+unique
+baseline of Gupta et al. cannot return anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import EntangledQuery
+from ..db import Database, DatabaseBuilder
+from ..logic import Atom, Variable
+
+PARIS, ATHENS, MADRID = "Paris", "Athens", "Madrid"
+
+
+def vacation_database(
+    include_athens: bool = True, include_madrid: bool = True
+) -> Database:
+    """Flights ``F(flightId, destination)`` and hotels ``H(hotelId, location)``.
+
+    The optional flags let tests build instances where Jonny's or
+    Will's cities exist or not; the contradiction in the example does
+    not depend on them (it comes from unification, not data).
+    """
+    builder = DatabaseBuilder()
+    builder.table("F", ["flightId", "destination"], key="flightId")
+    flights: List[Tuple[int, str]] = [(70, PARIS), (71, PARIS)]
+    if include_athens:
+        flights.append((80, ATHENS))
+    if include_madrid:
+        flights.append((90, MADRID))
+    builder.rows("F", flights)
+    builder.table("H", ["hotelId", "location"], key="hotelId")
+    hotels: List[Tuple[int, str]] = [(700, PARIS), (701, PARIS)]
+    if include_athens:
+        hotels.append((800, ATHENS))
+    if include_madrid:
+        hotels.append((900, MADRID))
+    builder.rows("H", hotels)
+    return builder.build()
+
+
+def vacation_queries() -> List[EntangledQuery]:
+    """The four queries of Figure 1, verbatim.
+
+    ``R`` is flight coordination, ``Q`` hotel coordination; both answer
+    relations hold (user, id) pairs... in the paper's figure the first
+    argument is the user, which we follow exactly.
+    """
+    x1, x2, x = Variable("x1"), Variable("x2"), Variable("x")
+    y1, y2 = Variable("y1"), Variable("y2")
+    z1, z2 = Variable("z1"), Variable("z2")
+    w1, w2 = Variable("w1"), Variable("w2")
+
+    q_c = EntangledQuery(
+        "qC",
+        postconditions=[Atom("R", ["G", x1])],
+        head=[Atom("R", ["C", x1]), Atom("Q", ["C", x2])],
+        body=[Atom("F", [x1, x]), Atom("H", [x2, x])],
+    )
+    q_g = EntangledQuery(
+        "qG",
+        postconditions=[Atom("R", ["C", y1]), Atom("Q", ["C", y2])],
+        head=[Atom("R", ["G", y1]), Atom("Q", ["G", y2])],
+        body=[Atom("F", [y1, PARIS]), Atom("H", [y2, PARIS])],
+    )
+    q_j = EntangledQuery(
+        "qJ",
+        postconditions=[Atom("R", ["C", z1]), Atom("R", ["G", z1])],
+        head=[Atom("R", ["J", z1]), Atom("Q", ["J", z2])],
+        body=[Atom("F", [z1, ATHENS]), Atom("H", [z2, ATHENS])],
+    )
+    q_w = EntangledQuery(
+        "qW",
+        postconditions=[Atom("R", ["C", w1]), Atom("Q", ["J", w2])],
+        head=[Atom("R", ["W", w1]), Atom("Q", ["W", w2])],
+        body=[Atom("F", [w1, MADRID]), Atom("H", [w2, MADRID])],
+    )
+    return [q_c, q_g, q_j, q_w]
+
+
+def expected_coordination_edges() -> Dict[str, set]:
+    """The collapsed coordination graph of the example (Figure 2)."""
+    return {
+        "qC": {"qG"},
+        "qG": {"qC"},
+        "qJ": {"qC", "qG"},
+        "qW": {"qC", "qJ"},
+    }

@@ -1,0 +1,18 @@
+"""Smoke test for the ``python -m repro.bench`` entry point."""
+
+from repro.bench.__main__ import main
+
+
+def test_fast_single_figure(capsys):
+    assert main(["--fast", "ablation-db-queries"]) == 0
+    out = capsys.readouterr().out
+    assert "Ablation B" in out
+    assert "linear fit" in out
+    assert "paper claim" in out
+
+
+def test_fast_hardness_ablation(capsys):
+    assert main(["--fast", "ablation-hardness"]) == 0
+    out = capsys.readouterr().out
+    assert "ablation-bruteforce" in out
+    assert "ablation-dpll" in out

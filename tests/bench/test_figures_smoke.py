@@ -1,0 +1,84 @@
+"""Scaled-down smoke runs of every experiment definition.
+
+Full-size figure runs live under ``benchmarks/``; here each experiment
+executes with tiny parameters so the definitions stay healthy, and the
+machine-independent claims (database-query counts, candidate counts)
+are asserted exactly.
+"""
+
+from repro.bench import (
+    FIGURES,
+    ablation_db_queries,
+    ablation_hardness,
+    ablation_preprocessing,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.workloads import members_database
+
+
+class TestFigureRunners:
+    def test_figure4_smoke(self, small_members_db):
+        series = figure4(sizes=[5, 10], db=small_members_db, repeats=1)
+        assert series.xs() == [5, 10]
+        # db_queries equals the number of queries on the list structure.
+        assert series.points[0].extra_map()["db_queries"] == 5
+        assert series.points[1].extra_map()["db_queries"] == 10
+
+    def test_figure5_smoke(self, small_members_db):
+        series = figure5(sizes=[6, 12], db=small_members_db, graphs_per_size=2)
+        assert series.xs() == [6, 12]
+        assert all(p.seconds > 0 for p in series.points)
+
+    def test_figure6_smoke(self):
+        series = figure6(sizes=[20, 40], graphs_per_size=2)
+        assert series.xs() == [20, 40]
+        assert series.points[0].extra_map()["components"] == 20
+
+    def test_figure7_smoke(self):
+        series = figure7(flight_counts=[10, 20], num_users=5, repeats=1)
+        assert [p.extra_map()["values"] for p in series.points] == [10, 20]
+
+    def test_figure8_smoke(self):
+        series = figure8(user_counts=[4, 8], num_flights=10, repeats=1)
+        assert series.xs() == [4, 8]
+        # O(n) database queries.
+        for point in series.points:
+            assert point.extra_map()["db_queries"] <= 3 * point.x
+
+
+class TestAblations:
+    def test_hardness_ablation_smoke(self):
+        brute, oracle = ablation_hardness(variable_counts=(3, 4))
+        assert len(brute.points) == 2
+        assert len(oracle.points) == 2
+
+    def test_db_queries_ablation(self):
+        series = ablation_db_queries(sizes=[5, 10], member_count=200)
+        assert [p.extra_map()["db_queries"] for p in series.points] == [5, 10]
+
+    def test_preprocessing_ablation(self):
+        on, off = ablation_preprocessing(sizes=(10,), member_count=200)
+        removed = on.points[0].extra_map()["removed"]
+        # The broken middle query and everything upstream of it.
+        assert removed == 6
+        # Failure propagation already avoids database work for doomed
+        # components, so preprocessing never *adds* queries; its win is
+        # the graph/unification work it skips.
+        assert (
+            on.points[0].extra_map()["db_queries"]
+            <= off.points[0].extra_map()["db_queries"]
+        )
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert {"fig4", "fig5", "fig6", "fig7", "fig8"} <= set(FIGURES)
+
+    def test_experiments_have_claims(self):
+        for experiment in FIGURES.values():
+            assert experiment.paper_claim
+            assert experiment.caption

@@ -1,0 +1,68 @@
+"""Unit tests for the timing harness."""
+
+from repro.bench import Point, Series, run_series, time_call
+
+
+class TestTimeCall:
+    def test_returns_result(self):
+        seconds, result = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestSeries:
+    def _series(self, ys):
+        s = Series("test", "n", "seconds")
+        s.points = [Point(x=i, seconds=y, repeats=1) for i, y in enumerate(ys)]
+        return s
+
+    def test_xs_ys(self):
+        s = self._series([0.1, 0.2, 0.3])
+        assert s.xs() == [0, 1, 2]
+        assert s.ys() == [0.1, 0.2, 0.3]
+
+    def test_monotone_check(self):
+        assert self._series([1, 2, 3]).is_monotone_nondecreasing()
+        assert not self._series([3, 1, 0.1]).is_monotone_nondecreasing()
+        # Tolerates small jitter.
+        assert self._series([1.0, 0.9, 2.0]).is_monotone_nondecreasing(
+            tolerance=0.25
+        )
+
+    def test_linear_fit_exact(self):
+        s = self._series([1.0, 3.0, 5.0])  # y = 2x + 1
+        slope, intercept, r2 = s.linear_fit()
+        assert abs(slope - 2.0) < 1e-9
+        assert abs(intercept - 1.0) < 1e-9
+        assert abs(r2 - 1.0) < 1e-9
+
+    def test_linear_fit_single_point(self):
+        s = self._series([5.0])
+        slope, intercept, r2 = s.linear_fit()
+        assert slope == 0.0 and intercept == 5.0
+
+
+class TestRunSeries:
+    def test_runs_each_point(self):
+        calls = []
+
+        def make_point(x, repeat):
+            return lambda: calls.append((x, repeat)) or x * 10
+
+        series = run_series("s", [1, 2], make_point, repeats=3)
+        assert len(series.points) == 2
+        assert len(calls) == 6
+        assert series.points[0].repeats == 3
+
+    def test_extra_from_result(self):
+        series = run_series(
+            "s",
+            [4],
+            lambda x, r: (lambda: {"value": x * 2}),
+            extra_from_result=lambda result: {"doubled": result["value"]},
+        )
+        assert series.points[0].extra_map() == {"doubled": 8}
+
+    def test_stdev_populated_with_repeats(self):
+        series = run_series("s", [1], lambda x, r: (lambda: None), repeats=4)
+        assert series.points[0].seconds_stdev >= 0.0

@@ -1,0 +1,77 @@
+"""Unit tests for series rendering."""
+
+from repro.bench import Point, Series, format_seconds, render_figure, render_series, sparkline
+
+
+def _series():
+    s = Series("fig-test", "queries", "seconds")
+    s.points = [
+        Point(x=10, seconds=0.001, repeats=1, extra=(("db_queries", 10.0),)),
+        Point(x=20, seconds=0.002, repeats=1, extra=(("db_queries", 20.0),)),
+    ]
+    return s
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat(self):
+        assert sparkline([1, 1, 1]) == "▁▁▁"
+
+    def test_increasing_ends_high(self):
+        line = sparkline([0, 5, 10])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert "µs" in format_seconds(5e-6)
+
+    def test_milliseconds(self):
+        assert "ms" in format_seconds(0.005)
+
+    def test_seconds(self):
+        assert format_seconds(2.5).strip().endswith("s")
+
+
+class TestMarkdown:
+    def test_series_markdown_table(self):
+        from repro.bench import render_series_markdown
+
+        text = render_series_markdown(_series())
+        assert text.startswith("| queries | mean time | db_queries |")
+        assert "| 10 |" in text
+        assert "Linear fit" in text and "R²" in text
+
+    def test_figure_markdown_section(self):
+        from repro.bench import render_figure_markdown
+
+        text = render_figure_markdown(
+            "Figure 4", "list structure", "grows linearly", [_series()]
+        )
+        assert text.startswith("## Figure 4 — list structure")
+        assert "**Paper claim:** grows linearly" in text
+        assert "| queries |" in text
+
+
+class TestRender:
+    def test_render_series_contains_data(self):
+        text = render_series(_series())
+        assert "fig-test" in text
+        assert "queries" in text
+        assert "db_queries" in text
+        assert "linear fit" in text
+        assert "R²" in text
+
+    def test_render_figure_includes_caption(self):
+        text = render_figure("Figure 9", "a caption", [_series()])
+        assert text.startswith("Figure 9: a caption")
+        assert "fig-test" in text
+
+    def test_render_custom_title(self):
+        text = render_series(_series(), title="Custom")
+        assert text.splitlines()[0] == "Custom"

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import Database, DatabaseBuilder
+from repro.workloads import (
+    members_database,
+    movies_database,
+    vacation_database,
+    vacation_queries,
+)
+
+
+@pytest.fixture
+def flights_db() -> Database:
+    """A small flights table (the Section 2.1 example universe)."""
+    return (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows(
+            "Flights",
+            [
+                (101, "Zurich"),
+                (102, "Zurich"),
+                (201, "Paris"),
+                (301, "Athens"),
+            ],
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def vacation_db() -> Database:
+    """The Section 2.2 flight–hotel database."""
+    return vacation_database()
+
+
+@pytest.fixture
+def vacation_query_set():
+    """The Section 2.2 query set (qC, qG, qJ, qW)."""
+    return vacation_queries()
+
+
+@pytest.fixture
+def movies_db() -> Database:
+    """The Section 5 movies database."""
+    return movies_database()
+
+
+@pytest.fixture(scope="session")
+def small_members_db() -> Database:
+    """A scaled-down member table shared across tests (expensive)."""
+    return members_database(size=500, seed=2012)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests that sample."""
+    return random.Random(20120827)

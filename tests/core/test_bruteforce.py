@@ -1,0 +1,160 @@
+"""Unit tests for the exact (oracle) solvers."""
+
+import pytest
+
+from repro.core import (
+    coordinating_set_exists,
+    enumerate_coordinating_sets,
+    find_coordinating_set,
+    find_maximum_coordinating_set,
+    parse_queries,
+    verify_result_set,
+)
+from repro.db import DatabaseBuilder, unary_boolean_database
+from repro.workloads import vacation_database, vacation_queries
+
+
+@pytest.fixture
+def zurich_db():
+    return (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich")])
+        .build()
+    )
+
+
+class TestFindCoordinatingSet:
+    def test_finds_minimal_witness(self, zurich_db):
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        found = find_coordinating_set(zurich_db, queries)
+        assert found is not None
+        assert found.member_set() == {"q2"}  # minimal
+        assert verify_result_set(zurich_db, queries, found).ok
+
+    def test_no_set_when_body_unsatisfiable(self, zurich_db):
+        queries = parse_queries("q: {} R(x) :- Flights(x, 'Mars')")
+        assert find_coordinating_set(zurich_db, queries) is None
+        assert not coordinating_set_exists(zurich_db, queries)
+
+    def test_no_set_when_postcondition_unmatched(self, zurich_db):
+        queries = parse_queries("q: {Gone(1)} R(x) :- Flights(x, 'Zurich')")
+        assert find_coordinating_set(zurich_db, queries) is None
+
+    def test_mutual_dependency(self, zurich_db):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Flights(x, 'Zurich');
+            b: {Q(y)} P(y) :- Flights(y, 'Zurich');
+            """
+        )
+        found = find_coordinating_set(zurich_db, queries)
+        assert found is not None
+        assert found.member_set() == {"a", "b"}
+        assert verify_result_set(zurich_db, queries, found).ok
+
+    def test_unification_infeasible(self, zurich_db):
+        # a needs P grounded at a Zurich flight; b provides P only at a
+        # Paris flight — no Paris flights exist.
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Flights(x, 'Zurich');
+            b: {Q(y)} P(y) :- Flights(y, 'Paris');
+            """
+        )
+        assert find_coordinating_set(zurich_db, queries) is None
+
+    def test_free_variable_gets_domain_value(self, zurich_db):
+        queries = parse_queries("q: {} R(free) :- ∅")
+        found = find_coordinating_set(zurich_db, queries)
+        assert found is not None
+        assert verify_result_set(zurich_db, queries, found).ok
+
+    def test_vacation_example(self):
+        db = vacation_database()
+        queries = vacation_queries()
+        found = find_coordinating_set(db, queries)
+        assert found is not None
+        assert verify_result_set(db, queries, found).ok
+        maximum = find_maximum_coordinating_set(db, queries)
+        assert maximum is not None
+        # qJ's contradiction caps the maximum at {qC, qG}.
+        assert maximum.member_set() == {"qC", "qG"}
+
+
+class TestEnumeration:
+    def test_enumerates_by_size(self, zurich_db):
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        sets = list(enumerate_coordinating_sets(zurich_db, queries))
+        sizes = [s.size for s in sets]
+        assert sizes == sorted(sizes)
+        members = {s.member_set() for s in sets}
+        assert frozenset({"q2"}) in members
+        assert frozenset({"q1", "q2"}) in members
+        for s in sets:
+            assert verify_result_set(zurich_db, queries, s).ok
+
+    def test_max_size_parameter(self, zurich_db):
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        sets = list(enumerate_coordinating_sets(zurich_db, queries, max_size=1))
+        assert all(s.size == 1 for s in sets)
+
+
+class TestMaximum:
+    def test_maximum_beats_minimal(self, zurich_db):
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        maximum = find_maximum_coordinating_set(zurich_db, queries)
+        assert maximum is not None
+        assert maximum.member_set() == {"q1", "q2"}
+
+    def test_choose_one_grounding_shared(self):
+        # Two Zurich flights: Gwyneth and Chris must pick the SAME one.
+        db = (
+            DatabaseBuilder()
+            .table("Flights", ["flightId", "destination"], key="flightId")
+            .rows("Flights", [(101, "Zurich"), (102, "Zurich")])
+            .build()
+        )
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        maximum = find_maximum_coordinating_set(db, queries)
+        assert maximum is not None
+        assert maximum.value_of("q1", "x") == maximum.value_of("q2", "y")
+
+    def test_unary_database_instance(self):
+        db = unary_boolean_database()
+        queries = parse_queries(
+            """
+            a: {B(1)} A(x) :- D(x);
+            b: {} B(y) :- D(y);
+            """
+        )
+        maximum = find_maximum_coordinating_set(db, queries)
+        assert maximum is not None
+        assert maximum.member_set() == {"a", "b"}
+        # a's postcondition B(1) forces b's grounding to 1.
+        assert maximum.value_of("b", "y") == 1

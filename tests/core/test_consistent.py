@@ -1,0 +1,345 @@
+"""Unit tests for the Consistent Coordination Algorithm (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    ConsistentCoordinator,
+    ConsistentQuery,
+    ConsistentSetup,
+    FriendSlot,
+    NamedPartner,
+    consistent_coordinate,
+)
+from repro.db import DatabaseBuilder
+from repro.errors import MalformedQueryError, PreconditionError
+from repro.workloads import (
+    expected_option_lists,
+    movies_database,
+    movies_queries,
+    movies_setup,
+)
+
+
+def _simple_db(rows=None):
+    """Flights(flightId, destination, day) + Friends."""
+    builder = DatabaseBuilder()
+    builder.table("Flights", ["flightId", "destination", "day"], key="flightId")
+    builder.rows(
+        "Flights",
+        rows
+        or [
+            (1, "Paris", "mon"),
+            (2, "Paris", "tue"),
+            (3, "Zurich", "mon"),
+            (4, "Zurich", "tue"),
+        ],
+    )
+    builder.table("Friends", ["user", "friend"])
+    builder.rows(
+        "Friends",
+        [("alice", "bob"), ("bob", "alice"), ("carol", "alice"), ("alice", "carol")],
+    )
+    return builder.build()
+
+
+def _setup():
+    return ConsistentSetup("Flights", ("destination", "day"), ("Friends",))
+
+
+class TestMoviesExample:
+    """The Section 5 walkthrough must reproduce exactly."""
+
+    def test_option_lists_match_paper_table(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        assert result.option_lists == expected_option_lists()
+
+    def test_cinemark_cleans_to_empty(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        assert ("Cinemark",) not in {c.value for c in result.candidates}
+
+    def test_regal_set_is_chris_jonny_will(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        regal = [c for c in result.candidates if c.value == ("Regal",)]
+        assert len(regal) == 1
+        assert set(regal[0].users) == {"Chris", "Jonny", "Will"}
+
+    def test_chosen_outcome_grounds_to_movie_ids(self):
+        db = movies_database()
+        result = consistent_coordinate(db, movies_setup(), movies_queries())
+        assert result.found
+        for user, key in result.chosen.selections.items():
+            row = next(db.relation("M").match({0: key}))
+            assert row[1] == result.chosen.value[0]  # cinema agrees
+
+    def test_friend_witnesses_are_friends(self):
+        db = movies_database()
+        result = consistent_coordinate(db, movies_setup(), movies_queries())
+        for user, witnesses in result.chosen.friend_witnesses.items():
+            for witness in witnesses:
+                assert db.contains("C", (user, witness))
+
+
+class TestOptionLists:
+    def test_unconstrained_query_sees_all_values(self):
+        db = _simple_db()
+        coordinator = ConsistentCoordinator(db, _setup())
+        q = ConsistentQuery("alice", {}, [FriendSlot()])
+        assert len(coordinator.option_list(q)) == 4
+
+    def test_coordination_constraint_restricts(self):
+        db = _simple_db()
+        coordinator = ConsistentCoordinator(db, _setup())
+        q = ConsistentQuery("alice", {"destination": "Paris"}, [FriendSlot()])
+        values = coordinator._constrained_option_list(q)
+        assert values == {("Paris", "mon"), ("Paris", "tue")}
+
+    def test_private_constraint_restricts_via_body(self):
+        db = _simple_db(
+            rows=[
+                (1, "Paris", "mon"),
+                (2, "Paris", "tue"),
+            ]
+        )
+        db.insert("Flights", (3, "Paris", "wed"))
+        coordinator = ConsistentCoordinator(db, _setup())
+        q = ConsistentQuery("alice", {"day": "wed"}, [FriendSlot()])
+        assert coordinator._constrained_option_list(q) == {("Paris", "wed")}
+
+    def test_unsatisfiable_constraint_empty(self):
+        db = _simple_db()
+        coordinator = ConsistentCoordinator(db, _setup())
+        q = ConsistentQuery("alice", {"destination": "Mars"}, [FriendSlot()])
+        assert coordinator._constrained_option_list(q) == frozenset()
+
+
+class TestCleaning:
+    def test_friend_requirement_cascades(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {"destination": "Paris"}, [FriendSlot()]),
+            ConsistentQuery("bob", {"destination": "Zurich"}, [FriendSlot()]),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        # alice and bob are mutual friends but can never agree on a
+        # destination: all subgraphs clean to empty.
+        assert not result.found
+
+    def test_named_partner_must_be_present(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [NamedPartner("bob")]),
+            ConsistentQuery("bob", {"destination": "Zurich"}, []),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert result.found
+        # For Zurich values both survive; for Paris values bob is absent
+        # so alice is cleaned away and bob alone has no requirement...
+        zurich = [c for c in result.candidates if c.value[0] == "Zurich"]
+        assert all(set(c.users) == {"alice", "bob"} for c in zurich)
+        paris = [c for c in result.candidates if c.value[0] == "Paris"]
+        assert all(set(c.users) == {"bob"} for c in paris) or not paris
+
+    def test_named_partner_never_submitted(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {}, [NamedPartner("ghost")])]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert not result.found
+
+    def test_query_with_no_partners_is_self_sufficient(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {"destination": "Paris"}, [])]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert result.found
+        assert result.chosen.users == ("alice",)
+
+    def test_k_friends_generalisation(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [FriendSlot(count=2)]),
+            ConsistentQuery("bob", {}, [FriendSlot()]),
+            ConsistentQuery("carol", {}, [FriendSlot()]),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        # alice needs two friends: bob and carol are both her friends.
+        assert result.found
+        assert set(result.chosen.users) == {"alice", "bob", "carol"}
+        assert set(result.chosen.friend_witnesses["alice"]) == {"bob", "carol"}
+
+    def test_k_friends_insufficient(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [FriendSlot(count=2)]),
+            ConsistentQuery("bob", {}, [FriendSlot()]),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        # alice has only bob present; bob alone satisfies his slot via
+        # alice... but alice is cleaned (needs 2 friends), then bob too.
+        assert not result.found
+
+
+class TestMultipleFriendshipRelations:
+    """The paper's generalisation: several binary relations at once."""
+
+    def _db(self):
+        builder = DatabaseBuilder()
+        builder.table("Flights", ["flightId", "destination", "day"], key="flightId")
+        builder.rows("Flights", [(1, "Paris", "mon"), (2, "Zurich", "tue")])
+        builder.table("Friends", ["user", "friend"])
+        builder.rows("Friends", [("alice", "bob"), ("bob", "alice")])
+        builder.table("Colleagues", ["user", "colleague"])
+        builder.rows("Colleagues", [("alice", "carol"), ("bob", "carol")])
+        return builder.build()
+
+    def _setup(self):
+        return ConsistentSetup(
+            "Flights", ("destination", "day"), ("Friends", "Colleagues")
+        )
+
+    def test_slots_resolve_against_their_own_relation(self):
+        db = self._db()
+        queries = [
+            # alice wants a friend AND a colleague on the trip.
+            ConsistentQuery(
+                "alice", {}, [FriendSlot("Friends"), FriendSlot("Colleagues")]
+            ),
+            ConsistentQuery("bob", {}, [FriendSlot("Friends")]),
+            ConsistentQuery("carol", {}, []),
+        ]
+        result = consistent_coordinate(db, self._setup(), queries)
+        assert result.found
+        assert set(result.chosen.users) == {"alice", "bob", "carol"}
+        # alice's witnesses: bob (friend) and carol (colleague).
+        assert set(result.chosen.friend_witnesses["alice"]) == {"bob", "carol"}
+
+    def test_wrong_relation_does_not_satisfy_slot(self):
+        db = self._db()
+        queries = [
+            # bob has no Friends entry pointing at carol; a Friends slot
+            # cannot be satisfied by the Colleagues relation.
+            ConsistentQuery("bob", {}, [FriendSlot("Friends")]),
+            ConsistentQuery("carol", {}, []),
+        ]
+        result = consistent_coordinate(db, self._setup(), queries)
+        candidates = {tuple(c.users) for c in result.candidates}
+        assert ("bob", "carol") not in candidates
+        assert all("bob" not in c.users for c in result.candidates)
+
+
+class TestSameTuple:
+    def test_same_tuple_pair_gets_one_flight(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [NamedPartner("bob", same_tuple=True)]),
+            ConsistentQuery("bob", {}, []),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert result.found
+        assert result.chosen.selections["alice"] == result.chosen.selections["bob"]
+
+    def test_same_tuple_conflicting_private_constraints(self):
+        db = DatabaseBuilder()
+        db.table("Flights", ["flightId", "destination", "day", "airline"], key="flightId")
+        db.rows(
+            "Flights",
+            [(1, "Paris", "mon", "AA"), (2, "Paris", "mon", "BA")],
+        )
+        db.table("Friends", ["user", "friend"])
+        db.rows("Friends", [("alice", "bob")])
+        built = db.build()
+        setup = ConsistentSetup("Flights", ("destination", "day"), ("Friends",))
+        queries = [
+            ConsistentQuery(
+                "alice", {"airline": "AA"}, [NamedPartner("bob", same_tuple=True)]
+            ),
+            ConsistentQuery("bob", {"airline": "BA"}, []),
+        ]
+        result = consistent_coordinate(built, setup, queries)
+        # One flight cannot have two airlines.
+        assert not result.found or "alice" not in result.chosen.selections
+
+    def test_same_tuple_chain_grounds_to_common_key(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [NamedPartner("bob", same_tuple=True)]),
+            ConsistentQuery("bob", {}, [NamedPartner("carol", same_tuple=True)]),
+            ConsistentQuery("carol", {}, []),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert result.found
+        keys = set(result.chosen.selections.values())
+        assert len(keys) == 1
+
+
+class TestValidation:
+    def test_duplicate_user_rejected(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, []),
+            ConsistentQuery("alice", {}, []),
+        ]
+        with pytest.raises(PreconditionError):
+            consistent_coordinate(db, _setup(), queries)
+
+    def test_key_constraint_rejected(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {"flightId": 1}, [])]
+        with pytest.raises(PreconditionError):
+            consistent_coordinate(db, _setup(), queries)
+
+    def test_unknown_attribute_rejected(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {"zzz": 1}, [])]
+        with pytest.raises(Exception):
+            consistent_coordinate(db, _setup(), queries)
+
+    def test_unknown_friend_relation_rejected(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {}, [FriendSlot("Enemies")])]
+        with pytest.raises(PreconditionError):
+            consistent_coordinate(db, _setup(), queries)
+
+    def test_setup_requires_coordination_attributes(self):
+        with pytest.raises(PreconditionError):
+            ConsistentSetup("Flights", ())
+
+    def test_friend_slot_count_positive(self):
+        with pytest.raises(MalformedQueryError):
+            FriendSlot(count=0)
+
+    def test_duplicate_constraint_rejected(self):
+        with pytest.raises(MalformedQueryError):
+            ConsistentQuery("a", [("day", "mon"), ("day", "tue")])
+
+
+class TestCostModel:
+    def test_linear_db_queries(self):
+        db = _simple_db()
+        queries = [
+            ConsistentQuery("alice", {}, [FriendSlot()]),
+            ConsistentQuery("bob", {}, [FriendSlot()]),
+        ]
+        result = consistent_coordinate(db, _setup(), queries)
+        # Paper: O(n) database queries — option list + friends per
+        # query, plus one grounding query per member of the chosen set.
+        n = len(queries)
+        assert result.stats.db_queries <= 3 * n
+
+    def test_stop_at_first(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {}, [])]
+        coordinator = ConsistentCoordinator(db, _setup())
+        result = coordinator.coordinate(queries, stop_at_first=True)
+        assert result.found
+        assert len(result.candidates) == 1
+
+    def test_candidate_values_counted(self):
+        db = _simple_db()
+        queries = [ConsistentQuery("alice", {}, [])]
+        result = consistent_coordinate(db, _setup(), queries)
+        assert result.stats.candidate_values == 4

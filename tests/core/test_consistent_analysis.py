@@ -1,0 +1,191 @@
+"""Tests for analysing raw entangled queries into consistent form.
+
+Key property: analysis is the inverse of lowering —
+``analyze_consistent(to_entangled(q)) == q`` for every structured
+query, and queries outside the canonical shape are rejected with a
+reason.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConsistentQuery,
+    ConsistentSetup,
+    FriendSlot,
+    NamedPartner,
+    analyze_consistent,
+    analyze_program,
+    consistent_coordinate,
+    parse_query,
+    to_entangled,
+)
+from repro.db import DatabaseBuilder
+from repro.errors import MalformedQueryError
+from repro.workloads import movies_database, movies_queries, movies_setup
+
+
+def _db():
+    return (
+        DatabaseBuilder()
+        .table(
+            "Flights",
+            ["flightId", "destination", "day", "airline"],
+            key="flightId",
+        )
+        .rows(
+            "Flights",
+            [(1, "Paris", "mon", "AA"), (2, "Zurich", "tue", "BA")],
+        )
+        .table("Friends", ["user", "friend"])
+        .rows("Friends", [("alice", "bob"), ("bob", "alice")])
+        .build()
+    )
+
+
+def _setup():
+    return ConsistentSetup("Flights", ("destination", "day"), ("Friends",))
+
+
+class TestRoundTrip:
+    CASES = [
+        ConsistentQuery("alice", {}, [FriendSlot()]),
+        ConsistentQuery("alice", {"destination": "Paris"}, [FriendSlot()]),
+        ConsistentQuery("alice", {"airline": "AA"}, [NamedPartner("bob")]),
+        ConsistentQuery(
+            "alice",
+            {"destination": "Paris", "airline": "AA"},
+            [NamedPartner("bob", same_tuple=True)],
+        ),
+        ConsistentQuery("alice", {"day": "mon"}, []),
+        ConsistentQuery(
+            "alice", {}, [FriendSlot(), NamedPartner("bob")]
+        ),
+    ]
+
+    @pytest.mark.parametrize("query", CASES, ids=lambda q: str(q)[:60])
+    def test_analysis_inverts_lowering(self, query):
+        db, setup = _db(), _setup()
+        lowered = to_entangled(query, setup, db)
+        recovered = analyze_consistent(lowered, setup, db)
+        assert recovered.user == query.user
+        assert recovered.constraint_map() == query.constraint_map()
+        assert recovered.partners == query.partners
+
+    def test_movies_program_round_trips(self):
+        db = movies_database()
+        setup = movies_setup()
+        queries = movies_queries()
+        lowered = [to_entangled(q, setup, db) for q in queries]
+        recovered = analyze_program(lowered, setup, db)
+        assert [r.user for r in recovered] == [q.user for q in queries]
+        # Running the algorithm on the recovered queries reproduces the
+        # paper's outcome.
+        result = consistent_coordinate(db, setup, recovered)
+        assert result.found
+
+
+class TestTextualWorkflow:
+    def test_parse_then_analyze_then_coordinate(self):
+        db, setup = _db(), _setup()
+        source_a = (
+            "alice: {R(y0, f0)} R(x, 'alice') :- "
+            "Flights(x, d, t, a0), Friends('alice', f0), Flights(y0, d, t, a1)"
+        )
+        source_b = (
+            "bob: {R(y0, f0)} R(x, 'bob') :- "
+            "Flights(x, d, t, b0), Friends('bob', f0), Flights(y0, d, t, b1)"
+        )
+        queries = [parse_query(source_a), parse_query(source_b)]
+        requests = analyze_program(queries, setup, db)
+        assert [r.user for r in requests] == ["alice", "bob"]
+        result = consistent_coordinate(db, setup, requests)
+        assert result.found
+        assert set(result.chosen.selections) == {"alice", "bob"}
+
+
+class TestRejections:
+    def _analyze(self, text):
+        db, setup = _db(), _setup()
+        return analyze_consistent(parse_query(text), setup, db)
+
+    def test_two_heads_rejected(self):
+        with pytest.raises(MalformedQueryError, match="one head"):
+            self._analyze(
+                "{} R(x, 'a'), R(y, 'b') :- Flights(x, d, t, a), Flights(y, d, t, b)"
+            )
+
+    def test_constant_key_rejected(self):
+        with pytest.raises(MalformedQueryError, match="variable"):
+            self._analyze("{} R(1, 'a') :- Flights(1, d, t, a)")
+
+    def test_foreign_relation_rejected(self):
+        with pytest.raises(MalformedQueryError, match="neither"):
+            self._analyze("{} R(x, 'a') :- Hotels(x)")
+
+    def test_unbound_friend_variable_rejected(self):
+        with pytest.raises(MalformedQueryError, match="friendship"):
+            self._analyze(
+                "{R(y, f)} R(x, 'alice') :- Flights(x, d, t, a), Flights(y, d, t, b)"
+            )
+
+    def test_mixed_coordination_rejected(self):
+        # Partner shares destination but NOT day: not A-coordinating
+        # for A = {destination, day} — the Appendix B trap.
+        with pytest.raises(MalformedQueryError, match="coordination attribute"):
+            self._analyze(
+                "{R(y, 'bob')} R(x, 'alice') :- "
+                "Flights(x, d, t, a), Flights(y, d, t2, b)"
+            )
+
+    def test_shared_private_attribute_rejected(self):
+        # Partner reuses the user's airline variable: coordinating on a
+        # non-coordination attribute.
+        with pytest.raises(MalformedQueryError, match="non-coordination"):
+            self._analyze(
+                "{R(y, 'bob')} R(x, 'alice') :- "
+                "Flights(x, d, t, a), Flights(y, d, t, a)"
+            )
+
+    def test_orphan_partner_atom_rejected(self):
+        with pytest.raises(MalformedQueryError, match="not"):
+            self._analyze(
+                "{} R(x, 'alice') :- Flights(x, d, t, a), Flights(y, d, t, b)"
+            )
+
+    def test_foreign_postcondition_relation_rejected(self):
+        with pytest.raises(MalformedQueryError, match="postcondition"):
+            self._analyze(
+                "{Q(y, 'bob')} R(x, 'alice') :- Flights(x, d, t, a)"
+            )
+
+
+@st.composite
+def _structured_queries(draw):
+    constraints = {}
+    if draw(st.booleans()):
+        constraints["destination"] = draw(st.sampled_from(["Paris", "Zurich"]))
+    if draw(st.booleans()):
+        constraints["day"] = draw(st.sampled_from(["mon", "tue"]))
+    if draw(st.booleans()):
+        constraints["airline"] = draw(st.sampled_from(["AA", "BA"]))
+    partners = []
+    if draw(st.booleans()):
+        partners.append(FriendSlot())
+    if draw(st.booleans()):
+        partners.append(
+            NamedPartner("bob", same_tuple=draw(st.booleans()))
+        )
+    return ConsistentQuery("alice", constraints, partners)
+
+
+@given(_structured_queries())
+@settings(max_examples=100, deadline=None)
+def test_property_round_trip(query):
+    db, setup = _db(), _setup()
+    lowered = to_entangled(query, setup, db)
+    recovered = analyze_consistent(lowered, setup, db)
+    assert recovered == ConsistentQuery(
+        query.user, query.constraint_map(), query.partners
+    )

@@ -1,0 +1,190 @@
+"""Tests for the consistent→entangled lowering and Definitions 7–9."""
+
+import pytest
+
+from repro.core import (
+    ConsistentQuery,
+    ConsistentSetup,
+    FriendSlot,
+    NamedPartner,
+    classify_attributes,
+    consistent_coordinate,
+    find_coordinating_set,
+    is_a_consistent,
+    lower_all,
+    outcome_witness,
+    safety_report,
+    to_entangled,
+    verify_coordinating_set,
+)
+from repro.core.coordination_graph import CoordinationGraph
+from repro.db import DatabaseBuilder
+from repro.errors import MalformedQueryError
+from repro.workloads import movies_database, movies_queries, movies_setup
+
+
+def _db():
+    builder = DatabaseBuilder()
+    builder.table("Flights", ["flightId", "destination", "day", "airline"], key="flightId")
+    builder.rows(
+        "Flights",
+        [
+            (1, "Paris", "mon", "AA"),
+            (2, "Paris", "mon", "BA"),
+            (3, "Zurich", "tue", "AA"),
+        ],
+    )
+    builder.table("Friends", ["user", "friend"])
+    builder.rows("Friends", [("alice", "bob"), ("bob", "alice")])
+    return builder.build()
+
+
+def _setup():
+    return ConsistentSetup("Flights", ("destination", "day"), ("Friends",))
+
+
+class TestLowering:
+    def test_friend_slot_shape(self):
+        db = _db()
+        q = ConsistentQuery("alice", {"airline": "AA"}, [FriendSlot()])
+        lowered = to_entangled(q, _setup(), db)
+        # {R(y0, f0)} R(x, alice) :- Flights(x,...), Friends(alice, f0),
+        #                            Flights(y0, ...)
+        assert len(lowered.postconditions) == 1
+        assert len(lowered.head) == 1
+        assert len(lowered.body) == 3
+        assert lowered.body[1].relation == "Friends"
+
+    def test_named_partner_shape(self):
+        db = _db()
+        q = ConsistentQuery("alice", {}, [NamedPartner("bob")])
+        lowered = to_entangled(q, _setup(), db)
+        assert len(lowered.body) == 2  # own S-atom + partner S-atom
+        # Postcondition carries the constant partner name.
+        assert lowered.postconditions[0].terms[1].value == "bob"
+
+    def test_same_tuple_partner_reuses_key_variable(self):
+        db = _db()
+        q = ConsistentQuery("alice", {}, [NamedPartner("bob", same_tuple=True)])
+        lowered = to_entangled(q, _setup(), db)
+        assert lowered.postconditions[0].terms[0] == lowered.head[0].terms[0]
+        assert len(lowered.body) == 1  # no separate partner atom
+
+    def test_k_friends_not_expressible(self):
+        db = _db()
+        q = ConsistentQuery("alice", {}, [FriendSlot(count=2)])
+        with pytest.raises(MalformedQueryError):
+            to_entangled(q, _setup(), db)
+
+    def test_coordination_attributes_shared(self):
+        db = _db()
+        q = ConsistentQuery("alice", {}, [NamedPartner("bob")])
+        lowered = to_entangled(q, _setup(), db)
+        own, partner = lowered.body
+        # destination and day positions share the same variable.
+        assert own.terms[1] == partner.terms[1]
+        assert own.terms[2] == partner.terms[2]
+        # airline positions differ.
+        assert own.terms[3] != partner.terms[3]
+
+    def test_lowered_set_is_unsafe_with_friend_slots(self):
+        # The hallmark of Section 5: friend postconditions R(y, f) unify
+        # with every head, so the set is unsafe.
+        db = _db()
+        queries = [
+            ConsistentQuery("alice", {}, [FriendSlot()]),
+            ConsistentQuery("bob", {}, [FriendSlot()]),
+        ]
+        lowered = lower_all(queries, _setup(), db)
+        graph = CoordinationGraph.build(lowered)
+        assert not safety_report(graph).is_safe
+
+
+class TestDefinitions789:
+    def test_classification_of_canonical_query(self):
+        db = _db()
+        q = ConsistentQuery("alice", {"airline": "AA"}, [NamedPartner("bob")])
+        lowered = to_entangled(q, _setup(), db)
+        classes = classify_attributes(lowered, _setup(), db)
+        assert classes["destination"] == "coordinating"
+        assert classes["day"] == "coordinating"
+        assert classes["airline"] == "non-coordinating"
+
+    def test_is_a_consistent_for_lowered_queries(self):
+        db = _db()
+        for q in (
+            ConsistentQuery("alice", {}, [FriendSlot()]),
+            ConsistentQuery("alice", {"destination": "Paris"}, [NamedPartner("bob")]),
+            ConsistentQuery("alice", {"airline": "AA"}, []),
+        ):
+            lowered = to_entangled(q, _setup(), db)
+            assert is_a_consistent(lowered, _setup(), db), q
+
+    def test_wrong_attribute_set_not_consistent(self):
+        # Coordinating additionally on airline (Appendix B's relaxation)
+        # must be rejected by the A = {destination, day} check.
+        db = _db()
+        q = ConsistentQuery("alice", {}, [NamedPartner("bob")])
+        wrong_setup = ConsistentSetup("Flights", ("destination",), ("Friends",))
+        lowered = to_entangled(q, _setup(), db)  # shares day too
+        assert not is_a_consistent(lowered, wrong_setup, db)
+
+
+class TestCrossValidation:
+    """Consistent algorithm vs. Definition-1 semantics of lowered queries."""
+
+    def test_movies_outcome_is_a_definition1_witness(self):
+        db = movies_database()
+        setup = movies_setup()
+        queries = movies_queries()
+        result = consistent_coordinate(db, setup, queries)
+        assert result.found
+        lowered = lower_all(queries, setup, db)
+        witness = outcome_witness(result.chosen, queries, setup, db)
+        assert witness is not None
+        members = list(result.chosen.selections)
+        report = verify_coordinating_set(db, lowered, members, witness)
+        assert report.ok, report.reason
+
+    def test_existence_agrees_with_bruteforce(self):
+        db = _db()
+        setup = _setup()
+        cases = [
+            [
+                ConsistentQuery("alice", {}, [FriendSlot()]),
+                ConsistentQuery("bob", {}, [FriendSlot()]),
+            ],
+            [
+                ConsistentQuery("alice", {"destination": "Paris"}, [FriendSlot()]),
+                ConsistentQuery("bob", {"destination": "Zurich"}, [FriendSlot()]),
+            ],
+            [
+                ConsistentQuery("alice", {"destination": "Mars"}, []),
+            ],
+            [
+                ConsistentQuery("alice", {}, [NamedPartner("bob")]),
+                ConsistentQuery("bob", {"destination": "Zurich"}, []),
+            ],
+        ]
+        for queries in cases:
+            result = consistent_coordinate(db, setup, queries)
+            lowered = lower_all(queries, setup, db)
+            exact = find_coordinating_set(db, lowered)
+            assert result.found == (exact is not None), [str(q) for q in queries]
+
+    def test_outcome_witness_for_flight_case(self):
+        db = _db()
+        setup = _setup()
+        queries = [
+            ConsistentQuery("alice", {"airline": "AA"}, [FriendSlot()]),
+            ConsistentQuery("bob", {"airline": "BA"}, [FriendSlot()]),
+        ]
+        result = consistent_coordinate(db, setup, queries)
+        assert result.found
+        witness = outcome_witness(result.chosen, queries, setup, db)
+        assert witness is not None
+        lowered = lower_all(queries, setup, db)
+        report = verify_coordinating_set(
+            db, lowered, list(result.chosen.selections), witness
+        )
+        assert report.ok, report.reason

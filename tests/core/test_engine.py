@@ -1,0 +1,95 @@
+"""Unit tests for the online CoordinationEngine (Youtopia-style loop)."""
+
+import pytest
+
+from repro.core import CoordinationEngine, parse_query
+from repro.db import DatabaseBuilder
+from repro.errors import PreconditionError
+
+
+@pytest.fixture
+def db():
+    return (
+        DatabaseBuilder()
+        .table("Fl", ["flightId", "destination"], key="flightId")
+        .rows("Fl", [(1, "Zurich"), (2, "Paris")])
+        .build()
+    )
+
+
+class TestArrivals:
+    def test_first_arrival_waits(self, db):
+        engine = CoordinationEngine(db)
+        outcome = engine.submit(
+            parse_query("a: {P(x)} Q(x) :- Fl(x, 'Zurich')")
+        )
+        assert not outcome.coordinated
+        assert engine.pending() == ("a",)
+
+    def test_second_arrival_completes_pair(self, db):
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("a: {P(x)} Q(x) :- Fl(x, 'Zurich')"))
+        outcome = engine.submit(
+            parse_query("b: {Q(y)} P(y) :- Fl(y, 'Zurich')")
+        )
+        assert outcome.coordinated
+        assert set(outcome.satisfied) == {"a", "b"}
+        assert engine.pending() == ()
+
+    def test_self_sufficient_arrival_coordinates_alone(self, db):
+        engine = CoordinationEngine(db)
+        outcome = engine.submit(parse_query("a: {} Q(x) :- Fl(x, 'Zurich')"))
+        assert outcome.coordinated
+        assert outcome.satisfied == ("a",)
+
+    def test_unrelated_queries_evaluated_separately(self, db):
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("a: {P(x)} Q(x) :- Fl(x, 'Zurich')"))
+        outcome = engine.submit(parse_query("b: {} S(y) :- Fl(y, 'Paris')"))
+        # b's component is just b; it coordinates without touching a.
+        assert outcome.component == ("b",)
+        assert outcome.coordinated
+        assert engine.pending() == ("a",)
+
+    def test_duplicate_name_rejected(self, db):
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("a: {P(x)} Q(x) :- Fl(x, 'Zurich')"))
+        with pytest.raises(PreconditionError):
+            engine.submit(parse_query("a: {} S(y) :- Fl(y, 'Paris')"))
+
+    def test_unsafe_arrival_rejected_and_rolled_back(self, db):
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("a: {} R(x, A) :- Fl(x, 'Zurich')"))
+        engine.submit(parse_query("b: {R(y, f)} R(y2, B) :- Fl(y, f), Fl(y2, f)"))
+        # b's postcondition matches both a's and c's heads once c joins.
+        with pytest.raises(PreconditionError):
+            engine.submit(parse_query("c: {} R(z, C) :- Fl(z, 'Paris')"))
+        assert "c" not in engine.pending()
+
+    def test_flush_evaluates_remaining(self, db):
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("a: {P(x)} Q(x) :- Fl(x, 'Zurich')"))
+        result = engine.flush()
+        # a's postcondition P has no provider: no coordinating set.
+        assert not result.found
+        assert engine.pending() == ("a",)
+
+    def test_satisfied_queries_are_deleted(self, db):
+        # Youtopia semantics (Section 6.1): once a coordinating set is
+        # found, its queries are deleted.  A self-sufficient query is
+        # answered immediately, so a *later* arrival that needed it is
+        # out of luck — order matters in the online setting.
+        engine = CoordinationEngine(db)
+        first = engine.submit(parse_query("tail: {} P(y) :- Fl(y, 'Zurich')"))
+        assert first.coordinated
+        late = engine.submit(parse_query("head: {P(x)} S(x) :- Fl(x, 'Zurich')"))
+        assert not late.coordinated
+        assert engine.pending() == ("head",)
+
+    def test_waiting_query_caught_by_later_provider(self, db):
+        # The reverse order works: head waits, tail completes the pair.
+        engine = CoordinationEngine(db)
+        engine.submit(parse_query("head: {P(x)} S(x) :- Fl(x, 'Zurich')"))
+        outcome = engine.submit(parse_query("tail: {} P(y) :- Fl(y, 'Zurich')"))
+        assert outcome.coordinated
+        assert set(outcome.satisfied) == {"head", "tail"}

@@ -1,0 +1,102 @@
+"""Unit tests for the Gupta et al. baseline (safe + unique sets)."""
+
+import pytest
+
+from repro.core import gupta_coordinate, parse_queries, verify_result_set
+from repro.db import DatabaseBuilder
+from repro.errors import PreconditionError
+
+
+@pytest.fixture
+def db():
+    return (
+        DatabaseBuilder()
+        .table("Fl", ["flightId", "destination"], key="flightId")
+        .rows("Fl", [(1, "Zurich"), (2, "Paris")])
+        .build()
+    )
+
+
+def _band(db_dest="Zurich"):
+    """Example 1: band members naming each other — safe and unique."""
+    return parse_queries(
+        f"""
+        chris: {{R(y1, Guy)}} R(x1, Chris) :- Fl(x1, '{db_dest}');
+        guy:   {{R(y2, Chris)}} R(x2, Guy) :- Fl(y2, '{db_dest}'), Fl(x2, '{db_dest}');
+        """
+    )
+
+
+class TestHappyPath:
+    def test_safe_unique_pair_coordinates(self, db):
+        queries = _band()
+        result = gupta_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.member_set() == {"chris", "guy"}
+        assert verify_result_set(db, queries, result.chosen).ok
+
+    def test_exactly_one_db_query(self, db):
+        result = gupta_coordinate(db, _band())
+        assert result.stats.db_queries == 1
+
+    def test_failure_when_no_matching_tuples(self, db):
+        queries = _band(db_dest="Atlantis")
+        result = gupta_coordinate(db, queries)
+        assert not result.found
+
+    def test_unification_binds_across_queries(self, db):
+        queries = _band()
+        result = gupta_coordinate(db, queries)
+        # chris's postcondition R(y1, Guy) unified with guy's head
+        # R(x2, Guy): both see the same flight id.
+        assert result.chosen.value_of("chris", "y1") == result.chosen.value_of(
+            "guy", "x2"
+        )
+
+
+class TestPreconditions:
+    def test_rejects_non_unique(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        with pytest.raises(PreconditionError, match="unique"):
+            gupta_coordinate(db, queries)
+
+    def test_rejects_unsafe(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x, f)} Q(x, A) :- Fl(x, f);
+            b: {Q(y, g)} P(y, B) :- Fl(y, g);
+            c: {Q(z, h)} P(z, C) :- Fl(z, h);
+            """
+        )
+        with pytest.raises(PreconditionError, match="safe"):
+            gupta_coordinate(db, queries)
+
+    def test_check_can_be_disabled(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        result = gupta_coordinate(db, queries, check_preconditions=False)
+        # Outside its contract the baseline may still succeed here: the
+        # one matching head per postcondition exists.
+        assert result.found
+
+    def test_unmatched_postcondition_fails_whole_set(self, db):
+        queries = parse_queries(
+            """
+            a: {Gone(x)} Q(x) :- Fl(x, 'Zurich');
+            """
+        )
+        result = gupta_coordinate(db, queries, check_preconditions=False)
+        assert not result.found
+
+    def test_empty_set(self, db):
+        result = gupta_coordinate(db, [])
+        assert not result.found

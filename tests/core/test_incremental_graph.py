@@ -1,0 +1,123 @@
+"""Property tests: incremental graph maintenance equals batch building.
+
+``CoordinationGraph.with_query`` must produce, arrival by arrival,
+exactly the graph that ``CoordinationGraph.build`` produces on the
+whole set — same collapsed edges, same extended edge multiset, same
+safety verdicts.  Exercised with the deterministic paper workloads and
+with hypothesis-generated random partner structures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoordinationGraph, safety_report
+from repro.errors import MalformedQueryError
+from repro.networks import member_name
+from repro.workloads import partner_query, vacation_queries
+
+
+def _edge_multiset(graph: CoordinationGraph):
+    return sorted(
+        (e.source, e.post_index, e.target, e.head_index)
+        for e in graph.extended_edges
+    )
+
+
+def _collapsed(graph: CoordinationGraph):
+    return {
+        name: frozenset(graph.graph.successors(name)) for name in graph.names()
+    }
+
+
+class TestDeterministicWorkloads:
+    def test_vacation_queries_incremental(self):
+        queries = vacation_queries()
+        batch = CoordinationGraph.build(queries)
+        incremental = CoordinationGraph.build([])
+        for query in queries:
+            incremental = incremental.with_query(query)
+        assert _edge_multiset(incremental) == _edge_multiset(batch)
+        assert _collapsed(incremental) == _collapsed(batch)
+
+    def test_order_does_not_matter(self):
+        queries = vacation_queries()
+        forward = CoordinationGraph.build([])
+        for query in queries:
+            forward = forward.with_query(query)
+        backward = CoordinationGraph.build([])
+        for query in reversed(queries):
+            backward = backward.with_query(query)
+        assert _edge_multiset(forward) == _edge_multiset(backward)
+
+    def test_duplicate_rejected(self):
+        queries = vacation_queries()
+        graph = CoordinationGraph.build(queries)
+        with pytest.raises(MalformedQueryError):
+            graph.with_query(queries[0])
+
+    def test_receiver_not_mutated(self):
+        queries = vacation_queries()
+        base = CoordinationGraph.build(queries[:2])
+        before_edges = _edge_multiset(base)
+        base.with_query(queries[2])
+        assert _edge_multiset(base) == before_edges
+        assert set(base.names()) == {"qC", "qG"}
+
+    def test_branching_from_same_base(self):
+        # Two different extensions of one base must not interfere
+        # (the head index is copied, not shared).
+        queries = vacation_queries()
+        base = CoordinationGraph.build(queries[:2])
+        left = base.with_query(queries[2])   # + qJ
+        right = base.with_query(queries[3])  # + qW
+        assert "qW" not in left.names()
+        assert "qJ" not in right.names()
+        # left must have no edges touching qW and vice versa.
+        assert all(
+            e.source != "qW" and e.target != "qW" for e in left.extended_edges
+        )
+        assert all(
+            e.source != "qJ" and e.target != "qJ" for e in right.extended_edges
+        )
+
+    def test_safety_agrees(self):
+        queries = vacation_queries()
+        batch = CoordinationGraph.build(queries)
+        incremental = CoordinationGraph.build([])
+        for query in queries:
+            incremental = incremental.with_query(query)
+        assert (
+            safety_report(incremental).is_safe == safety_report(batch).is_safe
+        )
+
+
+@st.composite
+def _partner_structures(draw):
+    n = draw(st.integers(min_value=1, max_value=7))
+    partner_lists = []
+    for i in range(n):
+        others = [j for j in range(n) if j != i]
+        partners = draw(
+            st.lists(st.sampled_from(others), unique=True, max_size=3)
+            if others
+            else st.just([])
+        )
+        partner_lists.append(partners)
+    return partner_lists
+
+
+class TestRandomStructures:
+    @given(_partner_structures())
+    @settings(max_examples=80, deadline=None)
+    def test_incremental_equals_batch(self, partner_lists):
+        queries = [
+            partner_query(member_name(i), [member_name(p) for p in partners])
+            for i, partners in enumerate(partner_lists)
+        ]
+        batch = CoordinationGraph.build(queries)
+        incremental = CoordinationGraph.build([])
+        for query in queries:
+            incremental = incremental.with_query(query)
+        assert _edge_multiset(incremental) == _edge_multiset(batch)
+        assert _collapsed(incremental) == _collapsed(batch)

@@ -1,0 +1,210 @@
+"""End-to-end reproduction of every worked example in the paper.
+
+Each test maps to a specific section/figure so a reviewer can check the
+reproduction claim by claim:
+
+* Section 2.1 — Gwyneth & Chris fly to Zurich (choose-1 semantics);
+* Section 2.2 / Figures 1–2 — the flight–hotel vacation scenario;
+* Example 1 — safety/uniqueness of the band's queries, with and
+  without Gwyneth;
+* Section 4 — the components-graph walkthrough (q1..q6);
+* Section 5 — the movies example, option lists and cleaning traces.
+"""
+
+import pytest
+
+from repro.core import (
+    CoordinationGraph,
+    consistent_coordinate,
+    find_maximum_coordinating_set,
+    gupta_coordinate,
+    is_unique,
+    parse_queries,
+    safety_report,
+    scc_coordinate,
+    verify_result_set,
+)
+from repro.db import DatabaseBuilder
+from repro.errors import PreconditionError
+from repro.workloads import (
+    expected_coordination_edges,
+    expected_option_lists,
+    movies_database,
+    movies_queries,
+    movies_setup,
+    vacation_database,
+    vacation_queries,
+)
+
+
+class TestSection21Gwyneth:
+    """The introductory example of entangled-query semantics."""
+
+    @pytest.fixture
+    def db(self):
+        return (
+            DatabaseBuilder()
+            .table("Flights", ["flightId", "destination"], key="flightId")
+            .rows("Flights", [(101, "Zurich")])
+            .build()
+        )
+
+    @pytest.fixture
+    def queries(self):
+        return parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+
+    def test_paper_witness_h(self, db, queries):
+        # "the queries form a coordinating set under the assignment h
+        # where h(y) = 101 and h(x) = 101."
+        result = scc_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.value_of("q1", "x") == 101
+        assert result.chosen.value_of("q2", "y") == 101
+
+    def test_choose_1_with_multiple_flights(self, queries):
+        # "even if there are multiple flights to Zurich ... only one
+        # flight number [is] chosen and returned."
+        db = (
+            DatabaseBuilder()
+            .table("Flights", ["flightId", "destination"], key="flightId")
+            .rows("Flights", [(101, "Zurich"), (102, "Zurich")])
+            .build()
+        )
+        result = scc_coordinate(db, queries)
+        assert result.chosen.value_of("q1", "x") == result.chosen.value_of(
+            "q2", "y"
+        )
+
+    def test_no_flight_no_coordination_for_gwyneth(self, queries):
+        db = (
+            DatabaseBuilder()
+            .table("Flights", ["flightId", "destination"], key="flightId")
+            .rows("Flights", [(5, "Paris")])
+            .build()
+        )
+        result = scc_coordinate(db, queries)
+        assert not result.found
+
+
+class TestSection22Vacation:
+    """Figures 1 and 2 and the Section 4 walkthrough."""
+
+    def test_figure_2_graph(self):
+        graph = CoordinationGraph.build(vacation_queries())
+        for name, successors in expected_coordination_edges().items():
+            assert graph.graph.successors(name) == successors
+
+    def test_sccs_are_the_papers(self):
+        from repro.graphs import condensation
+
+        graph = CoordinationGraph.build(vacation_queries())
+        cond = condensation(graph.graph)
+        members = {frozenset(c) for c in cond.components}
+        assert members == {
+            frozenset({"qC", "qG"}),
+            frozenset({"qJ"}),
+            frozenset({"qW"}),
+        }
+
+    def test_chris_guy_coordinate_jonny_will_fail(self):
+        db = vacation_database()
+        queries = vacation_queries()
+        result = scc_coordinate(db, queries)
+        assert result.chosen.member_set() == {"qC", "qG"}
+        assert verify_result_set(db, queries, result.chosen).ok
+        # qJ and qW never become candidates.
+        for candidate in result.candidates:
+            assert "qJ" not in candidate and "qW" not in candidate
+
+    def test_baseline_cannot_handle_it(self):
+        with pytest.raises(PreconditionError):
+            gupta_coordinate(vacation_database(), vacation_queries())
+
+    def test_maximum_is_chris_guy(self):
+        db = vacation_database()
+        maximum = find_maximum_coordinating_set(db, vacation_queries())
+        assert maximum.member_set() == {"qC", "qG"}
+
+
+class TestExample1Coldplay:
+    """Example 1: adding Gwyneth kills uniqueness but not safety."""
+
+    def _band(self, with_gwyneth: bool):
+        source = """
+            chris: {R(y1, Guy)} R(x1, Chris) :- Fl(x1, 'Zurich');
+            guy:   {R(y2, Chris)} R(x2, Guy) :- Fl(x2, 'Zurich');
+        """
+        if with_gwyneth:
+            source += (
+                "gwyneth: {R(y3, Chris)} R(x3, Gwyneth) :- Fl(x3, 'Zurich');"
+            )
+        return parse_queries(source)
+
+    def test_band_alone_safe_and_unique(self):
+        graph = CoordinationGraph.build(self._band(False))
+        assert safety_report(graph).is_safe
+        assert is_unique(graph)
+
+    def test_with_gwyneth_not_unique(self):
+        graph = CoordinationGraph.build(self._band(True))
+        assert safety_report(graph).is_safe
+        assert not is_unique(graph)
+
+    def test_scc_algorithm_covers_both(self):
+        db = (
+            DatabaseBuilder()
+            .table("Fl", ["flightId", "destination"], key="flightId")
+            .rows("Fl", [(1, "Zurich")])
+            .build()
+        )
+        for with_g in (False, True):
+            queries = self._band(with_g)
+            result = scc_coordinate(db, queries)
+            assert result.found
+            expected_size = 3 if with_g else 2
+            assert result.chosen.size == expected_size
+
+
+class TestSection5Movies:
+    """The movies walkthrough, including the cleaning traces."""
+
+    def test_option_lists(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        assert result.option_lists == expected_option_lists()
+
+    def test_cinemark_rejected_by_cleaning(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        assert ("Cinemark",) not in {c.value for c in result.candidates}
+
+    def test_regal_coordinating_set(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        regal = next(c for c in result.candidates if c.value == ("Regal",))
+        assert set(regal.users) == {"Chris", "Jonny", "Will"}
+
+    def test_guy_only_at_amc(self):
+        result = consistent_coordinate(
+            movies_database(), movies_setup(), movies_queries()
+        )
+        for candidate in result.candidates:
+            if "Guy" in candidate.users:
+                assert candidate.value == ("AMC",)
+
+    def test_will_is_not_chris_friend_yet_nameable(self):
+        # "Will is not a friend of Chris, yet it is possible for Chris
+        # to submit a query where the constant Will appears."
+        db = movies_database()
+        assert not db.contains("C", ("Chris", "Will"))
+        result = consistent_coordinate(db, movies_setup(), movies_queries())
+        regal = next(c for c in result.candidates if c.value == ("Regal",))
+        assert "Chris" in regal.users and "Will" in regal.users

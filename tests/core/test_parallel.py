@@ -1,0 +1,99 @@
+"""Tests for the parallel Consistent Coordination Algorithm.
+
+The paper's stated future work: check candidate values in parallel.
+The invariant is *exact agreement* with the serial implementation —
+same candidates, same chosen value, same groundings.
+"""
+
+import pytest
+
+from repro.core import (
+    ConsistentQuery,
+    FriendSlot,
+    consistent_coordinate,
+    consistent_coordinate_parallel,
+    partition_values,
+)
+from repro.workloads import (
+    flight_setup,
+    movies_database,
+    movies_queries,
+    movies_setup,
+    worst_case_database,
+    worst_case_queries,
+)
+
+
+class TestPartition:
+    def test_even_split(self):
+        values = [(i,) for i in range(6)]
+        chunks = partition_values(values, 3)
+        assert [len(c) for c in chunks] == [2, 2, 2]
+        assert [v for chunk in chunks for v in chunk] == values
+
+    def test_uneven_split(self):
+        values = [(i,) for i in range(7)]
+        chunks = partition_values(values, 3)
+        assert [len(c) for c in chunks] == [3, 2, 2]
+
+    def test_more_chunks_than_values(self):
+        values = [(1,), (2,)]
+        chunks = partition_values(values, 10)
+        assert len(chunks) == 2
+
+    def test_single_chunk(self):
+        values = [(1,), (2,)]
+        assert partition_values(values, 1) == [((1,), (2,))]
+
+
+class TestAgreementWithSerial:
+    def test_movies_example(self):
+        db = movies_database()
+        setup = movies_setup()
+        queries = movies_queries()
+        serial = consistent_coordinate(db, setup, queries)
+        parallel = consistent_coordinate_parallel(db, setup, queries, workers=2)
+        assert parallel.found == serial.found
+        assert [(c.value, c.users) for c in parallel.candidates] == [
+            (c.value, c.users) for c in serial.candidates
+        ]
+        assert parallel.chosen.value == serial.chosen.value
+        assert parallel.chosen.selections == serial.chosen.selections
+
+    def test_worst_case_workload(self):
+        db = worst_case_database(num_flights=12, num_users=5)
+        setup = flight_setup()
+        queries = worst_case_queries(5)
+        serial = consistent_coordinate(db, setup, queries)
+        parallel = consistent_coordinate_parallel(db, setup, queries, workers=3)
+        assert len(parallel.candidates) == len(serial.candidates) == 12
+        assert parallel.chosen.value == serial.chosen.value
+
+    def test_no_coordinating_set(self):
+        db = worst_case_database(num_flights=4, num_users=2)
+        setup = flight_setup()
+        # Two users, but neither is the other's friend? Complete graph
+        # makes them friends; instead require 3 friends: impossible.
+        queries = [
+            ConsistentQuery("traveller000", {}, [FriendSlot(count=3)]),
+            ConsistentQuery("traveller001", {}, [FriendSlot()]),
+        ]
+        serial = consistent_coordinate(db, setup, queries)
+        parallel = consistent_coordinate_parallel(db, setup, queries, workers=2)
+        assert not serial.found and not parallel.found
+
+    def test_single_worker_delegates_to_serial(self):
+        db = movies_database()
+        result = consistent_coordinate_parallel(
+            db, movies_setup(), movies_queries(), workers=1
+        )
+        assert result.found
+        # Serial path records cleaning rounds; parallel parent does not.
+        assert result.stats.cleaning_rounds > 0
+
+    def test_worker_count_recorded(self):
+        db = worst_case_database(num_flights=8, num_users=3)
+        result = consistent_coordinate_parallel(
+            db, flight_setup(), worst_case_queries(3), workers=2
+        )
+        assert result.stats.extra["workers"] == 2

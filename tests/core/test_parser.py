@@ -1,0 +1,137 @@
+"""Unit tests for the entangled-query text syntax."""
+
+import pytest
+
+from repro.core import parse_queries, parse_query
+from repro.errors import ParseError
+from repro.logic import Constant, Variable
+
+
+class TestTerms:
+    def test_lowercase_is_variable(self):
+        q = parse_query("{} R(x) :- T(x)")
+        assert q.head[0].terms[0] == Variable("x")
+
+    def test_uppercase_is_constant(self):
+        q = parse_query("{} R(Chris) :- ∅")
+        assert q.head[0].terms[0] == Constant("Chris")
+
+    def test_integers_are_constants(self):
+        q = parse_query("{} R(42) :- ∅")
+        assert q.head[0].terms[0] == Constant(42)
+
+    def test_negative_integer(self):
+        q = parse_query("{} R(-3) :- ∅")
+        assert q.head[0].terms[0] == Constant(-3)
+
+    def test_quoted_strings_are_constants(self):
+        q = parse_query("{} R('zurich airport') :- ∅")
+        assert q.head[0].terms[0] == Constant("zurich airport")
+
+    def test_double_quotes(self):
+        q = parse_query('{} R("Zurich") :- ∅')
+        assert q.head[0].terms[0] == Constant("Zurich")
+
+    def test_underscore_starts_variable(self):
+        q = parse_query("{} R(_tmp) :- ∅")
+        assert q.head[0].terms[0] == Variable("_tmp")
+
+
+class TestQueryStructure:
+    def test_paper_example(self):
+        q = parse_query("{R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich')")
+        assert q.postconditions[0].relation == "R"
+        assert q.postconditions[0].terms == (Constant("Chris"), Variable("x"))
+        assert q.head[0].terms == (Constant("Gwyneth"), Variable("x"))
+        assert q.body[0].relation == "Flights"
+
+    def test_empty_postconditions(self):
+        q = parse_query("{} R(Chris, y) :- Flights(y, 'Zurich')")
+        assert q.postconditions == ()
+
+    def test_empty_body_unicode(self):
+        q = parse_query("{C(1)} R(x) :- ∅")
+        assert q.body == ()
+
+    def test_empty_body_keyword(self):
+        q = parse_query("{C(1)} R(x) :- empty")
+        assert q.body == ()
+
+    def test_empty_body_nothing(self):
+        q = parse_query("{C(1)} R(x) :-")
+        assert q.body == ()
+
+    def test_multiple_heads(self):
+        q = parse_query("{} R(C, x1), Q(C, x2) :- F(x1, x), H(x2, x)")
+        assert len(q.head) == 2
+        assert len(q.body) == 2
+
+    def test_empty_head(self):
+        q = parse_query("{R(1)} :- ∅")
+        assert q.head == ()
+
+    def test_named_query(self):
+        q = parse_query("qC: {} R(C, x) :- F(x)")
+        assert q.name == "qC"
+
+    def test_default_name(self):
+        q = parse_query("{} R(x) :- T(x)", name="custom")
+        assert q.name == "custom"
+
+    def test_nullary_atom(self):
+        q = parse_query("{} Flag() :- ∅")
+        assert q.head[0].arity == 0
+
+
+class TestPrograms:
+    def test_multiple_queries(self):
+        queries = parse_queries(
+            """
+            q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+            """
+        )
+        assert [q.name for q in queries] == ["q1", "q2"]
+
+    def test_unnamed_queries_numbered(self):
+        queries = parse_queries("{} R(x) :- T(x); {} S(y) :- T(y)")
+        assert [q.name for q in queries] == ["q0", "q1"]
+
+    def test_empty_program(self):
+        assert parse_queries("") == []
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_query("{} R('oops) :- ∅")
+
+    def test_missing_entails(self):
+        with pytest.raises(ParseError):
+            parse_query("{} R(x) T(x)")
+
+    def test_missing_brace(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x)} S(x) :- T(x)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("{} R(x) :- T(x) garbage(")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_query("{} R(x) :- T(x) @")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_query("{} R(x :- T(x)")
+
+
+class TestRoundTrip:
+    def test_str_of_parsed_query_reparses(self):
+        source = "{R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich')"
+        q = parse_query(source)
+        again = parse_query(str(q))
+        assert again.postconditions == q.postconditions
+        assert again.head == q.head
+        assert again.body == q.body

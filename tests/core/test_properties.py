@@ -1,0 +1,151 @@
+"""Unit tests for safety, uniqueness, and single-connectedness."""
+
+from repro.core import (
+    CoordinationGraph,
+    is_safe,
+    is_safe_and_unique,
+    is_single_connected,
+    is_unique,
+    parse_queries,
+    postcondition_fanout,
+    safety_report,
+)
+from repro.workloads import vacation_queries
+
+
+class TestSafety:
+    def test_vacation_example_is_safe(self):
+        assert is_safe(vacation_queries())
+
+    def test_band_example_1_coldplay_alone_safe(self):
+        # Example 1: band members flying together, naming each other.
+        queries = parse_queries(
+            """
+            chris: {R(f1, Guy)} R(x, Chris) :- Fl(x);
+            guy:   {R(f2, Chris)} R(y, Guy) :- Fl(y);
+            """
+        )
+        assert is_safe(queries)
+
+    def test_band_example_1_gwyneth_breaks_uniqueness_not_safety(self):
+        # Gwyneth also wants to fly with Chris: still safe (each post
+        # unifies with exactly one head) but no longer unique.
+        queries = parse_queries(
+            """
+            chris:   {R(f1, Guy)} R(x, Chris) :- Fl(x);
+            guy:     {R(f2, Chris)} R(y, Guy) :- Fl(y);
+            gwyneth: {R(f3, Chris)} R(z, Gwyneth) :- Fl(z);
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        assert safety_report(graph).is_safe
+        assert not is_unique(graph)
+
+    def test_unsafe_when_post_matches_two_heads(self):
+        # A variable-partner postcondition matches both other heads.
+        queries = parse_queries(
+            """
+            a: {R(y, f)} R(x, A) :- Fr(A, f), T(x), T(y);
+            b: {} R(u, B) :- T(u);
+            c: {} R(v, C) :- T(v);
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        report = safety_report(graph)
+        assert not report.is_safe
+        assert report.unsafe_queries() == ("a",)
+        assert report.violations[0][2] >= 2  # at least two matching heads
+
+    def test_fanout_counts(self):
+        queries = parse_queries(
+            """
+            a: {P(x)} S(x) :- T(x);
+            b: {} P(y) :- T(y);
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        fanout = postcondition_fanout(graph)
+        assert fanout[("a", 0)] == 1
+
+    def test_zero_fanout_is_safe_but_unsatisfiable(self):
+        queries = parse_queries("a: {Nope(1)} S(x) :- T(x)")
+        graph = CoordinationGraph.build(queries)
+        assert safety_report(graph).is_safe
+        assert postcondition_fanout(graph)[("a", 0)] == 0
+
+
+class TestUniqueness:
+    def test_vacation_example_not_unique(self):
+        graph = CoordinationGraph.build(vacation_queries())
+        assert not is_unique(graph)
+
+    def test_two_cycle_is_unique(self):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- T(x);
+            b: {Q(y)} P(y) :- T(y);
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        assert is_unique(graph)
+        assert is_safe_and_unique(queries)
+
+    def test_single_query_trivially_unique(self):
+        queries = parse_queries("a: {} P(x) :- T(x)")
+        assert is_unique(CoordinationGraph.build(queries))
+
+    def test_list_structure_not_unique(self):
+        queries = parse_queries(
+            """
+            a: {P2(x)} P1(x) :- T(x);
+            b: {} P2(y) :- T(y);
+            """
+        )
+        assert not is_unique(CoordinationGraph.build(queries))
+
+
+class TestSingleConnectedness:
+    def test_chain_is_single_connected(self):
+        queries = parse_queries(
+            """
+            a: {P2(x)} P1(x) :- T(x);
+            b: {P3(y)} P2(y) :- T(y);
+            c: {} P3(z) :- T(z);
+            """
+        )
+        assert is_single_connected(CoordinationGraph.build(queries))
+
+    def test_two_postconditions_disqualify(self):
+        queries = parse_queries(
+            """
+            a: {P2(x), P3(x)} P1(x) :- T(x);
+            b: {} P2(y) :- T(y);
+            c: {} P3(z) :- T(z);
+            """
+        )
+        assert not is_single_connected(CoordinationGraph.build(queries))
+
+    def test_diamond_paths_disqualify(self):
+        # a's single postcondition reaches d via b and via c.
+        queries = parse_queries(
+            """
+            a: {M(x)} A(x) :- T(x);
+            b: {D(y)} M(y) :- T(y);
+            c: {D(z)} M(z) :- T(z);
+            d: {} D(w) :- T(w);
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        # a -> b and a -> c (unsafe fanout), b -> d, c -> d: two simple
+        # paths a..d.
+        assert not is_single_connected(graph)
+
+    def test_fanout_to_disjoint_targets_is_single_connected(self):
+        queries = parse_queries(
+            """
+            a: {M(x)} A(x) :- T(x);
+            b: {} M(y) :- T(y);
+            c: {} M(z) :- T(z);
+            """
+        )
+        assert is_single_connected(CoordinationGraph.build(queries))

@@ -1,0 +1,53 @@
+"""Property test: printing and re-parsing an entangled query round-trips.
+
+``str(EntangledQuery)`` uses the same textual syntax the parser reads,
+so for any query whose variables are plain (non-namespaced, lowercase)
+the composition parse ∘ str must be the identity on all three parts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EntangledQuery, parse_query
+from repro.logic import Atom, Constant, Variable
+
+_variables = st.sampled_from(["x", "y", "z", "w1", "k2"]).map(Variable)
+_constants = st.one_of(
+    st.integers(min_value=-50, max_value=999).map(Constant),
+    st.sampled_from(["Paris", "Zurich", "Chris", "G7"]).map(Constant),
+    st.sampled_from(["lower case", "quoted-value", "1abc"]).map(Constant),
+)
+_terms = st.one_of(_variables, _constants)
+_relations = st.sampled_from(["R", "Q", "Flights", "C1"])
+
+_atoms = st.builds(
+    Atom,
+    _relations,
+    st.lists(_terms, min_size=0, max_size=3),
+)
+
+
+@st.composite
+def _queries(draw):
+    posts = draw(st.lists(_atoms, max_size=3))
+    head = draw(st.lists(_atoms, max_size=2))
+    body = draw(st.lists(_atoms, max_size=3))
+    if not (posts or head or body):
+        head = [draw(_atoms)]
+    return EntangledQuery("q", posts, head, body)
+
+
+@given(_queries())
+@settings(max_examples=300)
+def test_parse_of_str_is_identity(query):
+    reparsed = parse_query(str(query), name="q")
+    assert reparsed.postconditions == query.postconditions
+    assert reparsed.head == query.head
+    assert reparsed.body == query.body
+
+
+@given(_queries())
+@settings(max_examples=100)
+def test_standardization_commutes_with_round_trip(query):
+    reparsed = parse_query(str(query), name="q")
+    assert reparsed.standardized().variables() == query.standardized().variables()

@@ -1,0 +1,109 @@
+"""Unit tests for the EntangledQuery type."""
+
+import pytest
+
+from repro.core import EntangledQuery, check_distinct_names, validate_query_set
+from repro.db import Schema
+from repro.errors import MalformedQueryError
+from repro.logic import Atom, var
+
+
+def _gwyneth() -> EntangledQuery:
+    return EntangledQuery(
+        "q1",
+        postconditions=[Atom("R", ["Chris", var("x")])],
+        head=[Atom("R", ["Gwyneth", var("x")])],
+        body=[Atom("Flights", [var("x"), "Zurich"])],
+    )
+
+
+class TestConstruction:
+    def test_basic_structure(self):
+        q = _gwyneth()
+        assert q.name == "q1"
+        assert len(q.postconditions) == 1
+        assert len(q.head) == 1
+        assert len(q.body) == 1
+
+    def test_requires_name(self):
+        with pytest.raises(MalformedQueryError):
+            EntangledQuery("", head=[Atom("R", [1])])
+
+    def test_requires_some_atom(self):
+        with pytest.raises(MalformedQueryError):
+            EntangledQuery("q")
+
+    def test_empty_head_allowed(self):
+        # Theorem 1's xi-False query can have an empty head.
+        q = EntangledQuery("q", postconditions=[Atom("R", [1])])
+        assert q.head == ()
+
+    def test_answer_and_body_relations(self):
+        q = _gwyneth()
+        assert q.answer_relations() == {"R"}
+        assert q.body_relations() == {"Flights"}
+
+    def test_variables(self):
+        q = _gwyneth()
+        assert q.variables() == frozenset({var("x")})
+
+    def test_free_variables(self):
+        q = EntangledQuery(
+            "q",
+            head=[Atom("R", [var("x"), var("free")])],
+            body=[Atom("T", [var("x")])],
+        )
+        assert q.free_variables() == frozenset({var("free")})
+
+    def test_str_empty_body_shows_empty_set(self):
+        q = EntangledQuery("q", head=[Atom("C", [1])])
+        assert "∅" in str(q)
+
+
+class TestValidation:
+    def test_valid_against_schema(self):
+        schema = Schema().relation("Flights", ["id", "dest"])
+        _gwyneth().validate(schema)
+
+    def test_body_relation_must_exist(self):
+        schema = Schema().relation("Other", ["a"])
+        with pytest.raises(MalformedQueryError):
+            _gwyneth().validate(schema)
+
+    def test_answer_relation_must_not_collide(self):
+        schema = Schema().relation("Flights", ["id", "dest"]).relation("R", ["a", "b"])
+        with pytest.raises(MalformedQueryError):
+            _gwyneth().validate(schema)
+
+    def test_duplicate_names_rejected(self):
+        q = _gwyneth()
+        with pytest.raises(MalformedQueryError):
+            check_distinct_names([q, q])
+
+    def test_validate_query_set(self):
+        schema = Schema().relation("Flights", ["id", "dest"])
+        queries = validate_query_set([_gwyneth()], schema)
+        assert len(queries) == 1
+
+
+class TestStandardization:
+    def test_standardized_namespaces_all_parts(self):
+        std = _gwyneth().standardized()
+        for atom_list in (std.postconditions, std.head, std.body):
+            for atom in atom_list:
+                for variable in atom.variables():
+                    assert variable.namespace == "q1"
+
+    def test_standardized_custom_namespace(self):
+        std = _gwyneth().standardized("ns")
+        assert all(v.namespace == "ns" for v in std.variables())
+
+    def test_shared_variable_stays_shared(self):
+        std = _gwyneth().standardized()
+        # x appears in postcondition, head and body: all become q1.x.
+        assert std.variables() == frozenset({var("x", "q1")})
+
+    def test_original_untouched(self):
+        q = _gwyneth()
+        q.standardized()
+        assert q.variables() == frozenset({var("x")})

@@ -1,0 +1,76 @@
+"""Unit tests for result types (CoordinatingSet & friends)."""
+
+from repro.core import CoordinatingSet, CoordinationResult, GroundedView
+from repro.db import CoordinationStats
+from repro.logic import GroundAtom, Variable
+
+
+def _sample_set():
+    return CoordinatingSet(
+        members=("q1", "q2"),
+        assignment={
+            Variable("x", "q1"): 101,
+            Variable("y", "q2"): 101,
+        },
+    )
+
+
+class TestCoordinatingSet:
+    def test_size_and_membership(self):
+        cs = _sample_set()
+        assert cs.size == 2
+        assert len(cs) == 2
+        assert "q1" in cs and "zzz" not in cs
+        assert cs.member_set() == frozenset({"q1", "q2"})
+
+    def test_value_of_uses_namespaces(self):
+        cs = _sample_set()
+        assert cs.value_of("q1", "x") == 101
+        assert cs.value_of("q2", "y") == 101
+
+    def test_str_sorted(self):
+        cs = CoordinatingSet(("b", "a"), {})
+        assert str(cs) == "{a, b}"
+
+
+class TestCoordinationResult:
+    def test_found_flag(self):
+        empty = CoordinationResult(None)
+        assert not empty.found
+        assert empty.sizes() == []
+        full = CoordinationResult(_sample_set(), [_sample_set()])
+        assert full.found
+        assert full.sizes() == [2]
+
+    def test_default_stats(self):
+        result = CoordinationResult(None)
+        assert isinstance(result.stats, CoordinationStats)
+        assert result.stats.db_queries == 0
+
+
+class TestGroundedView:
+    def test_satisfied(self):
+        view = GroundedView(
+            postconditions=(GroundAtom("R", (1,)),),
+            heads=(GroundAtom("R", (1,)), GroundAtom("Q", (2,))),
+        )
+        assert view.satisfied()
+
+    def test_unsatisfied(self):
+        view = GroundedView(
+            postconditions=(GroundAtom("R", (1,)),),
+            heads=(GroundAtom("R", (2,)),),
+        )
+        assert not view.satisfied()
+
+    def test_empty_postconditions_vacuous(self):
+        assert GroundedView((), ()).satisfied()
+
+
+class TestCoordinationStats:
+    def test_as_dict_includes_extra(self):
+        stats = CoordinationStats(db_queries=3)
+        stats.extra["custom"] = 7
+        data = stats.as_dict()
+        assert data["db_queries"] == 3
+        assert data["custom"] == 7

@@ -1,0 +1,269 @@
+"""Unit tests for the SCC Coordination Algorithm (Section 4)."""
+
+import pytest
+
+from repro.core import (
+    CoordinationGraph,
+    containing_query,
+    find_coordinating_set,
+    parse_queries,
+    preprocess,
+    scc_coordinate,
+    verify_result_set,
+)
+from repro.db import DatabaseBuilder, unary_boolean_database
+from repro.errors import PreconditionError
+from repro.workloads import list_workload, members_database, vacation_database, vacation_queries
+
+
+@pytest.fixture
+def db():
+    return (
+        DatabaseBuilder()
+        .table("Fl", ["flightId", "destination"], key="flightId")
+        .rows("Fl", [(1, "Zurich"), (2, "Paris")])
+        .build()
+    )
+
+
+class TestVacationExample:
+    """Section 4's walkthrough of the flight–hotel scenario."""
+
+    def test_finds_chris_and_guy(self):
+        db = vacation_database()
+        queries = vacation_queries()
+        result = scc_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.member_set() == {"qC", "qG"}
+        assert verify_result_set(db, queries, result.chosen).ok
+
+    def test_three_components(self):
+        db = vacation_database()
+        result = scc_coordinate(db, vacation_queries())
+        assert result.stats.scc_count == 3
+
+    def test_flight_and_hotel_agree(self):
+        db = vacation_database()
+        result = scc_coordinate(db, vacation_queries())
+        chosen = result.chosen
+        # Chris and Guy share the flight and the hotel.
+        assert chosen.value_of("qC", "x1") == chosen.value_of("qG", "y1")
+        assert chosen.value_of("qC", "x2") == chosen.value_of("qG", "y2")
+        # And they are Paris bookings.
+        assert db.contains("F", (chosen.value_of("qG", "y1"), "Paris"))
+        assert db.contains("H", (chosen.value_of("qG", "y2"), "Paris"))
+
+    def test_at_most_one_db_query_per_component(self):
+        db = vacation_database()
+        result = scc_coordinate(db, vacation_queries())
+        assert result.stats.db_queries <= result.stats.scc_count
+
+
+class TestNonUniqueSets:
+    def test_dropping_uniqueness_works(self, db):
+        # The Gupta baseline rejects this; the SCC algorithm handles it.
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        result = scc_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.member_set() == {"a", "b"}
+
+    def test_example_1_gwyneth(self, db):
+        queries = parse_queries(
+            """
+            chris:   {R(y1, Guy)} R(x1, Chris) :- Fl(x1, 'Zurich');
+            guy:     {R(y2, Chris)} R(x2, Guy) :- Fl(x2, 'Zurich');
+            gwyneth: {R(y3, Chris)} R(x3, Gwyneth) :- Fl(x3, 'Zurich');
+            """
+        )
+        result = scc_coordinate(db, queries)
+        assert result.found
+        # The largest candidate includes everyone.
+        assert result.chosen.member_set() == {"chris", "guy", "gwyneth"}
+
+    def test_candidate_list_matches_paper_shape(self, db):
+        # Components graph: (q3+q4) -> (q1+q2) <- (q5+q6): the algorithm
+        # records {q1,q2}, {q1..q4}, {q1,q2,q5,q6} but NOT the union.
+        queries = parse_queries(
+            """
+            q1: {P2(a)} P1(a) :- Fl(a, 'Zurich');
+            q2: {P1(b)} P2(b) :- Fl(b, 'Zurich');
+            q3: {P4(c), P1(c2)} P3(c) :- Fl(c, 'Zurich');
+            q4: {P3(d)} P4(d) :- Fl(d, 'Zurich');
+            q5: {P6(e), P2(e2)} P5(e) :- Fl(e, 'Zurich');
+            q6: {P5(f)} P6(f) :- Fl(f, 'Zurich');
+            """
+        )
+        result = scc_coordinate(db, queries)
+        families = {c.member_set() for c in result.candidates}
+        assert families == {
+            frozenset({"q1", "q2"}),
+            frozenset({"q1", "q2", "q3", "q4"}),
+            frozenset({"q1", "q2", "q5", "q6"}),
+        }
+        assert result.chosen.size == 4
+
+    def test_selection_criterion_vip(self, db):
+        queries = parse_queries(
+            """
+            q1: {P2(a)} P1(a) :- Fl(a, 'Zurich');
+            q2: {P1(b)} P2(b) :- Fl(b, 'Zurich');
+            q3: {P4(c), P1(c2)} P3(c) :- Fl(c, 'Zurich');
+            q4: {P3(d)} P4(d) :- Fl(d, 'Zurich');
+            q5: {P6(e), P2(e2)} P5(e) :- Fl(e, 'Zurich');
+            q6: {P5(f)} P6(f) :- Fl(f, 'Zurich');
+            """
+        )
+        result = scc_coordinate(db, queries, choose=containing_query("q5"))
+        assert "q5" in result.chosen
+
+    def test_failure_propagates_to_dependents(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Fl(x, 'Atlantis');
+            b: {Q(y)} P(y) :- Fl(y, 'Atlantis');
+            c: {P(z)} S(z) :- Fl(z, 'Zurich');
+            """
+        )
+        result = scc_coordinate(db, queries)
+        assert not result.found
+
+    def test_independent_components_all_candidates(self, db):
+        queries = parse_queries(
+            """
+            a: {} P(x) :- Fl(x, 'Zurich');
+            b: {} Q(y) :- Fl(y, 'Paris');
+            """
+        )
+        result = scc_coordinate(db, queries)
+        assert len(result.candidates) == 2
+        assert result.chosen.size == 1  # both candidates are singletons
+
+
+class TestPreprocessing:
+    def test_unmatched_postcondition_removed(self, db):
+        queries = parse_queries(
+            """
+            a: {Gone(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        pre = preprocess(graph)
+        assert pre.removed == ("a",)
+        result = scc_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.member_set() == {"b"}
+        assert result.stats.preprocessing_removed == 1
+
+    def test_cascading_removal(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x)} A(x) :- Fl(x, 'Zurich');
+            b: {Gone(y)} P(y) :- Fl(y, 'Zurich');
+            c: {} C(z) :- Fl(z, 'Zurich');
+            """
+        )
+        graph = CoordinationGraph.build(queries)
+        pre = preprocess(graph)
+        assert set(pre.removed) == {"a", "b"}
+        result = scc_coordinate(db, queries)
+        assert result.chosen.member_set() == {"c"}
+
+    def test_cycle_survives_preprocessing(self, db):
+        queries = parse_queries(
+            """
+            a: {P(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {Q(y)} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        pre = preprocess(CoordinationGraph.build(queries))
+        assert pre.removed == ()
+
+    def test_preprocessing_saves_db_queries(self, db):
+        queries = parse_queries(
+            """
+            a: {Gone(x)} Q(x) :- Fl(x, 'Zurich');
+            b: {} P(y) :- Fl(y, 'Zurich');
+            """
+        )
+        with_pre = scc_coordinate(db, queries, run_preprocessing=True)
+        without = scc_coordinate(db, queries, run_preprocessing=False)
+        assert with_pre.stats.db_queries < without.stats.db_queries or (
+            with_pre.stats.db_queries <= without.stats.db_queries
+        )
+        # Without preprocessing the doomed component still fails safely.
+        assert without.found and without.chosen.member_set() == {"b"}
+
+
+class TestGuarantees:
+    def test_safety_required(self, db):
+        queries = parse_queries(
+            """
+            a: {R(y, f)} R(x, A) :- Fl(x, f), Fl(y, f);
+            b: {} R(u, B) :- Fl(u, 'Zurich');
+            c: {} R(v, C) :- Fl(v, 'Paris');
+            """
+        )
+        with pytest.raises(PreconditionError):
+            scc_coordinate(db, queries)
+
+    def test_agrees_with_bruteforce_existence_on_examples(self, db):
+        cases = [
+            "a: {P(x)} Q(x) :- Fl(x, 'Zurich'); b: {Q(y)} P(y) :- Fl(y, 'Zurich')",
+            "a: {P(x)} Q(x) :- Fl(x, 'Zurich'); b: {Q(y)} P(y) :- Fl(y, 'Paris')",
+            "a: {P(x)} Q(x) :- Fl(x, 'Rome'); b: {} P(y) :- Fl(y, 'Rome')",
+            "a: {} Q(x) :- Fl(x, 'Zurich')",
+        ]
+        for source in cases:
+            queries = parse_queries(source)
+            exact = find_coordinating_set(db, queries)
+            ours = scc_coordinate(db, queries)
+            assert (exact is not None) == ours.found, source
+
+    def test_all_candidates_verify(self):
+        db = members_database(200)
+        queries = list_workload(12)
+        result = scc_coordinate(db, queries)
+        for candidate in result.candidates:
+            assert verify_result_set(db, queries, candidate).ok
+
+    def test_db_query_bound(self):
+        db = members_database(200)
+        queries = list_workload(25)
+        result = scc_coordinate(db, queries)
+        # Paper: at most |Q| database queries.
+        assert result.stats.db_queries <= len(queries)
+        # List structure: every query is its own SCC -> equality.
+        assert result.stats.db_queries == len(queries)
+
+    def test_empty_input(self, db):
+        result = scc_coordinate(db, [])
+        assert not result.found
+        assert result.candidates == []
+
+    def test_unary_theorem2_shape(self):
+        """On a Theorem-2 style safe instance, candidates are R(q) sets."""
+        db = unary_boolean_database()
+        queries = parse_queries(
+            """
+            val: {} R1(x) :- D(x);
+            c0:  {R1(1)} C0(1) :- ∅;
+            c1:  {R1(0)} C1(1) :- ∅;
+            """
+        )
+        result = scc_coordinate(db, queries)
+        families = {c.member_set() for c in result.candidates}
+        # Each clause query's R(q) = itself + val; val alone also works.
+        assert families == {
+            frozenset({"val"}),
+            frozenset({"val", "c0"}),
+            frozenset({"val", "c1"}),
+        }
+        # Maximum over R(q) is size 2 even though {val,c0,c1} is never
+        # coordinating anyway (R1 grounded to both 0 and 1 impossible).
+        assert result.chosen.size == 2

@@ -1,0 +1,120 @@
+"""Unit tests for Definition 1 (coordinating-set verification)."""
+
+import pytest
+
+from repro.core import (
+    complete_assignment,
+    grounded_view,
+    parse_queries,
+    parse_query,
+    verify_coordinating_set,
+)
+from repro.db import DatabaseBuilder
+from repro.logic import Variable
+
+
+@pytest.fixture
+def db():
+    return (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich"), (102, "Paris")])
+        .build()
+    )
+
+
+@pytest.fixture
+def pair():
+    return parse_queries(
+        """
+        q1: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+        q2: {} R(Chris, y) :- Flights(y, 'Zurich');
+        """
+    )
+
+
+class TestVerification:
+    def test_valid_set(self, db, pair):
+        assignment = {Variable("x", "q1"): 101, Variable("y", "q2"): 101}
+        assert verify_coordinating_set(db, pair, ["q1", "q2"], assignment)
+
+    def test_q2_alone_is_coordinating(self, db, pair):
+        assignment = {Variable("y", "q2"): 101}
+        assert verify_coordinating_set(db, pair, ["q2"], assignment)
+
+    def test_q1_alone_fails_condition_3(self, db, pair):
+        # q1's postcondition R(Chris, 101) has no matching head.
+        assignment = {Variable("x", "q1"): 101}
+        report = verify_coordinating_set(db, pair, ["q1"], assignment)
+        assert not report.ok
+        assert "postcondition" in report.reason
+
+    def test_unassigned_variable_fails_condition_1(self, db, pair):
+        report = verify_coordinating_set(db, pair, ["q2"], {})
+        assert not report.ok
+        assert "unassigned" in report.reason
+
+    def test_body_atom_not_in_instance_fails_condition_2(self, db, pair):
+        assignment = {Variable("y", "q2"): 102}  # flight 102 goes to Paris
+        report = verify_coordinating_set(db, pair, ["q2"], assignment)
+        assert not report.ok
+        assert "body" in report.reason
+
+    def test_mismatched_groundings_fail_condition_3(self, db, pair):
+        db.insert("Flights", (103, "Zurich"))
+        assignment = {Variable("x", "q1"): 101, Variable("y", "q2"): 103}
+        report = verify_coordinating_set(db, pair, ["q1", "q2"], assignment)
+        assert not report.ok
+
+    def test_empty_set_rejected(self, db, pair):
+        assert not verify_coordinating_set(db, pair, [], {}).ok
+
+    def test_unknown_member_rejected(self, db, pair):
+        assert not verify_coordinating_set(db, pair, ["zzz"], {}).ok
+
+    def test_postcondition_can_match_own_head(self, db):
+        # Condition 3 is about the set's heads as a whole, including the
+        # query's own.
+        query = parse_query("selfq: {R(x)} R(x) :- Flights(x, 'Zurich')")
+        assignment = {Variable("x", "selfq"): 101}
+        assert verify_coordinating_set(db, [query], ["selfq"], assignment)
+
+
+class TestGroundedView:
+    def test_view_contents(self, db, pair):
+        by_name = {q.name: q for q in pair}
+        assignment = {Variable("x", "q1"): 101, Variable("y", "q2"): 101}
+        view = grounded_view(by_name, ["q1", "q2"], assignment)
+        assert len(view.postconditions) == 1
+        assert len(view.heads) == 2
+        assert view.satisfied()
+
+    def test_view_detects_violation(self, db, pair):
+        db.insert("Flights", (103, "Zurich"))
+        by_name = {q.name: q for q in pair}
+        assignment = {Variable("x", "q1"): 101, Variable("y", "q2"): 103}
+        view = grounded_view(by_name, ["q1", "q2"], assignment)
+        assert not view.satisfied()
+
+
+class TestCompleteAssignment:
+    def test_fills_free_variables_from_domain(self, db):
+        query = parse_query("q: {} R(x, free) :- Flights(x, 'Zurich')")
+        by_name = {"q": query}
+        partial = {Variable("x", "q"): 101}
+        total = complete_assignment(db, by_name, ["q"], partial)
+        assert total is not None
+        assert Variable("free", "q") in total
+        assert total[Variable("free", "q")] in db.domain()
+
+    def test_complete_when_nothing_missing(self, db):
+        query = parse_query("q: {} R(x) :- Flights(x, 'Zurich')")
+        partial = {Variable("x", "q"): 101}
+        total = complete_assignment(db, {"q": query}, ["q"], partial)
+        assert total == partial
+
+    def test_none_when_domain_empty(self):
+        empty = DatabaseBuilder().table("T", ["a"]).build()
+        query = parse_query("q: {} R(free) :- ∅")
+        total = complete_assignment(empty, {"q": query}, ["q"], {})
+        assert total is None

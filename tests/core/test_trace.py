@@ -1,0 +1,127 @@
+"""Unit tests for execution tracing (the paper-style narration)."""
+
+from repro.core import (
+    ComponentProcessed,
+    PreprocessingRemoved,
+    SelectionMade,
+    Trace,
+    ValueExamined,
+    consistent_coordinate,
+    parse_queries,
+    render_trace,
+    scc_coordinate,
+)
+from repro.core.consistent import ConsistentCoordinator
+from repro.db import DatabaseBuilder
+from repro.workloads import (
+    movies_database,
+    movies_queries,
+    movies_setup,
+    vacation_database,
+    vacation_queries,
+)
+
+
+class TestSccTrace:
+    def test_vacation_walkthrough(self):
+        trace = Trace()
+        result = scc_coordinate(
+            vacation_database(), vacation_queries(), trace=trace
+        )
+        assert result.found
+        components = trace.of_type(ComponentProcessed)
+        # Three components processed: {qC,qG} ok, qJ db-failed,
+        # qW successor-failed — in reverse topological order.
+        statuses = {tuple(sorted(e.members)): e.status for e in components}
+        assert statuses[("qC", "qG")] == "ok"
+        assert statuses[("qJ",)] == "db-failed"
+        assert statuses[("qW",)] == "successor-failed"
+        # First processed component has no unprocessed successors.
+        assert components[0].members in (("qC", "qG"), ("qG", "qC"))
+
+    def test_preprocessing_event(self):
+        db = (
+            DatabaseBuilder()
+            .table("T", ["v"])
+            .rows("T", [(1,)])
+            .build()
+        )
+        queries = parse_queries(
+            "a: {Gone(x)} Q(x) :- T(x); b: {} P(y) :- T(y)"
+        )
+        trace = Trace()
+        scc_coordinate(db, queries, trace=trace)
+        removed = trace.of_type(PreprocessingRemoved)
+        assert len(removed) == 1
+        assert removed[0].removed == ("a",)
+
+    def test_selection_event_present(self):
+        trace = Trace()
+        scc_coordinate(vacation_database(), vacation_queries(), trace=trace)
+        selections = trace.of_type(SelectionMade)
+        assert len(selections) == 1
+        assert "size 2" in selections[0].description
+
+    def test_render_mentions_components(self):
+        trace = Trace()
+        scc_coordinate(vacation_database(), vacation_queries(), trace=trace)
+        text = render_trace(trace)
+        assert "qJ" in text and "unsatisfiable" in text
+        assert "skipped" in text  # qW
+
+    def test_no_trace_by_default(self):
+        # Tracing must stay strictly opt-in.
+        result = scc_coordinate(vacation_database(), vacation_queries())
+        assert result.found
+
+
+class TestConsistentTrace:
+    def test_movies_narration(self):
+        trace = Trace()
+        coordinator = ConsistentCoordinator(movies_database(), movies_setup())
+        result = coordinator.coordinate(movies_queries(), trace=trace)
+        assert result.found
+        values = {e.value: e for e in trace.of_type(ValueExamined)}
+        # Cinemark: Will removed (no friend), then Jonny.
+        cinemark = values[("Cinemark",)]
+        assert cinemark.surviving_users == ()
+        removed_order = [user for user, _ in cinemark.removals]
+        assert set(removed_order) == {"Jonny", "Will"}
+        # Regal survives with the paper's set.
+        regal = values[("Regal",)]
+        assert set(regal.surviving_users) == {"Chris", "Jonny", "Will"}
+        # Guy was never in G_Regal (V(qg) = {AMC}), so nothing is removed.
+        assert regal.removals == ()
+        assert set(regal.initial_users) == {"Chris", "Jonny", "Will"}
+
+    def test_removal_reasons_are_textual(self):
+        trace = Trace()
+        coordinator = ConsistentCoordinator(movies_database(), movies_setup())
+        coordinator.coordinate(movies_queries(), trace=trace)
+        for event in trace.of_type(ValueExamined):
+            for _, reason in event.removals:
+                assert isinstance(reason, str) and reason
+
+    def test_render_trace_text(self):
+        trace = Trace()
+        coordinator = ConsistentCoordinator(movies_database(), movies_setup())
+        coordinator.coordinate(movies_queries(), trace=trace)
+        text = render_trace(trace, title="movies")
+        assert text.startswith("movies")
+        assert "Cinemark" in text
+        assert "cleaned to ∅" in text
+        assert "selection" in text
+
+
+class TestTraceContainer:
+    def test_of_type_filters(self):
+        trace = Trace()
+        trace.add(SelectionMade("x"))
+        trace.add(PreprocessingRemoved(("a",)))
+        assert len(trace.of_type(SelectionMade)) == 1
+        assert len(trace) == 2
+
+    def test_describe_variants(self):
+        assert "nothing" in PreprocessingRemoved(()).describe()
+        event = ComponentProcessed(0, ("a",), ("a", "b"), "ok", 1)
+        assert "candidate recorded" in event.describe()

@@ -1,0 +1,66 @@
+"""Unit tests for dot export of coordination structures."""
+
+from repro.core import (
+    CoordinationGraph,
+    condensation_dot,
+    coordination_graph_dot,
+    extended_graph_dot,
+    pruned_graph_dot,
+)
+from repro.graphs import DiGraph, condensation
+from repro.workloads import vacation_queries
+
+
+def _vacation_graph():
+    return CoordinationGraph.build(vacation_queries())
+
+
+class TestCoordinationGraphDot:
+    def test_contains_all_nodes_and_edges(self):
+        dot = coordination_graph_dot(_vacation_graph())
+        assert dot.startswith('digraph "coordination"')
+        for name in ("qC", "qG", "qJ", "qW"):
+            assert f'"{name}"' in dot
+        assert '"qW" -> "qJ";' in dot
+        assert '"qC" -> "qG";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_no_spurious_edges(self):
+        dot = coordination_graph_dot(_vacation_graph())
+        assert '"qC" -> "qJ"' not in dot
+        assert '"qG" -> "qW"' not in dot
+
+
+class TestExtendedGraphDot:
+    def test_edges_carry_atom_labels(self):
+        dot = extended_graph_dot(_vacation_graph())
+        # qG -> qC has two labelled edges (R and Q postconditions).
+        assert dot.count('"qG" -> "qC"') == 2
+        assert "⇒" in dot
+        assert "label=" in dot
+
+
+class TestCondensationDot:
+    def test_members_in_labels(self):
+        graph = _vacation_graph()
+        cond = condensation(graph.graph)
+        dot = condensation_dot(cond)
+        assert "qC + qG" in dot or "qG + qC" in dot
+        assert "c0" in dot
+        # DAG edges between boxes exist.
+        assert "->" in dot
+
+
+class TestPrunedGraphDot:
+    def test_highlighting(self):
+        graph = DiGraph()
+        graph.add_edges([("Chris", "Will"), ("Jonny", "Chris")])
+        dot = pruned_graph_dot(graph, highlight=["Chris"])
+        assert '"Chris" [style=filled' in dot
+        assert '"Will";' in dot
+
+    def test_quotes_escaped(self):
+        graph = DiGraph()
+        graph.add_node('we"ird')
+        dot = pruned_graph_dot(graph)
+        assert '\\"' in dot

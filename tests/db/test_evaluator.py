@@ -1,0 +1,162 @@
+"""Unit tests for the conjunctive-query evaluator."""
+
+import pytest
+
+from repro.db import ConjunctiveQuery, DatabaseBuilder
+from repro.logic import Atom, var
+
+
+@pytest.fixture
+def db():
+    return (
+        DatabaseBuilder()
+        .table("F", ["id", "dest"], key="id")
+        .rows("F", [(1, "Paris"), (2, "Paris"), (3, "Athens")])
+        .table("H", ["id", "loc"], key="id")
+        .rows("H", [(10, "Paris"), (11, "Athens")])
+        .build()
+    )
+
+
+class TestBasicEvaluation:
+    def test_single_atom_all_solutions(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), "Paris"])])
+        xs = {s[var("x")] for s in db.solutions(query)}
+        assert xs == {1, 2}
+
+    def test_first_solution(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), "Athens"])])
+        assert db.first_solution(query) == {var("x"): 3}
+
+    def test_unsatisfiable(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), "Rome"])])
+        assert db.first_solution(query) is None
+        assert not db.is_satisfiable(query)
+
+    def test_empty_query_trivially_true(self, db):
+        query = ConjunctiveQuery([])
+        assert db.first_solution(query) == {}
+        assert db.is_satisfiable(query)
+
+    def test_fully_ground_atom(self, db):
+        assert db.is_satisfiable(ConjunctiveQuery([Atom("F", [1, "Paris"])]))
+        assert not db.is_satisfiable(ConjunctiveQuery([Atom("F", [1, "Athens"])]))
+
+
+class TestJoins:
+    def test_join_on_shared_variable(self, db):
+        # Flight and hotel in the same city.
+        query = ConjunctiveQuery(
+            [Atom("F", [var("f"), var("city")]), Atom("H", [var("h"), var("city")])]
+        )
+        solutions = list(db.solutions(query))
+        cities = {s[var("city")] for s in solutions}
+        assert cities == {"Paris", "Athens"}
+        assert len(solutions) == 3  # 2 Paris flights × 1 hotel + 1 Athens pair
+
+    def test_join_unsatisfiable_when_no_common_value(self, db):
+        db.insert("F", (4, "Madrid"))  # no Madrid hotel
+        query = ConjunctiveQuery(
+            [Atom("F", [var("f"), "Madrid"]), Atom("H", [var("h"), "Madrid"])]
+        )
+        assert not db.is_satisfiable(query)
+
+    def test_repeated_variable_within_atom(self, db):
+        db.create_relation("P", ["a", "b"])
+        db.insert_many("P", [(1, 1), (1, 2)])
+        query = ConjunctiveQuery([Atom("P", [var("x"), var("x")])])
+        assert [s[var("x")] for s in db.solutions(query)] == [1]
+
+    def test_cross_product_when_disconnected(self, db):
+        query = ConjunctiveQuery(
+            [Atom("F", [var("f"), "Athens"]), Atom("H", [var("h"), "Paris"])]
+        )
+        solutions = list(db.solutions(query))
+        assert len(solutions) == 1
+        assert solutions[0] == {var("f"): 3, var("h"): 10}
+
+    def test_same_atom_twice(self, db):
+        query = ConjunctiveQuery(
+            [Atom("F", [var("x"), "Paris"]), Atom("F", [var("x"), "Paris"])]
+        )
+        assert {s[var("x")] for s in db.solutions(query)} == {1, 2}
+
+    def test_chain_join(self, db):
+        db.create_relation("Next", ["a", "b"])
+        db.insert_many("Next", [(1, 2), (2, 3), (3, 4)])
+        query = ConjunctiveQuery(
+            [
+                Atom("Next", [var("a"), var("b")]),
+                Atom("Next", [var("b"), var("c")]),
+                Atom("Next", [var("c"), var("d")]),
+            ]
+        )
+        solution = db.first_solution(query)
+        assert solution == {var("a"): 1, var("b"): 2, var("c"): 3, var("d"): 4}
+
+
+class TestDeepQueries:
+    def test_long_chain_does_not_recurse_out(self, db):
+        """The evaluator must handle conjunctions far beyond the
+        interpreter's recursion limit (combined queries grow with the
+        coordinating set)."""
+        db.create_relation("Next", ["a", "b"])
+        db.insert_many("Next", [(i, i + 1) for i in range(1300)])
+        atoms = [
+            Atom("Next", [var(f"x{i}"), var(f"x{i+1}")]) for i in range(1200)
+        ]
+        solution = db.first_solution(ConjunctiveQuery(atoms))
+        assert solution is not None
+        assert solution[var("x0")] == 0
+        assert solution[var("x1200")] == 1200
+
+    def test_backtracking_across_deep_failure(self, db):
+        # Only one branch of many reaches the end; the explicit-stack
+        # search must backtrack through all of them.
+        db.create_relation("Edge", ["a", "b"])
+        rows = [(0, i) for i in range(1, 6)]  # fan out from 0
+        rows += [(5, 100)]  # only node 5 continues
+        db.insert_many("Edge", rows)
+        query = ConjunctiveQuery(
+            [
+                Atom("Edge", [0, var("m")]),
+                Atom("Edge", [var("m"), var("end")]),
+            ]
+        )
+        solution = db.first_solution(query)
+        assert solution == {var("m"): 5, var("end"): 100}
+
+    def test_initial_bindings_respected(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), var("d")])])
+        solution = db.first_solution(query, initial={var("d"): "Athens"})
+        assert solution is not None
+        assert solution[var("x")] == 3
+
+    def test_initial_bindings_can_make_unsatisfiable(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), var("d")])])
+        assert db.first_solution(query, initial={var("d"): "Nowhere"}) is None
+
+    def test_initial_bindings_pass_through_to_result(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), "Paris"])])
+        extra = var("unrelated")
+        solution = db.first_solution(query, initial={extra: 42})
+        assert solution[extra] == 42
+
+
+class TestCounters:
+    def test_queries_issued_counted(self, db):
+        db.reset_stats()
+        db.is_satisfiable(ConjunctiveQuery([Atom("F", [var("x"), "Paris"])]))
+        db.is_satisfiable(ConjunctiveQuery([Atom("F", [var("x"), "Rome"])]))
+        assert db.stats.queries_issued == 2
+
+    def test_count_solutions_with_limit(self, db):
+        from repro.db import Evaluator  # noqa: F401  (public surface)
+
+        query = ConjunctiveQuery([Atom("F", [var("x"), var("y")])])
+        assert db._evaluator.count_solutions(query, limit=2) == 2
+
+    def test_distinct_bindings(self, db):
+        query = ConjunctiveQuery([Atom("F", [var("x"), var("dest")])])
+        values = db.distinct_bindings(query, (var("dest"),))
+        assert values == {("Paris",), ("Athens",)}

@@ -1,0 +1,115 @@
+"""Unit tests for database persistence (JSON specs and CSV)."""
+
+import json
+
+import pytest
+
+from repro.db import (
+    DatabaseBuilder,
+    database_from_spec,
+    database_to_spec,
+    load_csv_table,
+    load_database,
+    save_csv_table,
+    save_database,
+)
+from repro.db import Database
+from repro.errors import SchemaError
+
+
+def _sample_db():
+    return (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich"), (102, "Paris")])
+        .table("Friends", ["user", "friend"])
+        .rows("Friends", [("a", "b")])
+        .build()
+    )
+
+
+class TestJsonSpec:
+    def test_round_trip_in_memory(self):
+        db = _sample_db()
+        spec = database_to_spec(db)
+        again = database_from_spec(spec)
+        assert again.sizes() == db.sizes()
+        assert again.rows("Flights") == db.rows("Flights")
+        assert again.schema.get("Flights").key == "flightId"
+
+    def test_round_trip_via_file(self, tmp_path):
+        db = _sample_db()
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        again = load_database(path)
+        assert again.rows("Friends") == [("a", "b")]
+
+    def test_spec_is_plain_json(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(_sample_db(), path)
+        spec = json.loads(path.read_text())
+        assert {t["name"] for t in spec["tables"]} == {"Flights", "Friends"}
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            database_from_spec({"nope": []})
+        with pytest.raises(SchemaError):
+            database_from_spec({"tables": [{"name": "X"}]})
+
+    def test_empty_rows_allowed(self):
+        db = database_from_spec(
+            {"tables": [{"name": "T", "attributes": ["a"]}]}
+        )
+        assert db.sizes() == {"T": 0}
+
+
+class TestCsv:
+    def test_load_with_type_coercion(self, tmp_path):
+        path = tmp_path / "flights.csv"
+        path.write_text("flightId,destination\n101,Zurich\n102,Paris\n")
+        db = Database()
+        inserted = load_csv_table(db, "Flights", path, key="flightId")
+        assert inserted == 2
+        assert db.contains("Flights", (101, "Zurich"))  # int coerced
+
+    def test_custom_coercion(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        db = Database()
+        load_csv_table(db, "T", path, coerce=str)
+        assert db.contains("T", ("1",))
+        assert not db.contains("T", (1,))
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(SchemaError):
+            load_csv_table(Database(), "T", path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            load_csv_table(Database(), "T", path)
+
+    def test_save_round_trip(self, tmp_path):
+        db = _sample_db()
+        path = tmp_path / "out.csv"
+        written = save_csv_table(db, "Flights", path)
+        assert written == 2
+        again = Database()
+        load_csv_table(again, "Flights", path, key="flightId")
+        assert again.rows("Flights") == db.rows("Flights")
+
+    def test_loaded_table_queryable(self, tmp_path):
+        from repro.db import ConjunctiveQuery
+        from repro.logic import Atom, var
+
+        path = tmp_path / "flights.csv"
+        path.write_text("flightId,destination\n7,Rome\n")
+        db = Database()
+        load_csv_table(db, "Flights", path, key="flightId")
+        solution = db.first_solution(
+            ConjunctiveQuery([Atom("Flights", [var("x"), "Rome"])])
+        )
+        assert solution[var("x")] == 7

@@ -1,0 +1,90 @@
+"""Property-based tests: the evaluator against a naive model checker.
+
+Random small databases and random conjunctive queries; the evaluator's
+solution set must equal the set produced by brute-force enumeration of
+all assignments over the active domain.  This is the strongest
+correctness guarantee for the join machinery that everything upstream
+(combined queries, option lists) relies on.
+"""
+
+from itertools import product
+from typing import Dict, List, Set, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import ConjunctiveQuery, Database
+from repro.logic import Atom, Constant, Variable
+
+_VALUES = [0, 1, 2]
+_VARS = [Variable(n) for n in ("x", "y", "z")]
+
+_relations = st.fixed_dictionaries(
+    {
+        "A": st.sets(
+            st.tuples(st.sampled_from(_VALUES), st.sampled_from(_VALUES)),
+            max_size=6,
+        ),
+        "B": st.sets(st.tuples(st.sampled_from(_VALUES)), max_size=3),
+    }
+)
+
+_terms = st.one_of(
+    st.sampled_from(_VARS),
+    st.sampled_from([Constant(v) for v in _VALUES]),
+)
+
+_atoms = st.one_of(
+    st.tuples(_terms, _terms).map(lambda ts: Atom("A", list(ts))),
+    _terms.map(lambda t: Atom("B", [t])),
+)
+
+_queries = st.lists(_atoms, min_size=1, max_size=3).map(
+    lambda atoms: ConjunctiveQuery(atoms)
+)
+
+
+def _build_db(data: Dict[str, Set[Tuple]]) -> Database:
+    db = Database()
+    db.create_relation("A", ["a1", "a2"])
+    db.create_relation("B", ["b1"])
+    db.insert_many("A", sorted(data["A"]))
+    db.insert_many("B", sorted(data["B"]))
+    return db
+
+
+def _naive_solutions(db: Database, query: ConjunctiveQuery) -> Set[Tuple]:
+    """All satisfying assignments by exhaustive enumeration."""
+    variables = sorted(query.variables(), key=str)
+    out: Set[Tuple] = set()
+    for values in product(_VALUES, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(
+            db.contains(atom.relation, atom.ground(assignment).values)
+            for atom in query.atoms
+        ):
+            out.add(tuple(assignment[v] for v in variables))
+    return out
+
+
+@given(_relations, _queries)
+@settings(max_examples=300, deadline=None)
+def test_evaluator_matches_naive_model_checker(data, query):
+    db = _build_db(data)
+    variables = sorted(query.variables(), key=str)
+    got = {
+        tuple(solution[v] for v in variables) for solution in db.solutions(query)
+    }
+    expected = _naive_solutions(db, query)
+    assert got == expected
+
+
+@given(_relations, _queries)
+@settings(max_examples=150, deadline=None)
+def test_first_solution_consistent_with_satisfiability(data, query):
+    db = _build_db(data)
+    first = db.first_solution(query)
+    assert (first is not None) == db.is_satisfiable(query)
+    if first is not None:
+        for atom in query.atoms:
+            assert db.contains(atom.relation, atom.ground(first).values)

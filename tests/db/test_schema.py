@@ -1,0 +1,65 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.db import RelationSchema, Schema
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        rs = RelationSchema("F", ["flightId", "destination"], key="flightId")
+        assert rs.arity == 2
+        assert rs.position_of("destination") == 1
+        assert rs.key_position == 0
+
+    def test_positions_of(self):
+        rs = RelationSchema("S", ["a", "b", "c"])
+        assert rs.positions_of(["c", "a"]) == (2, 0)
+
+    def test_unknown_attribute(self):
+        rs = RelationSchema("S", ["a"])
+        with pytest.raises(SchemaError):
+            rs.position_of("zzz")
+
+    def test_no_key_declared(self):
+        rs = RelationSchema("S", ["a"])
+        with pytest.raises(SchemaError):
+            _ = rs.key_position
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("S", ["a", "a"])
+
+    def test_key_must_be_attribute(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("S", ["a"], key="b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("S", [])
+
+
+class TestSchema:
+    def test_declare_and_lookup(self):
+        schema = Schema().relation("F", ["id", "dest"], key="id")
+        assert "F" in schema
+        assert schema.get("F").arity == 2
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema().relation("F", ["id"])
+        with pytest.raises(SchemaError):
+            schema.relation("F", ["id"])
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            Schema().get("nope")
+
+    def test_iteration_and_names(self):
+        schema = Schema().relation("A", ["x"]).relation("B", ["y"])
+        assert schema.names() == ("A", "B")
+        assert len(schema) == 2

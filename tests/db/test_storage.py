@@ -1,0 +1,70 @@
+"""Unit tests for indexed tuple storage."""
+
+import pytest
+
+from repro.db import Relation, RelationSchema
+from repro.errors import ArityError
+
+
+@pytest.fixture
+def flights() -> Relation:
+    relation = Relation(RelationSchema("F", ["id", "dest"], key="id"))
+    relation.insert_many([(1, "Paris"), (2, "Paris"), (3, "Athens")])
+    return relation
+
+
+class TestInsert:
+    def test_insert_and_len(self, flights):
+        assert len(flights) == 3
+
+    def test_duplicate_ignored(self, flights):
+        assert not flights.insert((1, "Paris"))
+        assert len(flights) == 3
+
+    def test_wrong_arity_rejected(self, flights):
+        with pytest.raises(ArityError):
+            flights.insert((1,))
+
+    def test_insert_many_counts_new_only(self, flights):
+        assert flights.insert_many([(1, "Paris"), (9, "Rome")]) == 1
+
+
+class TestLookup:
+    def test_contains(self, flights):
+        assert flights.contains((1, "Paris"))
+        assert not flights.contains((1, "Athens"))
+
+    def test_scan_order_is_insertion(self, flights):
+        assert list(flights.scan()) == [(1, "Paris"), (2, "Paris"), (3, "Athens")]
+
+    def test_match_single_binding(self, flights):
+        assert sorted(flights.match({1: "Paris"})) == [(1, "Paris"), (2, "Paris")]
+
+    def test_match_multiple_bindings(self, flights):
+        assert list(flights.match({0: 2, 1: "Paris"})) == [(2, "Paris")]
+
+    def test_match_no_bindings_is_scan(self, flights):
+        assert len(list(flights.match({}))) == 3
+
+    def test_match_miss(self, flights):
+        assert list(flights.match({1: "Rome"})) == []
+
+    def test_index_updates_after_insert(self, flights):
+        # Force the index to exist, then insert: index must stay fresh.
+        assert len(list(flights.match({1: "Paris"}))) == 2
+        flights.insert((4, "Paris"))
+        assert len(list(flights.match({1: "Paris"}))) == 3
+
+    def test_count_match(self, flights):
+        assert flights.count_match({1: "Paris"}) == 2
+
+
+class TestProjections:
+    def test_distinct_values(self, flights):
+        assert flights.distinct_values((1,)) == {("Paris",), ("Athens",)}
+
+    def test_distinct_values_pairs(self, flights):
+        assert len(flights.distinct_values((0, 1))) == 3
+
+    def test_domain(self, flights):
+        assert flights.domain() == {1, 2, 3, "Paris", "Athens"}

@@ -1,0 +1,65 @@
+"""Unit tests for the components graph (condensation)."""
+
+import random
+
+from repro.graphs import DiGraph, condensation, is_acyclic
+
+
+def _example():
+    # Two 2-cycles with a bridge, plus a sink.
+    g = DiGraph()
+    g.add_edges([(1, 2), (2, 1), (3, 4), (4, 3), (2, 3), (4, 5)])
+    return g
+
+
+class TestCondensation:
+    def test_components_found(self):
+        cond = condensation(_example())
+        members = {frozenset(c) for c in cond.components}
+        assert members == {frozenset({1, 2}), frozenset({3, 4}), frozenset({5})}
+
+    def test_dag_edges(self):
+        cond = condensation(_example())
+        c12 = cond.component_of(1)
+        c34 = cond.component_of(3)
+        c5 = cond.component_of(5)
+        assert cond.dag.has_edge(c12, c34)
+        assert cond.dag.has_edge(c34, c5)
+        assert not cond.dag.has_edge(c34, c12)
+
+    def test_dag_is_acyclic(self):
+        rng = random.Random(3)
+        g = DiGraph()
+        g.add_nodes(range(40))
+        for _ in range(120):
+            g.add_edge(rng.randrange(40), rng.randrange(40))
+        cond = condensation(g)
+        assert is_acyclic(cond.dag)
+
+    def test_reachable_nodes_is_R_of_q(self):
+        cond = condensation(_example())
+        # R(q) for q in {1,2}: everything downstream.
+        r12 = set(cond.reachable_nodes(cond.component_of(1)))
+        assert r12 == {1, 2, 3, 4, 5}
+        r34 = set(cond.reachable_nodes(cond.component_of(3)))
+        assert r34 == {3, 4, 5}
+        r5 = set(cond.reachable_nodes(cond.component_of(5)))
+        assert r5 == {5}
+
+    def test_reverse_topological_iteration(self):
+        cond = condensation(_example())
+        order = list(cond.reverse_topological_order())
+        # Sink component (5) must come before {3,4}, which precedes {1,2}.
+        assert order.index(cond.component_of(5)) < order.index(cond.component_of(3))
+        assert order.index(cond.component_of(3)) < order.index(cond.component_of(1))
+
+    def test_member_lookup(self):
+        cond = condensation(_example())
+        c = cond.component_of(4)
+        assert set(cond.members(c)) == {3, 4}
+        assert cond.component_count == 3
+
+    def test_no_self_edges_in_dag(self):
+        cond = condensation(_example())
+        for source, target in cond.dag.edges():
+            assert source != target

@@ -1,0 +1,106 @@
+"""Unit tests for the directed graph data structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import DiGraph
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+    return g
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+
+    def test_add_node_idempotent(self):
+        g = DiGraph()
+        g.add_node(1)
+        g.add_edge(1, 2)
+        g.add_node(1)  # must not clear edges
+        assert g.has_edge(1, 2)
+
+    def test_parallel_edges_collapse(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.edge_count() == 1
+
+    def test_self_loop(self):
+        g = DiGraph()
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.successors(1) == {1}
+
+
+class TestRemoval:
+    def test_remove_node_removes_incident_edges(self, diamond):
+        diamond.remove_node("b")
+        assert not diamond.has_node("b")
+        assert diamond.successors("a") == {"c"}
+        assert diamond.predecessors("d") == {"c"}
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            DiGraph().remove_node("x")
+
+    def test_remove_edge(self, diamond):
+        diamond.remove_edge("a", "b")
+        assert not diamond.has_edge("a", "b")
+        assert diamond.has_node("b")
+
+    def test_remove_missing_edge_is_noop(self, diamond):
+        diamond.remove_edge("a", "zzz")
+
+
+class TestViews:
+    def test_degrees(self, diamond):
+        assert diamond.out_degree("a") == 2
+        assert diamond.in_degree("d") == 2
+        assert diamond.in_degree("a") == 0
+
+    def test_counts(self, diamond):
+        assert diamond.node_count() == 4
+        assert diamond.edge_count() == 4
+        assert len(diamond) == 4
+
+    def test_edges_iteration(self, diamond):
+        assert sorted(diamond.edges()) == [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]
+
+    def test_successors_returns_copy(self, diamond):
+        successors = diamond.successors("a")
+        successors.add("zzz")
+        assert "zzz" not in diamond.successors("a")
+
+    def test_unknown_node_raises(self, diamond):
+        with pytest.raises(GraphError):
+            diamond.successors("zzz")
+
+
+class TestCopySubgraph:
+    def test_copy_independent(self, diamond):
+        dup = diamond.copy()
+        dup.remove_node("a")
+        assert diamond.has_node("a")
+
+    def test_subgraph_induced(self, diamond):
+        sub = diamond.subgraph(["a", "b", "d"])
+        assert sorted(sub.edges()) == [("a", "b"), ("b", "d")]
+        assert not sub.has_node("c")
+
+    def test_subgraph_ignores_unknown(self, diamond):
+        sub = diamond.subgraph(["a", "nope"])
+        assert sub.node_count() == 1

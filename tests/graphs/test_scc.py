@@ -1,0 +1,109 @@
+"""SCC tests, including cross-validation against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    condensation,
+    is_strongly_connected,
+    strongly_connected_components,
+)
+
+
+def _partition(components):
+    return {frozenset(c) for c in components}
+
+
+class TestSmallGraphs:
+    def test_single_node(self):
+        g = DiGraph()
+        g.add_node(1)
+        assert _partition(strongly_connected_components(g)) == {frozenset({1})}
+
+    def test_two_cycle(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 1)])
+        assert _partition(strongly_connected_components(g)) == {frozenset({1, 2})}
+
+    def test_chain_all_singletons(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 3)])
+        assert _partition(strongly_connected_components(g)) == {
+            frozenset({1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_self_loop_is_singleton_component(self):
+        g = DiGraph()
+        g.add_edge(1, 1)
+        g.add_edge(1, 2)
+        assert _partition(strongly_connected_components(g)) == {
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+    def test_reverse_topological_order(self):
+        # a -> b -> c: c's component must appear before b's before a's.
+        g = DiGraph()
+        g.add_edges([("a", "b"), ("b", "c")])
+        components = strongly_connected_components(g)
+        order = {component[0]: i for i, component in enumerate(components)}
+        assert order["c"] < order["b"] < order["a"]
+
+    def test_is_strongly_connected(self):
+        ring = DiGraph()
+        ring.add_edges([(0, 1), (1, 2), (2, 0)])
+        assert is_strongly_connected(ring)
+        ring.add_node(99)
+        assert not is_strongly_connected(ring)
+
+    def test_empty_graph_not_strongly_connected(self):
+        assert not is_strongly_connected(DiGraph())
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_partitions_match(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(2, 40)
+        p = rng.choice([0.02, 0.05, 0.1, 0.3])
+        ours = DiGraph()
+        theirs = nx.DiGraph()
+        ours.add_nodes(range(n))
+        theirs.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(n):
+                if i != j and rng.random() < p:
+                    ours.add_edge(i, j)
+                    theirs.add_edge(i, j)
+        mine = _partition(strongly_connected_components(ours))
+        reference = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+        assert mine == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reverse_topological_property(self, seed):
+        """Every edge goes from a later component to an earlier one."""
+        rng = random.Random(100 + seed)
+        g = DiGraph()
+        g.add_nodes(range(30))
+        for _ in range(60):
+            g.add_edge(rng.randrange(30), rng.randrange(30))
+        cond = condensation(g)
+        for source, target in g.edges():
+            cs = cond.component_of(source)
+            ct = cond.component_of(target)
+            assert cs >= ct  # successors first
+
+    def test_components_partition_nodes(self):
+        rng = random.Random(77)
+        g = DiGraph()
+        g.add_nodes(range(50))
+        for _ in range(120):
+            g.add_edge(rng.randrange(50), rng.randrange(50))
+        components = strongly_connected_components(g)
+        seen = [node for component in components for node in component]
+        assert sorted(seen) == sorted(g.nodes())

@@ -1,0 +1,105 @@
+"""Unit tests for traversal helpers (reachability, topo order, paths)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    bfs_layers,
+    count_simple_paths,
+    has_unique_simple_paths,
+    is_acyclic,
+    reachable_from,
+    topological_order,
+)
+
+
+def _dag():
+    g = DiGraph()
+    g.add_edges([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "e")])
+    return g
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = _dag()
+        assert reachable_from(g, "b") == {"b", "d", "e"}
+        assert reachable_from(g, "e") == {"e"}
+
+    def test_missing_node(self):
+        with pytest.raises(GraphError):
+            reachable_from(DiGraph(), "x")
+
+
+class TestTopologicalOrder:
+    def test_valid_order(self):
+        g = _dag()
+        order = topological_order(g)
+        position = {node: i for i, node in enumerate(order)}
+        for source, target in g.edges():
+            assert position[source] < position[target]
+
+    def test_cycle_raises(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 1)])
+        with pytest.raises(GraphError):
+            topological_order(g)
+
+    def test_is_acyclic(self):
+        assert is_acyclic(_dag())
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 3), (3, 1)])
+        assert not is_acyclic(g)
+
+
+class TestSimplePaths:
+    def test_diamond_has_two_paths(self):
+        g = _dag()
+        assert count_simple_paths(g, "a", "d") == 2
+        assert count_simple_paths(g, "a", "e", limit=5) == 2
+
+    def test_single_path(self):
+        g = _dag()
+        assert count_simple_paths(g, "b", "e") == 1
+
+    def test_no_path(self):
+        g = _dag()
+        assert count_simple_paths(g, "e", "a") == 0
+
+    def test_source_equals_target(self):
+        g = _dag()
+        assert count_simple_paths(g, "a", "a") == 1
+
+    def test_limit_short_circuits(self):
+        g = _dag()
+        assert count_simple_paths(g, "a", "d", limit=1) == 1
+
+    def test_cycle_does_not_loop_forever(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 1), (2, 3)])
+        assert count_simple_paths(g, 1, 3) == 1
+
+    def test_unique_simple_paths_check(self):
+        chain = DiGraph()
+        chain.add_edges([(1, 2), (2, 3)])
+        assert has_unique_simple_paths(chain)
+        assert not has_unique_simple_paths(_dag())  # diamond
+
+    def test_two_cycle_unique_paths(self):
+        g = DiGraph()
+        g.add_edges([(1, 2), (2, 1)])
+        assert has_unique_simple_paths(g)
+
+
+class TestBfsLayers:
+    def test_layers(self):
+        g = _dag()
+        layers = bfs_layers(g, "a")
+        assert layers[0] == ["a"]
+        assert set(layers[1]) == {"b", "c"}
+        assert set(layers[2]) == {"d"}
+        assert set(layers[3]) == {"e"}
+
+    def test_missing_start(self):
+        with pytest.raises(GraphError):
+            bfs_layers(DiGraph(), "x")

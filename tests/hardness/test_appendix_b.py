@@ -1,0 +1,91 @@
+"""Round-trip tests for the Appendix B reduction (mixed attributes)."""
+
+import pytest
+
+from repro.core import find_coordinating_set, is_safe, verify_coordinating_set
+from repro.hardness import is_satisfiable, random_3sat, three_sat
+from repro.hardness.appendix_b import (
+    DATE_FALSE,
+    DATE_TRUE,
+    build_database,
+    decode,
+    encode,
+    satisfiable_via_entangled,
+)
+
+
+class TestEncoding:
+    def test_query_inventory(self):
+        f = three_sat([(1, -2, 3)])
+        instance = encode(f)
+        names = {q.name for q in instance.queries}
+        assert "qC" in names
+        assert "qC0" in names
+        assert {"qX1", "qX*1", "S1"} <= names
+        assert len(names) == 1 + 1 + 3 * 3  # qC + k + 3 per variable
+
+    def test_database_has_both_dates(self):
+        f = three_sat([(1, -2, 3)])
+        db = build_database(f)
+        dates = {row[1] for row in db.rows("Fl")}
+        assert dates == {DATE_TRUE, DATE_FALSE}
+
+    def test_friends_encode_satisfying_literals(self):
+        f = three_sat([(1, -2, 3)])
+        db = build_database(f)
+        friends = set(db.rows("Fr"))
+        assert ("C0", "X1") in friends
+        assert ("C0", "X*2") in friends
+        assert ("C0", "X3") in friends
+        assert len(friends) == 3
+
+    def test_instance_is_unsafe(self):
+        # The clause queries' variable-partner postconditions are the
+        # unsafe pattern the Consistent algorithm handles — but here
+        # queries coordinate on *different* attribute sets, so no
+        # polynomial algorithm of the paper applies.
+        f = three_sat([(1, -2, 3)])
+        instance = encode(f)
+        assert not is_safe(instance.queries)
+
+
+class TestRoundTrip:
+    def test_satisfiable_formula(self):
+        f = three_sat([(1, 2, 3)])
+        ok, model = satisfiable_via_entangled(f)
+        assert ok
+        assert f.evaluate(model)
+
+    def test_unsatisfiable_formula(self):
+        f = three_sat([(1, 1, 1), (-1, -1, -1)])
+        ok, model = satisfiable_via_entangled(f)
+        assert not ok and model is None
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_agreement_with_dpll(self, seed):
+        f = random_3sat(3, 1 + seed % 3, seed=300 + seed)
+        expected = is_satisfiable(f)
+        ok, model = satisfiable_via_entangled(f)
+        assert ok == expected, str(f)
+        if ok:
+            assert f.evaluate(model)
+
+    def test_found_set_verifies_under_definition_1(self):
+        f = three_sat([(1, 2, 3)])
+        instance = encode(f)
+        found = find_coordinating_set(instance.db, instance.queries)
+        assert found is not None
+        report = verify_coordinating_set(
+            instance.db, instance.queries, found.members, found.assignment
+        )
+        assert report.ok, report.reason
+
+    def test_selection_gadget_excludes_opposite_literals(self):
+        f = three_sat([(1, 2, 3)])
+        instance = encode(f)
+        found = find_coordinating_set(instance.db, instance.queries)
+        members = found.member_set()
+        for variable in (1, 2, 3):
+            assert not (
+                f"qX{variable}" in members and f"qX*{variable}" in members
+            )

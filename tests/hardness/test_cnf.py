@@ -1,0 +1,63 @@
+"""Unit tests for CNF formulas."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.hardness import CNF, three_sat
+
+
+class TestConstruction:
+    def test_basic(self):
+        f = CNF([(1, -2), (2, 3)])
+        assert f.clause_count == 2
+        assert f.variables() == (1, 2, 3)
+        assert f.variable_count == 3
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(FormulaError):
+            CNF([()])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(FormulaError):
+            CNF([(1, 0)])
+
+    def test_empty_formula_rejected(self):
+        with pytest.raises(FormulaError):
+            CNF([])
+
+    def test_three_sat_width_enforced(self):
+        with pytest.raises(FormulaError):
+            three_sat([(1, 2)])
+        f = three_sat([(1, 2, 3)])
+        assert f.clause_count == 1
+
+
+class TestQueries:
+    def test_literals_of(self):
+        f = CNF([(1, -2), (-1, 2), (1, 3)])
+        assert f.literals_of(1) == (1, -1, 1)
+
+    def test_clauses_with_literal(self):
+        f = CNF([(1, -2), (-1, 2), (1, 3)])
+        assert f.clauses_with_literal(1) == (0, 2)
+        assert f.clauses_with_literal(-1) == (1,)
+        assert f.clauses_with_literal(-3) == ()
+
+
+class TestEvaluate:
+    def test_satisfying_model(self):
+        f = CNF([(1, 2), (-1, 2)])
+        assert f.evaluate({1: True, 2: True})
+        assert f.evaluate({1: False, 2: True})
+
+    def test_falsifying_model(self):
+        f = CNF([(1, 2), (-1, 2)])
+        assert not f.evaluate({1: True, 2: False})
+
+    def test_partial_model_defaults_false(self):
+        f = CNF([(-1, 2)])
+        assert f.evaluate({})  # x1 false satisfies ¬x1
+
+    def test_str_format(self):
+        f = CNF([(1, -2)])
+        assert "x1" in str(f) and "¬x2" in str(f)

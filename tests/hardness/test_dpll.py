@@ -1,0 +1,87 @@
+"""Unit tests for the DPLL solver, cross-checked against brute force."""
+
+import pytest
+
+from repro.hardness import (
+    CNF,
+    brute_force_satisfiable,
+    is_satisfiable,
+    random_3sat,
+    solve,
+)
+
+
+class TestKnownInstances:
+    def test_single_clause_sat(self):
+        f = CNF([(1, 2, 3)])
+        model = solve(f)
+        assert model is not None
+        assert f.evaluate(model)
+
+    def test_forced_assignment(self):
+        f = CNF([(1,), (-1, 2), (-2, 3)])
+        model = solve(f)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_unsat_pair(self):
+        f = CNF([(1,), (-1,)])
+        assert solve(f) is None
+        assert not is_satisfiable(f)
+
+    def test_unsat_full_enumeration(self):
+        # All eight sign patterns over three variables.
+        clauses = [
+            (s1, s2, s3)
+            for s1 in (1, -1)
+            for s2 in (2, -2)
+            for s3 in (3, -3)
+        ]
+        assert not is_satisfiable(CNF(clauses))
+
+    def test_pure_literal_elimination(self):
+        f = CNF([(1, 2), (1, 3)])
+        model = solve(f)
+        assert model is not None
+        assert model[1] is True
+
+    def test_model_is_total(self):
+        f = CNF([(1, 2, 3), (-2, -3, 4)])
+        model = solve(f)
+        assert set(model) == {1, 2, 3, 4}
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_3sat_agreement(self, seed):
+        n_vars = 3 + seed % 5
+        ratio = (2.0, 4.3, 6.0)[seed % 3]
+        f = random_3sat(n_vars, max(1, int(n_vars * ratio)), seed=seed)
+        expected = brute_force_satisfiable(f)
+        model = solve(f)
+        assert (model is not None) == expected
+        if model is not None:
+            assert f.evaluate(model)
+
+
+class TestRandomGenerator:
+    def test_requires_three_variables(self):
+        from repro.errors import FormulaError
+
+        with pytest.raises(FormulaError):
+            random_3sat(2, 1)
+
+    def test_deterministic_by_seed(self):
+        a = random_3sat(6, 12, seed=5)
+        b = random_3sat(6, 12, seed=5)
+        assert a.clauses == b.clauses
+
+    def test_distinct_variables_per_clause(self):
+        f = random_3sat(5, 40, seed=9)
+        for clause in f.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_ratio_helper(self):
+        from repro.hardness import random_3sat_at_ratio
+
+        f = random_3sat_at_ratio(10, 4.0, seed=1)
+        assert f.clause_count == 40

@@ -1,0 +1,131 @@
+"""Round-trip tests for the Theorem 2 reduction (EntangledMax)."""
+
+import pytest
+
+from repro.core import is_safe, scc_coordinate
+from repro.hardness import is_satisfiable, random_3sat, three_sat
+from repro.hardness.theorem2 import (
+    decode,
+    encode,
+    gadget_membership_counts,
+    max_size_via_entangled,
+)
+from repro.core import find_maximum_coordinating_set
+
+
+class TestEncoding:
+    def test_query_inventory(self):
+        f = three_sat([(1, -2, 3), (2, -3, 4)])
+        instance = encode(f)
+        assert len(instance.queries) == 4 + 2 * 3  # m value + 3k gadget
+        assert instance.target_size == 2 + 4
+
+    def test_instance_is_safe(self):
+        # Theorem 2's whole point: hardness *despite* safety.
+        f = three_sat([(1, -2, 3), (2, -3, 4)])
+        instance = encode(f)
+        assert is_safe(instance.queries)
+
+    def test_gadget_postconditions_cumulative(self):
+        f = three_sat([(1, -2, 3)])
+        instance = encode(f)
+        lit0 = next(q for q in instance.queries if q.name == "c0-lit0")
+        lit1 = next(q for q in instance.queries if q.name == "c0-lit1")
+        lit2 = next(q for q in instance.queries if q.name == "c0-lit2")
+        assert len(lit0.postconditions) == 1
+        assert len(lit1.postconditions) == 2
+        assert len(lit2.postconditions) == 3
+
+    def test_paper_example_postconditions(self):
+        # C = x1 ∨ ¬x2 ∨ x3 gives {R1(1)}, {R2(0), R1(0)},
+        # {R3(1), R2(1), R1(0)} (Appendix A).
+        f = three_sat([(1, -2, 3)])
+        instance = encode(f)
+        lit2 = next(q for q in instance.queries if q.name == "c0-lit2")
+        grounded = [(a.relation, a.terms[0].value) for a in lit2.postconditions]
+        assert grounded == [("R3", 1), ("R2", 1), ("R1", 0)]
+
+
+class TestRoundTrip:
+    def test_satisfiable_reaches_k_plus_m(self):
+        f = three_sat([(1, 2, 3), (-1, 2, 3)])
+        size, model = max_size_via_entangled(f)
+        assert size == encode(f).target_size
+        assert f.evaluate(model)
+
+    def test_unsatisfiable_falls_short(self):
+        # The smallest unsatisfiable width-3 instance (repeated
+        # literals keep the encoding's subset search tractable for the
+        # exponential oracle: 7 queries, not 27).
+        f = three_sat([(1, 1, 1), (-1, -1, -1)])
+        size, _ = max_size_via_entangled(f)
+        assert size < encode(f).target_size
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_agreement_with_dpll(self, seed):
+        f = random_3sat(3, 2 + seed % 3, seed=100 + seed)
+        expected = is_satisfiable(f)
+        size, model = max_size_via_entangled(f)
+        assert (size == encode(f).target_size) == expected
+        if expected:
+            assert f.evaluate(model)
+
+    def test_at_most_one_gadget_query_per_clause(self):
+        f = three_sat([(1, 2, 3), (-1, -2, 3)])
+        instance = encode(f)
+        found = find_maximum_coordinating_set(instance.db, instance.queries)
+        counts = gadget_membership_counts(instance, found)
+        assert all(count <= 1 for count in counts.values())
+
+    def test_decode_reads_value_queries(self):
+        f = three_sat([(1, 2, 3)])
+        instance = encode(f)
+        found = find_maximum_coordinating_set(instance.db, instance.queries)
+        model = decode(instance, found)
+        assert f.evaluate(model)
+
+
+class TestFigure9:
+    """The coordination graph of the proof's worked example.
+
+    Figure 9 draws the instance for C1 = x1 ∨ ¬x2 ∨ x3 and
+    C2 = x2 ∨ ¬x3 ∨ ¬x4: every gadget query points exactly at the
+    value queries of the variables its postconditions mention.
+    """
+
+    def test_graph_matches_figure_9(self):
+        from repro.core import CoordinationGraph
+
+        f = three_sat([(1, -2, 3), (2, -3, -4)])
+        instance = encode(f)
+        graph = CoordinationGraph.build(instance.queries)
+        expected = {
+            "c0-lit0": {"val-x1"},
+            "c0-lit1": {"val-x1", "val-x2"},
+            "c0-lit2": {"val-x1", "val-x2", "val-x3"},
+            "c1-lit0": {"val-x2"},
+            "c1-lit1": {"val-x2", "val-x3"},
+            "c1-lit2": {"val-x2", "val-x3", "val-x4"},
+            "val-x1": set(),
+            "val-x2": set(),
+            "val-x3": set(),
+            "val-x4": set(),
+        }
+        for name, successors in expected.items():
+            assert graph.graph.successors(name) == successors, name
+
+
+class TestSccAlgorithmLimitation:
+    def test_scc_candidates_are_small(self):
+        """The SCC algorithm's R(q) guarantee cannot reach k+m here.
+
+        Demonstrates why EntangledMax stays hard for safe sets: the
+        polynomial algorithm only sees per-reachability candidates of
+        size ≤ 4 (one gadget query + its ≤3 value queries).
+        """
+        f = three_sat([(1, 2, 3), (-1, 2, -3)])
+        instance = encode(f)
+        result = scc_coordinate(instance.db, instance.queries)
+        assert result.found
+        assert result.chosen.size <= 4
+        assert result.chosen.size < instance.target_size

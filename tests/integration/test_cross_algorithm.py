@@ -1,0 +1,129 @@
+"""Cross-algorithm integration tests.
+
+The algorithms form a hierarchy of generality:
+
+* Gupta baseline  — safe + unique;
+* SCC algorithm   — safe;
+* brute force     — anything (exponential oracle).
+
+On common ground they must agree: same existence answer, and for
+safe+unique inputs the same (full) coordinating set.  The consistent
+algorithm is cross-validated against the oracle through the lowering in
+``tests/core/test_consistent_lowering.py``; here we add randomized
+workload-level agreement checks.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CoordinationGraph,
+    find_coordinating_set,
+    gupta_coordinate,
+    is_unique,
+    safety_report,
+    scc_coordinate,
+    verify_result_set,
+)
+from repro.db import DatabaseBuilder
+from repro.networks import gnp_digraph, member_name
+from repro.workloads import queries_from_structure
+
+
+def _mini_members_db(users=12, missing=()):
+    """A tiny member table; ``missing`` users get no row (unsatisfiable
+    bodies for their queries)."""
+    builder = DatabaseBuilder()
+    builder.table("Members", ["username", "region", "interest", "karma"], key="username")
+    rows = []
+    for i in range(users):
+        if i in missing:
+            continue
+        rows.append((member_name(i), "EU", "science", i))
+    builder.rows("Members", rows)
+    return builder.build()
+
+
+class TestSccVsBruteForce:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_existence_agrees_on_random_structures(self, seed):
+        rng = random.Random(seed)
+        n = rng.randrange(3, 7)
+        structure = gnp_digraph(n, rng.choice([0.15, 0.3, 0.5]), seed=seed)
+        missing = tuple(
+            i for i in range(n) if rng.random() < 0.3
+        )
+        db = _mini_members_db(users=n, missing=missing)
+        queries = queries_from_structure(structure)
+        result = scc_coordinate(db, queries)
+        exact = find_coordinating_set(db, queries)
+        assert result.found == (exact is not None), (
+            f"seed={seed} structure={sorted(structure.edges())} missing={missing}"
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_all_outputs_verify(self, seed):
+        rng = random.Random(1000 + seed)
+        n = rng.randrange(3, 8)
+        structure = gnp_digraph(n, 0.35, seed=seed)
+        missing = tuple(i for i in range(n) if rng.random() < 0.25)
+        db = _mini_members_db(users=n, missing=missing)
+        queries = queries_from_structure(structure)
+        result = scc_coordinate(db, queries)
+        for candidate in result.candidates:
+            report = verify_result_set(db, queries, candidate)
+            assert report.ok, report.reason
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scc_chosen_never_smaller_than_reachability_optimum(self, seed):
+        """SCC's guarantee: max over coordinating sets in {R(q)}."""
+        rng = random.Random(2000 + seed)
+        n = rng.randrange(3, 6)
+        structure = gnp_digraph(n, 0.3, seed=3 * seed)
+        db = _mini_members_db(users=n)
+        queries = queries_from_structure(structure)
+        result = scc_coordinate(db, queries)
+        # Every body is satisfiable and partner unifications are
+        # unconstrained, so every R(q) is a coordinating set; the chosen
+        # one must be a largest R(q).
+        graph = CoordinationGraph.build(queries)
+        from repro.graphs import condensation
+
+        cond = condensation(graph.graph)
+        best = max(
+            len(cond.reachable_nodes(c))
+            for c in range(cond.component_count)
+        )
+        assert result.found
+        assert result.chosen.size == best
+
+
+class TestGuptaVsScc:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agree_on_safe_unique_inputs(self, seed):
+        """On a ring (safe + unique) both must find the full set."""
+        rng = random.Random(seed)
+        n = rng.randrange(2, 7)
+        from repro.networks import ring_digraph
+
+        structure = ring_digraph(n)
+        db = _mini_members_db(users=n)
+        queries = queries_from_structure(structure)
+        graph = CoordinationGraph.build(queries)
+        assert safety_report(graph).is_safe and is_unique(graph)
+
+        baseline = gupta_coordinate(db, queries)
+        ours = scc_coordinate(db, queries)
+        assert baseline.found and ours.found
+        assert baseline.chosen.member_set() == ours.chosen.member_set()
+
+    def test_failure_agreement_on_unsatisfiable_ring(self):
+        from repro.networks import ring_digraph
+
+        n = 4
+        db = _mini_members_db(users=n, missing=(2,))
+        queries = queries_from_structure(ring_digraph(n))
+        baseline = gupta_coordinate(db, queries)
+        ours = scc_coordinate(db, queries)
+        assert not baseline.found and not ours.found

@@ -1,0 +1,75 @@
+"""Unit tests for atoms and grounding."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import Atom, GroundAtom, atoms_variables, var
+
+
+class TestAtomConstruction:
+    def test_terms_coerced_to_constants(self):
+        atom = Atom("F", [var("x"), "Zurich", 7])
+        assert atom.arity == 3
+        assert atom.variables() == (var("x"),)
+        assert [c.value for c in atom.constants()] == ["Zurich", 7]
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(LogicError):
+            Atom("", [1])
+
+    def test_nullary_atom(self):
+        atom = Atom("Flag")
+        assert atom.arity == 0
+        assert atom.is_ground()
+
+    def test_equality_and_hash(self):
+        assert Atom("R", [var("x"), 1]) == Atom("R", [var("x"), 1])
+        assert Atom("R", [var("x")]) != Atom("S", [var("x")])
+        assert len({Atom("R", [1]), Atom("R", [1])}) == 1
+
+    def test_repeated_variables_preserved(self):
+        atom = Atom("R", [var("x"), var("x")])
+        assert atom.variables() == (var("x"), var("x"))
+        assert atom.variable_set() == frozenset({var("x")})
+
+
+class TestRename:
+    def test_rename_moves_all_variables(self):
+        atom = Atom("R", [var("x"), "C", var("y")])
+        renamed = atom.rename("q1")
+        assert renamed.variables() == (var("x", "q1"), var("y", "q1"))
+        # constants untouched
+        assert renamed.terms[1] == atom.terms[1]
+
+    def test_rename_does_not_mutate(self):
+        atom = Atom("R", [var("x")])
+        atom.rename("q1")
+        assert atom.variables() == (var("x"),)
+
+
+class TestGrounding:
+    def test_ground_full_assignment(self):
+        atom = Atom("F", [var("x"), "Zurich"])
+        ground = atom.ground({var("x"): 101})
+        assert ground == GroundAtom("F", (101, "Zurich"))
+
+    def test_ground_missing_variable_raises(self):
+        atom = Atom("F", [var("x")])
+        with pytest.raises(LogicError):
+            atom.ground({})
+
+    def test_is_ground(self):
+        assert Atom("F", [1, 2]).is_ground()
+        assert not Atom("F", [var("x"), 2]).is_ground()
+
+
+class TestAtomsVariables:
+    def test_collects_distinct_variables(self):
+        atoms = [
+            Atom("R", [var("x"), var("y")]),
+            Atom("S", [var("y"), var("z")]),
+        ]
+        assert atoms_variables(atoms) == frozenset({var("x"), var("y"), var("z")})
+
+    def test_empty(self):
+        assert atoms_variables([]) == frozenset()

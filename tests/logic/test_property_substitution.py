@@ -1,0 +1,114 @@
+"""Property-based tests for the union–find substitution.
+
+Invariants exercised:
+
+* a substitution is an equivalence relation (reflexive, symmetric,
+  transitive ``same_class``);
+* merging preserves all pre-existing constraints;
+* merge order does not affect the induced constraints;
+* a consistent set of (variable, value) bindings round-trips through
+  ``from_mapping`` / ``as_assignment``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Substitution, Variable
+
+_VARS = [Variable(n) for n in "abcdef"]
+_VALUES = st.integers(min_value=0, max_value=2)
+
+_unify_ops = st.lists(
+    st.tuples(st.sampled_from(_VARS), st.sampled_from(_VARS)),
+    max_size=10,
+)
+_bind_ops = st.lists(
+    st.tuples(st.sampled_from(_VARS), _VALUES),
+    max_size=6,
+)
+
+
+def _apply(ops_unify, ops_bind):
+    sub = Substitution()
+    ok = True
+    for a, b in ops_unify:
+        ok = sub.unify_terms(a, b) and ok
+    for variable, value in ops_bind:
+        ok = sub.bind(variable, value) and ok
+    return sub, ok
+
+
+@given(_unify_ops)
+def test_same_class_is_equivalence(ops):
+    sub, _ = _apply(ops, [])
+    for x in _VARS:
+        assert sub.same_class(x, x)
+        for y in _VARS:
+            assert sub.same_class(x, y) == sub.same_class(y, x)
+            for z in _VARS:
+                if sub.same_class(x, y) and sub.same_class(y, z):
+                    assert sub.same_class(x, z)
+
+
+@given(_unify_ops, _bind_ops)
+@settings(max_examples=200)
+def test_bound_classes_share_values(ops_unify, ops_bind):
+    sub, ok = _apply(ops_unify, ops_bind)
+    if not ok:
+        return
+    for x in _VARS:
+        for y in _VARS:
+            if sub.same_class(x, y):
+                assert sub.value_of(x) == sub.value_of(y)
+
+
+@given(_unify_ops, _bind_ops)
+@settings(max_examples=200)
+def test_merge_preserves_constraints(ops_unify, ops_bind):
+    sub, ok = _apply(ops_unify, ops_bind)
+    if not ok:
+        return
+    target = Substitution()
+    assert target.merge(sub)
+    for x in _VARS:
+        assert target.value_of(x) == sub.value_of(x)
+        for y in _VARS:
+            assert target.same_class(x, y) == sub.same_class(x, y)
+
+
+@given(_unify_ops, _bind_ops, _unify_ops, _bind_ops)
+@settings(max_examples=150)
+def test_merge_order_irrelevant(u1, b1, u2, b2):
+    s1, ok1 = _apply(u1, b1)
+    s2, ok2 = _apply(u2, b2)
+    if not (ok1 and ok2):
+        return
+    ab = Substitution()
+    ab_ok = ab.merge(s1) and ab.merge(s2)
+    ba = Substitution()
+    ba_ok = ba.merge(s2) and ba.merge(s1)
+    assert ab_ok == ba_ok
+    if ab_ok:
+        for x in _VARS:
+            assert ab.value_of(x) == ba.value_of(x)
+            for y in _VARS:
+                assert ab.same_class(x, y) == ba.same_class(x, y)
+
+
+@given(st.dictionaries(st.sampled_from(_VARS), _VALUES, max_size=6))
+def test_mapping_round_trip(mapping):
+    sub = Substitution.from_mapping(mapping)
+    assert sub.as_assignment(mapping.keys()) == mapping
+
+
+@given(_unify_ops, _bind_ops)
+@settings(max_examples=150)
+def test_copy_isolation(ops_unify, ops_bind):
+    sub, ok = _apply(ops_unify, ops_bind)
+    snapshot = {x: sub.value_of(x) for x in _VARS}
+    dup = sub.copy()
+    # Mutate the copy heavily.
+    for x in _VARS:
+        dup.unify_terms(x, _VARS[0])
+        dup.bind(x, 9)
+    assert {x: sub.value_of(x) for x in _VARS} == snapshot

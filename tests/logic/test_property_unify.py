@@ -1,0 +1,95 @@
+"""Property-based tests for unification (hypothesis).
+
+The core invariants:
+
+* unification is symmetric;
+* a successful unifier makes the two atoms syntactically equal;
+* the unifier is *most general*: any common ground instance of the two
+  atoms factors through it;
+* ground atoms unify iff they are equal.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import (
+    Atom,
+    Constant,
+    Variable,
+    apply_substitution,
+    unifiable,
+    unify_atoms,
+)
+
+_VALUES = st.integers(min_value=0, max_value=3)
+_VAR_NAMES = st.sampled_from(["x", "y", "z", "w"])
+
+
+def _terms():
+    return st.one_of(
+        _VAR_NAMES.map(Variable),
+        _VALUES.map(Constant),
+    )
+
+
+def _atoms(relation: str = "R", max_arity: int = 4):
+    return st.lists(_terms(), min_size=1, max_size=max_arity).map(
+        lambda ts: Atom(relation, ts)
+    )
+
+
+@given(_atoms(), _atoms())
+def test_unification_symmetric(a, b):
+    assert unifiable(a, b) == unifiable(b, a)
+
+
+@given(_atoms(), _atoms())
+def test_unifier_equalises_atoms(a, b):
+    sub = unify_atoms(a, b)
+    if sub is not None:
+        assert apply_substitution(a, sub) == apply_substitution(b, sub)
+
+
+@given(_atoms())
+def test_atom_unifies_with_itself(a):
+    assert unifiable(a, a)
+
+
+@given(_atoms(), st.dictionaries(_VAR_NAMES.map(Variable), _VALUES, max_size=4))
+def test_ground_instance_unifies_with_original(atom, mapping):
+    # Build a ground instance of the atom by filling all variables.
+    full = dict(mapping)
+    for variable in atom.variables():
+        full.setdefault(variable, 0)
+    ground_atom = Atom(
+        atom.relation,
+        [t if isinstance(t, Constant) else Constant(full[t]) for t in atom.terms],
+    )
+    # Standardise apart by renaming the original's variables.
+    renamed = atom.rename("other")
+    assert unifiable(renamed, ground_atom)
+
+
+@given(_atoms(), _atoms(), st.dictionaries(_VAR_NAMES.map(Variable), _VALUES, max_size=8))
+@settings(max_examples=200)
+def test_most_general(a, b, mapping):
+    """If some ground assignment h makes a and b equal, they unify."""
+    variables = set(a.variables()) | set(b.variables())
+    full = dict(mapping)
+    for variable in variables:
+        full.setdefault(variable, 0)
+
+    def ground(atom):
+        return tuple(
+            t.value if isinstance(t, Constant) else full[t] for t in atom.terms
+        )
+
+    if a.relation == b.relation and len(a.terms) == len(b.terms):
+        if ground(a) == ground(b):
+            assert unifiable(a, b)
+
+
+@given(st.lists(_VALUES, min_size=1, max_size=4), st.lists(_VALUES, min_size=1, max_size=4))
+def test_ground_atoms_unify_iff_equal(xs, ys):
+    a, b = Atom("R", xs), Atom("R", ys)
+    assert unifiable(a, b) == (a == b)

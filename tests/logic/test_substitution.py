@@ -1,0 +1,138 @@
+"""Unit tests for the union–find substitution."""
+
+import pytest
+
+from repro.logic import Constant, Substitution, var
+
+
+class TestBinding:
+    def test_bind_and_lookup(self):
+        sub = Substitution()
+        assert sub.bind(var("x"), 5)
+        assert sub.value_of(var("x")) == 5
+        assert sub.is_bound(var("x"))
+
+    def test_rebind_same_value_ok(self):
+        sub = Substitution()
+        assert sub.bind(var("x"), 5)
+        assert sub.bind(var("x"), 5)
+
+    def test_rebind_conflicting_value_fails(self):
+        sub = Substitution()
+        assert sub.bind(var("x"), 5)
+        assert not sub.bind(var("x"), 6)
+
+    def test_unbound_variable(self):
+        sub = Substitution()
+        assert sub.value_of(var("x")) is None
+        assert not sub.is_bound(var("x"))
+
+
+class TestUnifyTerms:
+    def test_variable_variable_merge(self):
+        sub = Substitution()
+        assert sub.unify_terms(var("x"), var("y"))
+        assert sub.same_class(var("x"), var("y"))
+        # Binding one binds the other.
+        assert sub.bind(var("x"), 3)
+        assert sub.value_of(var("y")) == 3
+
+    def test_transitive_merge(self):
+        sub = Substitution()
+        assert sub.unify_terms(var("x"), var("y"))
+        assert sub.unify_terms(var("y"), var("z"))
+        assert sub.bind(var("z"), "v")
+        assert sub.value_of(var("x")) == "v"
+
+    def test_merge_classes_with_conflicting_constants_fails(self):
+        sub = Substitution()
+        assert sub.bind(var("x"), 1)
+        assert sub.bind(var("y"), 2)
+        assert not sub.unify_terms(var("x"), var("y"))
+
+    def test_merge_classes_same_constant_ok(self):
+        sub = Substitution()
+        assert sub.bind(var("x"), 1)
+        assert sub.bind(var("y"), 1)
+        assert sub.unify_terms(var("x"), var("y"))
+
+    def test_constant_constant(self):
+        sub = Substitution()
+        assert sub.unify_terms(Constant(1), Constant(1))
+        assert not sub.unify_terms(Constant(1), Constant(2))
+
+    def test_resolve_constant_passthrough(self):
+        sub = Substitution()
+        assert sub.resolve(Constant(9)) == Constant(9)
+
+    def test_resolve_bound_variable(self):
+        sub = Substitution()
+        sub.bind(var("x"), 9)
+        assert sub.resolve(var("x")) == Constant(9)
+
+
+class TestCopyAndMerge:
+    def test_copy_is_independent(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        dup = sub.copy()
+        dup.bind(var("y"), 2)
+        assert sub.value_of(var("y")) is None
+        assert dup.value_of(var("x")) == 1
+
+    def test_merge_compatible(self):
+        a = Substitution()
+        a.unify_terms(var("x"), var("y"))
+        b = Substitution()
+        b.bind(var("y"), 7)
+        assert a.merge(b)
+        assert a.value_of(var("x")) == 7
+
+    def test_merge_incompatible(self):
+        a = Substitution()
+        a.bind(var("x"), 1)
+        b = Substitution()
+        b.bind(var("x"), 2)
+        assert not a.copy().merge(b)
+
+    def test_merge_idempotent_for_shared_constraints(self):
+        shared = Substitution()
+        shared.unify_terms(var("x"), var("y"))
+        shared.bind(var("x"), 4)
+        target = Substitution()
+        assert target.merge(shared)
+        assert target.merge(shared)  # merging twice is harmless
+        assert target.value_of(var("y")) == 4
+
+
+class TestAssignmentExtraction:
+    def test_as_assignment_reports_bound_only(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        sub.unify_terms(var("y"), var("z"))
+        assignment = sub.as_assignment()
+        assert assignment == {var("x"): 1}
+
+    def test_as_assignment_restricted(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        sub.bind(var("y"), 2)
+        assignment = sub.as_assignment([var("x")])
+        assert assignment == {var("x"): 1}
+
+    def test_unbound_roots(self):
+        sub = Substitution()
+        sub.unify_terms(var("x"), var("y"))
+        sub.bind(var("z"), 3)
+        roots = sub.unbound_roots([var("x"), var("y"), var("z")])
+        assert len(roots) == 1  # x and y share one unbound class; z bound
+
+    def test_from_mapping(self):
+        sub = Substitution.from_mapping({var("x"): 1, var("y"): 2})
+        assert sub.value_of(var("x")) == 1
+        assert sub.value_of(var("y")) == 2
+
+    def test_from_mapping_is_consistent(self):
+        # Distinct variables can share a value without conflict.
+        sub = Substitution.from_mapping({var("x"): 1, var("y"): 1})
+        assert sub.value_of(var("y")) == 1

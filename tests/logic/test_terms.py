@@ -1,0 +1,79 @@
+"""Unit tests for terms (variables and constants)."""
+
+import pytest
+
+from repro.logic import Constant, Variable, as_term, const, is_constant, is_variable, var
+
+
+class TestVariable:
+    def test_equality_by_name_and_namespace(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert Variable("x", "q1") != Variable("x", "q2")
+        assert Variable("x", "q1") == Variable("x", "q1")
+
+    def test_hash_consistency(self):
+        assert hash(Variable("x", "q")) == hash(Variable("x", "q"))
+        assert len({Variable("x"), Variable("x"), Variable("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_qualified_moves_namespace(self):
+        x = Variable("x")
+        qualified = x.qualified("q7")
+        assert qualified == Variable("x", "q7")
+        assert x.namespace == ""  # original untouched
+
+    def test_immutable(self):
+        x = Variable("x")
+        with pytest.raises(AttributeError):
+            x.name = "y"
+
+    def test_str_includes_namespace(self):
+        assert str(Variable("x")) == "x"
+        assert str(Variable("x", "qC")) == "qC.x"
+
+    def test_not_equal_to_constant_of_same_text(self):
+        assert Variable("x") != Constant("x")
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("Paris") == Constant("Paris")
+
+    def test_int_and_string_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_immutable(self):
+        c = Constant(5)
+        with pytest.raises(AttributeError):
+            c.value = 6
+
+
+class TestHelpers:
+    def test_var_const_shorthands(self):
+        assert var("x", "ns") == Variable("x", "ns")
+        assert const(3) == Constant(3)
+
+    def test_predicates(self):
+        assert is_variable(var("x"))
+        assert not is_variable(const(1))
+        assert is_constant(const(1))
+        assert not is_constant(var("x"))
+
+    def test_as_term_passthrough(self):
+        x = var("x")
+        assert as_term(x) is x
+        c = const(1)
+        assert as_term(c) is c
+
+    def test_as_term_wraps_values(self):
+        assert as_term("Paris") == Constant("Paris")
+        assert as_term(42) == Constant(42)

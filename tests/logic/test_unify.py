@@ -1,0 +1,142 @@
+"""Unit tests for atom unification (paper Section 2.3 semantics)."""
+
+from repro.logic import (
+    Atom,
+    Substitution,
+    apply_substitution,
+    apply_substitution_all,
+    standardize_apart,
+    unifiable,
+    unify_atom_lists,
+    unify_atoms,
+    var,
+)
+
+
+class TestUnifyAtoms:
+    def test_paper_example_unifiable(self):
+        # R(C, x1) and R(C, y1) are unifiable (Section 2.3).
+        assert unifiable(Atom("R", ["C", var("x1")]), Atom("R", ["C", var("y1")]))
+
+    def test_paper_example_not_unifiable(self):
+        # R(C, x1) and R(G, y1) are not (different constants).
+        assert not unifiable(Atom("R", ["C", var("x1")]), Atom("R", ["G", var("y1")]))
+
+    def test_different_relations_never_unify(self):
+        assert not unifiable(Atom("R", [var("x")]), Atom("Q", [var("x")]))
+
+    def test_different_arity_never_unify(self):
+        assert not unifiable(Atom("R", [var("x")]), Atom("R", [var("x"), 1]))
+
+    def test_variable_binds_constant(self):
+        sub = unify_atoms(Atom("R", [var("x")]), Atom("R", [5]))
+        assert sub is not None
+        assert sub.value_of(var("x")) == 5
+
+    def test_repeated_variable_clash(self):
+        # R(x, x) vs R(1, 2): the paper's position-wise test would pass,
+        # full unification correctly rejects (DESIGN.md deviation 1).
+        assert not unifiable(Atom("R", [var("x"), var("x")]), Atom("R", [1, 2]))
+
+    def test_repeated_variable_consistent(self):
+        assert unifiable(Atom("R", [var("x"), var("x")]), Atom("R", [1, 1]))
+
+    def test_ground_atoms_unify_iff_equal(self):
+        assert unifiable(Atom("R", [1, 2]), Atom("R", [1, 2]))
+        assert not unifiable(Atom("R", [1, 2]), Atom("R", [1, 3]))
+
+    def test_existing_substitution_not_mutated_on_failure(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        result = unify_atoms(Atom("R", [var("x")]), Atom("R", [2]), sub)
+        assert result is None
+        assert sub.value_of(var("x")) == 1
+
+    def test_extends_existing_substitution(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        result = unify_atoms(Atom("R", [var("x"), var("y")]), Atom("R", [1, 2]), sub)
+        assert result is not None
+        assert result.value_of(var("y")) == 2
+
+    def test_symmetry(self):
+        a = Atom("R", [var("x"), "C"])
+        b = Atom("R", [101, var("y")])
+        assert unifiable(a, b) == unifiable(b, a)
+
+
+class TestUnifyAtomLists:
+    def test_simultaneous_constraints(self):
+        pairs = [
+            (Atom("R", [var("x")]), Atom("R", [var("y")])),
+            (Atom("S", [var("y")]), Atom("S", [3])),
+        ]
+        sub = unify_atom_lists(pairs)
+        assert sub is not None
+        assert sub.value_of(var("x")) == 3
+
+    def test_conflicting_pairs_fail(self):
+        pairs = [
+            (Atom("R", [var("x")]), Atom("R", [1])),
+            (Atom("R", [var("x")]), Atom("R", [2])),
+        ]
+        assert unify_atom_lists(pairs) is None
+
+    def test_empty_pair_list(self):
+        assert unify_atom_lists([]) is not None
+
+
+class TestStandardizeApart:
+    def test_default_namespaces(self):
+        lists = standardize_apart([[Atom("R", [var("x")])], [Atom("R", [var("x")])]])
+        v0 = lists[0][0].variables()[0]
+        v1 = lists[1][0].variables()[0]
+        assert v0 != v1
+        assert v0.namespace == "q0" and v1.namespace == "q1"
+
+    def test_custom_namespaces(self):
+        lists = standardize_apart(
+            [[Atom("R", [var("x")])]], namespaces=["mine"]
+        )
+        assert lists[0][0].variables()[0].namespace == "mine"
+
+    def test_shared_names_no_longer_collide(self):
+        a = Atom("R", [var("x"), 1])
+        b = Atom("R", [var("x"), 2])
+        # Same variable name: direct unification would force 1 = 2.
+        assert unify_atom_lists([(a, a), (b, b)]) is not None  # trivially
+        [std_a], [std_b] = standardize_apart([[a], [b]])
+        sub = unify_atom_lists([(std_a, std_a), (std_b, std_b)])
+        assert sub is not None
+
+
+class TestApplySubstitution:
+    def test_rewrites_bound_variables(self):
+        sub = Substitution()
+        sub.bind(var("x"), 9)
+        atom = apply_substitution(Atom("R", [var("x"), var("y")]), sub)
+        assert atom.terms[0].value == 9  # type: ignore[union-attr]
+        # y unbound: stays a variable
+        assert atom.terms[1] in (var("y"), atom.terms[1])
+
+    def test_merged_variables_become_same_root(self):
+        sub = Substitution()
+        sub.unify_terms(var("x"), var("y"))
+        atom = apply_substitution(Atom("R", [var("x"), var("y")]), sub)
+        assert atom.terms[0] == atom.terms[1]
+
+    def test_apply_all(self):
+        sub = Substitution()
+        sub.bind(var("x"), 1)
+        atoms = apply_substitution_all(
+            [Atom("R", [var("x")]), Atom("S", [var("x")])], sub
+        )
+        assert all(a.is_ground() for a in atoms)
+
+    def test_unification_makes_atoms_equal_after_apply(self):
+        # Fundamental MGU property: unify(a, b) => aσ == bσ.
+        a = Atom("R", [var("x"), "C", var("z")])
+        b = Atom("R", [101, var("y"), var("w")])
+        sub = unify_atoms(a, b)
+        assert sub is not None
+        assert apply_substitution(a, sub) == apply_substitution(b, sub)

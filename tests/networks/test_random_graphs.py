@@ -1,0 +1,83 @@
+"""Unit tests for elementary graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import is_strongly_connected
+from repro.networks import (
+    complete_digraph,
+    gnp_digraph,
+    list_digraph,
+    ring_digraph,
+    star_digraph,
+)
+
+
+class TestListDigraph:
+    def test_structure(self):
+        g = list_digraph(5)
+        assert g.edge_count() == 4
+        assert g.successors(0) == {1}
+        assert g.successors(4) == set()
+
+    def test_single_node(self):
+        g = list_digraph(1)
+        assert g.node_count() == 1
+        assert g.edge_count() == 0
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            list_digraph(0)
+
+
+class TestRingDigraph:
+    def test_strongly_connected(self):
+        assert is_strongly_connected(ring_digraph(7))
+
+    def test_degrees(self):
+        g = ring_digraph(7)
+        for node in g.nodes():
+            assert g.out_degree(node) == 1
+            assert g.in_degree(node) == 1
+
+    def test_self_loop_ring_of_one(self):
+        g = ring_digraph(1)
+        assert g.has_edge(0, 0)
+
+
+class TestStarDigraph:
+    def test_hub_points_everywhere(self):
+        g = star_digraph(6)
+        assert g.out_degree(0) == 5
+        assert all(g.in_degree(i) == 1 for i in range(1, 6))
+
+
+class TestCompleteDigraph:
+    def test_all_ordered_pairs(self):
+        g = complete_digraph(5)
+        assert g.edge_count() == 20
+        assert is_strongly_connected(g)
+
+    def test_no_self_loops(self):
+        g = complete_digraph(4)
+        for node in g.nodes():
+            assert not g.has_edge(node, node)
+
+
+class TestGnp:
+    def test_probability_zero(self):
+        g = gnp_digraph(20, 0.0, seed=1)
+        assert g.edge_count() == 0
+
+    def test_probability_one(self):
+        g = gnp_digraph(10, 1.0, seed=1)
+        assert g.edge_count() == 90
+
+    def test_deterministic(self):
+        a = gnp_digraph(30, 0.1, seed=4)
+        b = gnp_digraph(30, 0.1, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            gnp_digraph(10, 1.5)

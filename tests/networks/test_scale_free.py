@@ -1,0 +1,68 @@
+"""Unit tests for the directed scale-free generator."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.networks import degree_tail_ratio, in_degree_sequence, scale_free_digraph
+
+
+class TestGeneration:
+    def test_node_count(self):
+        g = scale_free_digraph(50, seed=1)
+        assert g.node_count() == 50
+
+    def test_first_node_has_no_out_edges(self):
+        g = scale_free_digraph(30, seed=2)
+        assert g.out_degree(0) == 0
+
+    def test_out_degree_bounded(self):
+        g = scale_free_digraph(40, out_degree=3, seed=3)
+        for node in g.nodes():
+            assert g.out_degree(node) <= 3
+
+    def test_edges_point_to_earlier_nodes(self):
+        g = scale_free_digraph(40, seed=4)
+        for source, target in g.edges():
+            assert target < source
+
+    def test_deterministic_by_seed(self):
+        a = scale_free_digraph(40, seed=7)
+        b = scale_free_digraph(40, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = scale_free_digraph(60, seed=1)
+        b = scale_free_digraph(60, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            scale_free_digraph(0)
+        with pytest.raises(GraphError):
+            scale_free_digraph(10, out_degree=0)
+
+    def test_tiny_graphs(self):
+        assert scale_free_digraph(1, seed=0).node_count() == 1
+        g = scale_free_digraph(2, seed=0)
+        assert g.has_edge(1, 0)
+
+
+class TestDegreeDistribution:
+    def test_heavy_tail(self):
+        """Preferential attachment concentrates in-degree in few nodes."""
+        g = scale_free_digraph(800, out_degree=2, seed=5)
+        ratio = degree_tail_ratio(g, top_fraction=0.1)
+        # Uniform attachment would give ~0.1; preferential attachment
+        # concentrates far more than that.
+        assert ratio > 0.25
+
+    def test_in_degree_sequence_sorted(self):
+        g = scale_free_digraph(100, seed=6)
+        sequence = in_degree_sequence(g)
+        assert sequence == sorted(sequence, reverse=True)
+        assert sum(sequence) == g.edge_count()
+
+    def test_acyclic_by_construction(self):
+        from repro.graphs import is_acyclic
+
+        assert is_acyclic(scale_free_digraph(100, seed=8))

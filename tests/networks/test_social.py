@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic Slashdot-like member table."""
+
+from repro.networks import (
+    SLASHDOT_SIZE,
+    add_friend_table,
+    member_name,
+    slashdot_like_members,
+    slashdot_like_network,
+)
+
+
+class TestMemberTable:
+    def test_default_size_matches_paper(self):
+        assert SLASHDOT_SIZE == 82_168
+
+    def test_scaled_table(self):
+        db = slashdot_like_members(size=250, seed=1)
+        assert db.sizes() == {"Members": 250}
+
+    def test_schema(self):
+        db = slashdot_like_members(size=10)
+        schema = db.schema.get("Members")
+        assert schema.attributes == ("username", "region", "interest", "karma")
+        assert schema.key == "username"
+
+    def test_every_user_has_a_row(self):
+        db = slashdot_like_members(size=50)
+        rows = {row[0] for row in db.rows("Members")}
+        assert rows == {member_name(i) for i in range(50)}
+
+    def test_deterministic_by_seed(self):
+        a = slashdot_like_members(size=40, seed=3)
+        b = slashdot_like_members(size=40, seed=3)
+        assert a.rows("Members") == b.rows("Members")
+
+    def test_member_name_format(self):
+        assert member_name(0) == "user00000"
+        assert member_name(12345) == "user12345"
+
+
+class TestFriendTable:
+    def test_network_materialisation(self):
+        db = slashdot_like_members(size=30)
+        graph = slashdot_like_network(30, out_degree=2, seed=9)
+        inserted = add_friend_table(db, graph)
+        assert inserted == graph.edge_count()
+        assert db.sizes()["Friends"] == inserted
+
+    def test_edges_use_member_names(self):
+        db = slashdot_like_members(size=10)
+        graph = slashdot_like_network(10, seed=2)
+        add_friend_table(db, graph)
+        for user, friend in db.rows("Friends"):
+            assert user.startswith("user") and friend.startswith("user")
+
+    def test_custom_relation_name(self):
+        db = slashdot_like_members(size=10)
+        graph = slashdot_like_network(10, seed=2)
+        add_friend_table(db, graph, relation="Buddies")
+        assert "Buddies" in db

@@ -1,0 +1,116 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.db import DatabaseBuilder, save_database
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    db = (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich"), (102, "Paris")])
+        .build()
+    )
+    path = tmp_path / "db.json"
+    save_database(db, path)
+    return str(path)
+
+
+@pytest.fixture
+def queries_file(tmp_path):
+    path = tmp_path / "queries.eq"
+    path.write_text(
+        """
+        gwyneth: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+        chris:   {} R(Chris, y) :- Flights(y, 'Zurich');
+        """
+    )
+    return str(path)
+
+
+class TestCheck:
+    def test_reports_properties(self, db_file, queries_file, capsys):
+        assert main(["check", db_file, queries_file]) == 0
+        out = capsys.readouterr().out
+        assert "safe: True" in out
+        assert "unique: False" in out
+        assert "SCC Coordination Algorithm" in out
+
+    def test_unsafe_program_diagnosed(self, db_file, tmp_path, capsys):
+        path = tmp_path / "unsafe.eq"
+        path.write_text(
+            """
+            a: {R(y, f)} R(x, A) :- Flights(x, f), Flights(y, f);
+            b: {} R(u, B) :- Flights(u, 'Zurich');
+            c: {} R(v, C) :- Flights(v, 'Paris');
+            """
+        )
+        assert main(["check", db_file, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "safe: False" in out
+        assert "Consistent Coordination Algorithm" in out
+
+
+class TestCoordinate:
+    def test_scc_success(self, db_file, queries_file, capsys):
+        assert main(["coordinate", db_file, queries_file]) == 0
+        out = capsys.readouterr().out
+        assert "coordinating set (2 queries)" in out
+        assert "Definition 1 check: OK" in out
+
+    def test_exact_algorithm(self, db_file, queries_file, capsys):
+        assert main(
+            ["coordinate", db_file, queries_file, "--algorithm", "exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coordinating set" in out
+
+    def test_gupta_rejects_non_unique(self, db_file, queries_file, capsys):
+        code = main(
+            ["coordinate", db_file, queries_file, "--algorithm", "gupta"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unique" in err
+
+    def test_failure_exit_code(self, db_file, tmp_path, capsys):
+        path = tmp_path / "impossible.eq"
+        path.write_text("a: {} R(x) :- Flights(x, 'Atlantis')")
+        assert main(["coordinate", db_file, str(path)]) == 1
+        assert "no coordinating set" in capsys.readouterr().out
+
+    def test_trace_flag(self, db_file, queries_file, capsys):
+        assert main(["coordinate", db_file, queries_file, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "selection:" in out
+
+    def test_dot_output(self, db_file, queries_file, tmp_path, capsys):
+        dot_path = tmp_path / "graph.dot"
+        assert (
+            main(
+                ["coordinate", db_file, queries_file, "--dot", str(dot_path)]
+            )
+            == 0
+        )
+        content = dot_path.read_text()
+        assert content.startswith("digraph")
+        assert '"gwyneth" -> "chris";' in content
+
+    def test_missing_file_is_clean_error(self, db_file, capsys):
+        assert main(["coordinate", db_file, "/nonexistent.eq"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_schema_violation_is_clean_error(self, db_file, tmp_path, capsys):
+        path = tmp_path / "bad.eq"
+        path.write_text("a: {} R(x) :- NoSuchTable(x)")
+        assert main(["coordinate", db_file, str(path)]) == 2
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "shared flight: 101" in out

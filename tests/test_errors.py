@@ -1,0 +1,48 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.LogicError,
+    errors.UnificationError,
+    errors.DatabaseError,
+    errors.SchemaError,
+    errors.UnknownRelationError,
+    errors.ArityError,
+    errors.GraphError,
+    errors.CoordinationError,
+    errors.MalformedQueryError,
+    errors.ParseError,
+    errors.PreconditionError,
+    errors.HardnessError,
+    errors.FormulaError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise error_type("boom")
+
+
+def test_layered_hierarchy():
+    assert issubclass(errors.SchemaError, errors.DatabaseError)
+    assert issubclass(errors.ParseError, errors.CoordinationError)
+    assert issubclass(errors.FormulaError, errors.HardnessError)
+    assert issubclass(errors.UnificationError, errors.LogicError)
+
+
+def test_catching_the_base_class_is_sufficient():
+    # A library consumer can guard any call with one except clause.
+    from repro.core import parse_query
+
+    try:
+        parse_query("{{{nonsense")
+    except errors.ReproError as caught:
+        assert isinstance(caught, errors.ParseError)
+    else:  # pragma: no cover
+        raise AssertionError("expected a parse error")

@@ -1,0 +1,34 @@
+"""Documentation tests: the README's code examples must execute.
+
+Extracts every ```python fenced block from README.md and runs it; a
+stale quickstart is a bug.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+def test_readme_exists_and_has_examples():
+    blocks = _python_blocks()
+    assert len(blocks) >= 1
+
+
+@pytest.mark.parametrize("index", range(len(_python_blocks())))
+def test_readme_block_executes(index):
+    block = _python_blocks()[index]
+    exec(compile(block, f"README.md[block {index}]", "exec"), {})
+
+
+def test_readme_mentions_all_figures():
+    text = README.read_text(encoding="utf-8")
+    for token in ("Figures 4–8", "EXPERIMENTS.md", "DESIGN.md"):
+        assert token in text

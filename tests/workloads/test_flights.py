@@ -1,0 +1,80 @@
+"""Unit tests for the flight workloads (Figures 7 and 8)."""
+
+from repro.core import consistent_coordinate
+from repro.workloads import (
+    flight_setup,
+    realistic_flight_workload,
+    unique_flights_rows,
+    user_name,
+    worst_case_database,
+    worst_case_queries,
+)
+
+
+class TestWorstCase:
+    def test_unique_rows_have_unique_coordination_values(self):
+        rows = unique_flights_rows(50)
+        pairs = {(r[1], r[2]) for r in rows}
+        assert len(pairs) == 50
+
+    def test_database_shapes(self):
+        db = worst_case_database(num_flights=30, num_users=5)
+        assert db.sizes()["Flights"] == 30
+        assert db.sizes()["Friends"] == 5 * 4  # complete digraph
+
+    def test_every_value_is_a_candidate(self):
+        db = worst_case_database(num_flights=20, num_users=4)
+        queries = worst_case_queries(4)
+        result = consistent_coordinate(db, flight_setup(), queries)
+        # Worst case by construction: candidate values = table size.
+        assert result.stats.candidate_values == 20
+
+    def test_nothing_pruned_everyone_coordinates(self):
+        db = worst_case_database(num_flights=10, num_users=6)
+        queries = worst_case_queries(6)
+        result = consistent_coordinate(db, flight_setup(), queries)
+        assert result.found
+        assert set(result.chosen.users) == {user_name(i) for i in range(6)}
+        # Every candidate keeps all users (complete friendships).
+        assert all(c.size == 6 for c in result.candidates)
+
+    def test_db_queries_linear_in_users(self):
+        setup = flight_setup()
+        for n in (4, 8):
+            db = worst_case_database(num_flights=10, num_users=n)
+            result = consistent_coordinate(db, setup, worst_case_queries(n))
+            assert result.stats.db_queries <= 3 * n
+
+
+class TestRealisticWorkload:
+    def test_generation_is_deterministic(self):
+        db1, q1 = realistic_flight_workload(num_users=10, seed=5)
+        db2, q2 = realistic_flight_workload(num_users=10, seed=5)
+        assert db1.rows("Flights") == db2.rows("Flights")
+        assert [str(q) for q in q1] == [str(q) for q in q2]
+
+    def test_runs_end_to_end(self):
+        db, queries = realistic_flight_workload(num_users=12, seed=5)
+        result = consistent_coordinate(db, flight_setup(), queries)
+        # A coordinating set usually exists; at minimum the run is
+        # well-formed and all candidates respect the friendship rules.
+        for candidate in result.candidates:
+            assert candidate.users
+        if result.found:
+            db_rows = {row[0]: row for row in db.rows("Flights")}
+            for user, key in result.chosen.selections.items():
+                row = db_rows[key]
+                assert (row[1], row[2]) == result.chosen.value
+
+    def test_constraints_respected_in_outcome(self):
+        db, queries = realistic_flight_workload(num_users=15, seed=11)
+        result = consistent_coordinate(db, flight_setup(), queries)
+        if not result.found:
+            return
+        constraints = {q.user: q.constraint_map() for q in queries}
+        db_rows = {row[0]: row for row in db.rows("Flights")}
+        attrs = ("flightId", "destination", "day", "source", "airline")
+        for user, key in result.chosen.selections.items():
+            row = dict(zip(attrs, db_rows[key]))
+            for attribute, value in constraints[user].items():
+                assert row[attribute] == value, (user, attribute)

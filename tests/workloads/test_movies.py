@@ -1,0 +1,55 @@
+"""Unit tests for the movies workload definition."""
+
+from repro.workloads import (
+    CINEMAS,
+    FRIENDSHIPS,
+    movies_database,
+    movies_queries,
+    movies_setup,
+)
+
+
+class TestDatabase:
+    def test_hugo_plays_at_three_cinemas(self):
+        db = movies_database()
+        cinemas = {row[1] for row in db.rows("M") if row[2] == "Hugo"}
+        assert cinemas == set(CINEMAS)
+
+    def test_contagion_only_at_regal(self):
+        db = movies_database()
+        cinemas = {row[1] for row in db.rows("M") if row[2] == "Contagion"}
+        assert cinemas == {"Regal"}
+
+    def test_friendships_match_paper(self):
+        db = movies_database()
+        assert db.contains("C", ("Chris", "Jonny"))
+        assert db.contains("C", ("Jonny", "Will"))
+        assert not db.contains("C", ("Jonny", "Guy"))
+        assert not db.contains("C", ("Chris", "Will"))
+
+    def test_friendship_list_is_the_papers(self):
+        by_user = {}
+        for user, friend in FRIENDSHIPS:
+            by_user.setdefault(user, set()).add(friend)
+        assert by_user == {
+            "Chris": {"Jonny", "Guy"},
+            "Guy": {"Chris", "Jonny"},
+            "Jonny": {"Chris", "Will"},
+            "Will": {"Chris", "Guy"},
+        }
+
+
+class TestQueries:
+    def test_four_queries_one_per_member(self):
+        queries = movies_queries()
+        assert [q.user for q in queries] == ["Chris", "Guy", "Jonny", "Will"]
+
+    def test_chris_names_will(self):
+        chris = movies_queries()[0]
+        partners = chris.named_partners()
+        assert len(partners) == 1 and partners[0].user == "Will"
+
+    def test_setup_coordinates_on_cinema(self):
+        setup = movies_setup()
+        assert setup.coordination_attributes == ("cinema",)
+        assert setup.table == "M"

@@ -1,0 +1,98 @@
+"""Unit tests for the partner-coordination workloads (Figures 4–6)."""
+
+from repro.core import (
+    CoordinationGraph,
+    is_safe,
+    is_unique,
+    scc_coordinate,
+    verify_result_set,
+)
+from repro.networks import list_digraph, member_name
+from repro.workloads import (
+    list_workload,
+    partner_query,
+    queries_from_structure,
+    scale_free_workload,
+    shared_venue_workload,
+    venues_database,
+)
+
+
+class TestPartnerQuery:
+    def test_shape(self):
+        q = partner_query("user00001", ["user00002", "user00003"])
+        assert len(q.postconditions) == 2
+        assert len(q.head) == 1
+        assert len(q.body) == 1
+        assert q.name == "user00001"
+
+    def test_partner_constants_in_postconditions(self):
+        q = partner_query("a", ["b"])
+        assert q.postconditions[0].terms[1].value == "b"
+
+    def test_no_partners(self):
+        q = partner_query("a", [])
+        assert q.postconditions == ()
+
+
+class TestStructures:
+    def test_list_workload_graph_is_chain(self):
+        queries = list_workload(5)
+        graph = CoordinationGraph.build(queries)
+        for i in range(4):
+            assert graph.graph.successors(member_name(i)) == {member_name(i + 1)}
+        assert graph.graph.successors(member_name(4)) == set()
+
+    def test_list_workload_safe_not_unique(self):
+        queries = list_workload(6)
+        graph = CoordinationGraph.build(queries)
+        assert is_safe(queries)
+        assert not is_unique(graph)
+
+    def test_scale_free_workload_safe(self):
+        queries = scale_free_workload(25, seed=3)
+        assert is_safe(queries)
+
+    def test_custom_users(self):
+        structure = list_digraph(3)
+        queries = queries_from_structure(structure, users=["a", "b", "c"])
+        assert [q.name for q in queries] == ["a", "b", "c"]
+
+    def test_all_bodies_satisfiable(self, small_members_db):
+        # The paper's "most demanding scenario": every body satisfiable.
+        queries = list_workload(20)
+        result = scc_coordinate(small_members_db, queries)
+        assert result.stats.preprocessing_removed == 0
+        assert result.found
+        assert result.chosen.size == 20
+
+
+class TestSharedVenue:
+    def test_chain_forces_common_venue(self):
+        db = venues_database(venues=5)
+        queries = shared_venue_workload(list_digraph(4))
+        assert is_safe(queries)
+        result = scc_coordinate(db, queries)
+        assert result.found
+        assert result.chosen.size == 4
+        values = {
+            result.chosen.value_of(q.name, "x") for q in queries
+        }
+        assert len(values) == 1  # everyone at the same venue
+        assert verify_result_set(db, queries, result.chosen).ok
+
+    def test_conflicting_venue_pins_fail(self):
+        from repro.core import parse_queries
+
+        db = venues_database(venues=3)
+        # Two users pin different venues but insist on coordinating.
+        queries = parse_queries(
+            """
+            a: {R(x, B)} R(x, A) :- Venues(x, 10);
+            b: {} R(y, B) :- Venues(y, 11);
+            """
+        )
+        result = scc_coordinate(db, queries)
+        # a unifies x with b's y, but venue capacities clash: only b.
+        assert result.found
+        assert result.chosen.member_set() == {"b"}
