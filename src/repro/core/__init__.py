@@ -41,7 +41,7 @@ from .consistent_lowering import (
     outcome_witness,
     to_entangled,
 )
-from .coordination_graph import CoordinationGraph, ExtendedEdge
+from .coordination_graph import ArrivalProbe, CoordinationGraph, ExtendedEdge
 from .engine import ArrivalOutcome, CoordinationEngine
 from .gupta import gupta_coordinate
 from .parallel import consistent_coordinate_parallel, partition_values
@@ -90,6 +90,7 @@ from .visualize import (
 
 __all__ = [
     "ArrivalOutcome",
+    "ArrivalProbe",
     "ComponentProcessed",
     "PreprocessingRemoved",
     "SelectionMade",

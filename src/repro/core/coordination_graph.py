@@ -1,4 +1,4 @@
-"""Coordination graphs (Section 2.3 of the paper).
+"""Coordination graphs (Section 2.3 of the paper), maintained incrementally.
 
 Two structures are defined over a set of entangled queries ``Q``:
 
@@ -12,11 +12,38 @@ Two structures are defined over a set of entangled queries ``Q``:
 Queries are standardised apart (each into its own namespace) before
 unification, so a shared variable name across two queries never creates
 a spurious edge.
+
+Online maintenance
+------------------
+The Youtopia embedding (Section 6.1) feeds arrivals one at a time, so
+the representation is built for *extension*, not reconstruction.  All
+graphs produced by a chain of :meth:`CoordinationGraph.with_query`
+calls share one mutable :class:`_GraphCore`; extending the newest graph
+of the chain (the *tip*) appends to the shared core in O(new incident
+edges) — no copy of the head index, the edge list, or the adjacency
+maps is ever taken on the arrival path.  Older graphs of the chain stay
+valid reads: each remembers the (query, edge) prefix of the core that
+was current when it was created, and *detaches* onto a private core the
+first time it is read or extended after the chain moved on.  The
+snapshot guarantee attaches to the *graph object* and its accessors —
+the ``queries``/``standardized`` dicts it hands out are live views of
+its current state, not frozen copies (see the property docstrings).  A linear
+arrival stream therefore pays amortized O(incident edges) per query,
+while branching (two extensions of one base) costs one O(base) copy —
+exactly the access pattern split between the online engine and
+exploratory callers.
+
+Destructive operations (:meth:`discard_queries`, issued by the engine
+when a coordinating set is satisfied and leaves the system) mutate the
+core in place in O(removed component); any other graph still attached
+to the core is detached first, so it keeps its pre-removal snapshot.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..graphs import DiGraph
@@ -24,31 +51,42 @@ from ..logic import Atom, Constant, unifiable
 from .query import EntangledQuery, check_distinct_names
 
 
-class _HeadIndex:
-    """Index of head atoms for fast unifiability-candidate lookup.
+class _AtomIndex:
+    """Index of atoms for fast unifiability-candidate lookup.
 
-    Building the extended coordination graph naively compares every
-    postcondition against every head — quadratic in the query count,
-    which Figure 6's 1000-query graphs make painful.  Heads are bucketed
-    by (relation, arity); within a bucket, per-position maps record
-    which heads carry which constant (or a variable) at that position.
-    A postcondition with a constant at some position can only unify with
-    heads that have the *same* constant or a variable there, so probing
-    the post's most selective constant position yields a near-minimal
-    candidate list.  Full unification still validates every candidate.
+    Matching every postcondition against every head is quadratic in the
+    query count, which Figure 6's 1000-query graphs make painful.
+    Atoms are bucketed by (relation, arity); within a bucket,
+    per-position maps record which atoms carry which constant (or a
+    variable) at that position.  Two flat atoms can only unify when, at
+    every position, they don't carry *different* constants — so probing
+    the query atom's most selective constant position yields a
+    near-minimal candidate list.  Full unification still validates
+    every candidate.
+
+    The same structure indexes head atoms (probed by postconditions)
+    and postcondition atoms (probed by the heads of a new arrival);
+    unifiability is symmetric, so one implementation serves both.
+
+    Removal is handled by *tombstoning*: entries of dropped queries stay
+    in the buckets and are filtered out by the caller's liveness check;
+    the owning :class:`_GraphCore` rebuilds the index once dead entries
+    outnumber live ones, keeping the amortized cost O(1) per entry.
     """
 
-    __slots__ = ("_buckets",)
+    __slots__ = ("_buckets", "live", "dead")
 
     def __init__(self) -> None:
         # (relation, arity) -> {
-        #   "all": [(query, head_index, atom)],
+        #   "all": [(query, atom_index, atom)],
         #   "by_pos": [ {const_value: [entry]} per position ],
         #   "var_at": [ [entry] per position ],
         # }
         self._buckets: Dict[tuple, dict] = {}
+        self.live = 0
+        self.dead = 0
 
-    def add(self, query: str, head_index: int, atom: Atom) -> None:
+    def add(self, query: str, atom_index: int, atom: Atom) -> None:
         key = (atom.relation, atom.arity)
         bucket = self._buckets.get(key)
         if bucket is None:
@@ -58,33 +96,31 @@ class _HeadIndex:
                 "var_at": [[] for _ in range(atom.arity)],
             }
             self._buckets[key] = bucket
-        entry = (query, head_index, atom)
+        entry = (query, atom_index, atom)
         bucket["all"].append(entry)
         for position, term in enumerate(atom.terms):
             if isinstance(term, Constant):
                 bucket["by_pos"][position].setdefault(term.value, []).append(entry)
             else:
                 bucket["var_at"][position].append(entry)
+        self.live += 1
 
-    def copy(self) -> "_HeadIndex":
-        """A structurally independent copy (buckets are rebuilt shallow)."""
-        dup = _HeadIndex()
-        for key, bucket in self._buckets.items():
-            dup._buckets[key] = {
-                "all": list(bucket["all"]),
-                "by_pos": [dict((v, list(es)) for v, es in m.items()) for m in bucket["by_pos"]],
-                "var_at": [list(es) for es in bucket["var_at"]],
-            }
-        return dup
+    def mark_dead(self, count: int) -> None:
+        """Account for ``count`` entries whose query was dropped."""
+        self.live -= count
+        self.dead += count
 
-    def candidates(self, post: Atom) -> List[tuple]:
-        """Entries possibly unifiable with ``post`` (superset, validated
-        by the caller with real unification)."""
-        bucket = self._buckets.get((post.relation, post.arity))
+    def needs_compaction(self) -> bool:
+        return self.dead > self.live
+
+    def candidates(self, probe: Atom) -> List[tuple]:
+        """Entries possibly unifiable with ``probe`` (superset; the
+        caller validates with real unification and a liveness check)."""
+        bucket = self._buckets.get((probe.relation, probe.arity))
         if bucket is None:
             return []
         best: Optional[List[tuple]] = None
-        for position, term in enumerate(post.terms):
+        for position, term in enumerate(probe.terms):
             if not isinstance(term, Constant):
                 continue
             matching = bucket["by_pos"][position].get(term.value, [])
@@ -113,32 +149,198 @@ class ExtendedEdge:
         return (self.source, self.target)
 
 
-@dataclass
+def unsafe_query_names(
+    violations: Iterable[Tuple[str, int, int]]
+) -> Tuple[str, ...]:
+    """Names with a violated postcondition, deduplicated in first-seen
+    order.  Shared by :class:`ArrivalProbe` and
+    :class:`~repro.core.properties.SafetyReport`."""
+    return tuple(dict.fromkeys(name for name, _, _ in violations))
+
+
+@dataclass(frozen=True)
+class ArrivalProbe:
+    """The incident structure of one prospective arrival.
+
+    Computed by :meth:`CoordinationGraph.probe` *without* touching the
+    graph: the newcomer's standardised form, every extended edge it
+    would contribute, and the safety violations (Definition 2) those
+    edges would introduce — each as a ``(query, post_index, head-match
+    count)`` triple, matching :class:`~repro.core.properties.SafetyReport`.
+    The engine inspects ``violations`` to reject an unsafe arrival in
+    O(new edges) with nothing to roll back, then commits the accepted
+    ones with :meth:`CoordinationGraph.with_arrival`.
+    """
+
+    query: EntangledQuery
+    standardized: EntangledQuery
+    new_edges: Tuple[ExtendedEdge, ...]
+    violations: Tuple[Tuple[str, int, int], ...]
+    # Origin stamp: the core object and its version at probe time.
+    # ``with_arrival`` recomputes the probe unless both still match —
+    # version numbers alone are per-core counters and may coincide
+    # across unrelated graphs.
+    base_version: int
+    base_core: object
+
+    @property
+    def is_safe(self) -> bool:
+        """``True`` when committing keeps the pending set safe."""
+        return not self.violations
+
+    def unsafe_queries(self) -> Tuple[str, ...]:
+        """Names with at least one violated postcondition (first-seen order)."""
+        return unsafe_query_names(self.violations)
+
+
+class _GraphCore:
+    """The shared mutable backing store of a chain of coordination graphs.
+
+    Holds the authoritative dictionaries, the append-only edge list,
+    the collapsed digraph, both atom indexes, per-node incident-edge
+    adjacency, and the per-postcondition head-match counts.  ``version``
+    increments on every mutation; a :class:`CoordinationGraph` whose
+    version matches is the *tip* and reads the core directly.
+    """
+
+    __slots__ = (
+        "queries",
+        "standardized",
+        "edges",
+        "edge_pos",
+        "dead_edges",
+        "digraph",
+        "out_by_post",
+        "out_edges",
+        "in_edges",
+        "fanout",
+        "head_index",
+        "post_index",
+        "version",
+        "attached",
+    )
+
+    def __init__(self) -> None:
+        self.queries: Dict[str, EntangledQuery] = {}
+        self.standardized: Dict[str, EntangledQuery] = {}
+        # Append-only; removal tombstones slots to None so the prefixes
+        # remembered by attached graphs stay addressable.
+        self.edges: List[Optional[ExtendedEdge]] = []
+        self.edge_pos: Dict[ExtendedEdge, int] = {}
+        self.dead_edges = 0
+        self.digraph = DiGraph()
+        self.out_by_post: Dict[Tuple[str, int], List[ExtendedEdge]] = {}
+        self.out_edges: Dict[str, List[ExtendedEdge]] = {}
+        self.in_edges: Dict[str, List[ExtendedEdge]] = {}
+        # (query, post_index) -> live head-match count; safety means
+        # every value is at most 1 (Definition 2).
+        self.fanout: Dict[Tuple[str, int], int] = {}
+        # Atom indexes are built lazily on first probe: restricted /
+        # detached graphs are evaluated (preprocess, condensation,
+        # unification) but never probed, so they must not pay index
+        # construction.  Once built, extensions maintain them
+        # incrementally; discard sets them back to None when tombstones
+        # dominate (cheaper than compacting eagerly).
+        self.head_index: Optional[_AtomIndex] = None
+        self.post_index: Optional[_AtomIndex] = None
+        self.version = 0
+        self.attached: "weakref.WeakSet[CoordinationGraph]" = weakref.WeakSet()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        queries: Dict[str, EntangledQuery],
+        standardized: Dict[str, EntangledQuery],
+        edges: Iterable[ExtendedEdge],
+    ) -> "_GraphCore":
+        """Build a consistent core from known queries and edges."""
+        core = cls()
+        core.queries = queries
+        core.standardized = standardized
+        core.digraph.add_nodes(queries.keys())
+        for name in standardized:
+            core.out_edges[name] = []
+            core.in_edges[name] = []
+        for edge in edges:
+            core._append_edge(edge)
+        return core
+
+    def ensure_indexes(self) -> None:
+        """Build the head/postcondition atom indexes if absent."""
+        if self.head_index is not None:
+            return
+        head_index = _AtomIndex()
+        post_index = _AtomIndex()
+        for name, std in self.standardized.items():
+            for hi, head in enumerate(std.head):
+                head_index.add(name, hi, head)
+            for pi, post in enumerate(std.postconditions):
+                post_index.add(name, pi, post)
+        self.head_index = head_index
+        self.post_index = post_index
+
+    def _append_edge(self, edge: ExtendedEdge) -> None:
+        self.edge_pos[edge] = len(self.edges)
+        self.edges.append(edge)
+        self.out_by_post.setdefault((edge.source, edge.post_index), []).append(edge)
+        self.out_edges.setdefault(edge.source, []).append(edge)
+        self.in_edges.setdefault(edge.target, []).append(edge)
+        key = (edge.source, edge.post_index)
+        self.fanout[key] = self.fanout.get(key, 0) + 1
+        self.digraph.add_edge(edge.source, edge.target)
+
+    def is_current_atom(self, entry: tuple, heads: bool) -> bool:
+        """Liveness check for a (query, atom_index, atom) index entry.
+
+        Guards against both dropped queries and name reuse (a query may
+        leave the system and an unrelated query with the same name may
+        arrive later): the entry is live only if the indexed atom *is*
+        (identity) the query's current atom.
+        """
+        name, atom_index, atom = entry
+        std = self.standardized.get(name)
+        if std is None:
+            return False
+        atoms = std.head if heads else std.postconditions
+        return atom_index < len(atoms) and atoms[atom_index] is atom
+
+    def compact_indexes_if_needed(self) -> None:
+        if self.head_index is None:
+            return
+        if self.head_index.needs_compaction() or self.post_index.needs_compaction():
+            # Drop rather than rebuild: the next probe rebuilds lazily,
+            # and evaluation-only graphs never pay for it.
+            self.head_index = None
+            self.post_index = None
+
+    def compact_edges_if_needed(self) -> None:
+        if self.dead_edges <= len(self.edges) - self.dead_edges:
+            return
+        self.edges = [e for e in self.edges if e is not None]
+        self.edge_pos = {e: i for i, e in enumerate(self.edges)}
+        self.dead_edges = 0
+
+
 class CoordinationGraph:
     """The extended and collapsed coordination graphs of a query set.
 
-    Attributes
-    ----------
-    queries:
-        Original queries by name.
-    standardized:
-        The same queries with variables namespaced by query name; all
-        unification in the coordination layers happens on these.
-    extended_edges:
-        All labelled edges of the extended coordination graph.
-    graph:
-        The collapsed coordination graph (a :class:`DiGraph` over query
-        names).
+    A lightweight view over a shared :class:`_GraphCore` (see the
+    module docstring for the sharing discipline).  The public surface —
+    ``queries``, ``standardized``, ``extended_edges``, ``graph``, and
+    the lookup methods — is unchanged from the batch-built
+    representation; all properties are cheap for the newest graph of an
+    extension chain.
     """
 
-    queries: Dict[str, EntangledQuery]
-    standardized: Dict[str, EntangledQuery]
-    extended_edges: List[ExtendedEdge]
-    graph: DiGraph
-    _out_by_post: Dict[Tuple[str, int], List[ExtendedEdge]] = field(
-        default_factory=dict
-    )
-    _head_index: Optional[_HeadIndex] = None
+    __slots__ = ("_core", "_version", "_n_queries", "_n_edges", "__weakref__")
+
+    def __init__(self, core: _GraphCore, version: int) -> None:
+        self._core = core
+        self._version = version
+        self._n_queries = len(core.queries)
+        self._n_edges = len(core.edges)
+        core.attached.add(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -159,147 +361,296 @@ class CoordinationGraph:
         inputs.
         """
         query_list = check_distinct_names(queries)
-        by_name = {q.name: q for q in query_list}
-        standardized = {q.name: q.standardized() for q in query_list}
+        graph = cls(_GraphCore(), 0)
+        for query in query_list:
+            probe = graph._probe(query, include_self=include_self_edges)
+            graph = graph.with_arrival(probe)
+        return graph
 
-        index = _HeadIndex()
-        for name, std in standardized.items():
-            for hi, head in enumerate(std.head):
-                index.add(name, hi, head)
+    def probe(self, query: EntangledQuery) -> ArrivalProbe:
+        """The edges and safety impact of one prospective arrival.
 
-        edges: List[ExtendedEdge] = []
-        graph = DiGraph()
-        graph.add_nodes(by_name.keys())
-        for source in query_list:
-            source_std = standardized[source.name]
-            for pi, post in enumerate(source_std.postconditions):
-                for target_name, hi, head in index.candidates(post):
-                    if not include_self_edges and target_name == source.name:
-                        continue
+        O(candidate pairs) via the head/postcondition indexes; the
+        receiver is not modified, so a rejected arrival needs no
+        rollback.  Raises for a duplicate name.
+        """
+        return self._probe(query, include_self=True)
+
+    def _probe(self, query: EntangledQuery, include_self: bool) -> ArrivalProbe:
+        core = self._view()
+        if query.name in core.queries:
+            from ..errors import MalformedQueryError
+
+            raise MalformedQueryError(f"duplicate query name {query.name!r}")
+        core.ensure_indexes()
+        std = query.standardized()
+        new_edges: List[ExtendedEdge] = []
+
+        # The newcomer's postconditions against every existing head,
+        # plus (optionally) its own heads — which are not yet indexed.
+        for pi, post in enumerate(std.postconditions):
+            for entry in core.head_index.candidates(post):
+                target_name, hi, head = entry
+                if not core.is_current_atom(entry, heads=True):
+                    continue
+                if unifiable(post, head):
+                    new_edges.append(ExtendedEdge(query.name, pi, target_name, hi))
+            if include_self:
+                for hi, head in enumerate(std.head):
                     if unifiable(post, head):
-                        edges.append(
-                            ExtendedEdge(source.name, pi, target_name, hi)
-                        )
-                        graph.add_edge(source.name, target_name)
+                        new_edges.append(ExtendedEdge(query.name, pi, query.name, hi))
 
-        built = cls(dict(by_name), standardized, edges, graph, _head_index=index)
-        for edge in edges:
-            built._out_by_post.setdefault(
-                (edge.source, edge.post_index), []
-            ).append(edge)
-        return built
+        # Existing postconditions against the newcomer's heads.
+        for hi, head in enumerate(std.head):
+            for entry in core.post_index.candidates(head):
+                source_name, pi, post = entry
+                if not core.is_current_atom(entry, heads=False):
+                    continue
+                if unifiable(post, head):
+                    new_edges.append(ExtendedEdge(source_name, pi, query.name, hi))
+
+        # Safety delta (Definition 2): the set stays safe iff no
+        # postcondition — old or new — ends up with more than one
+        # matching head.  Only the new edges can raise a count.
+        delta: Dict[Tuple[str, int], int] = {}
+        for edge in new_edges:
+            key = (edge.source, edge.post_index)
+            delta[key] = delta.get(key, 0) + 1
+        violations = tuple(
+            (name, pi, total)
+            for (name, pi), added in sorted(delta.items())
+            if (total := core.fanout.get((name, pi), 0) + added) > 1
+        )
+        return ArrivalProbe(
+            query, std, tuple(new_edges), violations, self._version, core
+        )
+
+    def with_arrival(self, probe: ArrivalProbe) -> "CoordinationGraph":
+        """Commit a probed arrival; returns the extended graph.
+
+        On the tip of an extension chain this appends to the shared
+        core in O(new edges); the receiver keeps answering reads with
+        its pre-arrival state.  A probe taken from a different graph
+        state is recomputed (probes are cheap and side-effect free).
+        """
+        core = self._view()
+        if probe.base_core is not core or probe.base_version != self._version:
+            probe = self.probe(probe.query)
+            core = self._core
+        name = probe.query.name
+        core.queries[name] = probe.query
+        core.standardized[name] = probe.standardized
+        core.digraph.add_node(name)
+        core.out_edges.setdefault(name, [])
+        core.in_edges.setdefault(name, [])
+        if core.head_index is not None:
+            for hi, head in enumerate(probe.standardized.head):
+                core.head_index.add(name, hi, head)
+            for pi, post in enumerate(probe.standardized.postconditions):
+                core.post_index.add(name, pi, post)
+        for edge in probe.new_edges:
+            core._append_edge(edge)
+        core.version += 1
+        return CoordinationGraph(core, core.version)
 
     def with_query(self, query: EntangledQuery) -> "CoordinationGraph":
         """Incrementally extend the graph with one new query.
 
         Computes only the edges incident to the newcomer — its
         postconditions against all existing heads (via the head index)
-        and every existing postcondition against its heads — so an
-        online arrival costs O(candidate pairs), not a full rebuild.
-        The receiver is not mutated; a new graph sharing the unchanged
-        structure is returned.
+        and every existing postcondition against its heads (via the
+        postcondition index) — so an online arrival costs O(candidate
+        pairs), not a full rebuild.  The receiver keeps its own state;
+        structure is shared with the result (copied lazily only if the
+        receiver is read or extended again).
         """
-        if query.name in self.queries:
-            from ..errors import MalformedQueryError
-
-            raise MalformedQueryError(f"duplicate query name {query.name!r}")
-        std = query.standardized()
-
-        queries = dict(self.queries)
-        queries[query.name] = query
-        standardized = dict(self.standardized)
-        standardized[query.name] = std
-        edges = list(self.extended_edges)
-        graph = self.graph.copy()
-        graph.add_node(query.name)
-
-        # Extend a private copy of the head index with the new heads
-        # (the receiver's index must not see queries it doesn't hold).
-        if self._head_index is not None:
-            index = self._head_index.copy()
-        else:
-            index = _HeadIndex()
-            for name, existing in self.standardized.items():
-                for hi, head in enumerate(existing.head):
-                    index.add(name, hi, head)
-        new_edges: List[ExtendedEdge] = []
-        for hi, head in enumerate(std.head):
-            index.add(query.name, hi, head)
-
-        # New query's postconditions against every head (including its own).
-        for pi, post in enumerate(std.postconditions):
-            for target_name, hi, head in index.candidates(post):
-                if unifiable(post, head):
-                    new_edges.append(
-                        ExtendedEdge(query.name, pi, target_name, hi)
-                    )
-
-        # Existing postconditions against the new query's heads.
-        for name, existing in self.standardized.items():
-            for pi, post in enumerate(existing.postconditions):
-                for hi, head in enumerate(std.head):
-                    if unifiable(post, head):
-                        new_edges.append(
-                            ExtendedEdge(name, pi, query.name, hi)
-                        )
-
-        for edge in new_edges:
-            edges.append(edge)
-            graph.add_edge(edge.source, edge.target)
-
-        extended = CoordinationGraph(
-            queries, standardized, edges, graph, _head_index=index
-        )
-        extended._out_by_post = {
-            key: list(values) for key, values in self._out_by_post.items()
-        }
-        for edge in new_edges:
-            extended._out_by_post.setdefault(
-                (edge.source, edge.post_index), []
-            ).append(edge)
-        return extended
+        return self.with_arrival(self.probe(query))
 
     # ------------------------------------------------------------------
-    # Lookup
+    # Destructive mutation (the engine's satisfied-set removal path)
     # ------------------------------------------------------------------
+    def discard_queries(self, names: Iterable[str]) -> None:
+        """Remove queries and their incident edges, **in place**.
+
+        O(removed queries + their incident edges), amortized over index
+        compaction.  This is the mutable fast path for the online
+        engine, which deletes a whole satisfied component per arrival;
+        other graphs attached to the shared core are detached first and
+        keep their pre-removal snapshots.  Unknown names are ignored.
+        """
+        core = self._view()
+        dropped = [n for n in names if n in core.queries]
+        if not dropped:
+            return
+        self._detach_others(core)
+        dropped_set = set(dropped)
+        for name in dropped:
+            std = core.standardized[name]
+            # Kill incident edges.  Out-edges of the dropped query also
+            # release their (name, post_index) fanout bookkeeping; live
+            # in-edges from surviving sources decrement their post's
+            # head-match count.
+            for edge in core.out_edges.pop(name, ()):
+                self._kill_edge(core, edge)
+                if edge.target not in dropped_set and edge.target != name:
+                    core.in_edges[edge.target].remove(edge)
+            for edge in core.in_edges.pop(name, ()):
+                if edge.source in dropped_set or edge.source == name:
+                    continue  # killed (or to be killed) via the source side
+                self._kill_edge(core, edge)
+                core.out_edges[edge.source].remove(edge)
+            for pi in range(len(std.postconditions)):
+                core.fanout.pop((name, pi), None)
+                core.out_by_post.pop((name, pi), None)
+            if core.head_index is not None:
+                core.head_index.mark_dead(len(std.head))
+                core.post_index.mark_dead(len(std.postconditions))
+            core.digraph.remove_node(name)
+            del core.queries[name]
+            del core.standardized[name]
+        core.compact_edges_if_needed()
+        core.compact_indexes_if_needed()
+        core.version += 1
+        self._version = core.version
+        self._n_queries = len(core.queries)
+        self._n_edges = len(core.edges)
+
+    @staticmethod
+    def _kill_edge(core: _GraphCore, edge: ExtendedEdge) -> None:
+        position = core.edge_pos.pop(edge)
+        core.edges[position] = None
+        core.dead_edges += 1
+        key = (edge.source, edge.post_index)
+        remaining = core.fanout.get(key)
+        if remaining is not None:
+            if remaining <= 1:
+                core.fanout.pop(key, None)
+                core.out_by_post.pop(key, None)
+            else:
+                core.fanout[key] = remaining - 1
+                core.out_by_post[key].remove(edge)
+
+    # ------------------------------------------------------------------
+    # View maintenance
+    # ------------------------------------------------------------------
+    def _view(self) -> _GraphCore:
+        """The core, detaching first if the chain moved past us."""
+        if self._version != self._core.version:
+            self._detach()
+        return self._core
+
+    def _detach(self) -> None:
+        """Rebuild a private core from this graph's recorded prefix.
+
+        Valid because the shared core is append-only between
+        destructive operations, and destructive operations detach all
+        bystanders before mutating.
+        """
+        old = self._core
+        old.attached.discard(self)
+        queries = dict(islice(old.queries.items(), self._n_queries))
+        standardized = dict(islice(old.standardized.items(), self._n_queries))
+        edges = [e for e in old.edges[: self._n_edges] if e is not None]
+        core = _GraphCore.from_parts(queries, standardized, edges)
+        self._core = core
+        self._version = core.version
+        self._n_queries = len(queries)
+        self._n_edges = len(core.edges)
+        core.attached.add(self)
+
+    def _detach_others(self, core: _GraphCore) -> None:
+        for graph in list(core.attached):
+            if graph is not self:
+                graph._detach()
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> Dict[str, EntangledQuery]:
+        """Original queries by name.
+
+        A read-only *live view*: it reflects this graph's state at each
+        access, so hold the graph object — not this dict — across
+        arrivals (snapshot with ``dict(graph.queries)`` if needed).
+        """
+        return self._view().queries
+
+    @property
+    def standardized(self) -> Dict[str, EntangledQuery]:
+        """The same queries with variables namespaced by query name; all
+        unification in the coordination layers happens on these.  A
+        read-only live view, like :attr:`queries`."""
+        return self._view().standardized
+
+    @property
+    def extended_edges(self) -> List[ExtendedEdge]:
+        """All labelled edges of the extended coordination graph (a
+        fresh list on every access; safe to hold)."""
+        core = self._view()
+        return [e for e in core.edges if e is not None]
+
+    @property
+    def graph(self) -> DiGraph:
+        """The collapsed coordination graph over query names."""
+        return self._view().digraph
+
     def edges_from_postcondition(self, query: str, post_index: int) -> List[ExtendedEdge]:
         """All extended edges emanating from one postcondition atom."""
-        return list(self._out_by_post.get((query, post_index), ()))
+        return list(self._view().out_by_post.get((query, post_index), ()))
+
+    def out_edges_of(self, query: str) -> Tuple[ExtendedEdge, ...]:
+        """Extended edges whose source is ``query`` (incident adjacency)."""
+        return tuple(self._view().out_edges.get(query, ()))
+
+    def in_edges_of(self, query: str) -> Tuple[ExtendedEdge, ...]:
+        """Extended edges whose target is ``query`` (incident adjacency)."""
+        return tuple(self._view().in_edges.get(query, ()))
 
     def post_atom(self, edge: ExtendedEdge) -> Atom:
         """The (standardised) postcondition atom of an edge."""
-        return self.standardized[edge.source].postconditions[edge.post_index]
+        return self._view().standardized[edge.source].postconditions[edge.post_index]
 
     def head_atom(self, edge: ExtendedEdge) -> Atom:
         """The (standardised) head atom of an edge."""
-        return self.standardized[edge.target].head[edge.head_index]
+        return self._view().standardized[edge.target].head[edge.head_index]
 
     def names(self) -> Tuple[str, ...]:
         """All query names."""
-        return tuple(self.queries)
+        return tuple(self._view().queries)
 
     def restricted_to(self, names: Iterable[str]) -> "CoordinationGraph":
         """The coordination graph induced on a subset of queries.
 
-        Rebuilding from scratch would recompute unifications; instead we
-        filter the cached edges, which is exactly the induced structure.
+        Uses the per-node incident-edge adjacency, so the cost is
+        O(kept queries + their incident edges) — for the engine's
+        per-arrival call on one weakly connected component that is
+        O(component), independent of the total pending-set size.
+        Unknown names are ignored.  The result owns an independent core.
         """
-        keep = set(names)
-        queries = {n: q for n, q in self.queries.items() if n in keep}
-        standardized = {n: q for n, q in self.standardized.items() if n in keep}
+        core = self._view()
+        keep = [n for n in dict.fromkeys(names) if n in core.queries]
+        keep_set = set(keep)
+        queries = {n: core.queries[n] for n in keep}
+        standardized = {n: core.standardized[n] for n in keep}
         edges = [
-            e for e in self.extended_edges if e.source in keep and e.target in keep
+            edge
+            for n in keep
+            for edge in core.out_edges.get(n, ())
+            if edge.target in keep_set
         ]
-        graph = DiGraph()
-        graph.add_nodes(queries.keys())
-        for edge in edges:
-            graph.add_edge(edge.source, edge.target)
-        sub = CoordinationGraph(queries, standardized, edges, graph)
-        for edge in edges:
-            sub._out_by_post.setdefault((edge.source, edge.post_index), []).append(
-                edge
-            )
-        return sub
+        sub = _GraphCore.from_parts(queries, standardized, edges)
+        return CoordinationGraph(sub, sub.version)
+
+    def safety_violations(self) -> Tuple[Tuple[str, int, int], ...]:
+        """Postconditions with more than one matching head, from the
+        incrementally maintained counts (O(violations), not O(posts))."""
+        core = self._view()
+        return tuple(
+            (name, pi, count)
+            for (name, pi), count in core.fanout.items()
+            if count > 1
+        )
 
     def __len__(self) -> int:
-        return len(self.queries)
+        return len(self._view().queries)

@@ -10,6 +10,31 @@ deleted from the system's data structures.
 SCC Coordination Algorithm, giving the library a realistic online entry
 point (and the benchmarks a faithful way to measure per-arrival
 processing).
+
+The arrival path is incremental end-to-end, so an arrival costs
+amortized O(its weakly connected component), independent of the total
+pending-set size:
+
+* the coordination graph is extended through
+  :meth:`~repro.core.coordination_graph.CoordinationGraph.probe` /
+  ``with_arrival`` — only the newcomer's incident edges are computed,
+  and nothing is copied;
+* safety (Definition 2) is re-checked from the probe's head-match
+  deltas in O(new edges) — the pending set was safe before the
+  arrival, so only the new edges can break it — and a rejected arrival
+  leaves no state to roll back;
+* the newcomer's weak component comes from a
+  :class:`~repro.graphs.UnionFind` over pending queries (amortized
+  O(α) per new edge) instead of a BFS over the whole graph;
+* per-SCC evaluation states (substitution + grounding) are memoized
+  *across arrivals*, keyed by component membership and a database
+  version stamp (:meth:`~repro.db.Database.data_version`), so
+  re-evaluating a grown component re-issues database queries only for
+  new or merged sub-components — the ``reuse_groundings`` fast path
+  extended from within one run to the whole arrival stream;
+* a satisfied coordinating set is deleted in O(its component) via
+  :meth:`~repro.core.coordination_graph.CoordinationGraph.discard_queries`,
+  and its weak component is re-split from the surviving incident edges.
 """
 
 from __future__ import annotations
@@ -19,15 +44,66 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..db import Database
 from ..errors import PreconditionError
+from ..graphs import UnionFind
 from .coordination_graph import CoordinationGraph
-from .properties import safety_report
 from .query import EntangledQuery
 from .result import CoordinationResult
 from .scc_coordination import (
+    ComponentCache,
     SelectionCriterion,
     largest_candidate,
     scc_coordinate_on_graph,
 )
+
+
+class _StateCache(dict):
+    """A :data:`ComponentCache` dict with an inverted name→keys index.
+
+    Retirement eviction must drop every entry whose stored closure
+    touches a deleted query; a plain dict forces an O(cache) scan per
+    retirement, which would break the engine's O(component) bound on
+    churn-heavy read-only streams.  The index makes
+    :meth:`keys_touching` proportional to the affected entries only.
+    The SCC algorithm populates the cache through plain ``dict``
+    operations, all of which are intercepted here.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._by_name: Dict[str, Set[frozenset]] = {}
+
+    def _unindex(self, key: frozenset, involved: Tuple[str, ...]) -> None:
+        for name in involved:
+            keys = self._by_name.get(name)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_name[name]
+
+    def __setitem__(self, key, value) -> None:
+        old = self.get(key)
+        if old is not None:
+            self._unindex(key, old[0])
+        super().__setitem__(key, value)
+        for name in value[0]:
+            self._by_name.setdefault(name, set()).add(key)
+
+    def __delitem__(self, key) -> None:
+        entry = self.get(key)
+        super().__delitem__(key)
+        if entry is not None:
+            self._unindex(key, entry[0])
+
+    def clear(self) -> None:
+        super().clear()
+        self._by_name.clear()
+
+    def keys_touching(self, names: Set[str]) -> Set[frozenset]:
+        """Keys whose stored closure contains any of ``names``."""
+        touched: Set[frozenset] = set()
+        for name in names:
+            touched |= self._by_name.get(name, set())
+        return touched
 
 
 @dataclass
@@ -58,7 +134,23 @@ class CoordinationEngine:
         When ``True`` (default) an arrival that makes the pending set
         unsafe is rejected with
         :class:`~repro.errors.PreconditionError` — the engine's
-        evaluation method is the safe-set algorithm.
+        evaluation method is the safe-set algorithm.  The rejection is
+        an O(new edges) delta check whose correctness rests on the
+        invariant that every *earlier* arrival was checked too: decide
+        this flag at construction and do not flip it mid-stream (an
+        engine that admitted unsafe arrivals while it was ``False``
+        will not retroactively detect them).
+    reuse_groundings:
+        Forwarded to the SCC algorithm: seed each component's combined
+        query with its successors' groundings within one evaluation.
+    reuse_component_states:
+        Memoize per-SCC evaluation states across arrivals (see module
+        docstring).  The cache is invalidated automatically when the
+        database changes (tracked via
+        :meth:`~repro.db.Database.data_version`, which observes every
+        insert path) and entries touching a satisfied (deleted) set
+        are dropped.  Disable to reproduce the non-memoized evaluation
+        cost profile.
     """
 
     def __init__(
@@ -67,6 +159,7 @@ class CoordinationEngine:
         choose: SelectionCriterion = largest_candidate,
         check_safety: bool = True,
         reuse_groundings: bool = False,
+        reuse_component_states: bool = True,
     ) -> None:
         self.db = db
         self.choose = choose
@@ -74,6 +167,11 @@ class CoordinationEngine:
         self.reuse_groundings = reuse_groundings
         self._pending: Dict[str, EntangledQuery] = {}
         self._graph: CoordinationGraph = CoordinationGraph.build([])
+        self._components = UnionFind()
+        self._component_states: Optional[_StateCache] = (
+            _StateCache() if reuse_component_states else None
+        )
+        self._db_stamp = db.data_version()
 
     # ------------------------------------------------------------------
     def pending(self) -> Tuple[str, ...]:
@@ -81,7 +179,17 @@ class CoordinationEngine:
         return tuple(self._pending)
 
     def graph(self) -> CoordinationGraph:
-        """The incrementally-maintained coordination graph."""
+        """The engine's coordination graph, as of this call.
+
+        The returned handle is a snapshot with respect to later
+        *arrivals*: each ``submit`` extends a fresh graph object, and
+        previously returned handles keep their pre-arrival state (they
+        detach from the shared core on first read).  Deletions that
+        happen without an intervening arrival — a :meth:`flush` that
+        satisfies queries — do mutate the handle in place, so take
+        ``graph().restricted_to(pending())`` when a fully independent
+        copy is needed.
+        """
         return self._graph
 
     def submit(self, query: EntangledQuery) -> ArrivalOutcome:
@@ -89,39 +197,41 @@ class CoordinationEngine:
 
         Returns an :class:`ArrivalOutcome`; when the component produced
         a coordinating set, its members are removed from the pending
-        pool (as the Youtopia loop does).  The coordination graph is
-        maintained *incrementally*: an arrival only computes its own
-        incident edges (the paper's future-work question of Section 7).
+        pool (as the Youtopia loop does).  All bookkeeping is
+        incremental — see the module docstring for the cost breakdown.
         """
         if query.name in self._pending:
             raise PreconditionError(f"query {query.name!r} already pending")
 
-        graph = self._graph.with_query(query)
-        if self.check_safety:
-            report = safety_report(graph)
-            if not report.is_safe:
-                raise PreconditionError(
-                    f"arrival {query.name!r} makes the set unsafe "
-                    f"(unsafe queries: {report.unsafe_queries()})"
-                )
+        probe = self._graph.probe(query)
+        if self.check_safety and not probe.is_safe:
+            # The pending set was safe before this arrival (invariant of
+            # this guard), so the probe's O(new edges) delta check is
+            # equivalent to a whole-graph safety report.
+            raise PreconditionError(
+                f"arrival {query.name!r} makes the set unsafe "
+                f"(unsafe queries: {probe.unsafe_queries()})"
+            )
+        self._graph = self._graph.with_arrival(probe)
         self._pending[query.name] = query
-        self._graph = graph
+        self._components.add(query.name)
+        for edge in probe.new_edges:
+            self._components.union(edge.source, edge.target)
 
-        component = self._weak_component(graph, query.name)
-        restricted = graph.restricted_to(component)
+        component = sorted(self._components.members(query.name))
+        restricted = self._graph.restricted_to(component)
         result = scc_coordinate_on_graph(
             self.db,
             restricted,
             choose=self.choose,
             reuse_groundings=self.reuse_groundings,
+            component_cache=self._component_cache(),
         )
 
         satisfied: Tuple[str, ...] = ()
         if result.chosen is not None:
             satisfied = result.chosen.members
-            for name in satisfied:
-                self._pending.pop(name, None)
-            self._graph = self._graph.restricted_to(self._pending.keys())
+            self._retire(satisfied, component)
         return ArrivalOutcome(query.name, tuple(component), result, satisfied)
 
     def flush(self) -> CoordinationResult:
@@ -131,26 +241,74 @@ class CoordinationEngine:
             self._graph,
             choose=self.choose,
             reuse_groundings=self.reuse_groundings,
+            component_cache=self._component_cache(),
         )
         if result.chosen is not None:
-            for name in result.chosen.members:
+            satisfied = result.chosen.members
+            for name in satisfied:
                 self._pending.pop(name, None)
-            self._graph = self._graph.restricted_to(self._pending.keys())
+            self._graph.discard_queries(satisfied)
+            self._rebuild_components()
+            self._forget_states(set(satisfied))
         return result
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _weak_component(graph: CoordinationGraph, start: str) -> List[str]:
-        """The weakly connected component of ``start`` in the graph."""
-        seen: Set[str] = {start}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            neighbours = graph.graph.successors(node) | graph.graph.predecessors(
-                node
-            )
-            for neighbour in neighbours:
-                if neighbour not in seen:
-                    seen.add(neighbour)
-                    stack.append(neighbour)
-        return sorted(seen)
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    #: Hard bound on memoized component states; one entry exists per
+    #: distinct SCC member-set, so this is only reached by pathological
+    #: churn — clearing then is cheap and correctness-neutral.
+    _MAX_COMPONENT_STATES = 16384
+
+    def _component_cache(self) -> Optional[ComponentCache]:
+        """The cross-arrival component cache, stamped against the db."""
+        if self._component_states is None:
+            return None
+        stamp = self.db.data_version()
+        if stamp != self._db_stamp:
+            self._component_states.clear()
+            self._db_stamp = stamp
+        elif len(self._component_states) > self._MAX_COMPONENT_STATES:
+            self._component_states.clear()
+        return self._component_states
+
+    def _retire(self, satisfied: Tuple[str, ...], component: List[str]) -> None:
+        """Delete a satisfied set and re-split its weak component."""
+        satisfied_set = set(satisfied)
+        for name in satisfied:
+            self._pending.pop(name, None)
+        self._graph.discard_queries(satisfied)
+        # The satisfied set lives entirely inside the arrival's weak
+        # component; union-find cannot split, so drop the component and
+        # re-link the survivors from their (surviving) incident edges.
+        if component:
+            self._components.discard_component(component[0])
+        survivors = [n for n in component if n not in satisfied_set]
+        for name in survivors:
+            self._components.add(name)
+        for name in survivors:
+            for edge in self._graph.out_edges_of(name):
+                self._components.union(edge.source, edge.target)
+        self._forget_states(satisfied_set)
+
+    def _rebuild_components(self) -> None:
+        """Recompute all weak components (flush-scale bookkeeping)."""
+        components = UnionFind()
+        for name in self._pending:
+            components.add(name)
+        for name in self._pending:
+            for edge in self._graph.out_edges_of(name):
+                components.union(edge.source, edge.target)
+        self._components = components
+
+    def _forget_states(self, names: Set[str]) -> None:
+        """Drop memoized component states whose closure touched ``names``.
+
+        Also protects against query-name reuse: a deleted name may
+        return with entirely different content, so nothing keyed on it
+        may survive.
+        """
+        if not self._component_states:
+            return
+        for key in self._component_states.keys_touching(names):
+            del self._component_states[key]

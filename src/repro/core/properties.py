@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 from ..graphs import has_unique_simple_paths, is_strongly_connected
-from .coordination_graph import CoordinationGraph
+from .coordination_graph import CoordinationGraph, unsafe_query_names
 from .query import EntangledQuery
 
 
@@ -33,11 +33,7 @@ class SafetyReport:
 
     def unsafe_queries(self) -> Tuple[str, ...]:
         """Names of queries with at least one unsafe postcondition."""
-        seen: List[str] = []
-        for name, _, _ in self.violations:
-            if name not in seen:
-                seen.append(name)
-        return tuple(seen)
+        return unsafe_query_names(self.violations)
 
 
 def safety_report(graph: CoordinationGraph) -> SafetyReport:

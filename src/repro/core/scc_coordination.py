@@ -135,6 +135,30 @@ class _ComponentState:
     involved: Tuple[str, ...] = ()
     solution: Optional[Dict[Variable, Hashable]] = None
     assignment: Optional[Dict[Variable, Hashable]] = None
+    # Outcome tag for trace narration when this state is reused from the
+    # cross-arrival cache: 'ok' | 'unification-failed' | 'db-failed'.
+    status: str = ""
+
+
+# Cache for memoizing component states across engine arrivals, keyed by
+# the SCC's member set; the entry stores the reachable closure R(q) it
+# was computed under, and a hit requires the closure to match exactly.
+# Soundness: arrivals only ever add edges incident to newcomers (two
+# existing queries never gain a new edge), so an unchanged (members,
+# closure) pair implies an unchanged induced closure subgraph — except
+# across *deletions*.  A satisfied set is a downward-closed closure, and
+# its removal can kill edges out of surviving SCCs; the engine therefore
+# evicts every entry whose stored closure intersects a deleted set
+# (:meth:`CoordinationEngine._forget_states`), and stamps the cache
+# against :meth:`~repro.db.Database.data_version`.  Keying by members
+# alone also bounds the cache: a component whose closure grows replaces
+# its entry in place, so entries accumulate only when SCC member-sets
+# themselves change (e.g. a newcomer merging into a cycle leaves the old
+# singleton keys behind until a deletion evicts them or the engine's
+# size cap clears the cache) — bounded by the distinct SCC member-sets
+# seen since the last invalidation, not by the arrival count.
+ComponentKey = frozenset
+ComponentCache = Dict[ComponentKey, Tuple[Tuple[str, ...], _ComponentState]]
 
 
 def scc_coordinate(
@@ -202,11 +226,21 @@ def scc_coordinate_on_graph(
     run_preprocessing: bool = True,
     trace: Optional[Trace] = None,
     reuse_groundings: bool = False,
+    component_cache: Optional[ComponentCache] = None,
 ) -> CoordinationResult:
     """The algorithm proper, on an already-built coordination graph.
 
     Split out so the benchmark for Figure 6 can time graph construction
     and preprocessing separately from evaluation.
+
+    ``component_cache`` (optional) memoizes per-SCC states *across*
+    calls: a component whose members and reachable closure are unchanged
+    since a previous run reuses its substitution, grounding, and
+    success/failure verdict without re-unifying or re-querying the
+    database.  The caller owns invalidation — the online engine keys
+    its cache by a database version stamp and drops entries whose
+    closure intersects a satisfied (deleted) coordinating set.  Results
+    are identical to an uncached run on the same graph and database.
     """
     stats = CoordinationStats(
         graph_nodes=graph.graph.node_count(),
@@ -242,6 +276,44 @@ def scc_coordinate_on_graph(
                     )
                 )
             continue
+
+        involved = tuple(sorted(cond.reachable_nodes(component), key=str))
+        cache_key: Optional[ComponentKey] = None
+        if component_cache is not None:
+            cache_key = frozenset(members)
+            entry = component_cache.get(cache_key)
+            if entry is not None and entry[0] == involved:
+                cached = entry[1]
+                states[component] = cached
+                stats.extra["component_cache_hits"] = (
+                    stats.extra.get("component_cache_hits", 0) + 1
+                )
+                if not cached.failed and cached.assignment is not None:
+                    candidates.append(
+                        CoordinatingSet(cached.involved, cached.assignment)
+                    )
+                    if trace is not None:
+                        trace.add(
+                            ComponentProcessed(
+                                component,
+                                tuple(members),
+                                cached.involved,
+                                "cached:ok",
+                                0,
+                            )
+                        )
+                elif cached.failed and trace is not None:
+                    trace.add(
+                        ComponentProcessed(
+                            component,
+                            tuple(members),
+                            (),
+                            f"cached:{cached.status or 'db-failed'}",
+                        )
+                    )
+                # A non-failed state with no assignment emitted no event
+                # in the original run either; stay silent to match.
+                continue
 
         # Merge the symbolic substitutions of all successors.  Shared
         # grand-successors contribute identical constraints twice, which
@@ -284,6 +356,9 @@ def scc_coordinate_on_graph(
                 break
         if not unified:
             state.failed = True
+            state.status = "unification-failed"
+            if cache_key is not None:
+                component_cache[cache_key] = (involved, state)
             if trace is not None:
                 trace.add(
                     ComponentProcessed(
@@ -291,8 +366,6 @@ def scc_coordinate_on_graph(
                     )
                 )
             continue
-
-        involved = tuple(sorted(cond.reachable_nodes(component), key=str))
 
         assignment: Optional[Dict[Variable, Hashable]] = None
         solution: Optional[Dict[Variable, Hashable]] = None
@@ -315,6 +388,9 @@ def scc_coordinate_on_graph(
             solution = db.first_solution(ConjunctiveQuery(tuple(rewritten)))
             if solution is None:
                 state.failed = True
+                state.status = "db-failed"
+                if cache_key is not None:
+                    component_cache[cache_key] = (involved, state)
                 if trace is not None:
                     trace.add(
                         ComponentProcessed(
@@ -328,6 +404,8 @@ def scc_coordinate_on_graph(
         state.involved = involved
         state.solution = solution
         state.assignment = assignment
+        if cache_key is not None:
+            component_cache[cache_key] = (involved, state)
         if assignment is not None:
             candidates.append(CoordinatingSet(involved, assignment))
             if trace is not None:

@@ -23,11 +23,24 @@ class ComponentProcessed:
     component: int
     members: Tuple[str, ...]
     involved: Tuple[str, ...]
-    status: str  # 'ok' | 'successor-failed' | 'unification-failed' | 'db-failed'
+    # 'ok' | 'successor-failed' | 'unification-failed' | 'db-failed',
+    # or 'cached:<one of those>' when a memoized state was reused.
+    status: str
     db_queries: int = 0
 
     def describe(self) -> str:
         members = ", ".join(self.members)
+        if self.status.startswith("cached:"):
+            verdict = self.status[len("cached:"):]
+            if verdict == "ok":
+                return (
+                    f"component {{{members}}}: reused memoized grounding over "
+                    f"{len(self.involved)} queries — candidate recorded"
+                )
+            return (
+                f"component {{{members}}}: reused memoized verdict "
+                f"({verdict}) — no new database work"
+            )
         if self.status == "ok":
             return (
                 f"component {{{members}}}: combined query over "

@@ -74,6 +74,18 @@ class Database:
         self.stats.inserts += count
         return count
 
+    def data_version(self) -> int:
+        """A monotone stamp of the database contents.
+
+        Sums the per-relation write epochs, so it observes *every*
+        mutation path — including inserts performed directly on a
+        :class:`~repro.db.storage.Relation` handle, which bypass this
+        facade's counters — and is unaffected by
+        :meth:`reset_stats`-style counter resets.  The online engine
+        keys its cross-arrival memoization on this value.
+        """
+        return sum(r.write_epoch for r in self._relations.values())
+
     # ------------------------------------------------------------------
     # Query evaluation
     # ------------------------------------------------------------------

@@ -26,6 +26,10 @@ from .storage import Relation
 
 Assignment = Dict[Variable, Hashable]
 
+# Sentinel distinguishing "variable unbound" from "bound to None" with a
+# single dict lookup on the innermost join loop.
+_UNBOUND = object()
+
 
 class Evaluator:
     """Evaluates conjunctive queries against a set of relations."""
@@ -225,8 +229,8 @@ class Evaluator:
                     self._undo(bound, added)
                     return None
             else:
-                existing = bound.get(term)
-                if existing is None and term not in bound:
+                existing = bound.get(term, _UNBOUND)
+                if existing is _UNBOUND:
                     bound[term] = value
                     added.append(term)
                 elif existing != value:

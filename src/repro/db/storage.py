@@ -23,7 +23,7 @@ Row = Tuple[Hashable, ...]
 class Relation:
     """An indexed, in-memory tuple store for one relation."""
 
-    __slots__ = ("schema", "_rows", "_row_set", "_indexes")
+    __slots__ = ("schema", "_rows", "_row_set", "_indexes", "write_epoch")
 
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
@@ -31,6 +31,11 @@ class Relation:
         self._row_set: Set[Row] = set()
         # position -> value -> list of row indexes
         self._indexes: Dict[int, Dict[Hashable, List[int]]] = {}
+        # Monotone mutation counter; bumped on every successful insert,
+        # regardless of which facade performed it.  Caches key their
+        # validity on this (see Database.data_version), so it must not
+        # be reset.
+        self.write_epoch = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -48,6 +53,7 @@ class Relation:
         index = len(self._rows)
         self._rows.append(row)
         self._row_set.add(row)
+        self.write_epoch += 1
         for position, bucket in self._indexes.items():
             bucket.setdefault(row[position], []).append(index)
         return True
@@ -82,11 +88,25 @@ class Relation:
 
         Uses the most selective available index among the bound
         positions, then filters on the rest.  With no bindings this is a
-        full scan.
+        full scan.  The one-bound-position case (the evaluator's common
+        star-query probe) skips the residual-filter machinery entirely
+        and returns a plain list iterator over the index hits.
         """
         if not bindings:
-            yield from self._rows
-            return
+            return iter(self._rows)
+        if len(bindings) == 1:
+            ((position, value),) = bindings.items()
+            hits = self._index_for(position).get(value)
+            if not hits:
+                return iter(())
+            # Lazy map over the index hits: consumers like
+            # ``first_solution`` stop at the first row, so a large
+            # bucket must not be materialized up front.
+            return map(self._rows.__getitem__, hits)
+        return self._match_filtered(bindings)
+
+    def _match_filtered(self, bindings: Dict[int, Hashable]) -> Iterator[Row]:
+        """The multi-position case: best index probe + residual filter."""
         # Pick the bound position whose index bucket is smallest.
         best_position = None
         best_rows: Optional[List[int]] = None

@@ -15,11 +15,13 @@ from .traversal import (
     reachable_from,
     topological_order,
 )
+from .union_find import UnionFind
 
 __all__ = [
     "Condensation",
     "DiGraph",
     "Node",
+    "UnionFind",
     "bfs_layers",
     "component_index",
     "condensation",

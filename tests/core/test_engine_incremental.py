@@ -1,0 +1,298 @@
+"""Equivalence tests: the incremental online engine vs from-scratch.
+
+The engine's arrival path is incremental everywhere — probe-based graph
+extension, delta safety checks, union-find weak components, O(component)
+deletion, cross-arrival component-state memoization.  None of that may
+be observable: every arrival must produce exactly the coordination
+graph, safety verdict, component, and chosen coordinating set that the
+seed-style reference obtains by rebuilding with
+``CoordinationGraph.build(pending)`` and running the SCC algorithm from
+scratch.  Randomized arrival streams exercise acceptance, unsafe
+rejection, unsatisfiable (waiting) components, satisfied-set deletion,
+query-name reuse after deletion, mid-stream database inserts (cache
+invalidation), and ``flush``.
+"""
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from repro.core import (
+    CoordinationGraph,
+    CoordinationEngine,
+    EntangledQuery,
+    safety_report,
+    scc_coordinate_on_graph,
+)
+from repro.errors import PreconditionError
+from repro.logic import Atom, Variable
+from repro.networks import member_name
+from repro.workloads import members_database, partner_query
+
+DB_SIZE = 30
+USER_SPAN = 40  # indexes ≥ DB_SIZE have no Members row: unsatisfiable bodies
+
+
+def _wildcard_query(name: str) -> EntangledQuery:
+    """A query whose postcondition matches *every* pending head.
+
+    With at most one pending head this is accepted; with two or more it
+    is unsafe (Definition 2) and must be rejected by both engines.
+    """
+    return EntangledQuery(
+        name,
+        postconditions=[Atom("R", [Variable("y"), Variable("z")])],
+        head=[Atom("R", [Variable("v"), name])],
+        body=[],
+    )
+
+
+class ReferenceEngine:
+    """The seed arrival loop: rebuild everything from scratch each time."""
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.pending: Dict[str, EntangledQuery] = {}
+
+    def graph(self) -> CoordinationGraph:
+        return CoordinationGraph.build(self.pending.values())
+
+    def submit(
+        self, query: EntangledQuery
+    ) -> Tuple[List[str], Optional[Tuple[str, ...]], Tuple[str, ...]]:
+        trial = list(self.pending.values()) + [query]
+        graph = CoordinationGraph.build(trial)
+        report = safety_report(graph)
+        if not report.is_safe:
+            raise PreconditionError("unsafe")
+        self.pending[query.name] = query
+        component = self._weak_component(graph, query.name)
+        restricted = graph.restricted_to(component)
+        result = scc_coordinate_on_graph(self.db, restricted)
+        satisfied: Tuple[str, ...] = ()
+        chosen = None
+        if result.chosen is not None:
+            chosen = result.chosen.members
+            satisfied = chosen
+            for name in satisfied:
+                self.pending.pop(name, None)
+        return component, chosen, satisfied
+
+    def flush(self) -> Optional[Tuple[str, ...]]:
+        result = scc_coordinate_on_graph(self.db, self.graph())
+        if result.chosen is None:
+            return None
+        for name in result.chosen.members:
+            self.pending.pop(name, None)
+        return result.chosen.members
+
+    @staticmethod
+    def _weak_component(graph: CoordinationGraph, start: str) -> List[str]:
+        seen: Set[str] = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            neighbours = graph.graph.successors(node) | graph.graph.predecessors(
+                node
+            )
+            for neighbour in neighbours:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        return sorted(seen)
+
+
+def _edge_multiset(graph: CoordinationGraph):
+    return sorted(
+        (e.source, e.post_index, e.target, e.head_index)
+        for e in graph.extended_edges
+    )
+
+
+def _collapsed(graph: CoordinationGraph):
+    return {
+        name: frozenset(graph.graph.successors(name)) for name in graph.names()
+    }
+
+
+def _random_stream(rng: random.Random, length: int):
+    """A reproducible arrival stream with name reuse and wildcards."""
+    stream = []
+    for step in range(length):
+        if rng.random() < 0.08:
+            stream.append(("wildcard", f"wild{step}"))
+        elif rng.random() < 0.06:
+            stream.append(("insert", step))
+        else:
+            index = rng.randrange(USER_SPAN)
+            partner_count = rng.choice((0, 1, 1, 2, 3))
+            partners = rng.sample(
+                [i for i in range(USER_SPAN) if i != index],
+                k=partner_count,
+            )
+            stream.append(("partner", index, partners))
+    return stream
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("reuse_states", [True, False])
+def test_incremental_engine_matches_reference(seed, reuse_states):
+    rng = random.Random(seed)
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db, reuse_component_states=reuse_states)
+    reference = ReferenceEngine(db)
+
+    for event in _random_stream(rng, 45):
+        if event[0] == "insert":
+            # A mid-stream database insert: the engine's memoized
+            # component states must not leak stale groundings.
+            index = DB_SIZE + event[1] % (USER_SPAN - DB_SIZE)
+            db.insert(
+                "Members",
+                (member_name(index), "region-x", "interest-x", 17),
+            )
+            continue
+        if event[0] == "wildcard":
+            query = _wildcard_query(event[1])
+        else:
+            _, index, partners = event
+            name = member_name(index)
+            if name in engine.pending():
+                continue  # duplicate names are rejected by both; skip
+            query = partner_query(name, [member_name(p) for p in partners])
+
+        engine_error = reference_error = None
+        outcome = None
+        try:
+            outcome = engine.submit(query)
+        except PreconditionError as exc:
+            engine_error = exc
+        try:
+            ref_component, ref_chosen, ref_satisfied = reference.submit(query)
+        except PreconditionError as exc:
+            reference_error = exc
+
+        # Identical safety verdicts (acceptance or rejection).
+        assert (engine_error is None) == (reference_error is None), (
+            f"safety verdict diverged on {query.name!r}: "
+            f"engine={engine_error!r} reference={reference_error!r}"
+        )
+        if engine_error is not None:
+            continue
+
+        assert list(outcome.component) == list(ref_component)
+        engine_chosen = (
+            None
+            if outcome.result.chosen is None
+            else outcome.result.chosen.members
+        )
+        assert engine_chosen == ref_chosen
+        assert set(outcome.satisfied) == set(ref_satisfied)
+        assert set(engine.pending()) == set(reference.pending)
+
+        # The incrementally maintained graph must equal a from-scratch
+        # rebuild of the surviving pending set, and agree on safety.
+        rebuilt = reference.graph()
+        live = engine.graph()
+        assert set(live.names()) == set(rebuilt.names())
+        assert _edge_multiset(live) == _edge_multiset(rebuilt)
+        assert _collapsed(live) == _collapsed(rebuilt)
+        assert live.safety_violations() == ()
+        assert safety_report(live).is_safe
+
+    # Drain both via flush until neither finds anything more.
+    while True:
+        result = engine.flush()
+        engine_flush = None if result.chosen is None else result.chosen.members
+        ref_flush = reference.flush()
+        assert engine_flush == ref_flush
+        assert set(engine.pending()) == set(reference.pending)
+        if engine_flush is None:
+            break
+    assert _edge_multiset(engine.graph()) == _edge_multiset(reference.graph())
+
+
+@pytest.mark.parametrize("reuse_states", [True, False])
+def test_name_reuse_after_satisfaction(reuse_states):
+    """A satisfied query's name may return with different content; no
+    stale index entries or memoized states may survive under it."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db, reuse_component_states=reuse_states)
+    reference = ReferenceEngine(db)
+
+    solo = partner_query(member_name(1), [])
+    outcome = engine.submit(solo)
+    component, chosen, _ = reference.submit(solo)
+    assert outcome.coordinated and chosen == (member_name(1),)
+
+    # Same name, different partners, resubmitted after deletion.
+    reborn = partner_query(member_name(1), [member_name(2)])
+    outcome = engine.submit(reborn)
+    _, ref_chosen, _ = reference.submit(reborn)
+    assert (
+        None if outcome.result.chosen is None else outcome.result.chosen.members
+    ) == ref_chosen
+    assert _edge_multiset(engine.graph()) == _edge_multiset(reference.graph())
+
+    # Its partner arrives: the pair coordinates in both engines.
+    partner = partner_query(member_name(2), [member_name(1)])
+    outcome = engine.submit(partner)
+    _, ref_chosen, _ = reference.submit(partner)
+    assert (
+        None if outcome.result.chosen is None else outcome.result.chosen.members
+    ) == ref_chosen
+    assert set(engine.pending()) == set(reference.pending)
+
+
+def test_component_states_cached_across_arrivals():
+    """A waiting component's DB verdict is memoized: re-evaluating the
+    grown component re-issues DB queries only for new sub-components."""
+    def run(reuse):
+        db = members_database(size=DB_SIZE, seed=2012)
+        engine = CoordinationEngine(db, reuse_component_states=reuse)
+        # Users beyond DB_SIZE have no Members row, so every component
+        # survives preprocessing but fails (and waits) at the database.
+        engine.submit(partner_query(member_name(DB_SIZE), []))
+        hits = queries = 0
+        for i in range(DB_SIZE + 1, DB_SIZE + 9):
+            outcome = engine.submit(
+                partner_query(member_name(i), [member_name(i - 1)])
+            )
+            hits += outcome.result.stats.extra.get("component_cache_hits", 0)
+            queries += outcome.result.stats.db_queries
+        return hits, queries, engine
+
+    hits, queries, engine = run(True)
+    assert hits == 8 and queries == 0
+    hits, queries, _ = run(False)
+    assert hits == 0 and queries == 8
+
+    # Database inserts invalidate the memoized failures: the stalled
+    # chain coordinates as soon as its missing rows appear.
+    db = engine.db
+    for i in range(DB_SIZE, DB_SIZE + 9):
+        db.insert("Members", (member_name(i), "region-x", "interest-x", 9))
+    result = engine.flush()
+    assert result.chosen is not None
+    assert len(result.chosen.members) == 9
+    assert engine.pending() == ()
+
+
+def test_unsafe_rejection_leaves_no_trace():
+    """A rejected arrival must not perturb graph, components, or cache."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db)
+    engine.submit(partner_query(member_name(3), [member_name(4)]))
+    engine.submit(partner_query(member_name(4), [member_name(3), member_name(5)]))
+    before_edges = _edge_multiset(engine.graph())
+    before_pending = engine.pending()
+
+    with pytest.raises(PreconditionError):
+        engine.submit(_wildcard_query("wild"))
+
+    assert engine.pending() == before_pending
+    assert _edge_multiset(engine.graph()) == before_edges
+    # The engine still accepts and coordinates afterwards.
+    outcome = engine.submit(partner_query(member_name(5), []))
+    assert outcome.coordinated

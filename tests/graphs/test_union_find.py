@@ -1,0 +1,90 @@
+"""Unit tests for the union-find substrate of the online engine."""
+
+import pytest
+
+from repro.graphs import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind()
+        assert uf.add("a")
+        assert not uf.add("a")
+        assert uf.members("a") == ("a",)
+        assert uf.component_size("a") == 1
+        assert "a" in uf and "b" not in uf
+
+    def test_union_merges_members(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("c", "d")
+        assert not uf.connected("a", "c")
+        uf.union("b", "c")
+        assert uf.connected("a", "d")
+        assert sorted(uf.members("a")) == ["a", "b", "c", "d"]
+        assert uf.component_size("d") == 4
+        assert uf.component_count() == 1
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        root = uf.find("a")
+        assert uf.union("a", "b") == root
+        assert uf.component_size("a") == 2
+
+    def test_implicit_add_on_union(self):
+        uf = UnionFind()
+        uf.union("x", "y")
+        assert "x" in uf and "y" in uf
+        assert len(uf) == 2
+
+    def test_connected_unknown_elements(self):
+        uf = UnionFind()
+        uf.add("a")
+        assert not uf.connected("a", "ghost")
+        assert not uf.connected("ghost", "ghost")
+
+
+class TestDiscard:
+    def test_discard_component_removes_all_members(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        uf.add("z")
+        dropped = uf.discard_component("b")
+        assert sorted(dropped) == ["a", "b", "c"]
+        assert len(uf) == 1
+        assert "a" not in uf
+        assert uf.members("z") == ("z",)
+
+    def test_discard_unknown_is_noop(self):
+        uf = UnionFind()
+        assert uf.discard_component("ghost") == ()
+
+    def test_readd_after_discard(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.discard_component("a")
+        assert uf.add("a")
+        assert uf.members("a") == ("a",)
+
+
+class TestScale:
+    def test_chain_of_unions(self):
+        uf = UnionFind()
+        n = 2000
+        for i in range(n - 1):
+            uf.union(i, i + 1)
+        assert uf.component_size(0) == n
+        assert uf.find(0) == uf.find(n - 1)
+        assert uf.component_count() == 1
+        assert sorted(uf.members(n // 2)) == list(range(n))
+
+    def test_components_iteration(self):
+        uf = UnionFind()
+        for i in range(10):
+            uf.add(i)
+        for i in range(0, 10, 2):
+            uf.union(i, (i + 2) % 10)
+        comps = sorted(sorted(c) for c in uf.components())
+        assert comps == [[0, 2, 4, 6, 8], [1], [3], [5], [7], [9]]
