@@ -1,0 +1,215 @@
+"""Lifecycle-operation latency: retraction and sharded routing.
+
+Two questions this PR's API redesign raises, measured against
+pending-set size (100/300/1000):
+
+* **retract** — a single-query retraction is O(its weak component):
+  the graph drops the query in place
+  (:meth:`~repro.core.coordination_graph.CoordinationGraph.discard_queries`)
+  and the union–find re-splits from surviving edges
+  (:meth:`~repro.graphs.UnionFind.replace_component`).  Measured as
+  steady-state retract+resubmit cycles against a pre-filled pending
+  pool, so the pool size stays constant; per-operation latency is the
+  cycle time halved (the resubmit is the already-benchmarked O(component)
+  arrival path).  Flat-ish latency across pool sizes is the claim.
+
+* **sharded submit** — routing a coordinating-pair stream through a
+  :class:`~repro.core.ShardedCoordinationService` (4 shards) vs a
+  single :class:`~repro.core.CoordinationEngine`.  The service pays one
+  read-only incident probe per shard per arrival, buying per-shard
+  coordination state (the prerequisite for parallel workers); the
+  overhead factor vs the single engine is what this series tracks.
+
+Results are emitted as ``BENCH_engine_service.json`` (series keys
+``retract``, ``single submit``, ``sharded submit`` — asserted by the CI
+smoke step).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_service.py            # full
+    PYTHONPATH=src python benchmarks/bench_engine_service.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench import Series, run_series
+from repro.bench.reporting import render_series
+from repro.core import CoordinationEngine, ShardedCoordinationService
+from repro.networks import member_name
+from repro.workloads import members_database, partner_query
+
+SIZES = (100, 300, 1000)
+SMOKE_SIZES = (60, 120)
+OPS = 60       # retract+resubmit cycles per measurement
+PAIRS = 40     # coordinating pairs per measurement (2·PAIRS arrivals)
+SMOKE_OPS = 15
+SMOKE_PAIRS = 10
+SHARDS = 4
+
+ABSENT_BASE = 10 ** 6  # partners that never arrive keep the pool pending
+
+
+def _prefill(engine, pending_size: int) -> None:
+    """Load ``pending_size`` forever-waiting queries into an engine or
+    service (each posts to a partner that never arrives)."""
+    for i in range(pending_size):
+        engine.submit(
+            partner_query(member_name(i), [member_name(ABSENT_BASE + i)])
+        )
+    assert len(engine.pending()) == pending_size
+
+
+def _retract_cycles(engine, pending_size: int, ops: int) -> None:
+    """``ops`` retract+resubmit cycles; the pool size stays constant."""
+    for k in range(ops):
+        name = member_name(k % pending_size)
+        engine.retract(name)
+        engine.submit(
+            partner_query(name, [member_name(ABSENT_BASE + k % pending_size)])
+        )
+
+
+def _timed_pairs(engine, pending_size: int, pairs: int) -> None:
+    """Submit ``pairs`` mutually-coordinating pairs; each completes and
+    leaves, so the pending size stays ~constant during measurement."""
+    base = pending_size
+    for k in range(pairs):
+        a = member_name(base + 2 * k)
+        b = member_name(base + 2 * k + 1)
+        engine.submit(partner_query(a, [b]))
+        engine.submit(partner_query(b, [a]))
+
+
+def measure_retract(sizes, ops: int, repeats: int) -> Series:
+    dbs = {size: members_database(size=size, seed=2012) for size in sizes}
+
+    def make_point(x, repeat):
+        engine = CoordinationEngine(dbs[int(x)])
+        _prefill(engine, int(x))
+        return lambda: _retract_cycles(engine, int(x), ops)
+
+    return run_series(
+        "retract",
+        list(sizes),
+        make_point,
+        repeats=repeats,
+        x_label="pending queries",
+        y_label=f"seconds per {ops} retract+resubmit cycles",
+    )
+
+
+def measure_submit(name: str, make_engine, sizes, pairs: int, repeats: int) -> Series:
+    dbs = {
+        size: members_database(size=size + 2 * pairs + 8, seed=2012)
+        for size in sizes
+    }
+
+    def make_point(x, repeat):
+        engine = make_engine(dbs[int(x)])
+        _prefill(engine, int(x))
+        return lambda: _timed_pairs(engine, int(x), pairs)
+
+    return run_series(
+        name,
+        list(sizes),
+        make_point,
+        repeats=repeats,
+        x_label="pending queries",
+        y_label=f"seconds per {2 * pairs} arrivals",
+    )
+
+
+def _per_op_us(series: Series, ops_per_point: int) -> Dict[int, float]:
+    return {int(p.x): p.seconds / ops_per_point * 1e6 for p in series.points}
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_engine_service.py",
+        description="Retraction and sharded-routing latency vs pending-set size.",
+    )
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick run")
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine_service.json",
+        help="output JSON path (default: ./BENCH_engine_service.json)",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    ops = SMOKE_OPS if args.smoke else OPS
+    pairs = SMOKE_PAIRS if args.smoke else PAIRS
+    repeats = 1 if args.smoke else 3
+
+    retract = measure_retract(sizes, ops, repeats)
+    single = measure_submit(
+        "single submit", CoordinationEngine, sizes, pairs, repeats
+    )
+    sharded = measure_submit(
+        "sharded submit",
+        lambda db: ShardedCoordinationService(db, shards=SHARDS),
+        sizes,
+        pairs,
+        repeats,
+    )
+
+    print(render_series(retract, "Retract+resubmit cycles"))
+    print()
+    print(render_series(single, "Single engine (baseline)"))
+    print()
+    print(render_series(sharded, f"Sharded service ({SHARDS} shards)"))
+    print()
+
+    retract_us = _per_op_us(retract, 2 * ops)  # cycle = retract + resubmit
+    single_us = _per_op_us(single, 2 * pairs)
+    sharded_us = _per_op_us(sharded, 2 * pairs)
+    overhead = {size: sharded_us[size] / single_us[size] for size in single_us}
+    for size in sorted(retract_us):
+        print(
+            f"pending={size:5d}: retract {retract_us[size]:8.1f} µs/op, "
+            f"single {single_us[size]:8.1f} µs/arrival, "
+            f"sharded {sharded_us[size]:8.1f} µs/arrival "
+            f"(routing overhead {overhead[size]:.2f}×)"
+        )
+
+    payload = {
+        "benchmark": "engine_service",
+        "smoke": args.smoke,
+        "shards": SHARDS,
+        "ops_per_point": {"retract_cycles": ops, "pair_arrivals": 2 * pairs},
+        "repeats": repeats,
+        "series": {
+            series.name: {
+                "x_label": series.x_label,
+                "y_label": series.y_label,
+                "points": [
+                    {
+                        "pending": int(p.x),
+                        "seconds": p.seconds,
+                        "seconds_stdev": p.seconds_stdev,
+                        "us_per_op": us_map[int(p.x)],
+                    }
+                    for p in series.points
+                ],
+            }
+            for series, us_map in (
+                (retract, retract_us),
+                (single, single_us),
+                (sharded, sharded_us),
+            )
+        },
+        "sharded_overhead": {str(size): overhead[size] for size in overhead},
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -61,6 +61,12 @@ def main() -> None:
         "re-coordination as future work)."
     )
 
+    # The lifecycle API: eve gives up waiting and withdraws her query.
+    handle = engine.handle("eve")
+    handle.on_resolved(lambda h: print(f"\neve resolved: {h.state}"))
+    engine.retract("eve")
+    print(f"eve's status: {engine.status('eve')}, pending={set(engine.pending()) or '{}'}")
+
 
 if __name__ == "__main__":
     main()

@@ -9,6 +9,10 @@ Subcommands:
 * ``coordinate DB.json QUERIES.eq [--algorithm scc|gupta|exact]
   [--trace] [--dot FILE]`` — run a coordination algorithm and print the
   chosen set with its assignment;
+* ``online DB.json STREAM.ops [--shards N]`` — replay a query-lifecycle
+  stream through a :class:`~repro.core.ShardedCoordinationService`
+  (one operation per line: ``submit <query>``, ``retract <name>``,
+  ``insert <relation> <value> ...``, ``flush``; ``#`` comments);
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -25,6 +29,8 @@ from typing import List, Optional
 
 from .core import (
     CoordinationGraph,
+    QueryState,
+    ShardedCoordinationService,
     Trace,
     coordination_graph_dot,
     find_coordinating_set,
@@ -32,6 +38,7 @@ from .core import (
     is_single_connected,
     is_unique,
     parse_queries,
+    parse_query,
     render_trace,
     safety_report,
     scc_coordinate,
@@ -112,6 +119,97 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stream_value(token: str):
+    """An ``insert`` operand: Python literal if it parses, else a string."""
+    import ast
+
+    try:
+        return ast.literal_eval(token)
+    except (ValueError, SyntaxError):
+        return token
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    """Replay a query-lifecycle stream through the sharded service."""
+    import shlex
+
+    db = load_database(args.database)
+    service = ShardedCoordinationService(db, shards=args.shards)
+    source = Path(args.stream).read_text(encoding="utf-8")
+
+    # All satisfactions are reported through the resolution callback:
+    # an arrival can retire a set it does not belong to (a previously
+    # stalled component whose rows appeared), which the submit branch
+    # alone would silently drop.
+    resolutions: List = []
+    service.on_resolved(resolutions.append)
+
+    def drain_satisfied(prefix: str) -> int:
+        reported = 0
+        seen = set()
+        for handle in resolutions:
+            if handle.state is QueryState.SATISFIED:
+                members = handle.satisfied_with
+                if members not in seen:
+                    seen.add(members)
+                    print(f"{prefix}: satisfied {{{', '.join(sorted(members))}}}")
+                    reported += 1
+        resolutions.clear()
+        return reported
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        op, _, rest = line.partition(" ")
+        rest = rest.strip()
+        if op not in ("submit", "retract", "insert", "flush"):
+            print(
+                f"error: line {lineno}: unknown operation {op!r} "
+                "(expected submit/retract/insert/flush)",
+                file=sys.stderr,
+            )
+            return 2
+        prefix = f"[{lineno:3d}] {op}"
+        try:
+            if op == "submit":
+                query = parse_query(rest.rstrip(";"))
+                query.validate(db.schema)
+                handle = service.submit(query)
+                if handle.is_pending:
+                    shard = service.shard_of(query.name)
+                    print(f"{prefix} {query.name}: pending (shard {shard})")
+                drain_satisfied(f"{prefix} {query.name}")
+            elif op == "retract":
+                service.retract(rest)
+                print(f"{prefix} {rest}: retracted")
+                resolutions.clear()  # the retraction itself
+            elif op == "insert":
+                tokens = shlex.split(rest)
+                if len(tokens) < 2:
+                    raise ReproError(
+                        f"line {lineno}: insert needs a relation and values"
+                    )
+                db.insert(tokens[0], [_parse_stream_value(t) for t in tokens[1:]])
+                print(f"{prefix} {tokens[0]}: ok")
+            elif op == "flush":
+                service.flush()
+                if not drain_satisfied(prefix):
+                    print(f"{prefix}: nothing coordinated")
+        except ReproError as error:
+            # Per-event rejections (unsafe arrivals, unknown retracts,
+            # parse errors) are part of a replay's normal output.
+            print(f"{prefix}: rejected ({error})")
+            resolutions.clear()
+
+    loads = ", ".join(str(n) for n in service.shard_pending_counts())
+    print(
+        f"done: {len(service.pending())} pending "
+        f"[per shard: {loads}], {service.migrations} migrations"
+    )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .db import DatabaseBuilder
 
@@ -168,6 +266,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--dot", metavar="FILE", help="also write the coordination graph as dot"
     )
     coordinate.set_defaults(func=_cmd_coordinate)
+
+    online = subparsers.add_parser(
+        "online",
+        help="replay a query-lifecycle stream through the sharded service",
+    )
+    online.add_argument("database", help="database JSON spec")
+    online.add_argument(
+        "stream",
+        help="operations file: submit/retract/insert/flush, one per line",
+    )
+    online.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="number of engine shards (default: 2)",
+    )
+    online.set_defaults(func=_cmd_online)
 
     demo = subparsers.add_parser("demo", help="run the built-in example")
     demo.set_defaults(func=_cmd_demo)

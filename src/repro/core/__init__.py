@@ -12,7 +12,9 @@ Public surface:
 * the SCC Coordination Algorithm (safe sets, Section 4);
 * the Consistent Coordination Algorithm (A-consistent sets, Section 5);
 * the single-connected solver (Theorem 3);
-* an online :class:`CoordinationEngine` facade in the Youtopia style.
+* an online :class:`CoordinationEngine` facade in the Youtopia style,
+  with a query-lifecycle API (:class:`QueryHandle` / :class:`QueryState`)
+  and a component-sharded :class:`ShardedCoordinationService` router.
 """
 
 from .bruteforce import (
@@ -44,6 +46,8 @@ from .consistent_lowering import (
 from .coordination_graph import ArrivalProbe, CoordinationGraph, ExtendedEdge
 from .engine import ArrivalOutcome, CoordinationEngine
 from .gupta import gupta_coordinate
+from .lifecycle import QueryHandle, QueryState
+from .service import ShardedCoordinationService
 from .parallel import consistent_coordinate_parallel, partition_values
 from .parser import parse_queries, parse_query
 from .properties import (
@@ -117,7 +121,10 @@ __all__ = [
     "GroundedView",
     "NamedPartner",
     "PreprocessResult",
+    "QueryHandle",
+    "QueryState",
     "SafetyReport",
+    "ShardedCoordinationService",
     "VerificationReport",
     "analyze_consistent",
     "analyze_program",

@@ -563,6 +563,30 @@ class CoordinationGraph:
             if graph is not self:
                 graph._detach()
 
+    def alias(self) -> "CoordinationGraph":
+        """A distinct graph object viewing the same state, O(1).
+
+        The alias shares the core until either side mutates: an
+        extension leaves the alias on its pre-extension prefix (it
+        detaches on first read, as any bystander of the chain does),
+        and a destructive :meth:`discard_queries` on the original
+        detaches the alias *first*, so it keeps its pre-removal
+        snapshot.  This is how the engine hands out ``graph()`` views
+        that stay stable across arrivals *and* deletions while its own
+        private handle keeps the mutable fast path.
+        """
+        return CoordinationGraph(self._view(), self._version)
+
+    def same_view(self, other: Optional["CoordinationGraph"]) -> bool:
+        """``True`` when ``other`` currently reads the same graph state
+        (same core, same version) — i.e. an alias of the receiver that
+        has not been left behind by a mutation."""
+        return (
+            other is not None
+            and other._core is self._core
+            and other._version == self._version
+        )
+
     # ------------------------------------------------------------------
     # Read surface
     # ------------------------------------------------------------------

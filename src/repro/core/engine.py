@@ -9,7 +9,23 @@ deleted from the system's data structures.
 :class:`CoordinationEngine` reproduces that control loop on top of the
 SCC Coordination Algorithm, giving the library a realistic online entry
 point (and the benchmarks a faithful way to measure per-arrival
-processing).
+processing) — wrapped in a first-class query-*lifecycle* API:
+
+* :meth:`submit` returns a :class:`~repro.core.lifecycle.QueryHandle`
+  that tracks the query from admission to resolution
+  (``PENDING → SATISFIED | RETRACTED | REJECTED``); the handle
+  duck-types the seed :class:`ArrivalOutcome`, so pre-lifecycle
+  callers keep working unchanged;
+* :meth:`retract` withdraws one pending query in O(its weak
+  component) — the graph side via
+  :meth:`~repro.core.coordination_graph.CoordinationGraph.discard_queries`,
+  the component side via
+  :meth:`~repro.graphs.UnionFind.replace_component`;
+* :meth:`submit_many` admits a batch under one safety pass and runs
+  **one** evaluation per affected weak component (unsafe batch members
+  resolve to ``REJECTED`` instead of raising);
+* :meth:`status` reports the last known state of a name, and
+  :meth:`on_resolved` registers engine-wide resolution callbacks.
 
 The arrival path is incremental end-to-end, so an arrival costs
 amortized O(its weakly connected component), independent of the total
@@ -27,12 +43,13 @@ pending-set size:
   :class:`~repro.graphs.UnionFind` over pending queries (amortized
   O(α) per new edge) instead of a BFS over the whole graph;
 * per-SCC evaluation states (substitution + grounding) are memoized
-  *across arrivals*, keyed by component membership and a database
-  version stamp (:meth:`~repro.db.Database.data_version`), so
-  re-evaluating a grown component re-issues database queries only for
-  new or merged sub-components — the ``reuse_groundings`` fast path
-  extended from within one run to the whole arrival stream;
-* a satisfied coordinating set is deleted in O(its component) via
+  *across arrivals*, keyed by component membership and per-relation
+  database version stamps (:meth:`~repro.db.Database.data_versions`),
+  so re-evaluating a grown component re-issues database queries only
+  for new or merged sub-components, and a write to a relation no
+  pending body mentions evicts nothing;
+* a satisfied coordinating set (or a retracted query) is deleted in
+  O(its component) via
   :meth:`~repro.core.coordination_graph.CoordinationGraph.discard_queries`,
   and its weak component is re-split from the surviving incident edges.
 """
@@ -40,12 +57,28 @@ pending-set size:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..db import Database
 from ..errors import PreconditionError
 from ..graphs import UnionFind
 from .coordination_graph import CoordinationGraph
+from .lifecycle import (
+    QueryHandle,
+    QueryState,
+    ResolutionCallback,
+    record_final_state,
+)
 from .query import EntangledQuery
 from .result import CoordinationResult
 from .scc_coordination import (
@@ -57,20 +90,36 @@ from .scc_coordination import (
 
 
 class _StateCache(dict):
-    """A :data:`ComponentCache` dict with an inverted name→keys index.
+    """A :data:`ComponentCache` dict with inverted name and relation indexes.
 
     Retirement eviction must drop every entry whose stored closure
     touches a deleted query; a plain dict forces an O(cache) scan per
     retirement, which would break the engine's O(component) bound on
-    churn-heavy read-only streams.  The index makes
+    churn-heavy read-only streams.  The name index makes
     :meth:`keys_touching` proportional to the affected entries only.
+
+    Database-write eviction is finer still: each entry is indexed by
+    the *body relations* of its closure's queries (resolved through the
+    engine's pending pool at insertion time), so an insert into one
+    relation evicts only the entries whose evaluation could observe it
+    — see :meth:`keys_touching_relations`.  An entry whose queries
+    cannot be resolved (not pending at insertion time, which no current
+    caller produces) is indexed as a *wildcard* and evicted on any
+    write, keeping the fallback conservative.
+
     The SCC algorithm populates the cache through plain ``dict``
     operations, all of which are intercepted here.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, relations_of: Callable[[str], Optional[FrozenSet[str]]]
+    ) -> None:
         super().__init__()
+        self._relations_of = relations_of
         self._by_name: Dict[str, Set[frozenset]] = {}
+        self._by_relation: Dict[str, Set[frozenset]] = {}
+        self._key_relations: Dict[frozenset, Optional[FrozenSet[str]]] = {}
+        self._wildcard: Set[frozenset] = set()
 
     def _unindex(self, key: frozenset, involved: Tuple[str, ...]) -> None:
         for name in involved:
@@ -79,14 +128,52 @@ class _StateCache(dict):
                 keys.discard(key)
                 if not keys:
                     del self._by_name[name]
+        relations = self._key_relations.pop(key, None)
+        if relations is None:
+            self._wildcard.discard(key)
+        else:
+            for relation in relations:
+                keys = self._by_relation.get(relation)
+                if keys is not None:
+                    keys.discard(key)
+                    if not keys:
+                        del self._by_relation[relation]
 
     def __setitem__(self, key, value) -> None:
         old = self.get(key)
         if old is not None:
             self._unindex(key, old[0])
         super().__setitem__(key, value)
+        state = value[1]
+        # A body-relation write is the only insert that can flip a
+        # db-failed verdict (inserts are monotone, so successes stay
+        # valid) — with two active-domain exceptions, both wildcards:
+        # a non-failed state with NO assignment (evaluation succeeded
+        # but free-variable completion failed on an empty domain, which
+        # any insert can grow — eviction un-strands the component), and
+        # an assignment that USED the domain filler (min(domain) can
+        # change under any insert; an uncached run would pick the new
+        # minimum, and cached results must match uncached ones).
+        domain_dependent = (
+            not state.failed and state.assignment is None
+        ) or state.domain_filled
+        relations: Optional[Set[str]] = None if domain_dependent else set()
         for name in value[0]:
             self._by_name.setdefault(name, set()).add(key)
+            body = self._relations_of(name) if relations is not None else None
+            if relations is not None:
+                if body is None:
+                    relations = None
+                else:
+                    relations.update(body)
+        if relations is None:
+            self._key_relations[key] = None
+            self._wildcard.add(key)
+        else:
+            frozen = frozenset(relations)
+            self._key_relations[key] = frozen
+            for relation in frozen:
+                self._by_relation.setdefault(relation, set()).add(key)
 
     def __delitem__(self, key) -> None:
         entry = self.get(key)
@@ -97,6 +184,9 @@ class _StateCache(dict):
     def clear(self) -> None:
         super().clear()
         self._by_name.clear()
+        self._by_relation.clear()
+        self._key_relations.clear()
+        self._wildcard.clear()
 
     def keys_touching(self, names: Set[str]) -> Set[frozenset]:
         """Keys whose stored closure contains any of ``names``."""
@@ -105,10 +195,18 @@ class _StateCache(dict):
             touched |= self._by_name.get(name, set())
         return touched
 
+    def keys_touching_relations(self, relations: Set[str]) -> Set[frozenset]:
+        """Keys whose closure bodies mention any of ``relations``
+        (plus every wildcard entry — the conservative fallback)."""
+        touched: Set[frozenset] = set(self._wildcard)
+        for relation in relations:
+            touched |= self._by_relation.get(relation, set())
+        return touched
+
 
 @dataclass
 class ArrivalOutcome:
-    """What happened when one query arrived."""
+    """What happened when one query arrived (or was batch-evaluated)."""
 
     query: str
     component: Tuple[str, ...]
@@ -132,8 +230,9 @@ class CoordinationEngine:
         Selection criterion forwarded to the SCC algorithm.
     check_safety:
         When ``True`` (default) an arrival that makes the pending set
-        unsafe is rejected with
-        :class:`~repro.errors.PreconditionError` — the engine's
+        unsafe is rejected — :meth:`submit` raises
+        :class:`~repro.errors.PreconditionError`, :meth:`submit_many`
+        resolves the handle to ``REJECTED`` — because the engine's
         evaluation method is the safe-set algorithm.  The rejection is
         an O(new edges) delta check whose correctness rests on the
         invariant that every *earlier* arrival was checked too: decide
@@ -146,11 +245,13 @@ class CoordinationEngine:
     reuse_component_states:
         Memoize per-SCC evaluation states across arrivals (see module
         docstring).  The cache is invalidated automatically when the
-        database changes (tracked via
-        :meth:`~repro.db.Database.data_version`, which observes every
-        insert path) and entries touching a satisfied (deleted) set
-        are dropped.  Disable to reproduce the non-memoized evaluation
-        cost profile.
+        database changes — per relation, via
+        :meth:`~repro.db.Database.data_versions`: only entries whose
+        component bodies touch a mutated relation are dropped, with a
+        clear-everything fallback should the per-relation stamps ever
+        fail to explain a changed global stamp — and entries touching
+        a satisfied/retracted (deleted) query are dropped.  Disable to
+        reproduce the non-memoized evaluation cost profile.
     """
 
     def __init__(
@@ -169,40 +270,249 @@ class CoordinationEngine:
         self._graph: CoordinationGraph = CoordinationGraph.build([])
         self._components = UnionFind()
         self._component_states: Optional[_StateCache] = (
-            _StateCache() if reuse_component_states else None
+            _StateCache(self._body_relations_of) if reuse_component_states else None
         )
         self._db_stamp = db.data_version()
+        self._db_stamps = db.data_versions()
+        self._graph_view: Optional[CoordinationGraph] = None
+        self._handles: Dict[str, QueryHandle] = {}
+        self._final_states: Dict[str, QueryState] = {}
+        self._resolution_callbacks: List[ResolutionCallback] = []
 
+    # ------------------------------------------------------------------
+    # Introspection
     # ------------------------------------------------------------------
     def pending(self) -> Tuple[str, ...]:
         """Names of queries currently waiting to coordinate."""
         return tuple(self._pending)
 
-    def graph(self) -> CoordinationGraph:
-        """The engine's coordination graph, as of this call.
+    def handle(self, name: str) -> Optional[QueryHandle]:
+        """The live handle of a *pending* query (``None`` otherwise)."""
+        return self._handles.get(name)
 
-        The returned handle is a snapshot with respect to later
-        *arrivals*: each ``submit`` extends a fresh graph object, and
-        previously returned handles keep their pre-arrival state (they
-        detach from the shared core on first read).  Deletions that
-        happen without an intervening arrival — a :meth:`flush` that
-        satisfies queries — do mutate the handle in place, so take
-        ``graph().restricted_to(pending())`` when a fully independent
-        copy is needed.
+    def status(self, name: str) -> Optional[QueryState]:
+        """The last known lifecycle state of ``name``.
+
+        ``PENDING`` while the query waits; afterwards the state it
+        resolved to.  Name reuse overwrites: after a retract-resubmit
+        cycle the *latest* submission's state is reported.  ``None``
+        for a name the engine has never resolved or admitted — or whose
+        record was evicted (the record is FIFO-bounded at
+        :data:`~repro.core.lifecycle.MAX_FINAL_STATES` names so a
+        long-lived stream cannot grow it without bound).
         """
-        return self._graph
+        if name in self._pending:
+            return QueryState.PENDING
+        return self._final_states.get(name)
 
-    def submit(self, query: EntangledQuery) -> ArrivalOutcome:
+    def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
+        """Register a callback fired whenever any handle resolves.
+
+        Fired synchronously inside the resolving call, after the
+        handle's own callbacks.  Returns the callback (decorator
+        friendly).
+        """
+        self._resolution_callbacks.append(callback)
+        return callback
+
+    def graph(self) -> CoordinationGraph:
+        """A snapshot view of the engine's coordination graph.
+
+        Returns an :meth:`~repro.core.coordination_graph.CoordinationGraph.alias`
+        of the engine's private graph, so the returned handle is stable
+        with respect to **all** later engine activity — arrivals extend
+        past it (it detaches onto its prefix on first read after the
+        chain moves), and deletions (``flush``/``retract``/satisfied
+        sets) detach it *before* mutating.  Calls between two engine
+        mutations share one alias object (they are views of identical
+        state), so holding views costs at most one O(graph) detach per
+        mutation that actually deletes, and none for pure arrivals
+        until the view is next read.
+        """
+        if not self._graph.same_view(self._graph_view):
+            self._graph_view = self._graph.alias()
+        return self._graph_view
+
+    # ------------------------------------------------------------------
+    # Lifecycle API
+    # ------------------------------------------------------------------
+    def submit(self, query: EntangledQuery) -> QueryHandle:
         """Add one query, evaluate its connected component, reap results.
 
-        Returns an :class:`ArrivalOutcome`; when the component produced
-        a coordinating set, its members are removed from the pending
-        pool (as the Youtopia loop does).  All bookkeeping is
+        Returns the query's :class:`~repro.core.lifecycle.QueryHandle`;
+        when the component produced a coordinating set, its members are
+        removed from the pending pool (as the Youtopia loop does) and
+        their handles — including possibly this one — resolve to
+        ``SATISFIED``.  Raises :class:`~repro.errors.PreconditionError`
+        for a duplicate name or an unsafe arrival.  All bookkeeping is
         incremental — see the module docstring for the cost breakdown.
         """
+        handle = self._admit(query)
+        self._evaluate_component(query.name, (handle,))
+        return handle
+
+    def submit_many(
+        self, queries: Iterable[EntangledQuery]
+    ) -> List[QueryHandle]:
+        """Admit a batch, then evaluate each affected component once.
+
+        Admission order is the iteration order, and safety is checked
+        per arrival against everything admitted so far (one pass over
+        the batch); an arrival that fails admission — duplicate name or
+        unsafe — resolves to ``REJECTED`` instead of raising, and the
+        batch continues.  Evaluation then runs **once per affected weak
+        component**, not once per arrival, so k queries landing in one
+        component cost one safety pass and one evaluation.  Unlike
+        :meth:`flush` (one global result, one chosen set), every
+        affected component may retire its own coordinating set.
+
+        Each admitted handle's ``outcome`` carries its component's
+        single evaluation; handles of the same component share the
+        :class:`~repro.core.result.CoordinationResult` object.
+        """
+        handles: List[QueryHandle] = []
+        admitted: List[QueryHandle] = []
+        for query in queries:
+            try:
+                handle = self._admit(query)
+            except PreconditionError as error:
+                handle = QueryHandle(query)
+                self._finish(handle, QueryState.REJECTED, reason=str(error))
+            else:
+                admitted.append(handle)
+            handles.append(handle)
+
+        self.evaluate_admitted(admitted)
+        return handles
+
+    def retract(self, name: str) -> QueryHandle:
+        """Withdraw one pending query; O(its weak component).
+
+        The query and its incident edges leave the coordination graph
+        in place (no full-graph rebuild), its weak component is
+        re-split from the surviving incident edges, and every memoized
+        component state whose closure touched it is dropped.  The
+        handle resolves to ``RETRACTED`` and is returned.  Raises
+        :class:`~repro.errors.PreconditionError` when ``name`` is not
+        pending.
+        """
+        if name not in self._pending:
+            raise PreconditionError(f"query {name!r} is not pending")
+        component = sorted(self._components.members(name))
+        handle = self._handles[name]
+        self._delete_and_resplit({name}, component)
+        self._finish(handle, QueryState.RETRACTED)
+        return handle
+
+    def flush(self) -> CoordinationResult:
+        """Evaluate everything still pending as one batch.
+
+        One global run of the SCC algorithm: at most **one** chosen
+        coordinating set is retired per call (the selection criterion
+        picks across all components), so callers drain by looping until
+        ``result.chosen`` is ``None``.
+        """
+        result = scc_coordinate_on_graph(
+            self.db,
+            self._graph,
+            choose=self.choose,
+            reuse_groundings=self.reuse_groundings,
+            component_cache=self._component_cache(),
+        )
+        if result.chosen is not None:
+            satisfied = result.chosen.members
+            # A chosen set is a reachable closure, so it lies entirely
+            # inside one weak component: the per-arrival retirement
+            # path applies unchanged.
+            component = sorted(self._components.members(satisfied[0]))
+            self._retire(satisfied, component, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shard-migration surface (used by ShardedCoordinationService)
+    # ------------------------------------------------------------------
+    def incident_pending(self, query: EntangledQuery) -> Tuple[str, ...]:
+        """Pending queries a prospective arrival would share an edge with.
+
+        A read-only probe (nothing is admitted); O(candidate pairs) in
+        this engine's graph.  The sharded service uses it to detect an
+        arrival whose edges span shards.  Raises for a name already
+        pending here.
+        """
+        probe = self._graph.probe(query)
+        names = {end for edge in probe.new_edges for end in edge.endpoints()}
+        names.discard(query.name)
+        return tuple(sorted(names))
+
+    def release_component(self, name: str) -> List[QueryHandle]:
+        """Remove and return ``name``'s weak component, *unresolved*.
+
+        The component's queries leave this engine's graph, pending
+        pool, union–find, and caches, but their handles stay
+        ``PENDING`` — this is the migration path: the service re-homes
+        the returned handles into another shard with :meth:`adopt`.
+        O(component).
+        """
+        if name not in self._pending:
+            raise PreconditionError(f"query {name!r} is not pending")
+        component = sorted(self._components.members(name))
+        handles = [self._handles.pop(n) for n in component]
+        for member in component:
+            self._pending.pop(member)
+        self._graph.discard_queries(component)
+        self._components.discard_component(name)
+        self._forget_states(set(component))
+        return handles
+
+    def component_of(self, name: str) -> Tuple[str, ...]:
+        """The weak component of a pending query, sorted by name."""
+        if name not in self._pending:
+            raise PreconditionError(f"query {name!r} is not pending")
+        return tuple(sorted(self._components.members(name)))
+
+    def evaluate_admitted(self, admitted: Sequence[QueryHandle]) -> None:
+        """Evaluate the components of freshly admitted handles, once each.
+
+        The batch building block shared by :meth:`submit_many` and the
+        sharded service: handles are grouped by weak component and each
+        component is evaluated exactly once; every handle of a group
+        receives that single evaluation as its ``outcome``.
+        """
+        by_root: Dict[object, List[QueryHandle]] = {}
+        for handle in admitted:
+            root = self._components.find(handle.query)
+            by_root.setdefault(root, []).append(handle)
+        for group in by_root.values():
+            self._evaluate_component(group[0].query, tuple(group))
+
+    def adopt(self, handles: Sequence[QueryHandle]) -> None:
+        """Admit already-pending handles from another engine, silently.
+
+        No evaluation runs and the handles keep their identity (their
+        registered callbacks survive the move); the adopting shard
+        evaluates on its next ordinary arrival, exactly as a single
+        engine would.  Safety is still asserted per arrival — an
+        adopted set that was safe in its donor shard and shares no
+        edges with this shard's pending pool (the service's routing
+        invariant) always passes.
+        """
+        for handle in handles:
+            self._admit(handle.entangled, handle=handle)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+    #: Hard bound on memoized component states; one entry exists per
+    #: distinct SCC member-set, so this is only reached by pathological
+    #: churn — clearing then is cheap and correctness-neutral.
+    _MAX_COMPONENT_STATES = 16384
+
+    def _admit(
+        self, query: EntangledQuery, handle: Optional[QueryHandle] = None
+    ) -> QueryHandle:
+        """Probe, safety-check, and commit one arrival (no evaluation)."""
         if query.name in self._pending:
             raise PreconditionError(f"query {query.name!r} already pending")
-
         probe = self._graph.probe(query)
         if self.check_safety and not probe.is_safe:
             # The pending set was safe before this arrival (invariant of
@@ -217,8 +527,16 @@ class CoordinationEngine:
         self._components.add(query.name)
         for edge in probe.new_edges:
             self._components.union(edge.source, edge.target)
+        if handle is None:
+            handle = QueryHandle(query)
+        self._handles[query.name] = handle
+        return handle
 
-        component = sorted(self._components.members(query.name))
+    def _evaluate_component(
+        self, name: str, admitted: Tuple[QueryHandle, ...]
+    ) -> None:
+        """Evaluate ``name``'s weak component; retire a chosen set."""
+        component = sorted(self._components.members(name))
         restricted = self._graph.restricted_to(component)
         result = scc_coordinate_on_graph(
             self.db,
@@ -227,79 +545,115 @@ class CoordinationEngine:
             reuse_groundings=self.reuse_groundings,
             component_cache=self._component_cache(),
         )
-
         satisfied: Tuple[str, ...] = ()
         if result.chosen is not None:
             satisfied = result.chosen.members
-            self._retire(satisfied, component)
-        return ArrivalOutcome(query.name, tuple(component), result, satisfied)
+        for handle in admitted:
+            handle.outcome = ArrivalOutcome(
+                handle.query, tuple(component), result, satisfied
+            )
+        if satisfied:
+            self._retire(satisfied, component, result)
 
-    def flush(self) -> CoordinationResult:
-        """Evaluate everything still pending as one batch."""
-        result = scc_coordinate_on_graph(
-            self.db,
-            self._graph,
-            choose=self.choose,
-            reuse_groundings=self.reuse_groundings,
-            component_cache=self._component_cache(),
+    def _retire(
+        self,
+        satisfied: Tuple[str, ...],
+        component: Sequence[str],
+        result: Optional[CoordinationResult],
+    ) -> None:
+        """Delete a satisfied set, re-split its component, resolve handles."""
+        resolved = [self._handles.pop(n) for n in satisfied if n in self._handles]
+        self._delete_and_resplit(set(satisfied), component)
+        for handle in resolved:
+            self._finish(
+                handle,
+                QueryState.SATISFIED,
+                result=result,
+                satisfied_with=tuple(satisfied),
+            )
+
+    def _delete_and_resplit(
+        self, removed: Set[str], component: Sequence[str]
+    ) -> None:
+        """Drop ``removed`` (all within one weak ``component``) and
+        re-link the component's survivors from their surviving edges —
+        the shared O(component) deletion path of retirement and
+        retraction."""
+        for name in removed:
+            self._pending.pop(name, None)
+            self._handles.pop(name, None)
+        self._graph.discard_queries(tuple(removed))
+        # The removed set lives entirely inside one weak component;
+        # union-find cannot split, so drop the component and re-link
+        # the survivors from their (surviving) incident edges.
+        if component:
+            survivors = [n for n in component if n not in removed]
+            self._components.replace_component(
+                component[0],
+                survivors,
+                (
+                    edge.endpoints()
+                    for name in survivors
+                    for edge in self._graph.out_edges_of(name)
+                ),
+            )
+        self._forget_states(removed)
+
+    def _finish(
+        self,
+        handle: QueryHandle,
+        state: QueryState,
+        result: Optional[CoordinationResult] = None,
+        satisfied_with: Tuple[str, ...] = (),
+        reason: Optional[str] = None,
+    ) -> None:
+        """Resolve a handle and fire engine-level callbacks."""
+        handle._resolve(
+            state, resolution=result, satisfied_with=satisfied_with, reason=reason
         )
-        if result.chosen is not None:
-            satisfied = result.chosen.members
-            for name in satisfied:
-                self._pending.pop(name, None)
-            self._graph.discard_queries(satisfied)
-            self._rebuild_components()
-            self._forget_states(set(satisfied))
-        return result
+        # A rejected *duplicate* must not shadow the still-pending
+        # query of the same name in the status record.
+        if handle.query not in self._pending:
+            record_final_state(self._final_states, handle.query, state)
+        for callback in self._resolution_callbacks:
+            callback(handle)
 
-    # ------------------------------------------------------------------
-    # Internal bookkeeping
-    # ------------------------------------------------------------------
-    #: Hard bound on memoized component states; one entry exists per
-    #: distinct SCC member-set, so this is only reached by pathological
-    #: churn — clearing then is cheap and correctness-neutral.
-    _MAX_COMPONENT_STATES = 16384
+    def _body_relations_of(self, name: str) -> Optional[FrozenSet[str]]:
+        """Body relations of a pending query (``None`` when unknown —
+        the state cache then treats the entry as touching everything)."""
+        query = self._pending.get(name)
+        return None if query is None else query.body_relations()
 
     def _component_cache(self) -> Optional[ComponentCache]:
-        """The cross-arrival component cache, stamped against the db."""
+        """The cross-arrival component cache, stamped against the db.
+
+        The cheap global-sum stamp (:meth:`~repro.db.Database.data_version`)
+        gates the common unchanged case; when it moves, the per-relation
+        stamps localize the eviction to entries whose component bodies
+        touch a mutated relation.  Should the per-relation diff ever
+        fail to explain a changed global stamp, the whole cache is
+        cleared — the seed behaviour, kept as the safety fallback.
+        """
         if self._component_states is None:
             return None
         stamp = self.db.data_version()
         if stamp != self._db_stamp:
-            self._component_states.clear()
+            stamps = self.db.data_versions()
+            changed = {
+                relation
+                for relation in stamps.keys() | self._db_stamps.keys()
+                if stamps.get(relation) != self._db_stamps.get(relation)
+            }
+            if changed:
+                for key in self._component_states.keys_touching_relations(changed):
+                    del self._component_states[key]
+            else:
+                self._component_states.clear()
             self._db_stamp = stamp
+            self._db_stamps = stamps
         elif len(self._component_states) > self._MAX_COMPONENT_STATES:
             self._component_states.clear()
         return self._component_states
-
-    def _retire(self, satisfied: Tuple[str, ...], component: List[str]) -> None:
-        """Delete a satisfied set and re-split its weak component."""
-        satisfied_set = set(satisfied)
-        for name in satisfied:
-            self._pending.pop(name, None)
-        self._graph.discard_queries(satisfied)
-        # The satisfied set lives entirely inside the arrival's weak
-        # component; union-find cannot split, so drop the component and
-        # re-link the survivors from their (surviving) incident edges.
-        if component:
-            self._components.discard_component(component[0])
-        survivors = [n for n in component if n not in satisfied_set]
-        for name in survivors:
-            self._components.add(name)
-        for name in survivors:
-            for edge in self._graph.out_edges_of(name):
-                self._components.union(edge.source, edge.target)
-        self._forget_states(satisfied_set)
-
-    def _rebuild_components(self) -> None:
-        """Recompute all weak components (flush-scale bookkeeping)."""
-        components = UnionFind()
-        for name in self._pending:
-            components.add(name)
-        for name in self._pending:
-            for edge in self._graph.out_edges_of(name):
-                components.union(edge.source, edge.target)
-        self._components = components
 
     def _forget_states(self, names: Set[str]) -> None:
         """Drop memoized component states whose closure touched ``names``.

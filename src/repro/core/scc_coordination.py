@@ -138,6 +138,14 @@ class _ComponentState:
     # Outcome tag for trace narration when this state is reused from the
     # cross-arrival cache: 'ok' | 'unification-failed' | 'db-failed'.
     status: str = ""
+    # True when ``assignment`` contains active-domain filler values
+    # (free variables completed with min(domain)) — directly or
+    # inherited from a successor's assignment.  Such an assignment
+    # depends on the WHOLE database, not just the closure's body
+    # relations: any insert can change the domain minimum, so the
+    # engine's per-relation cache eviction must treat the entry as
+    # touching every relation (see _StateCache in repro.core.engine).
+    domain_filled: bool = False
 
 
 # Cache for memoizing component states across engine arrivals, keyed by
@@ -369,8 +377,9 @@ def scc_coordinate_on_graph(
 
         assignment: Optional[Dict[Variable, Hashable]] = None
         solution: Optional[Dict[Variable, Hashable]] = None
+        domain_filled = False
         if reuse_groundings and successors:
-            assignment = _seeded_assignment(
+            assignment, domain_filled = _seeded_assignment(
                 db,
                 graph,
                 members,
@@ -398,12 +407,15 @@ def scc_coordinate_on_graph(
                         )
                     )
                 continue
-            assignment = _assignment_for(db, graph, involved, substitution, solution)
+            assignment, domain_filled = _assignment_for(
+                db, graph, involved, substitution, solution
+            )
 
         state.substitution = substitution
         state.involved = involved
         state.solution = solution
         state.assignment = assignment
+        state.domain_filled = assignment is not None and domain_filled
         if cache_key is not None:
             component_cache[cache_key] = (involved, state)
         if assignment is not None:
@@ -438,24 +450,26 @@ def _seeded_assignment(
     substitution: Substitution,
     successor_states: Sequence[_ComponentState],
     stats: CoordinationStats,
-) -> Optional[Dict[Variable, Hashable]]:
+) -> Tuple[Optional[Dict[Variable, Hashable]], bool]:
     """Grounding-reuse fast path for one component.
 
     Merges the successors' stored assignments into a seed, checks it
     against the (possibly newly merged) unification classes, and
     evaluates only the component members' own body atoms under the
-    seed.  Returns a total assignment over ``involved``, or ``None``
-    when the seed conflicts or the members' atoms cannot be satisfied
-    under it — in which case the caller falls back to the full combined
-    query, preserving the algorithm's guarantee.
+    seed.  Returns ``(assignment, domain_filled)``: a total assignment
+    over ``involved`` (or ``None`` when the seed conflicts or the
+    members' atoms cannot be satisfied under it — in which case the
+    caller falls back to the full combined query, preserving the
+    algorithm's guarantee) plus whether it contains active-domain
+    filler values, its own or inherited from a successor.
     """
     seed: Dict[Variable, Hashable] = {}
     for state in successor_states:
         if state.assignment is None:
-            return None
+            return None, False
         for variable, value in state.assignment.items():
             if seed.get(variable, value) != value:
-                return None  # two successors grounded a shared query differently
+                return None, False  # two successors grounded a shared query differently
             seed[variable] = value
 
     # Project the seed onto current unification representatives.
@@ -464,10 +478,10 @@ def _seeded_assignment(
         representative = substitution.resolve(variable)
         if isinstance(representative, Variable):
             if bound.get(representative, value) != value:
-                return None  # a new unification merged differently-grounded classes
+                return None, False  # a new unification merged differently-grounded classes
             bound[representative] = value
         elif representative.value != value:
-            return None  # a new unification pinned a constant the seed contradicts
+            return None, False  # a new unification pinned a constant the seed contradicts
 
     member_atoms: List[Atom] = []
     for name in members:
@@ -477,7 +491,7 @@ def _seeded_assignment(
     stats.extra["seeded_queries"] = stats.extra.get("seeded_queries", 0) + 1
     solution = db.first_solution(ConjunctiveQuery(tuple(rewritten)), initial=bound)
     if solution is None:
-        return None
+        return None, False
 
     partial: Dict[Variable, Hashable] = dict(seed)
     for name in members:
@@ -488,7 +502,23 @@ def _seeded_assignment(
                     partial[variable] = solution[representative]
             else:
                 partial[variable] = representative.value
-    return complete_assignment(db, graph.queries, involved, partial)
+    domain_filled = any(s.domain_filled for s in successor_states) or _has_gaps(
+        graph, involved, partial
+    )
+    return complete_assignment(db, graph.queries, involved, partial), domain_filled
+
+
+def _has_gaps(
+    graph: CoordinationGraph,
+    involved: Tuple[str, ...],
+    partial: Dict[Variable, Hashable],
+) -> bool:
+    """Whether ``partial`` leaves variables for the domain filler."""
+    return any(
+        variable not in partial
+        for name in involved
+        for variable in graph.standardized[name].variables()
+    )
 
 
 def _assignment_for(
@@ -497,8 +527,9 @@ def _assignment_for(
     involved: Tuple[str, ...],
     substitution: Substitution,
     solution: Dict[Variable, Hashable],
-) -> Optional[Dict[Variable, Hashable]]:
-    """Total assignment over ``involved`` from MGU + body grounding."""
+) -> Tuple[Optional[Dict[Variable, Hashable]], bool]:
+    """Total assignment over ``involved`` from MGU + body grounding,
+    plus whether the domain filler had to complete it."""
     partial: Dict[Variable, Hashable] = {}
     for name in involved:
         for variable in graph.standardized[name].variables():
@@ -508,4 +539,5 @@ def _assignment_for(
                     partial[variable] = solution[representative]
             else:
                 partial[variable] = representative.value
-    return complete_assignment(db, graph.queries, involved, partial)
+    domain_filled = _has_gaps(graph, involved, partial)
+    return complete_assignment(db, graph.queries, involved, partial), domain_filled

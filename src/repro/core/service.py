@@ -1,0 +1,319 @@
+"""A component-sharded coordination service over N engine shards.
+
+The paper's Youtopia embedding (Section 6.1) is a single-node loop:
+one coordination graph, one arrival at a time.  Its structure, though,
+is embarrassingly partitionable — *weakly connected components never
+interact*: evaluation, safety, and deletion are all per-component, so
+any placement of whole components onto independent engines produces
+exactly the single-engine outcomes.  :class:`ShardedCoordinationService`
+exploits that invariant: it routes every arrival to one of N private
+:class:`~repro.core.engine.CoordinationEngine` shards and maintains the
+invariant that **each weak component lives entirely inside one shard**.
+
+Routing (per arrival):
+
+1. look up which shards hold pending queries the newcomer would share
+   an edge with (a read-only
+   :meth:`~repro.core.engine.CoordinationEngine.incident_pending` probe
+   per shard — the same candidate-index work a single engine does,
+   just partitioned);
+2. no incident shard → place on a deterministic default shard
+   (CRC of the name; stable across runs and processes);
+3. one incident shard → place there;
+4. several incident shards → the arrival's edges *span* shards, which
+   would break the invariant.  The touched components **migrate**: the
+   shard holding the largest touched mass wins, every other touched
+   component is released from its donor shard
+   (:meth:`~repro.core.engine.CoordinationEngine.release_component`,
+   handles stay ``PENDING``) and adopted by the winner
+   (:meth:`~repro.core.engine.CoordinationEngine.adopt`, no
+   evaluation), and the newcomer lands there too.  Cost is
+   O(moved components), and a component only ever moves when an
+   arrival actually links it to another shard's component.
+
+Because the invariant holds at every step, the service returns
+**identical coordinating sets** (same members, same assignments) as a
+single engine fed the same submit/retract stream — the equivalence the
+test suite asserts on the partner and flights workloads.  The shards
+share one :class:`~repro.db.Database`; what sharding buys is
+coordination-state partitioning (graph, union–find, caches), the
+prerequisite for running shards on separate workers.  Two deliberate
+deviations from single-engine behaviour are documented in DESIGN.md
+§6: ``flush`` retires one set *per shard* rather than one globally,
+and an unsafe arrival may leave behind the migrations its routing
+performed (components are merely re-homed; outcomes are unaffected).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..db import Database
+from ..errors import PreconditionError
+from .engine import CoordinationEngine
+from .lifecycle import (
+    QueryHandle,
+    QueryState,
+    ResolutionCallback,
+    record_final_state,
+)
+from .query import EntangledQuery
+from .result import CoordinationResult
+from .scc_coordination import SelectionCriterion, largest_candidate
+
+
+class ShardedCoordinationService:
+    """Routes a query-lifecycle stream across component-sharded engines.
+
+    The public surface mirrors the engine's lifecycle API —
+    :meth:`submit`, :meth:`submit_many`, :meth:`retract`,
+    :meth:`status`, :meth:`on_resolved`, :meth:`flush`,
+    :meth:`pending` — plus shard introspection.  Handles returned here
+    are ordinary :class:`~repro.core.lifecycle.QueryHandle` objects and
+    keep their identity across shard migrations (callbacks survive the
+    move).
+
+    Parameters
+    ----------
+    db:
+        The shared database instance (all shards evaluate against it).
+    shards:
+        Number of engine shards (≥ 1; 1 degenerates to a single engine
+        behind the routing facade).
+    choose, check_safety, reuse_groundings, reuse_component_states:
+        Forwarded to every shard's
+        :class:`~repro.core.engine.CoordinationEngine`.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        shards: int = 2,
+        choose: SelectionCriterion = largest_candidate,
+        check_safety: bool = True,
+        reuse_groundings: bool = False,
+        reuse_component_states: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise PreconditionError("a service needs at least one shard")
+        self.db = db
+        self._engines = [
+            CoordinationEngine(
+                db,
+                choose=choose,
+                check_safety=check_safety,
+                reuse_groundings=reuse_groundings,
+                reuse_component_states=reuse_component_states,
+            )
+            for _ in range(shards)
+        ]
+        self._shard_of: Dict[str, int] = {}
+        self._final_states: Dict[str, QueryState] = {}
+        self._resolution_callbacks: List[ResolutionCallback] = []
+        #: Queries moved between shards by spanning arrivals (monotone).
+        self.migrations = 0
+        for engine in self._engines:
+            engine.on_resolved(self._on_shard_resolved)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of engine shards."""
+        return len(self._engines)
+
+    def shard_of(self, name: str) -> Optional[int]:
+        """The shard index currently holding a pending query."""
+        return self._shard_of.get(name)
+
+    def shard_pending_counts(self) -> Tuple[int, ...]:
+        """Pending-query count per shard (load inspection)."""
+        return tuple(len(engine.pending()) for engine in self._engines)
+
+    def pending(self) -> Tuple[str, ...]:
+        """Names of all pending queries across shards, sorted.
+
+        Sorted (not arrival-ordered): arrival order is a per-shard
+        notion once components migrate.
+        """
+        return tuple(sorted(self._shard_of))
+
+    def handle(self, name: str) -> Optional[QueryHandle]:
+        """The live handle of a pending query (``None`` otherwise)."""
+        shard = self._shard_of.get(name)
+        return None if shard is None else self._engines[shard].handle(name)
+
+    def status(self, name: str) -> Optional[QueryState]:
+        """Last known lifecycle state of ``name`` (service-wide)."""
+        if name in self._shard_of:
+            return QueryState.PENDING
+        return self._final_states.get(name)
+
+    def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
+        """Register a service-wide resolution callback (any shard)."""
+        self._resolution_callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Lifecycle API
+    # ------------------------------------------------------------------
+    def submit(self, query: EntangledQuery) -> QueryHandle:
+        """Route one arrival to its shard and evaluate its component.
+
+        Same contract as
+        :meth:`~repro.core.engine.CoordinationEngine.submit` — raises
+        :class:`~repro.errors.PreconditionError` for a duplicate
+        pending name (service-wide) or an unsafe arrival — and returns
+        the same coordinating sets a single engine would.
+        """
+        target = self._route(query)
+        self._shard_of[query.name] = target
+        try:
+            return self._engines[target].submit(query)
+        except PreconditionError:
+            self._shard_of.pop(query.name, None)
+            raise
+
+    def submit_many(
+        self, queries: Iterable[EntangledQuery]
+    ) -> List[QueryHandle]:
+        """Batch admission with one evaluation per affected component.
+
+        The sharded analogue of
+        :meth:`~repro.core.engine.CoordinationEngine.submit_many`:
+        arrivals are routed and admitted in order under one safety
+        pass (failed admissions resolve to ``REJECTED`` instead of
+        raising), then each shard evaluates its affected components
+        exactly once.
+        """
+        handles: List[QueryHandle] = []
+        admitted: List[QueryHandle] = []
+        for query in queries:
+            handle = QueryHandle(query)
+            try:
+                target = self._route(query)
+                # adopt() never evaluates, so the handle cannot resolve
+                # here — recording the route after it is race-free.
+                self._engines[target].adopt((handle,))
+            except PreconditionError as error:
+                self._reject(handle, str(error))
+            else:
+                self._shard_of[query.name] = target
+                admitted.append(handle)
+            handles.append(handle)
+        # Group by the shard holding each query NOW, not at admission:
+        # a later batch member's routing may have migrated an earlier
+        # member's component to another shard.
+        by_shard: Dict[int, List[QueryHandle]] = {}
+        for handle in admitted:
+            by_shard.setdefault(self._shard_of[handle.query], []).append(handle)
+        for target, group in by_shard.items():
+            self._engines[target].evaluate_admitted(group)
+        return handles
+
+    def retract(self, name: str) -> QueryHandle:
+        """Withdraw a pending query; O(its component), on its shard."""
+        shard = self._shard_of.get(name)
+        if shard is None:
+            raise PreconditionError(f"query {name!r} is not pending")
+        return self._engines[shard].retract(name)
+
+    def flush(self) -> List[CoordinationResult]:
+        """Evaluate everything pending, one global run **per shard**.
+
+        Returns the per-shard results in shard order.  Deviation from
+        the single-engine ``flush`` (DESIGN.md §6): each shard's
+        selection criterion picks one coordinating set among *its*
+        components, so one call may retire up to ``shard_count`` sets,
+        and which set a shard picks is relative to its own candidates.
+        Draining by looping until every result's ``chosen`` is ``None``
+        reaches the same final pending set as a drained single engine.
+        """
+        return [engine.flush() for engine in self._engines]
+
+    # ------------------------------------------------------------------
+    # Routing and migration
+    # ------------------------------------------------------------------
+    def _route(self, query: EntangledQuery) -> int:
+        """Pick (and, for spanning arrivals, prepare) the target shard."""
+        if query.name in self._shard_of:
+            raise PreconditionError(f"query {query.name!r} already pending")
+        touched: Dict[int, Tuple[str, ...]] = {}
+        for index, engine in enumerate(self._engines):
+            incident = engine.incident_pending(query)
+            if incident:
+                touched[index] = incident
+        if not touched:
+            return self._default_shard(query.name)
+        if len(touched) == 1:
+            return next(iter(touched))
+
+        # The arrival's edges span shards: merge the smaller touched
+        # components into the shard holding the largest touched mass.
+        weights: Dict[int, int] = {}
+        for index, incident in touched.items():
+            engine = self._engines[index]
+            mass: set = set()
+            for name in incident:
+                mass.update(engine.component_of(name))
+            weights[index] = len(mass)
+        target = min(touched, key=lambda index: (-weights[index], index))
+        for index, incident in touched.items():
+            if index != target:
+                self._migrate(index, target, incident)
+        return target
+
+    def _migrate(
+        self, source: int, target: int, incident: Tuple[str, ...]
+    ) -> None:
+        """Move the components of ``incident`` from one shard to another."""
+        donor = self._engines[source]
+        moved: List[QueryHandle] = []
+        for name in incident:
+            if donor.handle(name) is None:
+                continue  # already released with an earlier component
+            moved.extend(donor.release_component(name))
+        self._engines[target].adopt(moved)
+        for handle in moved:
+            self._shard_of[handle.query] = target
+        self.migrations += len(moved)
+
+    def _default_shard(self, name: str) -> int:
+        """Deterministic placement for edge-free arrivals (CRC, not
+        ``hash``: Python string hashing is salted per process)."""
+        return zlib.crc32(name.encode("utf-8")) % len(self._engines)
+
+    # ------------------------------------------------------------------
+    # Resolution plumbing
+    # ------------------------------------------------------------------
+    def _on_shard_resolved(self, handle: QueryHandle) -> None:
+        """Shard-engine hook: keep the routing table and states in sync."""
+        if handle.state is QueryState.REJECTED:
+            # An engine-level batch rejection (duplicate within one
+            # shard); never shadow a pending namesake's routing entry.
+            if handle.query not in self._shard_of:
+                record_final_state(self._final_states, handle.query, handle.state)
+        else:
+            self._shard_of.pop(handle.query, None)
+            record_final_state(self._final_states, handle.query, handle.state)
+        for callback in self._resolution_callbacks:
+            callback(handle)
+
+    def _reject(self, handle: QueryHandle, reason: str) -> None:
+        """Service-level rejection (routing-time failures)."""
+        handle._resolve(QueryState.REJECTED, reason=reason)
+        if handle.query not in self._shard_of:
+            record_final_state(
+                self._final_states, handle.query, QueryState.REJECTED
+            )
+        for callback in self._resolution_callbacks:
+            callback(handle)
+
+    def __repr__(self) -> str:
+        loads = ", ".join(str(n) for n in self.shard_pending_counts())
+        return (
+            f"ShardedCoordinationService({self.shard_count} shards, "
+            f"pending per shard: [{loads}], {self.migrations} migrations)"
+        )

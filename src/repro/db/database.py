@@ -82,9 +82,22 @@ class Database:
         :class:`~repro.db.storage.Relation` handle, which bypass this
         facade's counters — and is unaffected by
         :meth:`reset_stats`-style counter resets.  The online engine
-        keys its cross-arrival memoization on this value.
+        uses this value as its cheap did-anything-change gate, with
+        :meth:`data_versions` localizing what changed.
         """
         return sum(r.write_epoch for r in self._relations.values())
+
+    def data_versions(self) -> Dict[str, int]:
+        """Per-relation write-epoch stamps, as a name → epoch dict.
+
+        Epochs only ever increase (see
+        :attr:`~repro.db.storage.Relation.write_epoch`), so comparing
+        two stamp dicts identifies exactly which relations were written
+        between them.  The online engine diffs these to evict only the
+        cached component states whose bodies touch a mutated relation,
+        instead of clearing its whole cache on any insert.
+        """
+        return {name: r.write_epoch for name, r in self._relations.items()}
 
     # ------------------------------------------------------------------
     # Query evaluation

@@ -33,8 +33,9 @@ class Relation:
         self._indexes: Dict[int, Dict[Hashable, List[int]]] = {}
         # Monotone mutation counter; bumped on every successful insert,
         # regardless of which facade performed it.  Caches key their
-        # validity on this (see Database.data_version), so it must not
-        # be reset.
+        # validity on this — globally via Database.data_version and
+        # per relation via Database.data_versions — so it must never
+        # be reset or decremented.
         self.write_epoch = 0
 
     # ------------------------------------------------------------------

@@ -15,14 +15,16 @@ O(component).  That is the deletion granularity the engine needs: a
 satisfied coordinating set (a downward-closed subset of one weak
 component — usually not the whole component) is deleted by discarding
 the component and re-linking the *surviving* members from their
-surviving incident edges, still O(component) total.  Arbitrary
-single-element deletion (query retraction) is *not* supported — see
-ROADMAP open items.
+surviving incident edges, still O(component) total.  That discard +
+re-split idiom is packaged as :meth:`replace_component`, which is also
+how arbitrary single-element deletion (query retraction) works: the
+forest cannot split a component, but the caller owns the surviving
+edge set and can re-derive connectivity from it in O(component).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 Element = Hashable
 
@@ -123,6 +125,28 @@ class UnionFind:
         for member in dropped:
             del self._parent[member]
         return tuple(dropped)
+
+    def replace_component(
+        self,
+        element: Element,
+        survivors: Iterable[Element],
+        links: Iterable[Tuple[Element, Element]],
+    ) -> None:
+        """Delete ``element``'s component, keep ``survivors``, re-split.
+
+        The component is discarded wholesale, the survivors re-enter as
+        singletons, and connectivity among them is rebuilt from
+        ``links`` — the (source, target) endpoint pairs of the edges
+        that *survive* the deletion, which the caller reads off its own
+        edge structure.  O(component + links): this is how both
+        satisfied-set removal and single-query retraction split a weak
+        component without touching the rest of the forest.
+        """
+        self.discard_component(element)
+        for survivor in survivors:
+            self.add(survivor)
+        for a, b in links:
+            self.union(a, b)
 
     def __contains__(self, element: Element) -> bool:
         return element in self._parent

@@ -22,6 +22,7 @@ from repro.core import (
     CoordinationGraph,
     CoordinationEngine,
     EntangledQuery,
+    QueryState,
     safety_report,
     scc_coordinate_on_graph,
 )
@@ -86,6 +87,11 @@ class ReferenceEngine:
         for name in result.chosen.members:
             self.pending.pop(name, None)
         return result.chosen.members
+
+    def retract(self, name: str) -> None:
+        if name not in self.pending:
+            raise PreconditionError(f"query {name!r} is not pending")
+        del self.pending[name]
 
     @staticmethod
     def _weak_component(graph: CoordinationGraph, start: str) -> List[str]:
@@ -296,3 +302,295 @@ def test_unsafe_rejection_leaves_no_trace():
     # The engine still accepts and coordinates afterwards.
     outcome = engine.submit(partner_query(member_name(5), []))
     assert outcome.coordinated
+
+
+# ---------------------------------------------------------------------------
+# Interleaved submit / retract / insert / flush streams
+# ---------------------------------------------------------------------------
+def _assert_equivalent(engine: CoordinationEngine, reference: ReferenceEngine):
+    """Engine state must equal a from-scratch rebuild of the pending set."""
+    rebuilt = reference.graph()
+    live = engine.graph()
+    assert set(live.names()) == set(rebuilt.names())
+    assert _edge_multiset(live) == _edge_multiset(rebuilt)
+    assert _collapsed(live) == _collapsed(rebuilt)
+    assert live.safety_violations() == ()
+    assert safety_report(live).is_safe
+    assert set(engine.pending()) == set(reference.pending)
+    for name in reference.pending:
+        assert list(engine.component_of(name)) == ReferenceEngine._weak_component(
+            rebuilt, name
+        )
+
+
+def _interleaved_stream(rng: random.Random, length: int):
+    """Arrival stream with retractions and flushes mixed in."""
+    stream = []
+    for step in range(length):
+        roll = rng.random()
+        if roll < 0.07:
+            stream.append(("wildcard", f"wild{step}"))
+        elif roll < 0.13:
+            stream.append(("insert", step))
+        elif roll < 0.30:
+            stream.append(("retract", rng.randrange(1 << 30)))
+        elif roll < 0.36:
+            stream.append(("flush",))
+        else:
+            index = rng.randrange(USER_SPAN)
+            partner_count = rng.choice((0, 1, 1, 2, 3))
+            partners = rng.sample(
+                [i for i in range(USER_SPAN) if i != index],
+                k=partner_count,
+            )
+            stream.append(("partner", index, partners))
+    return stream
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("reuse_states", [True, False])
+def test_interleaved_stream_matches_reference(seed, reuse_states):
+    """Submit/retract/insert/flush interleavings: after *every* operation
+    the engine's graph, components, safety verdicts, and chosen sets
+    equal a from-scratch rebuild (including retract-then-resubmit name
+    reuse, which the stream produces naturally)."""
+    rng = random.Random(1000 + seed)
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db, reuse_component_states=reuse_states)
+    reference = ReferenceEngine(db)
+
+    for event in _interleaved_stream(rng, 60):
+        kind = event[0]
+        if kind == "insert":
+            index = DB_SIZE + event[1] % (USER_SPAN - DB_SIZE)
+            db.insert(
+                "Members",
+                (member_name(index), "region-x", "interest-x", 17),
+            )
+            continue
+        if kind == "retract":
+            pending = sorted(engine.pending())
+            if not pending:
+                continue
+            name = pending[event[1] % len(pending)]
+            handle = engine.retract(name)
+            reference.retract(name)
+            assert handle.state is QueryState.RETRACTED
+            assert engine.status(name) is QueryState.RETRACTED
+            _assert_equivalent(engine, reference)
+            continue
+        if kind == "flush":
+            result = engine.flush()
+            engine_flush = (
+                None if result.chosen is None else result.chosen.members
+            )
+            assert engine_flush == reference.flush()
+            _assert_equivalent(engine, reference)
+            continue
+        if kind == "wildcard":
+            query = _wildcard_query(event[1])
+        else:
+            _, index, partners = event
+            name = member_name(index)
+            if name in engine.pending():
+                continue
+            query = partner_query(name, [member_name(p) for p in partners])
+
+        engine_error = reference_error = None
+        outcome = None
+        try:
+            outcome = engine.submit(query)
+        except PreconditionError as exc:
+            engine_error = exc
+        try:
+            ref_component, ref_chosen, _ = reference.submit(query)
+        except PreconditionError as exc:
+            reference_error = exc
+        assert (engine_error is None) == (reference_error is None)
+        if engine_error is not None:
+            continue
+        assert list(outcome.component) == list(ref_component)
+        engine_chosen = (
+            None if outcome.result.chosen is None else outcome.result.chosen.members
+        )
+        assert engine_chosen == ref_chosen
+        _assert_equivalent(engine, reference)
+
+    while True:
+        result = engine.flush()
+        engine_flush = None if result.chosen is None else result.chosen.members
+        assert engine_flush == reference.flush()
+        if engine_flush is None:
+            break
+    _assert_equivalent(engine, reference)
+
+
+@pytest.mark.parametrize("reuse_states", [True, False])
+def test_retract_then_resubmit_name_reuse(reuse_states):
+    """A retracted name may return with different content; nothing keyed
+    on the old query (edges, index entries, memoized states) survives."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db, reuse_component_states=reuse_states)
+    reference = ReferenceEngine(db)
+    a, b, c = member_name(1), member_name(2), member_name(3)
+
+    engine.submit(partner_query(a, [b]))
+    reference.submit(partner_query(a, [b]))
+    retracted = engine.retract(a)
+    reference.retract(a)
+    assert retracted.state is QueryState.RETRACTED
+    _assert_equivalent(engine, reference)
+
+    # Same name, different partner, resubmitted after retraction.
+    engine.submit(partner_query(a, [c]))
+    reference.submit(partner_query(a, [c]))
+    _assert_equivalent(engine, reference)
+
+    outcome = engine.submit(partner_query(c, [a]))
+    _, ref_chosen, _ = reference.submit(partner_query(c, [a]))
+    assert outcome.result.chosen is not None
+    assert outcome.result.chosen.members == ref_chosen
+    assert set(outcome.satisfied) == {a, c}
+    assert engine.status(a) is QueryState.SATISFIED
+    _assert_equivalent(engine, reference)
+
+
+def test_retraction_path_is_in_place():
+    """Retraction must not rebuild the graph or the union-find: the
+    engine keeps the same mutable core and forest objects, and only the
+    retracted component is re-split."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(db)
+    # A chain a -> b -> c (each waits on the next) plus an unrelated pair.
+    a, b, c, d, e = (member_name(i) for i in (1, 2, 3, 4, 5))
+    engine.submit(partner_query(a, [b]))
+    engine.submit(partner_query(b, [c]))
+    engine.submit(partner_query(c, [member_name(35)]))  # keeps chain waiting
+    engine.submit(partner_query(d, [e]))
+
+    core_before = engine._graph._core
+    forest_before = engine._components
+    unrelated_before = engine.component_of(d)
+
+    engine.retract(b)
+
+    assert engine._graph._core is core_before, "graph was rebuilt"
+    assert engine._components is forest_before, "union-find was rebuilt"
+    # The chain split into {a} and {c}; the unrelated pair is untouched.
+    assert engine.component_of(a) == (a,)
+    assert engine.component_of(c) == (c,)
+    assert engine.component_of(d) == unrelated_before
+
+
+@pytest.mark.parametrize("reuse_states", [True])
+def test_unrelated_insert_keeps_component_cache(reuse_states):
+    """Per-relation stamps: a write to a relation no pending body
+    mentions evicts nothing; a write to a mentioned relation evicts."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    db.create_relation("Audit", ["event", "at"])
+    engine = CoordinationEngine(db, reuse_component_states=reuse_states)
+
+    # A waiting component whose body touches only Members.
+    engine.submit(partner_query(member_name(DB_SIZE), []))
+    outcome = engine.submit(
+        partner_query(member_name(DB_SIZE + 1), [member_name(DB_SIZE)])
+    )
+    states = engine._component_states
+    assert states is not None and len(states) > 0
+    populated = dict(states)
+
+    # Unrelated insert: every memoized state survives, and the next
+    # evaluation is pure cache hits (zero database queries).
+    db.insert("Audit", ("login", 1))
+    outcome = engine.submit(
+        partner_query(member_name(DB_SIZE + 2), [member_name(DB_SIZE + 1)])
+    )
+    assert outcome.result.stats.extra.get("component_cache_hits", 0) > 0
+    for key in populated:
+        assert key in engine._component_states
+
+    # Insert into the mentioned relation: the stalled chain's states
+    # are evicted and the chain coordinates once its rows exist.
+    for i in range(DB_SIZE, DB_SIZE + 3):
+        db.insert("Members", (member_name(i), "region-x", "interest-x", 9))
+    result = engine.flush()
+    assert result.chosen is not None
+    assert len(result.chosen.members) == 3
+
+
+def test_empty_domain_completion_is_not_stranded_by_relation_eviction():
+    """A cached non-failed state with no assignment (free-variable
+    completion failed on an empty active domain) depends on the whole
+    domain, not on any body relation: an insert into *any* relation
+    must evict it, or the component is stranded forever."""
+    from repro.db import DatabaseBuilder
+
+    db = DatabaseBuilder().table("Members", ["name"]).build()  # empty
+    engine = CoordinationEngine(db)
+    # Body-less query: evaluation trivially succeeds, but the head's
+    # free variable cannot be completed over an empty domain.
+    solo = EntangledQuery(
+        "solo", postconditions=(), head=(Atom("R", [Variable("x")]),), body=()
+    )
+    handle = engine.submit(solo)
+    assert handle.is_pending
+    assert engine.flush().chosen is None
+
+    db.insert("Members", ("alice",))  # the domain is now non-empty
+    result = engine.flush()
+    assert result.chosen is not None
+    assert result.chosen.members == ("solo",)
+    assert handle.state is QueryState.SATISFIED
+
+
+def test_domain_filler_assignments_match_uncached_after_any_write():
+    """A cached success whose assignment used the active-domain filler
+    (min of the whole domain) depends on every relation: after an
+    insert anywhere, the cached engine must return the same assignment
+    an uncached engine recomputes (the scc_coordination contract)."""
+    from repro.db import DatabaseBuilder
+
+    def build_db():
+        return (
+            DatabaseBuilder()
+            .table("T", ["name"])
+            .rows("T", [("zz",)])
+            .table("S", ["name"])       # a's body; stays empty
+            .table("S2", ["name"])      # the unrelated write target
+            .build()
+        )
+
+    def queries():
+        # b and c: satisfiable bodies, free head variable -> filler.
+        b = EntangledQuery(
+            "b", (), (Atom("Rb", [Variable("v")]),), (Atom("T", [Variable("x")]),)
+        )
+        c = EntangledQuery(
+            "c", (), (Atom("Rc", [Variable("v")]),), (Atom("T", [Variable("x")]),)
+        )
+        # a links them into one weak component; its own body fails.
+        a = EntangledQuery(
+            "a",
+            (Atom("Rb", [Variable("u")]), Atom("Rc", [Variable("w")])),
+            (Atom("Ra", [Variable("z")]),),
+            (Atom("S", [Variable("z")]),),
+        )
+        return [b, c, a]
+
+    results = {}
+    for reuse in (True, False):
+        db = build_db()
+        engine = CoordinationEngine(db, reuse_component_states=reuse)
+        handles = engine.submit_many(queries())
+        # One component; chosen = {c} (name-order tiebreak), b cached.
+        assert set(handles[2].satisfied) == {"c"}
+        assert engine.status("b") is QueryState.PENDING
+        # Unrelated insert changes the domain minimum to 'aa'.
+        db.insert("S2", ("aa",))
+        result = engine.flush()
+        assert result.chosen is not None and result.chosen.members == ("b",)
+        results[reuse] = sorted(
+            (str(k), v) for k, v in result.chosen.assignment.items()
+        )
+    assert results[True] == results[False]
+    assert ("b.v", "aa") in results[True]

@@ -1,0 +1,338 @@
+"""Sharded service equivalence: N shards ≡ one engine, byte for byte.
+
+Weak components never interact, so any placement of whole components
+onto independent engine shards must be unobservable:
+:class:`ShardedCoordinationService` with ≥2 shards is run against a
+single :class:`CoordinationEngine` on identical submit/retract streams
+and must produce identical coordinating sets — same members *and* same
+assignments — at every step, on both the partner (Members) and flights
+workloads.  Routing internals (the one-component-one-shard invariant,
+migration on spanning arrivals, deterministic default placement) are
+asserted separately.
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core import (
+    CoordinationEngine,
+    EntangledQuery,
+    QueryState,
+    ShardedCoordinationService,
+)
+from repro.errors import PreconditionError
+from repro.logic import Atom, Variable
+from repro.networks import member_name
+from repro.workloads import members_database, partner_query
+from repro.workloads.flights import user_name, worst_case_database
+
+DB_SIZE = 30
+USER_SPAN = 40
+
+
+# ---------------------------------------------------------------------------
+# Flights workload in entangled form: travellers coordinating with named
+# partners over the Flights table (the Gwyneth/Chris shape of Section 2.1).
+# ---------------------------------------------------------------------------
+def flight_query(user: str, partners: List[str]) -> EntangledQuery:
+    flight = Variable("f")
+    body = [
+        Atom(
+            "Flights",
+            [flight, Variable("dest"), Variable("day"),
+             Variable("src"), Variable("airline")],
+        )
+    ]
+    posts = [
+        Atom("R", [Variable(f"y{i}"), partner])
+        for i, partner in enumerate(partners)
+    ]
+    head = [Atom("R", [flight, user])]
+    return EntangledQuery(user, posts, head, body)
+
+
+def _assert_invariants(service: ShardedCoordinationService) -> None:
+    """Every weak component lives entirely inside one shard, and the
+    routing table agrees with the shards' pending pools."""
+    routed = dict(service._shard_of)
+    seen = set()
+    for index, engine in enumerate(service._engines):
+        for name in engine.pending():
+            assert routed.get(name) == index
+            seen.add(name)
+            for member in engine.component_of(name):
+                assert routed.get(member) == index
+    assert seen == set(routed)
+
+
+def _chosen_bytes(result) -> Optional[Tuple]:
+    """A fully comparable rendering of a chosen set (members + values)."""
+    if result is None or result.chosen is None:
+        return None
+    chosen = result.chosen
+    return (
+        chosen.members,
+        tuple(sorted((str(k), v) for k, v in chosen.assignment.items())),
+    )
+
+
+def _run_equivalent_streams(service, engine, events) -> None:
+    """Drive both ends with one stream; assert identical observables."""
+    for event in events:
+        if event[0] == "retract":
+            pending = sorted(engine.pending())
+            if not pending:
+                continue
+            name = pending[event[1] % len(pending)]
+            service_handle = service.retract(name)
+            engine.retract(name)
+            assert service_handle.state is QueryState.RETRACTED
+        else:
+            query = event[1]
+            service_error = engine_error = None
+            service_handle = engine_handle = None
+            try:
+                service_handle = service.submit(query)
+            except PreconditionError as exc:
+                service_error = exc
+            try:
+                engine_handle = engine.submit(query)
+            except PreconditionError as exc:
+                engine_error = exc
+            assert (service_error is None) == (engine_error is None)
+            if service_error is not None:
+                continue
+            assert service_handle.state is engine_handle.state
+            assert service_handle.satisfied == engine_handle.satisfied
+            assert _chosen_bytes(service_handle.result) == _chosen_bytes(
+                engine_handle.result
+            )
+        assert set(service.pending()) == set(engine.pending())
+        _assert_invariants(service)
+
+
+def _partner_stream(rng: random.Random, length: int):
+    events = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.18:
+            events.append(("retract", rng.randrange(1 << 30)))
+        else:
+            index = rng.randrange(USER_SPAN)
+            partners = rng.sample(
+                [i for i in range(USER_SPAN) if i != index],
+                k=rng.choice((0, 1, 1, 2, 3)),
+            )
+            events.append(
+                (
+                    "submit",
+                    partner_query(
+                        member_name(index), [member_name(p) for p in partners]
+                    ),
+                )
+            )
+    return events
+
+
+@pytest.mark.parametrize("shards", [2, 3, 5])
+@pytest.mark.parametrize("seed", range(4))
+def test_partner_workload_equivalence(shards, seed):
+    rng = random.Random(seed)
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=shards)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    # Duplicate submissions in the stream are themselves part of the
+    # equivalence check: both ends must reject them identically.
+    _run_equivalent_streams(service, engine, _partner_stream(rng, 70))
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("seed", range(3))
+def test_flights_workload_equivalence(shards, seed):
+    rng = random.Random(100 + seed)
+    users = 24
+    db = worst_case_database(num_flights=20, num_users=users)
+    service = ShardedCoordinationService(db, shards=shards)
+    engine = CoordinationEngine(
+        worst_case_database(num_flights=20, num_users=users)
+    )
+    events = []
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.2:
+            events.append(("retract", rng.randrange(1 << 30)))
+        else:
+            index = rng.randrange(users)
+            partners = rng.sample(
+                [i for i in range(users) if i != index],
+                k=rng.choice((0, 1, 1, 2)),
+            )
+            events.append(
+                (
+                    "submit",
+                    flight_query(
+                        user_name(index), [user_name(p) for p in partners]
+                    ),
+                )
+            )
+    _run_equivalent_streams(service, engine, events)
+
+
+def test_submit_many_equivalence():
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=3)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    batch = [
+        partner_query(member_name(1), [member_name(2)]),
+        partner_query(member_name(2), [member_name(1)]),
+        partner_query(member_name(3), [member_name(35)]),  # waits
+        partner_query(member_name(3), []),  # duplicate in batch: rejected
+        partner_query(member_name(4), []),
+    ]
+    service_handles = service.submit_many(batch)
+    engine_handles = engine.submit_many(batch)
+    for ours, theirs in zip(service_handles, engine_handles):
+        assert ours.state is theirs.state
+        assert ours.satisfied == theirs.satisfied
+        assert _chosen_bytes(ours.result) == _chosen_bytes(theirs.result)
+    assert set(service.pending()) == set(engine.pending())
+    _assert_invariants(service)
+
+
+def test_flush_drain_reaches_single_engine_fixpoint():
+    """Per-shard flush retires up to one set per shard per call (the
+    documented deviation), but draining reaches the same final state."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=3)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+
+    # Components whose bodies fail now (missing Members rows).
+    for i in range(DB_SIZE, DB_SIZE + 6):
+        query = partner_query(member_name(i), [])
+        service.submit(query)
+        engine.submit(query)
+    for i in range(DB_SIZE, DB_SIZE + 6):
+        db.insert("Members", (member_name(i), "region-x", "interest-x", 5))
+        engine.db.insert(
+            "Members", (member_name(i), "region-x", "interest-x", 5)
+        )
+
+    service_retired = set()
+    while True:
+        results = service.flush()
+        retired = [r.chosen.members for r in results if r.chosen is not None]
+        if not retired:
+            break
+        for members in retired:
+            service_retired.update(members)
+    engine_retired = set()
+    while True:
+        result = engine.flush()
+        if result.chosen is None:
+            break
+        engine_retired.update(result.chosen.members)
+    assert service_retired == engine_retired
+    assert set(service.pending()) == set(engine.pending()) == set()
+
+
+def test_spanning_arrival_migrates_smaller_into_larger():
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=4)
+    # Build two waiting components on (very likely) different shards by
+    # scanning user indexes until the default placement differs.
+    placed = {}
+    for i in range(20):
+        name = member_name(i)
+        shard = service._default_shard(name)
+        placed.setdefault(shard, []).append(name)
+        if len(placed) >= 2:
+            break
+    shard_a, shard_b = list(placed)[:2]
+    a, b = placed[shard_a][0], placed[shard_b][0]
+    service.submit(partner_query(a, [member_name(100)]))  # waits on 100
+    service.submit(partner_query(b, [member_name(101)]))  # waits on 101
+    assert service.shard_of(a) == shard_a != service.shard_of(b) == shard_b
+
+    # A third query naming both spans the two shards: one migrates.
+    bridge = member_name(25)
+    service.submit(partner_query(bridge, [a, b]))
+    assert service.migrations >= 1
+    assert len({service.shard_of(n) for n in (a, b, bridge)}) == 1
+    _assert_invariants(service)
+
+
+def test_handle_identity_survives_migration():
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=4)
+    states = []
+    a, b = member_name(0), member_name(1)
+    ha = service.submit(partner_query(a, [member_name(100)]))
+    ha.on_resolved(lambda h: states.append(h.state))
+    service.submit(partner_query(b, [member_name(101)]))
+    service.submit(partner_query(member_name(25), [a, b]))
+    # Whatever shard a lives on now, the service still returns the same
+    # handle object, and its callbacks fire on resolution there.
+    assert service.handle(a) is ha
+    service.retract(a)
+    assert states == [QueryState.RETRACTED]
+    assert service.status(a) is QueryState.RETRACTED
+
+
+def test_service_wide_duplicate_rejected():
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=3)
+    a = member_name(0)
+    service.submit(partner_query(a, [member_name(100)]))
+    with pytest.raises(PreconditionError):
+        service.submit(partner_query(a, []))
+    # ... regardless of which shard the duplicate would hash to.
+    assert service.status(a) is QueryState.PENDING
+
+
+def test_single_shard_degenerates_to_engine():
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=1)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    rng = random.Random(7)
+    _run_equivalent_streams(service, engine, _partner_stream(rng, 40))
+    assert service.migrations == 0
+
+
+def test_submit_many_survives_cross_shard_migration_of_batch_member():
+    """A later batch member's routing may migrate an *earlier* batch
+    member's component to another shard; evaluation must group by the
+    shard holding each query at evaluation time, not admission time."""
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = ShardedCoordinationService(db, shards=2)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+
+    names = [member_name(i) for i in range(20)]
+    shard0 = [n for n in names if service._default_shard(n) == 0]
+    shard1 = [n for n in names if service._default_shard(n) == 1]
+    assert shard0 and len(shard1) >= 2
+
+    # Pre-seed shard 1 with a two-query waiting component {a, b}.
+    a, b = shard1[0], shard1[1]
+    for query in (partner_query(a, [b]), partner_query(b, [member_name(100)])):
+        service.submit(query)
+        engine.submit(query)
+
+    solo = shard0[0]
+    bridge = next(n for n in names if n not in {a, b, solo})
+    batch = [
+        partner_query(solo, [member_name(101)]),  # admitted on shard 0
+        # Spans both shards: solo's singleton (shard 0) migrates into
+        # shard 1's larger component before this one is admitted.
+        partner_query(bridge, [solo, a]),
+    ]
+    service_handles = service.submit_many(batch)
+    engine_handles = engine.submit_many(batch)
+    for ours, theirs in zip(service_handles, engine_handles):
+        assert ours.state is theirs.state
+        assert ours.satisfied == theirs.satisfied
+        assert _chosen_bytes(ours.result) == _chosen_bytes(theirs.result)
+    assert service.migrations >= 1
+    assert set(service.pending()) == set(engine.pending())
+    _assert_invariants(service)

@@ -114,3 +114,71 @@ class TestDemo:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "shared flight: 101" in out
+
+
+class TestOnline:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        path = tmp_path / "stream.ops"
+        path.write_text(
+            """
+            # Gwyneth waits for Chris, changes her mind, resubmits.
+            submit gwyneth: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            retract gwyneth
+            submit gwyneth: {R(Chris, x)} R(Gwyneth, x) :- Flights(x, 'Zurich');
+            submit chris: {} R(Chris, y) :- Flights(y, 'Zurich');
+            # A loner to Atlantis waits until the flight exists.
+            submit solo: {} S(z) :- Flights(z, 'Atlantis')
+            flush
+            insert Flights 103 'Atlantis'
+            flush
+            """
+        )
+        return str(path)
+
+    def test_replays_lifecycle_stream(self, db_file, stream_file, capsys):
+        assert main(["online", db_file, stream_file, "--shards", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "gwyneth: pending" in out
+        assert "gwyneth: retracted" in out
+        assert "satisfied {chris, gwyneth}" in out
+        assert "nothing coordinated" in out  # solo before the insert
+        assert "satisfied {solo}" in out  # ... and after
+        assert "done: 0 pending" in out
+
+    def test_unsafe_submit_is_rejected_not_fatal(self, db_file, tmp_path, capsys):
+        path = tmp_path / "unsafe.ops"
+        path.write_text(
+            """
+            submit a: {P(m)} R(x, A) :- Flights(x, 'Zurich');
+            submit b: {Q(n)} R(y, B) :- Flights(y, 'Paris');
+            submit w: {R(u, v)} W(u) :- Flights(u, 'Zurich')
+            submit c: {} S(z) :- Flights(z, 'Paris');
+            """
+        )
+        assert main(["online", db_file, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rejected" in out
+        assert "satisfied {c}" in out  # the stream keeps going
+
+    def test_unknown_operation_is_fatal(self, db_file, tmp_path, capsys):
+        path = tmp_path / "bad.ops"
+        path.write_text("frobnicate everything\n")
+        assert main(["online", db_file, str(path)]) == 2
+        assert "unknown operation" in capsys.readouterr().err
+
+    def test_arrival_retiring_other_queries_is_reported(self, db_file, tmp_path, capsys):
+        """An arrival can retire a set it does not belong to (a stalled
+        component whose rows appeared); the replay must report it."""
+        path = tmp_path / "bystander.ops"
+        path.write_text(
+            """
+            submit a: {} A(x) :- Flights(x, 'Atlantis')
+            insert Flights 103 'Atlantis'
+            submit b: {A(u)} B(v) :- Flights(v, 'Nowhere')
+            """
+        )
+        assert main(["online", db_file, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "submit b: pending" in out       # b itself still waits
+        assert "submit b: satisfied {a}" in out  # ... but retired a
