@@ -9,10 +9,14 @@ Subcommands:
 * ``coordinate DB.json QUERIES.eq [--algorithm scc|gupta|exact]
   [--trace] [--dot FILE]`` — run a coordination algorithm and print the
   chosen set with its assignment;
-* ``online DB.json STREAM.ops [--shards N]`` — replay a query-lifecycle
-  stream through a :class:`~repro.core.ShardedCoordinationService`
-  (one operation per line: ``submit <query>``, ``retract <name>``,
-  ``insert <relation> <value> ...``, ``flush``; ``#`` comments);
+* ``online DB.json STREAM.ops [--shards N] [--workers N]`` — replay a
+  query-lifecycle stream through a
+  :class:`~repro.core.ShardedCoordinationService` (one operation per
+  line: ``submit <query>``, ``retract <name>``,
+  ``insert <relation> <value> ...``, ``flush``; ``#`` comments).
+  ``--workers N`` runs N shards on worker threads behind the
+  concurrent executor; the replay stays deterministic because each
+  line drains before the next is reported;
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -23,6 +27,7 @@ spec format of :mod:`repro.db.io`.
 from __future__ import annotations
 
 import argparse
+import shlex
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -131,18 +136,25 @@ def _parse_stream_value(token: str):
 
 def _cmd_online(args: argparse.Namespace) -> int:
     """Replay a query-lifecycle stream through the sharded service."""
-    import shlex
-
     db = load_database(args.database)
-    service = ShardedCoordinationService(db, shards=args.shards)
+    workers = args.workers
+    # Read the stream before spawning any worker threads: an unreadable
+    # path must fail before there is anything to leak.
     source = Path(args.stream).read_text(encoding="utf-8")
+    service = ShardedCoordinationService(db, shards=args.shards, workers=workers)
 
     # All satisfactions are reported through the resolution callback:
     # an arrival can retire a set it does not belong to (a previously
     # stalled component whose rows appeared), which the submit branch
-    # alone would silently drop.
+    # alone would silently drop.  With workers, callbacks arrive on the
+    # dispatcher thread; settle() drains before each report so the
+    # printed replay is deterministic either way.
     resolutions: List = []
     service.on_resolved(resolutions.append)
+
+    def settle() -> None:
+        if workers is not None:
+            service.drain()
 
     def drain_satisfied(prefix: str) -> int:
         reported = 0
@@ -157,57 +169,74 @@ def _cmd_online(args: argparse.Namespace) -> int:
         resolutions.clear()
         return reported
 
-    for lineno, raw in enumerate(source.splitlines(), start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        op, _, rest = line.partition(" ")
-        rest = rest.strip()
-        if op not in ("submit", "retract", "insert", "flush"):
-            print(
-                f"error: line {lineno}: unknown operation {op!r} "
-                "(expected submit/retract/insert/flush)",
-                file=sys.stderr,
-            )
-            return 2
-        prefix = f"[{lineno:3d}] {op}"
-        try:
-            if op == "submit":
-                query = parse_query(rest.rstrip(";"))
-                query.validate(db.schema)
-                handle = service.submit(query)
-                if handle.is_pending:
-                    shard = service.shard_of(query.name)
-                    print(f"{prefix} {query.name}: pending (shard {shard})")
-                drain_satisfied(f"{prefix} {query.name}")
-            elif op == "retract":
-                service.retract(rest)
-                print(f"{prefix} {rest}: retracted")
-                resolutions.clear()  # the retraction itself
-            elif op == "insert":
-                tokens = shlex.split(rest)
-                if len(tokens) < 2:
-                    raise ReproError(
-                        f"line {lineno}: insert needs a relation and values"
+    try:
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, _, rest = line.partition(" ")
+            rest = rest.strip()
+            if op not in ("submit", "retract", "insert", "flush"):
+                print(
+                    f"error: line {lineno}: unknown operation {op!r} "
+                    "(expected submit/retract/insert/flush)",
+                    file=sys.stderr,
+                )
+                return 2
+            prefix = f"[{lineno:3d}] {op}"
+            try:
+                if op == "submit":
+                    query = parse_query(rest.rstrip(";"))
+                    query.validate(db.schema)
+                    handle = service.submit(query)
+                    settle()
+                    if handle.is_pending:
+                        shard = service.shard_of(query.name)
+                        print(f"{prefix} {query.name}: pending (shard {shard})")
+                    drain_satisfied(f"{prefix} {query.name}")
+                elif op == "retract":
+                    service.retract(rest)
+                    settle()
+                    print(f"{prefix} {rest}: retracted")
+                    resolutions.clear()  # the retraction itself
+                elif op == "insert":
+                    tokens = shlex.split(rest)
+                    if len(tokens) < 2:
+                        raise ReproError(
+                            f"line {lineno}: insert needs a relation and values"
+                        )
+                    # service.insert barriers behind in-flight evaluations
+                    # (worker mode), keeping the replay stream-ordered.
+                    service.insert(
+                        tokens[0], [_parse_stream_value(t) for t in tokens[1:]]
                     )
-                db.insert(tokens[0], [_parse_stream_value(t) for t in tokens[1:]])
-                print(f"{prefix} {tokens[0]}: ok")
-            elif op == "flush":
-                service.flush()
-                if not drain_satisfied(prefix):
-                    print(f"{prefix}: nothing coordinated")
-        except ReproError as error:
-            # Per-event rejections (unsafe arrivals, unknown retracts,
-            # parse errors) are part of a replay's normal output.
-            print(f"{prefix}: rejected ({error})")
-            resolutions.clear()
+                    print(f"{prefix} {tokens[0]}: ok")
+                elif op == "flush":
+                    service.flush()
+                    settle()
+                    if not drain_satisfied(prefix):
+                        print(f"{prefix}: nothing coordinated")
+            except ReproError as error:
+                # Per-event rejections (unsafe arrivals, unknown retracts,
+                # parse errors) are part of a replay's normal output.
+                print(f"{prefix}: rejected ({error})")
+                resolutions.clear()
 
-    loads = ", ".join(str(n) for n in service.shard_pending_counts())
-    print(
-        f"done: {len(service.pending())} pending "
-        f"[per shard: {loads}], {service.migrations} migrations"
-    )
-    return 0
+        settle()
+        loads = ", ".join(str(n) for n in service.shard_pending_counts())
+        mode = "" if workers is None else f", {workers} workers"
+        print(
+            f"done: {len(service.pending())} pending "
+            f"[per shard: {loads}], {service.migrations} migrations{mode}"
+        )
+        return 0
+    finally:
+        # Always stop the worker/dispatcher threads, also when an
+        # unexpected error escapes the replay (repeated main() calls
+        # from tests/libraries must not accumulate leaked threads).
+        # Deferred worker errors surface only when not already
+        # unwinding an exception, which close() must not mask.
+        service.close(raise_deferred=sys.exc_info()[0] is None)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -281,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="number of engine shards (default: 2)",
+    )
+    online.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N shards on worker threads (concurrent executor; "
+        "overrides --shards)",
     )
     online.set_defaults(func=_cmd_online)
 

@@ -45,6 +45,7 @@ from .consistent_lowering import (
 )
 from .coordination_graph import ArrivalProbe, CoordinationGraph, ExtendedEdge
 from .engine import ArrivalOutcome, CoordinationEngine
+from .executor import CallbackDispatcher, ShardWorker
 from .gupta import gupta_coordinate
 from .lifecycle import QueryHandle, QueryState
 from .service import ShardedCoordinationService
@@ -111,6 +112,7 @@ __all__ = [
     "ConsistentQuery",
     "ConsistentResult",
     "ConsistentSetup",
+    "CallbackDispatcher",
     "CoordinatingSet",
     "CoordinationEngine",
     "CoordinationGraph",
@@ -124,6 +126,7 @@ __all__ = [
     "QueryHandle",
     "QueryState",
     "SafetyReport",
+    "ShardWorker",
     "ShardedCoordinationService",
     "VerificationReport",
     "analyze_consistent",

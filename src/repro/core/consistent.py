@@ -357,11 +357,16 @@ class ConsistentCoordinator:
 
     # -- step 2: pruned coordination graph ------------------------------
     def _friends_of(self, user: str, relation: str) -> FrozenSet[str]:
-        """All ``w`` with ``relation(user, w)`` — one database query."""
+        """All ``w`` with ``relation(user, w)`` — one database query.
+
+        Materializing entry point (``distinct_bindings``) rather than
+        the stepwise ``solutions`` iterator: one read-lock acquisition
+        and one consistent snapshot for the whole enumeration.
+        """
         friend = Variable("f", user)
         query = ConjunctiveQuery((Atom(relation, [user, friend]),))
         return frozenset(
-            assignment[friend] for assignment in self.db.solutions(query)
+            row[0] for row in self.db.distinct_bindings(query, (friend,))
         )
 
     def pruned_graph(

@@ -56,6 +56,7 @@ pending-set size:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -69,8 +70,9 @@ from typing import (
     Tuple,
 )
 
+from ..concurrency import OwnedLock
 from ..db import Database
-from ..errors import PreconditionError
+from ..errors import ConcurrencyError, PreconditionError
 from ..graphs import UnionFind
 from .coordination_graph import CoordinationGraph
 from .lifecycle import (
@@ -109,6 +111,18 @@ class _StateCache(dict):
 
     The SCC algorithm populates the cache through plain ``dict``
     operations, all of which are intercepted here.
+
+    Thread-safety: a small internal mutex serializes the *multi-step*
+    operations (``__setitem__``/``__delitem__``/``clear`` update four
+    side indexes; ``keys_touching*`` read them), because under the
+    concurrent shard executor an evaluation writing cache entries
+    (worker, outside the engine lock) can overlap an eviction for a
+    *different* component (router, inside the engine lock).  Plain
+    lookups (``get``/``in``) stay unlocked: a key's value tuple is
+    immutable and installed with one atomic dict store, and the
+    executor's component-freeze protocol guarantees the overlapping
+    threads touch disjoint key sets — the mutex only protects the
+    shared index structures.
     """
 
     def __init__(
@@ -116,6 +130,7 @@ class _StateCache(dict):
     ) -> None:
         super().__init__()
         self._relations_of = relations_of
+        self._mutex = threading.Lock()
         self._by_name: Dict[str, Set[frozenset]] = {}
         self._by_relation: Dict[str, Set[frozenset]] = {}
         self._key_relations: Dict[frozenset, Optional[FrozenSet[str]]] = {}
@@ -140,6 +155,10 @@ class _StateCache(dict):
                         del self._by_relation[relation]
 
     def __setitem__(self, key, value) -> None:
+        with self._mutex:
+            self._setitem_locked(key, value)
+
+    def _setitem_locked(self, key, value) -> None:
         old = self.get(key)
         if old is not None:
             self._unindex(key, old[0])
@@ -176,32 +195,47 @@ class _StateCache(dict):
                 self._by_relation.setdefault(relation, set()).add(key)
 
     def __delitem__(self, key) -> None:
-        entry = self.get(key)
-        super().__delitem__(key)
-        if entry is not None:
-            self._unindex(key, entry[0])
+        with self._mutex:
+            entry = self.get(key)
+            super().__delitem__(key)
+            if entry is not None:
+                self._unindex(key, entry[0])
 
     def clear(self) -> None:
-        super().clear()
-        self._by_name.clear()
-        self._by_relation.clear()
-        self._key_relations.clear()
-        self._wildcard.clear()
+        with self._mutex:
+            super().clear()
+            self._by_name.clear()
+            self._by_relation.clear()
+            self._key_relations.clear()
+            self._wildcard.clear()
 
     def keys_touching(self, names: Set[str]) -> Set[frozenset]:
         """Keys whose stored closure contains any of ``names``."""
-        touched: Set[frozenset] = set()
-        for name in names:
-            touched |= self._by_name.get(name, set())
-        return touched
+        with self._mutex:
+            touched: Set[frozenset] = set()
+            for name in names:
+                touched |= self._by_name.get(name, set())
+            return touched
 
     def keys_touching_relations(self, relations: Set[str]) -> Set[frozenset]:
         """Keys whose closure bodies mention any of ``relations``
         (plus every wildcard entry — the conservative fallback)."""
-        touched: Set[frozenset] = set(self._wildcard)
-        for relation in relations:
-            touched |= self._by_relation.get(relation, set())
-        return touched
+        with self._mutex:
+            touched: Set[frozenset] = set(self._wildcard)
+            for relation in relations:
+                touched |= self._by_relation.get(relation, set())
+            return touched
+
+
+@dataclass(frozen=True)
+class _EvaluationPlan:
+    """Snapshot handed from an evaluation's locked plan phase to its
+    unlocked run phase: the component members, the independently-cored
+    induced subgraph, and the stamp-checked state cache."""
+
+    component: Tuple[str, ...]
+    restricted: "CoordinationGraph"
+    cache: Optional[ComponentCache]
 
 
 @dataclass
@@ -266,6 +300,15 @@ class CoordinationEngine:
         self.choose = choose
         self.check_safety = check_safety
         self.reuse_groundings = reuse_groundings
+        #: Structure lock for the single-owner discipline: the engine's
+        #: graph, union–find, pending pool, handles, and caches belong
+        #: to exactly one thread at a time.  Single-threaded callers
+        #: may ignore it entirely; the concurrent service wraps every
+        #: engine call in ``with engine.lock``.  Entry points *assert*
+        #: the discipline — calling in while another thread holds the
+        #: lock raises :class:`~repro.errors.ConcurrencyError` instead
+        #: of corrupting state.
+        self.lock = OwnedLock()
         self._pending: Dict[str, EntangledQuery] = {}
         self._graph: CoordinationGraph = CoordinationGraph.build([])
         self._components = UnionFind()
@@ -282,6 +325,15 @@ class CoordinationEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _guard(self) -> None:
+        """Assert the single-owner discipline (see :attr:`lock`)."""
+        if self.lock.held_elsewhere:
+            raise ConcurrencyError(
+                "CoordinationEngine accessed while another thread holds "
+                "its lock; engines are single-owner — route calls "
+                "through the owning service/worker"
+            )
+
     def pending(self) -> Tuple[str, ...]:
         """Names of queries currently waiting to coordinate."""
         return tuple(self._pending)
@@ -347,9 +399,26 @@ class CoordinationEngine:
         for a duplicate name or an unsafe arrival.  All bookkeeping is
         incremental — see the module docstring for the cost breakdown.
         """
+        self._guard()
         handle = self._admit(query)
         self._evaluate_component(query.name, (handle,))
         return handle
+
+    def admit(self, query: EntangledQuery) -> QueryHandle:
+        """Admit one query *without* evaluating its component.
+
+        The control-plane half of :meth:`submit`: probe, safety-check,
+        and commit the arrival (O(new edges)), returning its pending
+        handle.  The caller owes the component an evaluation — the
+        concurrent service admits on the router thread and enqueues the
+        evaluation (:meth:`evaluate_admitted_phased`) on the shard's
+        worker, so later arrivals' routing probes observe the admission
+        immediately while the expensive evaluation overlaps.  Raises
+        :class:`~repro.errors.PreconditionError` exactly as
+        :meth:`submit` does.
+        """
+        self._guard()
+        return self._admit(query)
 
     def submit_many(
         self, queries: Iterable[EntangledQuery]
@@ -370,6 +439,7 @@ class CoordinationEngine:
         single evaluation; handles of the same component share the
         :class:`~repro.core.result.CoordinationResult` object.
         """
+        self._guard()
         handles: List[QueryHandle] = []
         admitted: List[QueryHandle] = []
         for query in queries:
@@ -396,6 +466,7 @@ class CoordinationEngine:
         :class:`~repro.errors.PreconditionError` when ``name`` is not
         pending.
         """
+        self._guard()
         if name not in self._pending:
             raise PreconditionError(f"query {name!r} is not pending")
         component = sorted(self._components.members(name))
@@ -412,6 +483,7 @@ class CoordinationEngine:
         picks across all components), so callers drain by looping until
         ``result.chosen`` is ``None``.
         """
+        self._guard()
         result = scc_coordinate_on_graph(
             self.db,
             self._graph,
@@ -439,6 +511,7 @@ class CoordinationEngine:
         arrival whose edges span shards.  Raises for a name already
         pending here.
         """
+        self._guard()
         probe = self._graph.probe(query)
         names = {end for edge in probe.new_edges for end in edge.endpoints()}
         names.discard(query.name)
@@ -453,6 +526,7 @@ class CoordinationEngine:
         the returned handles into another shard with :meth:`adopt`.
         O(component).
         """
+        self._guard()
         if name not in self._pending:
             raise PreconditionError(f"query {name!r} is not pending")
         component = sorted(self._components.members(name))
@@ -470,6 +544,15 @@ class CoordinationEngine:
             raise PreconditionError(f"query {name!r} is not pending")
         return tuple(sorted(self._components.members(name)))
 
+    def components(self) -> List[Tuple[str, ...]]:
+        """All weak components of the pending pool, each sorted by name.
+
+        O(pending).  The service's rebalancer enumerates these to pick
+        idle components to relocate between shards.
+        """
+        self._guard()
+        return [tuple(sorted(members)) for members in self._components.components()]
+
     def evaluate_admitted(self, admitted: Sequence[QueryHandle]) -> None:
         """Evaluate the components of freshly admitted handles, once each.
 
@@ -478,12 +561,55 @@ class CoordinationEngine:
         component is evaluated exactly once; every handle of a group
         receives that single evaluation as its ``outcome``.
         """
+        self._guard()
+        for group in self._group_by_component(admitted):
+            self._evaluate_component(group[0].query, group)
+
+    def evaluate_admitted_phased(self, admitted: Sequence[QueryHandle]) -> None:
+        """As :meth:`evaluate_admitted`, but evaluation runs unlocked.
+
+        The shard worker's data-plane entry point.  The call acquires
+        :attr:`lock` itself, in two short critical sections around the
+        expensive middle:
+
+        1. **plan** (locked): group handles by weak component, snapshot
+           each component's induced subgraph
+           (:meth:`~repro.core.coordination_graph.CoordinationGraph.restricted_to`
+           returns an independent core) and stamp-check the state cache;
+        2. **run** (unlocked): the SCC algorithm over the snapshots —
+           database reads go through the database's reader–writer lock,
+           cache writes through the cache's internal mutex;
+        3. **commit** (locked): record outcomes and retire chosen sets.
+
+        Byte-identical to :meth:`evaluate_admitted` *provided* the
+        components stay frozen between plan and commit — which the
+        concurrent service guarantees by never admitting into, migrating,
+        retracting from, or flushing over a component with an
+        outstanding evaluation (its busy-component drain rule).  The
+        payoff is that routing probes from the router thread only ever
+        wait out the short locked sections, not the evaluations.
+        """
+        with self.lock:
+            self._guard()
+            plans = [
+                (group, self._evaluation_plan(group[0].query))
+                for group in self._group_by_component(admitted)
+            ]
+        finished = [
+            (group, plan, self._run_evaluation(plan)) for group, plan in plans
+        ]
+        with self.lock:
+            for group, plan, result in finished:
+                self._commit_evaluation(plan, result, group)
+
+    def _group_by_component(
+        self, admitted: Sequence[QueryHandle]
+    ) -> List[Tuple[QueryHandle, ...]]:
         by_root: Dict[object, List[QueryHandle]] = {}
         for handle in admitted:
             root = self._components.find(handle.query)
             by_root.setdefault(root, []).append(handle)
-        for group in by_root.values():
-            self._evaluate_component(group[0].query, tuple(group))
+        return [tuple(group) for group in by_root.values()]
 
     def adopt(self, handles: Sequence[QueryHandle]) -> None:
         """Admit already-pending handles from another engine, silently.
@@ -496,6 +622,7 @@ class CoordinationEngine:
         edges with this shard's pending pool (the service's routing
         invariant) always passes.
         """
+        self._guard()
         for handle in handles:
             self._admit(handle.entangled, handle=handle)
 
@@ -536,24 +663,54 @@ class CoordinationEngine:
         self, name: str, admitted: Tuple[QueryHandle, ...]
     ) -> None:
         """Evaluate ``name``'s weak component; retire a chosen set."""
-        component = sorted(self._components.members(name))
-        restricted = self._graph.restricted_to(component)
-        result = scc_coordinate_on_graph(
+        plan = self._evaluation_plan(name)
+        self._commit_evaluation(plan, self._run_evaluation(plan), admitted)
+
+    def _evaluation_plan(self, name: str) -> "_EvaluationPlan":
+        """Control-plane half of one component evaluation (own the lock).
+
+        Snapshots everything the unlocked run needs: the component's
+        member list, its induced subgraph (an independent core — later
+        mutations of the live graph cannot reach it), and the
+        stamp-checked state cache."""
+        component = tuple(sorted(self._components.members(name)))
+        return _EvaluationPlan(
+            component,
+            self._graph.restricted_to(component),
+            self._component_cache(),
+        )
+
+    def _run_evaluation(self, plan: "_EvaluationPlan") -> CoordinationResult:
+        """Data-plane half: pure computation over the plan's snapshot.
+
+        Touches no engine structure, so the concurrent executor runs it
+        outside :attr:`lock`; database access synchronizes through the
+        database's own reader–writer lock and cache writes through the
+        cache's mutex."""
+        return scc_coordinate_on_graph(
             self.db,
-            restricted,
+            plan.restricted,
             choose=self.choose,
             reuse_groundings=self.reuse_groundings,
-            component_cache=self._component_cache(),
+            component_cache=plan.cache,
         )
+
+    def _commit_evaluation(
+        self,
+        plan: "_EvaluationPlan",
+        result: CoordinationResult,
+        admitted: Sequence[QueryHandle],
+    ) -> None:
+        """Record outcomes and retire the chosen set (own the lock)."""
         satisfied: Tuple[str, ...] = ()
         if result.chosen is not None:
             satisfied = result.chosen.members
         for handle in admitted:
             handle.outcome = ArrivalOutcome(
-                handle.query, tuple(component), result, satisfied
+                handle.query, plan.component, result, satisfied
             )
         if satisfied:
-            self._retire(satisfied, component, result)
+            self._retire(satisfied, plan.component, result)
 
     def _retire(
         self,

@@ -1,0 +1,212 @@
+"""Worker-thread plumbing for the concurrent shard executor.
+
+:class:`~repro.core.service.ShardedCoordinationService` separates a
+*control plane* (the router thread: probing, admission, migration,
+placement — cheap graph deltas) from a *data plane* (component
+evaluations — database joins).  This module supplies the two thread
+primitives that separation runs on:
+
+* :class:`ShardWorker` — one thread per engine shard, consuming a
+  bounded FIFO **mailbox** of jobs.  The mailbox bound is the service's
+  backpressure: when a shard falls behind, enqueueing blocks the
+  producer instead of growing an unbounded backlog.  Jobs resolve
+  :class:`concurrent.futures.Future` objects, so callers can run
+  fire-and-forget (``submit_nowait``) or block for byte-identical
+  serial semantics (``submit``).
+
+* :class:`CallbackDispatcher` — a single thread that fires user
+  resolution callbacks *off-worker*.  A callback that re-enters the
+  service (``submit`` from inside ``on_resolved``) therefore blocks
+  only the dispatcher, never a shard worker or the router — the
+  deadlock the serial engine documents away ("callbacks must not
+  re-enter the engine") is structurally impossible here, which the
+  test suite's re-entrancy regression exercises.
+
+Both threads are daemons (an abandoned service cannot hang interpreter
+shutdown) and drain through counted-outstanding condition variables, so
+``service.drain()`` can wait for true quiescence: empty mailboxes, idle
+workers, *and* an empty callback queue.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Tuple
+
+from ..concurrency import Deadline
+
+#: A unit of shard work: ``(run, future)``.  ``run`` executes on the
+#: worker thread; its return value (or exception) resolves ``future``.
+Job = Tuple[Callable[[], object], "Future[object]"]
+
+
+class ShardWorker:
+    """One shard's mailbox and worker thread.
+
+    The worker owns its engine's data plane: it executes jobs strictly
+    in mailbox (FIFO) order, one at a time.  The router enqueues an
+    evaluation job per admitted component and a flush job per flush —
+    per-shard FIFO is exactly the ordering the equivalence argument
+    needs, because all commands touching one weak component go through
+    one mailbox in router order.
+    """
+
+    def __init__(self, index: int, capacity: int) -> None:
+        self.index = index
+        self._mailbox: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{index}", daemon=True
+        )
+        self._thread.start()
+
+    def post(self, run: Callable[[], object]) -> "Future[object]":
+        """Enqueue a job; blocks when the mailbox is full (backpressure)."""
+        future: "Future[object]" = Future()
+        self._mailbox.put((run, future))
+        return future
+
+    def _run(self) -> None:
+        while True:
+            job = self._mailbox.get()
+            if job is None:
+                return
+            run, future = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(run())
+            except BaseException as error:  # noqa: BLE001 - forwarded to waiter
+                future.set_exception(error)
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Post the shutdown sentinel and join the thread.
+
+        The whole call — including the sentinel enqueue, which blocks
+        while the mailbox is full — honors one shared ``timeout``.
+        Returns ``False`` when the worker is still running on return
+        (mailbox never freed a slot, or a long job outlived the join);
+        the thread is a daemon, so a ``False`` is a bounded-shutdown
+        report, not a leak of process lifetime.
+        """
+        deadline = Deadline(timeout)
+        try:
+            if timeout is None:
+                self._mailbox.put(None)
+            else:
+                self._mailbox.put(None, timeout=deadline.remaining())
+        except queue.Full:
+            return False
+        self._thread.join(deadline.remaining())
+        return not self._thread.is_alive()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker thread is still running."""
+        return self._thread.is_alive()
+
+
+class CallbackDispatcher:
+    """Fires user resolution callbacks on a dedicated thread.
+
+    Workers and the router :meth:`post` zero-argument thunks; the
+    dispatcher executes them FIFO.  Exceptions raised by user callbacks
+    are collected (never propagated into the dispatch loop) and
+    re-raised by the service at its next drain point, mirroring how the
+    serial engines let callback exceptions surface to the caller.
+    """
+
+    def __init__(self, name: str = "repro-callbacks") -> None:
+        self._queue: "queue.SimpleQueue[Optional[Callable[[], None]]]" = (
+            queue.SimpleQueue()
+        )
+        self._idle = threading.Condition(threading.Lock())
+        self._outstanding = 0
+        self._stopping = False
+        self.errors: List[BaseException] = []
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    def post(self, thunk: Callable[[], None]) -> None:
+        """Enqueue one callback batch for off-worker execution.
+
+        After :meth:`stop` has sentineled the queue, late posts (a
+        worker job outliving a timed-out shutdown) are *dropped*
+        without touching the outstanding count — they could never run,
+        and counting them would wedge every later ``drain()`` forever.
+        """
+        with self._idle:
+            if self._stopping:
+                return
+            self._outstanding += 1
+            # Enqueue under the same lock as the stopping flag (put on
+            # a SimpleQueue never blocks): a thunk can therefore never
+            # land behind the shutdown sentinel with its outstanding
+            # count already taken — the wedge this method prevents.
+            self._queue.put(thunk)
+
+    def _run(self) -> None:
+        while True:
+            thunk = self._queue.get()
+            if thunk is None:
+                return
+            error: Optional[BaseException] = None
+            try:
+                thunk()
+            except BaseException as caught:  # noqa: BLE001 - surfaced at drain
+                error = caught
+            finally:
+                with self._idle:
+                    if error is not None:
+                        self.errors.append(error)
+                    self._outstanding -= 1
+                    if self._outstanding == 0:
+                        self._idle.notify_all()
+
+    def take_errors(self) -> List[BaseException]:
+        """Atomically take (and clear) the collected callback errors.
+
+        Appends happen under the same lock, so an error landing
+        concurrently with the take is either returned now or preserved
+        for the next take — never dropped.
+        """
+        with self._idle:
+            errors, self.errors = self.errors, []
+            return errors
+
+    @property
+    def is_dispatch_thread(self) -> bool:
+        """``True`` when called from inside a dispatched callback."""
+        return threading.current_thread() is self._thread
+
+    @property
+    def idle(self) -> bool:
+        """``True`` when no posted callback is queued or running."""
+        with self._idle:
+            return self._outstanding == 0
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every posted callback has finished running.
+
+        Must not be called from the dispatch thread itself: the running
+        callback counts as outstanding and queued callbacks cannot run
+        while it blocks.  Callers (the service) guard for that and
+        raise instead of hanging.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._outstanding == 0, timeout=timeout
+            )
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Post the shutdown sentinel and join the thread.
+
+        Callbacks posted after this point are dropped (see
+        :meth:`post`) — the price of a timed-out shutdown with jobs
+        still in flight, documented on the service's ``close``.
+        """
+        with self._idle:
+            self._stopping = True
+            self._queue.put(None)
+        self._thread.join(timeout)

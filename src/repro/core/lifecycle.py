@@ -29,15 +29,24 @@ keeps working unchanged (``ArrivalOutcome`` itself also remains the
 type of :attr:`QueryHandle.outcome`).
 
 Callbacks registered with :meth:`QueryHandle.on_resolved` fire exactly
-once, synchronously, inside the engine call that resolves the handle
-(there is no event loop in this reproduction); a callback registered
-*after* resolution fires immediately.  Callbacks must not re-enter the
-engine that is resolving them — the paper's system processed arrivals
-serially, and so does this one.
+once; a callback registered *after* resolution fires immediately on
+the registering thread.  In the serial engines they fire synchronously
+inside the resolving call and must not re-enter the engine that is
+resolving them.  Under the concurrent shard executor
+(``ShardedCoordinationService(workers=N)``) the handle carries a
+*dispatch seam* (:meth:`QueryHandle._use_dispatcher`): resolution still
+updates the handle's state synchronously on the worker, but user
+callbacks are handed to a dedicated dispatcher thread, so a callback
+may freely re-enter the service (``submit``/``retract``/...) without
+deadlocking the shard that resolved it.  The handle itself is
+thread-safe: state transitions are lock-guarded, :meth:`QueryHandle.wait`
+blocks future-style until resolution, and a callback registered
+concurrently with resolution fires exactly once.
 """
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
@@ -137,6 +146,9 @@ class QueryHandle:
         "satisfied_with",
         "reason",
         "_callbacks",
+        "_lock",
+        "_event",
+        "_dispatch",
     )
 
     def __init__(self, entangled: "EntangledQuery") -> None:
@@ -148,6 +160,9 @@ class QueryHandle:
         self.satisfied_with: Tuple[str, ...] = ()
         self.reason: Optional[str] = None
         self._callbacks: List[ResolutionCallback] = []
+        self._lock = threading.Lock()
+        self._event: Optional[threading.Event] = None
+        self._dispatch: Optional[Callable[[Callable[[], None]], None]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle queries
@@ -162,17 +177,51 @@ class QueryHandle:
         """``True`` while the query waits in the engine."""
         return self.state is QueryState.PENDING
 
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the handle resolves; ``True`` if it has.
+
+        Future-style blocking for the concurrent service's
+        ``submit_nowait`` path: ``handle.wait(5.0)`` returns ``True``
+        as soon as the handle leaves ``PENDING`` (on any thread), or
+        ``False`` on timeout.  A query that merely evaluated without
+        coordinating is still ``PENDING`` and keeps ``wait`` blocking —
+        use :meth:`ShardedCoordinationService.drain
+        <repro.core.service.ShardedCoordinationService.drain>` to wait
+        for evaluation quiescence instead.
+        """
+        with self._lock:
+            if self.state.resolved:
+                return True
+            if self._event is None:
+                self._event = threading.Event()
+            event = self._event
+        return event.wait(timeout)
+
     def on_resolved(self, callback: ResolutionCallback) -> "QueryHandle":
         """Register a callback fired (once) when the handle resolves.
 
-        Fires immediately if the handle is already resolved.  Returns
-        the handle for chaining.
+        Fires immediately (on the registering thread) if the handle is
+        already resolved.  Returns the handle for chaining.  Safe to
+        call concurrently with resolution: the callback fires exactly
+        once either way.
         """
-        if self.resolved:
-            callback(self)
-        else:
-            self._callbacks.append(callback)
+        with self._lock:
+            if not self.state.resolved:
+                self._callbacks.append(callback)
+                return self
+        callback(self)
         return self
+
+    def _use_dispatcher(
+        self, dispatch: Callable[[Callable[[], None]], None]
+    ) -> None:
+        """Route future callback firings through ``dispatch`` (internal).
+
+        Set by the concurrent service right after admission, before any
+        resolution can happen, so user callbacks run on the service's
+        dispatcher thread instead of inside a shard worker.
+        """
+        self._dispatch = dispatch
 
     # ------------------------------------------------------------------
     # ArrivalOutcome compatibility surface
@@ -209,18 +258,42 @@ class QueryHandle:
     ) -> None:
         """Move out of ``PENDING`` and fire callbacks.  Idempotent-safe:
         a second resolution attempt is a programming error upstream and
-        raises immediately rather than silently re-firing callbacks."""
-        if self.resolved:
-            raise RuntimeError(
-                f"handle for {self.query!r} already resolved to {self.state}"
-            )
-        self.state = state
-        self.resolution = resolution
-        self.satisfied_with = satisfied_with
-        self.reason = reason
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        raises immediately rather than silently re-firing callbacks.
+
+        The state transition happens under the handle lock (so
+        :meth:`wait` and concurrent :meth:`on_resolved` registrations
+        observe it atomically); callbacks fire *outside* the lock —
+        inline on the resolving thread by default, or via the dispatch
+        seam when the concurrent service installed one."""
+        with self._lock:
+            if self.state.resolved:
+                raise RuntimeError(
+                    f"handle for {self.query!r} already resolved to {self.state}"
+                )
+            # Payload before state: lock-free pollers (`while not
+            # handle.resolved`) must never observe a resolved state
+            # with unset resolution fields.
+            self.resolution = resolution
+            self.satisfied_with = satisfied_with
+            self.reason = reason
+            self.state = state
+            callbacks, self._callbacks = self._callbacks, []
+            event = self._event
+            dispatch = self._dispatch
+        if event is not None:
+            event.set()
+        if not callbacks:
+            return
+        if dispatch is not None:
+
+            def fire(handle: "QueryHandle" = self) -> None:
+                for callback in callbacks:
+                    callback(handle)
+
+            dispatch(fire)
+        else:
+            for callback in callbacks:
+                callback(self)
 
     def __repr__(self) -> str:
         detail = ""

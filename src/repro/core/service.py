@@ -17,8 +17,10 @@ Routing (per arrival):
    :meth:`~repro.core.engine.CoordinationEngine.incident_pending` probe
    per shard — the same candidate-index work a single engine does,
    just partitioned);
-2. no incident shard → place on a deterministic default shard
-   (CRC of the name; stable across runs and processes);
+2. no incident shard → place on the least-loaded shard (fewest pending
+   queries, ties broken by lowest shard index — deterministic for a
+   given stream, and reproducible across processes, unlike salted
+   string hashing);
 3. one incident shard → place there;
 4. several incident shards → the arrival's edges *span* shards, which
    would break the invariant.  The touched components **migrate**: the
@@ -31,27 +33,60 @@ Routing (per arrival):
    O(moved components), and a component only ever moves when an
    arrival actually links it to another shard's component.
 
+Concurrent executor (``workers=N``)
+-----------------------------------
+With ``workers=N`` the same router runs as a *control plane* over N
+worker threads, one per shard, each consuming a bounded FIFO mailbox of
+jobs (see :mod:`repro.core.executor`).  The split follows the engine's
+own phase split: **admission** (probe, safety, graph delta — cheap) is
+performed synchronously by the routing thread under the target
+engine's lock, so every later routing probe observes all earlier
+admissions; **evaluation** (database joins — expensive) is enqueued to
+the shard's mailbox and runs on the worker with the engine lock
+released around the database work
+(:meth:`~repro.core.engine.CoordinationEngine.evaluate_admitted_phased`).
+
+Equivalence with the serial service — and therefore with a single
+engine — rests on a *component-freeze* rule: while a component has an
+outstanding (queued or running) evaluation, the router will not admit
+into it, migrate it, retract from it, or rebalance it; it waits for
+the evaluation and re-probes.  Under that rule a deferred evaluation
+is indistinguishable from one run inline at admission time: every
+subsequent operation that could observe the component first waits it
+out, operations on other components commute with it, and database
+writes (:meth:`insert`) barrier behind *all* outstanding evaluations.
+Blocking :meth:`submit` additionally waits for its own evaluation, so
+its handles resolve with byte-identical outcomes to the serial path;
+:meth:`submit_nowait` returns right after admission and lets the
+evaluation overlap.
+
+User resolution callbacks fire on a dedicated dispatcher thread, never
+on a shard worker, so a callback may re-enter the service without
+deadlocking the shard that resolved it.  Handles stay thread-safe
+(:meth:`~repro.core.lifecycle.QueryHandle.wait`), and the shared
+database synchronizes reads/writes through its own reader–writer lock.
+
 Because the invariant holds at every step, the service returns
 **identical coordinating sets** (same members, same assignments) as a
 single engine fed the same submit/retract stream — the equivalence the
-test suite asserts on the partner and flights workloads.  The shards
-share one :class:`~repro.db.Database`; what sharding buys is
-coordination-state partitioning (graph, union–find, caches), the
-prerequisite for running shards on separate workers.  Two deliberate
-deviations from single-engine behaviour are documented in DESIGN.md
-§6: ``flush`` retires one set *per shard* rather than one globally,
-and an unsafe arrival may leave behind the migrations its routing
-performed (components are merely re-homed; outcomes are unaffected).
+test suite asserts on the partner and flights workloads, serially and
+with workers.  Two deliberate deviations from single-engine behaviour
+are documented in DESIGN.md §6: ``flush`` retires one set *per shard*
+rather than one globally, and an unsafe arrival may leave behind the
+migrations its routing performed (components are merely re-homed;
+outcomes are unaffected).
 """
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict, Iterable, List, Optional, Tuple
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..concurrency import Deadline
 from ..db import Database
-from ..errors import PreconditionError
+from ..errors import ConcurrencyError, PreconditionError
 from .engine import CoordinationEngine
+from .executor import CallbackDispatcher, ShardWorker
 from .lifecycle import (
     QueryHandle,
     QueryState,
@@ -62,6 +97,9 @@ from .query import EntangledQuery
 from .result import CoordinationResult
 from .scc_coordination import SelectionCriterion, largest_candidate
 
+#: One linearized operation of the service's optional journal.
+JournalEntry = Tuple[Any, ...]
+
 
 class ShardedCoordinationService:
     """Routes a query-lifecycle stream across component-sharded engines.
@@ -69,32 +107,58 @@ class ShardedCoordinationService:
     The public surface mirrors the engine's lifecycle API —
     :meth:`submit`, :meth:`submit_many`, :meth:`retract`,
     :meth:`status`, :meth:`on_resolved`, :meth:`flush`,
-    :meth:`pending` — plus shard introspection.  Handles returned here
-    are ordinary :class:`~repro.core.lifecycle.QueryHandle` objects and
-    keep their identity across shard migrations (callbacks survive the
-    move).
+    :meth:`pending` — plus shard introspection, and (for the worker
+    mode) :meth:`submit_nowait`, :meth:`insert`, :meth:`flush_drain`,
+    :meth:`drain`, :meth:`rebalance` and :meth:`close`.  Handles
+    returned here are ordinary
+    :class:`~repro.core.lifecycle.QueryHandle` objects and keep their
+    identity across shard migrations (callbacks survive the move).
 
     Parameters
     ----------
     db:
-        The shared database instance (all shards evaluate against it).
+        The shared database instance (all shards evaluate against it;
+        its reader–writer lock is the only synchronization evaluation
+        needs).
     shards:
         Number of engine shards (≥ 1; 1 degenerates to a single engine
-        behind the routing facade).
+        behind the routing facade).  Ignored when ``workers`` is given.
+    workers:
+        ``None`` (default) drives all shards serially from the calling
+        thread — the paper-faithful loop.  An integer N runs N shards,
+        each on its own worker thread behind a FIFO mailbox; see the
+        module docstring for the concurrency model.  Call
+        :meth:`close` (or use the service as a context manager) when
+        done.
+    mailbox_capacity:
+        Bound on each shard's job mailbox (worker mode).  A full
+        mailbox blocks the enqueueing thread — the service's
+        backpressure against unbounded arrival bursts.
     choose, check_safety, reuse_groundings, reuse_component_states:
         Forwarded to every shard's
         :class:`~repro.core.engine.CoordinationEngine`.
     """
 
+    #: Router ops between opportunistic rebalance checks.
+    REBALANCE_INTERVAL = 64
+    #: Minimum hottest-vs-coldest pending gap that triggers a move.
+    REBALANCE_THRESHOLD = 4
+
     def __init__(
         self,
         db: Database,
         shards: int = 2,
+        workers: Optional[int] = None,
         choose: SelectionCriterion = largest_candidate,
         check_safety: bool = True,
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
+        mailbox_capacity: int = 1024,
     ) -> None:
+        if workers is not None:
+            if workers < 1:
+                raise PreconditionError("a service needs at least one worker")
+            shards = workers
         if shards < 1:
             raise PreconditionError("a service needs at least one shard")
         self.db = db
@@ -108,11 +172,40 @@ class ShardedCoordinationService:
             )
             for _ in range(shards)
         ]
+        # Router lock: linearizes placement decisions, migrations,
+        # retractions, flushes, and writes.  Held while waiting on
+        # engine locks and on the component-freeze condition, never
+        # needed by shard workers — so holders always make progress.
+        self._router = threading.RLock()
+        # Tables condition: guards the routing table, per-shard loads,
+        # final states, busy-component sets and the outstanding-job
+        # count; workers notify it on every completion/resolution.
+        self._tables = threading.Condition(threading.Lock())
         self._shard_of: Dict[str, int] = {}
+        self._loads: List[int] = [0] * shards
         self._final_states: Dict[str, QueryState] = {}
         self._resolution_callbacks: List[ResolutionCallback] = []
+        self._busy: List[Set[str]] = [set() for _ in range(shards)]
+        self._eval_outstanding = 0
+        self._errors: List[BaseException] = []
+        self._ops_since_rebalance = 0
+        self._closed = False
         #: Queries moved between shards by spanning arrivals (monotone).
         self.migrations = 0
+        #: Queries relocated by the idle-component rebalancer (monotone).
+        self.rebalances = 0
+        #: Optional linearized operation journal: assign a list and the
+        #: router appends one entry per operation in the order it
+        #: committed them — the replayable serialization the
+        #: concurrency tests feed to a single-engine oracle.
+        self.journal: Optional[List[JournalEntry]] = None
+        self._workers: Optional[List[ShardWorker]] = None
+        self._dispatcher: Optional[CallbackDispatcher] = None
+        if workers is not None:
+            self._workers = [
+                ShardWorker(index, mailbox_capacity) for index in range(shards)
+            ]
+            self._dispatcher = CallbackDispatcher()
         for engine in self._engines:
             engine.on_resolved(self._on_shard_resolved)
 
@@ -124,13 +217,20 @@ class ShardedCoordinationService:
         """Number of engine shards."""
         return len(self._engines)
 
+    @property
+    def worker_count(self) -> int:
+        """Number of worker threads (0 in serial mode)."""
+        return 0 if self._workers is None else len(self._workers)
+
     def shard_of(self, name: str) -> Optional[int]:
         """The shard index currently holding a pending query."""
-        return self._shard_of.get(name)
+        with self._tables:
+            return self._shard_of.get(name)
 
     def shard_pending_counts(self) -> Tuple[int, ...]:
         """Pending-query count per shard (load inspection)."""
-        return tuple(len(engine.pending()) for engine in self._engines)
+        with self._tables:
+            return tuple(self._loads)
 
     def pending(self) -> Tuple[str, ...]:
         """Names of all pending queries across shards, sorted.
@@ -138,21 +238,51 @@ class ShardedCoordinationService:
         Sorted (not arrival-ordered): arrival order is a per-shard
         notion once components migrate.
         """
-        return tuple(sorted(self._shard_of))
+        with self._tables:
+            return tuple(sorted(self._shard_of))
 
     def handle(self, name: str) -> Optional[QueryHandle]:
-        """The live handle of a pending query (``None`` otherwise)."""
-        shard = self._shard_of.get(name)
-        return None if shard is None else self._engines[shard].handle(name)
+        """The live handle of a pending query (``None`` otherwise).
+
+        Migration updates the routing table *after* the release/adopt
+        handoff, so a lookup landing inside that window can catch the
+        recorded shard empty-handed while the query is alive in
+        transit; the loop retries until the table and the engine agree
+        (resolution removes the engine entry and the table entry in one
+        engine-locked step, so agreement is always reached).
+        """
+        while True:
+            with self._tables:
+                shard = self._shard_of.get(name)
+            if shard is None:
+                return None
+            engine = self._engines[shard]
+            with engine.lock:
+                found = engine.handle(name)
+            if found is not None:
+                return found
+            # The recorded shard no longer holds the query.  Resolution
+            # removes the engine entry and the routing entry in one
+            # engine-locked step, so if the routing entry is also gone
+            # the query resolved; otherwise it is mid-migration
+            # (released, table not yet re-pointed) — retry.
+            with self._tables:
+                if name not in self._shard_of:
+                    return None
 
     def status(self, name: str) -> Optional[QueryState]:
         """Last known lifecycle state of ``name`` (service-wide)."""
-        if name in self._shard_of:
-            return QueryState.PENDING
-        return self._final_states.get(name)
+        with self._tables:
+            if name in self._shard_of:
+                return QueryState.PENDING
+            return self._final_states.get(name)
 
     def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
-        """Register a service-wide resolution callback (any shard)."""
+        """Register a service-wide resolution callback (any shard).
+
+        In worker mode the callback fires on the dispatcher thread and
+        may freely re-enter the service.
+        """
         self._resolution_callbacks.append(callback)
         return callback
 
@@ -166,15 +296,31 @@ class ShardedCoordinationService:
         :meth:`~repro.core.engine.CoordinationEngine.submit` — raises
         :class:`~repro.errors.PreconditionError` for a duplicate
         pending name (service-wide) or an unsafe arrival — and returns
-        the same coordinating sets a single engine would.
+        the same coordinating sets a single engine would.  In worker
+        mode the evaluation runs on the shard's worker but this call
+        waits for it, so outcomes are byte-identical to serial.
         """
-        target = self._route(query)
-        self._shard_of[query.name] = target
-        try:
-            return self._engines[target].submit(query)
-        except PreconditionError:
-            self._shard_of.pop(query.name, None)
-            raise
+        handle, future = self._submit_routed(query)
+        if future is not None:
+            self._await_eval(future)
+        return handle
+
+    def submit_nowait(self, query: EntangledQuery) -> QueryHandle:
+        """Admit one arrival; let its evaluation overlap (worker mode).
+
+        Admission — routing, migration, the safety check — happens
+        synchronously, so this still raises
+        :class:`~repro.errors.PreconditionError` exactly like
+        :meth:`submit`; only the component evaluation is deferred to
+        the shard's worker.  The returned handle is ``PENDING`` with no
+        ``outcome`` yet; it resolves from the worker when a later
+        evaluation completes its coordinating set
+        (:meth:`~repro.core.lifecycle.QueryHandle.wait` blocks for
+        that), and :meth:`drain` waits for evaluation quiescence.  In
+        serial mode this is simply :meth:`submit`.
+        """
+        handle, _ = self._submit_routed(query)
+        return handle
 
     def submit_many(
         self, queries: Iterable[EntangledQuery]
@@ -186,39 +332,101 @@ class ShardedCoordinationService:
         arrivals are routed and admitted in order under one safety
         pass (failed admissions resolve to ``REJECTED`` instead of
         raising), then each shard evaluates its affected components
-        exactly once.
+        exactly once — concurrently across shards in worker mode,
+        with backpressure from the mailbox bounds.  Blocks until every
+        evaluation finished.
         """
+        batch = list(queries)
         handles: List[QueryHandle] = []
         admitted: List[QueryHandle] = []
-        for query in queries:
-            handle = QueryHandle(query)
-            try:
-                target = self._route(query)
-                # adopt() never evaluates, so the handle cannot resolve
-                # here — recording the route after it is race-free.
-                self._engines[target].adopt((handle,))
-            except PreconditionError as error:
-                self._reject(handle, str(error))
-            else:
-                self._shard_of[query.name] = target
-                admitted.append(handle)
-            handles.append(handle)
-        # Group by the shard holding each query NOW, not at admission:
-        # a later batch member's routing may have migrated an earlier
-        # member's component to another shard.
-        by_shard: Dict[int, List[QueryHandle]] = {}
-        for handle in admitted:
-            by_shard.setdefault(self._shard_of[handle.query], []).append(handle)
-        for target, group in by_shard.items():
-            self._engines[target].evaluate_admitted(group)
+        futures = []
+        with self._router:
+            self._check_open()
+            self._maybe_rebalance()
+            for query in batch:
+                try:
+                    _, handle, _ = self._route_and_admit(query)
+                except PreconditionError as error:
+                    handle = QueryHandle(query)
+                    if self._dispatcher is not None:
+                        handle._use_dispatcher(self._dispatcher.post)
+                    self._reject(handle, str(error))
+                else:
+                    admitted.append(handle)
+                handles.append(handle)
+            # Group by the shard holding each query NOW, not at
+            # admission: a later batch member's routing may have
+            # migrated an earlier member's component to another shard.
+            by_shard: Dict[int, List[QueryHandle]] = {}
+            with self._tables:
+                for handle in admitted:
+                    by_shard.setdefault(
+                        self._shard_of[handle.query], []
+                    ).append(handle)
+            for target, group in by_shard.items():
+                engine = self._engines[target]
+                with engine.lock:
+                    frozen: Set[str] = set()
+                    for handle in group:
+                        frozen.update(engine.component_of(handle.query))
+                futures.append(self._post_eval(target, tuple(group), frozen))
+            self._journal_append(("submit_many", tuple(batch)))
+        for future in futures:
+            if future is not None:
+                self._await_eval(future)
         return handles
 
     def retract(self, name: str) -> QueryHandle:
-        """Withdraw a pending query; O(its component), on its shard."""
-        shard = self._shard_of.get(name)
-        if shard is None:
-            raise PreconditionError(f"query {name!r} is not pending")
-        return self._engines[shard].retract(name)
+        """Withdraw a pending query; O(its component), on its shard.
+
+        In worker mode this first waits out any outstanding evaluation
+        of the query's component (the component-freeze rule), so the
+        retraction lands exactly where the linearized stream says.
+        """
+        with self._router:
+            self._check_open()
+            raised = True
+            try:
+                with self._tables:
+                    shard = self._shard_of.get(name)
+                if shard is None:
+                    raise PreconditionError(f"query {name!r} is not pending")
+                self._wait_component_idle(shard, name)
+                # The wait may have let the component's evaluation
+                # satisfy (and thereby remove) the query; re-check so
+                # the error matches what the serial stream would say.
+                with self._tables:
+                    shard = self._shard_of.get(name)
+                if shard is None:
+                    raise PreconditionError(f"query {name!r} is not pending")
+                engine = self._engines[shard]
+                with engine.lock:
+                    handle = engine.retract(name)
+                raised = False
+            finally:
+                self._journal_append(("retract", name, raised))
+        return handle
+
+    def insert(self, relation: str, row: Sequence) -> bool:
+        """Insert one database tuple, ordered against evaluations.
+
+        The shared database is visible to every evaluation, so a write
+        must not overtake evaluations admitted before it: this call
+        barriers behind *all* outstanding evaluations (worker mode),
+        then performs the insert, linearized under the router lock.
+        Direct ``db.insert`` calls bypass the barrier and are only
+        stream-equivalent in serial mode.
+        """
+        with self._router:
+            self._check_open()
+            if self._workers is not None:
+                with self._tables:
+                    self._tables.wait_for(
+                        lambda: self._eval_outstanding == 0
+                    )
+            inserted = self.db.insert(relation, row)
+            self._journal_append(("insert", relation, tuple(row)))
+        return inserted
 
     def flush(self) -> List[CoordinationResult]:
         """Evaluate everything pending, one global run **per shard**.
@@ -229,24 +437,255 @@ class ShardedCoordinationService:
         components, so one call may retire up to ``shard_count`` sets,
         and which set a shard picks is relative to its own candidates.
         Draining by looping until every result's ``chosen`` is ``None``
-        reaches the same final pending set as a drained single engine.
+        — or calling :meth:`flush_drain` — reaches the same final
+        pending set as a drained single engine.  In worker mode the
+        per-shard runs execute concurrently (FIFO-ordered after each
+        shard's queued evaluations) and this call waits for all of
+        them.
         """
-        return [engine.flush() for engine in self._engines]
+        with self._router:
+            self._check_open()
+            results = self._flush_once()
+            self._journal_append(("flush",))
+        return results
+
+    def flush_drain(self) -> List[CoordinationResult]:
+        """Flush repeatedly until no shard retires a set; atomic.
+
+        The whole drain runs under the router lock, so no other
+        operation interleaves between rounds — which makes the drained
+        outcome deterministic and placement-independent (each weak
+        component retires its own greedy sequence of chosen sets
+        regardless of how components are spread over shards).  Returns
+        the concatenated per-round results.
+        """
+        collected: List[CoordinationResult] = []
+        with self._router:
+            self._check_open()
+            while True:
+                results = self._flush_once()
+                collected.extend(results)
+                if all(result.chosen is None for result in results):
+                    break
+            self._journal_append(("flush_drain",))
+        return collected
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for quiescence: no queued/running evaluations, no
+        pending callbacks.  Returns ``False`` on timeout.  Re-raises
+        the first error a worker job or user callback raised since the
+        last drain (fire-and-forget failures must not vanish).
+
+        Resolution callbacks may re-enter the lifecycle API
+        (``submit``/``retract``/``flush``/...), but not this method or
+        :meth:`close`: a callback waiting for callback quiescence would
+        wait on itself, so the re-entry raises
+        :class:`~repro.errors.ConcurrencyError` instead of hanging."""
+        self._check_not_dispatcher("drain")
+        deadline = Deadline(timeout)
+        if self._workers is not None:
+            # One shared deadline across every wait phase and loop
+            # round (callback-driven resubmission restarts the loop):
+            # the call returns False once the budget is spent, never
+            # multiples of it.
+            while True:
+                with self._tables:
+                    if not self._tables.wait_for(
+                        lambda: self._eval_outstanding == 0,
+                        timeout=deadline.remaining(),
+                    ):
+                        return False
+                assert self._dispatcher is not None
+                if not self._dispatcher.drain(timeout=deadline.remaining()):
+                    return False
+                # Joint re-check, sandwiched: an evaluation posts its
+                # callbacks *before* decrementing the outstanding count
+                # (so evals-then-idle cannot miss an evaluation that
+                # finished mid-drain), and a callback enqueues any new
+                # evaluation *before* it finishes (so idle-then-evals
+                # cannot miss callback-resubmitted work).  Only when
+                # evals == 0 on both sides of an idle dispatcher is the
+                # system quiescent.
+                with self._tables:
+                    settled = self._eval_outstanding == 0
+                if settled and self._dispatcher.idle:
+                    with self._tables:
+                        if self._eval_outstanding == 0:
+                            break
+                if deadline.expired:
+                    return False
+        self._raise_deferred_errors()
+        return True
+
+    def close(
+        self,
+        timeout: Optional[float] = None,
+        raise_deferred: bool = True,
+    ) -> None:
+        """Stop accepting operations and shut the workers down.
+
+        Graceful: already-queued jobs finish first (mailboxes are FIFO
+        and the shutdown sentinel is enqueued last).  Idempotent.
+        Serial services only flip the closed flag.  Like :meth:`drain`,
+        not callable from a resolution callback.  With a ``timeout``
+        the shutdown is best-effort within the budget: a worker stuck
+        in a long job may outlive the call (threads are daemons, so
+        process exit is never held hostage), and resolution callbacks
+        its late completion would have fired are dropped rather than
+        left to wedge the dispatcher's accounting.
+
+        After the threads stop, the first error a fire-and-forget
+        evaluation or user callback raised since the last drain is
+        re-raised (deferred failures must not vanish just because the
+        service was closed without a final :meth:`drain`); pass
+        ``raise_deferred=False`` to suppress that — the context manager
+        does so automatically when the ``with`` body is already
+        unwinding an exception.
+        """
+        self._check_not_dispatcher("close")
+        with self._router:
+            already_closed = self._closed
+            self._closed = True
+        if not already_closed and self._workers is not None:
+            # One shared deadline across every join, like drain():
+            # close(timeout=t) blocks at most ~t, not (workers+2)·t.
+            deadline = Deadline(timeout)
+            for worker in self._workers:
+                worker.stop(deadline.remaining())
+            assert self._dispatcher is not None
+            self._dispatcher.drain(deadline.remaining())
+            self._dispatcher.stop(deadline.remaining())
+        if raise_deferred:
+            self._raise_deferred_errors()
+
+    def __enter__(self) -> "ShardedCoordinationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(raise_deferred=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Rebalancing (idle components, hottest → coldest shard)
+    # ------------------------------------------------------------------
+    def rebalance(self, max_moves: int = 8) -> int:
+        """Relocate idle components from the hottest to the coldest shard.
+
+        Default placement only ever *merges* components onto shards, so
+        a long stream can skew loads; this walks whole **idle**
+        components (no outstanding evaluation) from the shard with the
+        most pending queries to the one with the fewest, using the same
+        release/adopt machinery as spanning-arrival migration — so
+        handles, callbacks, and outcomes are untouched.  A component
+        moves only when it is at most half the hot–cold gap (each move
+        strictly narrows the gap, so the loop terminates); ties are
+        broken deterministically (largest component first, then name).
+        Returns the number of queries moved.  The router also invokes
+        this opportunistically every :data:`REBALANCE_INTERVAL`
+        operations once the gap reaches :data:`REBALANCE_THRESHOLD`.
+        """
+        with self._router:
+            self._check_open()
+            return self._rebalance_locked(max_moves)
+
+    def _maybe_rebalance(self) -> None:
+        """Opportunistic rebalance check between router commands."""
+        self._ops_since_rebalance += 1
+        if self._ops_since_rebalance < self.REBALANCE_INTERVAL:
+            return
+        self._ops_since_rebalance = 0
+        with self._tables:
+            gap = max(self._loads) - min(self._loads)
+        if gap >= self.REBALANCE_THRESHOLD:
+            self._rebalance_locked(max_moves=4)
+
+    def _rebalance_locked(self, max_moves: int) -> int:
+        moved = 0
+        for _ in range(max_moves):
+            with self._tables:
+                loads = list(self._loads)
+            hot = max(range(len(loads)), key=lambda i: (loads[i], -i))
+            cold = min(range(len(loads)), key=lambda i: (loads[i], i))
+            gap = loads[hot] - loads[cold]
+            if gap < 2:
+                break
+            limit = gap // 2
+            engine = self._engines[hot]
+            with engine.lock:
+                components = engine.components()
+            with self._tables:
+                busy = set(self._busy[hot])
+            movable = [
+                component
+                for component in components
+                if len(component) <= limit and not busy.intersection(component)
+            ]
+            if not movable:
+                break
+            pick = sorted(movable, key=lambda c: (-len(c), c))[0]
+            moved += self._migrate(hot, cold, (pick[0],), rebalance=True)
+        return moved
 
     # ------------------------------------------------------------------
     # Routing and migration
     # ------------------------------------------------------------------
+    def _submit_routed(self, query: EntangledQuery):
+        """Route + admit one arrival; enqueue its evaluation."""
+        with self._router:
+            self._check_open()
+            self._maybe_rebalance()
+            raised = True
+            try:
+                target, handle, component = self._route_and_admit(query)
+                raised = False
+            finally:
+                self._journal_append(("submit", query, raised))
+            future = self._post_eval(target, (handle,), set(component))
+        return handle, future
+
+    def _route_and_admit(self, query: EntangledQuery):
+        """Probe/migrate/place, then admit on the target (no evaluation)."""
+        target = self._route(query)
+        engine = self._engines[target]
+        with engine.lock:
+            handle = engine.admit(query)
+            component = engine.component_of(query.name)
+        if self._dispatcher is not None:
+            handle._use_dispatcher(self._dispatcher.post)
+        with self._tables:
+            self._shard_of[query.name] = target
+            self._loads[target] += 1
+        return target, handle, component
+
     def _route(self, query: EntangledQuery) -> int:
         """Pick (and, for spanning arrivals, prepare) the target shard."""
-        if query.name in self._shard_of:
-            raise PreconditionError(f"query {query.name!r} already pending")
-        touched: Dict[int, Tuple[str, ...]] = {}
-        for index, engine in enumerate(self._engines):
-            incident = engine.incident_pending(query)
-            if incident:
-                touched[index] = incident
+        with self._tables:
+            if query.name in self._shard_of:
+                raise PreconditionError(
+                    f"query {query.name!r} already pending"
+                )
+        while True:
+            touched: Dict[int, Tuple[str, ...]] = {}
+            for index, engine in enumerate(self._engines):
+                with engine.lock:
+                    incident = engine.incident_pending(query)
+                if incident:
+                    touched[index] = incident
+            # Component freeze: an arrival incident to a component with
+            # an outstanding evaluation waits for it, then re-probes —
+            # the evaluation may have retired the very queries that
+            # made the shard incident.
+            if self._wait_touched_idle(touched):
+                continue
+            # An evaluation may also have committed (retiring probed
+            # names) *between* a per-shard probe and the busy check —
+            # its busy flag already cleared, so the wait above saw
+            # nothing.  Once nothing is busy no further retirement can
+            # happen under the router lock, so a liveness re-check here
+            # is race-free; any dead name means the probes are stale.
+            if not self._touched_stale(touched):
+                break
         if not touched:
-            return self._default_shard(query.name)
+            return self._default_shard()
         if len(touched) == 1:
             return next(iter(touched))
 
@@ -255,9 +694,10 @@ class ShardedCoordinationService:
         weights: Dict[int, int] = {}
         for index, incident in touched.items():
             engine = self._engines[index]
-            mass: set = set()
-            for name in incident:
-                mass.update(engine.component_of(name))
+            with engine.lock:
+                mass: Set[str] = set()
+                for name in incident:
+                    mass.update(engine.component_of(name))
             weights[index] = len(mass)
         target = min(touched, key=lambda index: (-weights[index], index))
         for index, incident in touched.items():
@@ -266,54 +706,264 @@ class ShardedCoordinationService:
         return target
 
     def _migrate(
-        self, source: int, target: int, incident: Tuple[str, ...]
-    ) -> None:
-        """Move the components of ``incident`` from one shard to another."""
+        self,
+        source: int,
+        target: int,
+        incident: Tuple[str, ...],
+        rebalance: bool = False,
+    ) -> int:
+        """Two-phase handoff of whole components between shards.
+
+        Phase 1 releases the components of ``incident`` from the donor
+        (their handles stay ``PENDING`` and are owned by the router for
+        the duration); phase 2 adopts them into the target.  Safe under
+        workers because the router only migrates idle components (the
+        freeze rule), so no mailbox job can reference them mid-flight.
+        """
         donor = self._engines[source]
         moved: List[QueryHandle] = []
-        for name in incident:
-            if donor.handle(name) is None:
-                continue  # already released with an earlier component
-            moved.extend(donor.release_component(name))
-        self._engines[target].adopt(moved)
-        for handle in moved:
-            self._shard_of[handle.query] = target
-        self.migrations += len(moved)
+        with donor.lock:
+            for name in incident:
+                if donor.handle(name) is None:
+                    continue  # already released with an earlier component
+                moved.extend(donor.release_component(name))
+        receiver = self._engines[target]
+        with receiver.lock:
+            receiver.adopt(moved)
+        with self._tables:
+            for handle in moved:
+                self._shard_of[handle.query] = target
+            self._loads[source] -= len(moved)
+            self._loads[target] += len(moved)
+        if rebalance:
+            self.rebalances += len(moved)
+        else:
+            self.migrations += len(moved)
+        return len(moved)
 
-    def _default_shard(self, name: str) -> int:
-        """Deterministic placement for edge-free arrivals (CRC, not
-        ``hash``: Python string hashing is salted per process)."""
-        return zlib.crc32(name.encode("utf-8")) % len(self._engines)
+    def _default_shard(self) -> int:
+        """Least-loaded placement for edge-free arrivals.
+
+        Fewest pending queries wins, ties to the lowest shard index —
+        deterministic for a given stream (the loads are a pure function
+        of the stream in serial/blocking use) and stable across
+        processes, unlike the salted-hash placement it replaced.
+        Placement is unobservable in outcomes either way; this only
+        evens the load.
+        """
+        with self._tables:
+            loads = self._loads
+            return min(range(len(loads)), key=lambda i: (loads[i], i))
+
+    # ------------------------------------------------------------------
+    # Worker plumbing
+    # ------------------------------------------------------------------
+    def _post_eval(
+        self,
+        target: int,
+        handles: Tuple[QueryHandle, ...],
+        frozen: Set[str],
+    ):
+        """Run (serial) or enqueue (workers) one evaluation job.
+
+        ``frozen`` is the union of the affected components' member
+        names; they are marked busy until the job finishes, which is
+        what the freeze rule waits on.
+        """
+        engine = self._engines[target]
+        if self._workers is None:
+            with engine.lock:
+                engine.evaluate_admitted(handles)
+            return None
+        with self._tables:
+            self._busy[target].update(frozen)
+            self._eval_outstanding += 1
+
+        def job() -> None:
+            try:
+                engine.evaluate_admitted_phased(handles)
+            except BaseException as error:  # noqa: BLE001 - surfaced at drain
+                with self._tables:
+                    self._errors.append(error)
+                raise
+            finally:
+                with self._tables:
+                    self._busy[target].difference_update(frozen)
+                    self._eval_outstanding -= 1
+                    self._tables.notify_all()
+
+        return self._workers[target].post(job)
+
+    def _await_eval(self, future) -> None:
+        """Block on one evaluation job; de-duplicate its error record."""
+        try:
+            future.result()
+        except BaseException as error:
+            with self._tables:
+                try:
+                    self._errors.remove(error)
+                except ValueError:
+                    pass
+            raise
+
+    def _flush_once(self) -> List[CoordinationResult]:
+        if self._workers is None:
+            results = []
+            for engine in self._engines:
+                with engine.lock:
+                    results.append(engine.flush())
+            return results
+
+        def flush_job(engine: CoordinationEngine):
+            def run() -> CoordinationResult:
+                with engine.lock:
+                    return engine.flush()
+
+            return run
+
+        futures = [
+            worker.post(flush_job(engine))
+            for worker, engine in zip(self._workers, self._engines)
+        ]
+        return [future.result() for future in futures]
+
+    def _wait_touched_idle(self, touched: Dict[int, Tuple[str, ...]]) -> bool:
+        """Wait until no probed-incident component is busy.
+
+        Returns ``True`` if it had to wait (the caller must re-probe:
+        the completed evaluations may have retired queries).
+        """
+        if self._workers is None or not touched:
+            return False
+
+        def hit() -> bool:
+            return any(
+                name in self._busy[index]
+                for index, names in touched.items()
+                for name in names
+            )
+
+        with self._tables:
+            if not hit():
+                return False
+            self._tables.wait_for(lambda: not hit())
+            return True
+
+    def _touched_stale(self, touched: Dict[int, Tuple[str, ...]]) -> bool:
+        """Whether any probed-incident name has since left its shard."""
+        if self._workers is None:
+            return False
+        for index, names in touched.items():
+            engine = self._engines[index]
+            with engine.lock:
+                if any(engine.handle(name) is None for name in names):
+                    return True
+        return False
+
+    def _wait_component_idle(self, shard: int, name: str) -> None:
+        """Wait until ``name``'s component has no outstanding evaluation."""
+        if self._workers is None:
+            return
+        with self._tables:
+            self._tables.wait_for(lambda: name not in self._busy[shard])
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConcurrencyError("service is closed")
+
+    def _check_not_dispatcher(self, operation: str) -> None:
+        if self._dispatcher is not None and self._dispatcher.is_dispatch_thread:
+            raise ConcurrencyError(
+                f"{operation}() called from a resolution callback; a "
+                "callback waiting for callback quiescence would wait on "
+                "itself — re-enter only the lifecycle API from callbacks"
+            )
+
+    def _journal_append(self, entry: JournalEntry) -> None:
+        if self.journal is not None:
+            self.journal.append(entry)
+
+    def _raise_deferred_errors(self) -> None:
+        """Raise the oldest deferred worker/callback error, if any.
+
+        One error per drain call; the rest go back on the queue so
+        later drains surface them too — deferred failures never vanish.
+        """
+        with self._tables:
+            deferred = list(self._errors)
+            self._errors.clear()
+        if self._dispatcher is not None:
+            deferred.extend(self._dispatcher.take_errors())
+        if not deferred:
+            return
+        rest = deferred[1:]
+        if rest:
+            with self._tables:
+                self._errors.extend(rest)
+        raise deferred[0]
 
     # ------------------------------------------------------------------
     # Resolution plumbing
     # ------------------------------------------------------------------
     def _on_shard_resolved(self, handle: QueryHandle) -> None:
-        """Shard-engine hook: keep the routing table and states in sync."""
-        if handle.state is QueryState.REJECTED:
-            # An engine-level batch rejection (duplicate within one
-            # shard); never shadow a pending namesake's routing entry.
-            if handle.query not in self._shard_of:
-                record_final_state(self._final_states, handle.query, handle.state)
-        else:
-            self._shard_of.pop(handle.query, None)
-            record_final_state(self._final_states, handle.query, handle.state)
-        for callback in self._resolution_callbacks:
-            callback(handle)
+        """Shard-engine hook: keep the routing table and states in sync.
+
+        Runs synchronously on the resolving thread (inside the engine
+        lock), so routing state never lags resolution; user callbacks
+        are handed to the dispatcher in worker mode.
+        """
+        with self._tables:
+            if handle.state is QueryState.REJECTED:
+                # An engine-level batch rejection (duplicate within one
+                # shard); never shadow a pending namesake's routing entry.
+                if handle.query not in self._shard_of:
+                    record_final_state(
+                        self._final_states, handle.query, handle.state
+                    )
+            else:
+                shard = self._shard_of.pop(handle.query, None)
+                if shard is not None:
+                    self._loads[shard] -= 1
+                record_final_state(
+                    self._final_states, handle.query, handle.state
+                )
+            self._tables.notify_all()
+        self._fire_service_callbacks(handle)
 
     def _reject(self, handle: QueryHandle, reason: str) -> None:
         """Service-level rejection (routing-time failures)."""
         handle._resolve(QueryState.REJECTED, reason=reason)
-        if handle.query not in self._shard_of:
-            record_final_state(
-                self._final_states, handle.query, QueryState.REJECTED
-            )
-        for callback in self._resolution_callbacks:
-            callback(handle)
+        with self._tables:
+            if handle.query not in self._shard_of:
+                record_final_state(
+                    self._final_states, handle.query, QueryState.REJECTED
+                )
+        self._fire_service_callbacks(handle)
+
+    def _fire_service_callbacks(self, handle: QueryHandle) -> None:
+        callbacks = list(self._resolution_callbacks)
+        if not callbacks:
+            return
+        if self._dispatcher is not None:
+
+            def fire() -> None:
+                for callback in callbacks:
+                    callback(handle)
+
+            self._dispatcher.post(fire)
+        else:
+            for callback in callbacks:
+                callback(handle)
 
     def __repr__(self) -> str:
         loads = ", ".join(str(n) for n in self.shard_pending_counts())
+        mode = (
+            "serial"
+            if self._workers is None
+            else f"{len(self._workers)} workers"
+        )
         return (
-            f"ShardedCoordinationService({self.shard_count} shards, "
-            f"pending per shard: [{loads}], {self.migrations} migrations)"
+            f"ShardedCoordinationService({self.shard_count} shards, {mode}, "
+            f"pending per shard: [{loads}], {self.migrations} migrations, "
+            f"{self.rebalances} rebalanced)"
         )

@@ -4,12 +4,26 @@ This is the component the coordination algorithms talk to.  It plays the
 role MySQL/JDBC played in the paper's implementation (Section 6): the
 algorithms submit conjunctive queries and receive one grounding
 (choose-1 semantics) or enumerate projections for option lists.
+
+Concurrency: one database instance is shared by every engine shard, so
+the facade guards itself with a :class:`~repro.concurrency.RWLock` —
+evaluation (reads) from any number of shard workers proceeds
+concurrently, inserts take the lock exclusively.  Locking lives at the
+facade boundary only: the hot per-atom loops inside
+:class:`~repro.db.evaluator.Evaluator` and
+:class:`~repro.db.storage.Relation` run lock-free under the read lock
+already held by their entry point (lazy index builds are benign under
+concurrent readers — see the storage module).  The per-relation
+``write_epoch`` stamps complete the picture: readers that cache derived
+state (the engine's component-state cache) validate against
+:meth:`data_versions` instead of serializing behind writers.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
 
+from ..concurrency import RWLock
 from ..errors import UnknownRelationError
 from ..logic import Atom, Variable
 from .evaluator import Assignment, Evaluator
@@ -37,6 +51,11 @@ class Database:
         }
         self.stats = EngineStats()
         self._evaluator = Evaluator(self._relations, self.stats)
+        #: Readers–writer lock over the instance: reads (evaluation,
+        #: scans, stamps) share, writes (inserts, DDL) exclude.  The
+        #: engine counters in :attr:`stats` are deliberately outside
+        #: it — under concurrent readers they are best-effort tallies.
+        self.rw = RWLock()
 
     # ------------------------------------------------------------------
     # Schema / data definition
@@ -48,14 +67,20 @@ class Database:
         key: Optional[str] = None,
     ) -> Relation:
         """Declare a relation and return its (empty) store."""
-        relation_schema = RelationSchema(name, attributes, key)
-        self.schema.add(relation_schema)
-        store = Relation(relation_schema)
-        self._relations[name] = store
-        return store
+        with self.rw.write():
+            relation_schema = RelationSchema(name, attributes, key)
+            self.schema.add(relation_schema)
+            store = Relation(relation_schema)
+            self._relations[name] = store
+            return store
 
     def relation(self, name: str) -> Relation:
-        """The tuple store for ``name``; raises if undeclared."""
+        """The tuple store for ``name``; raises if undeclared.
+
+        The returned handle is *not* lock-guarded: callers that mutate
+        it directly in a threaded context own the synchronization
+        (``with db.rw.write(): ...``).
+        """
         try:
             return self._relations[name]
         except KeyError:
@@ -63,14 +88,16 @@ class Database:
 
     def insert(self, name: str, row: Iterable[Hashable]) -> bool:
         """Insert one tuple into relation ``name``."""
-        inserted = self.relation(name).insert(row)
+        with self.rw.write():
+            inserted = self.relation(name).insert(row)
         if inserted:
             self.stats.inserts += 1
         return inserted
 
     def insert_many(self, name: str, rows: Iterable[Iterable[Hashable]]) -> int:
         """Insert many tuples into relation ``name``."""
-        count = self.relation(name).insert_many(rows)
+        with self.rw.write():
+            count = self.relation(name).insert_many(rows)
         self.stats.inserts += count
         return count
 
@@ -85,7 +112,8 @@ class Database:
         uses this value as its cheap did-anything-change gate, with
         :meth:`data_versions` localizing what changed.
         """
-        return sum(r.write_epoch for r in self._relations.values())
+        with self.rw.read():
+            return sum(r.write_epoch for r in self._relations.values())
 
     def data_versions(self) -> Dict[str, int]:
         """Per-relation write-epoch stamps, as a name → epoch dict.
@@ -97,15 +125,38 @@ class Database:
         cached component states whose bodies touch a mutated relation,
         instead of clearing its whole cache on any insert.
         """
-        return {name: r.write_epoch for name, r in self._relations.items()}
+        with self.rw.read():
+            return {name: r.write_epoch for name, r in self._relations.items()}
 
     # ------------------------------------------------------------------
     # Query evaluation
     # ------------------------------------------------------------------
     def solutions(self, query: ConjunctiveQuery) -> Iterator[Assignment]:
-        """Enumerate satisfying assignments of a conjunctive query."""
+        """Enumerate satisfying assignments of a conjunctive query.
+
+        The returned iterator takes the read lock around each *step*,
+        never across yields — so a half-consumed (or abandoned)
+        iterator cannot block writers, and ``next(it)`` followed by
+        ``db.insert(...)`` on one thread stays legal.  The price is
+        per-step granularity: a concurrent insert may land between two
+        steps of the enumeration (storage is append-only, so the
+        iterator itself stays valid — exactly the pre-lock semantics).
+        Prefer the materializing entry points when a consistent
+        snapshot across the whole enumeration matters.
+        """
         query.validate(self.schema)
-        return self._evaluator.solutions(query)
+
+        def stepwise() -> Iterator[Assignment]:
+            inner = self._evaluator.solutions(query)
+            while True:
+                with self.rw.read():
+                    try:
+                        value = next(inner)
+                    except StopIteration:
+                        return
+                yield value
+
+        return stepwise()
 
     def first_solution(
         self,
@@ -118,12 +169,14 @@ class Database:
         :meth:`repro.db.evaluator.Evaluator.solutions`).
         """
         query.validate(self.schema)
-        return self._evaluator.first_solution(query, initial=initial)
+        with self.rw.read():
+            return self._evaluator.first_solution(query, initial=initial)
 
     def is_satisfiable(self, query: ConjunctiveQuery) -> bool:
         """Decide whether the conjunction has any satisfying assignment."""
         query.validate(self.schema)
-        return self._evaluator.is_satisfiable(query)
+        with self.rw.read():
+            return self._evaluator.is_satisfiable(query)
 
     def satisfiable_atoms(self, atoms: Iterable[Atom]) -> bool:
         """Convenience: satisfiability of a list of atoms."""
@@ -139,34 +192,43 @@ class Database:
         """All distinct value tuples for ``variables`` across solutions.
 
         Used by the Consistent Coordination Algorithm to compute option
-        lists ``V(q)`` (Definition 10).
+        lists ``V(q)`` (Definition 10).  Materializing, so the whole
+        enumeration runs under one read acquisition (one consistent
+        snapshot, no per-row locking) rather than through the stepwise
+        :meth:`solutions` iterator.
         """
-        out: Set[Tuple[Hashable, ...]] = set()
-        for assignment in self.solutions(query):
-            out.add(tuple(assignment[v] for v in variables))
-        return out
+        query.validate(self.schema)
+        with self.rw.read():
+            out: Set[Tuple[Hashable, ...]] = set()
+            for assignment in self._evaluator.solutions(query):
+                out.add(tuple(assignment[v] for v in variables))
+            return out
 
     # ------------------------------------------------------------------
     # Instance inspection
     # ------------------------------------------------------------------
     def contains(self, name: str, row: Iterable[Hashable]) -> bool:
         """Ground-atom membership test."""
-        return self.relation(name).contains(row)
+        with self.rw.read():
+            return self.relation(name).contains(row)
 
     def domain(self) -> Set[Hashable]:
         """The active domain: every value in every relation."""
-        out: Set[Hashable] = set()
-        for store in self._relations.values():
-            out.update(store.domain())
-        return out
+        with self.rw.read():
+            out: Set[Hashable] = set()
+            for store in self._relations.values():
+                out.update(store.domain())
+            return out
 
     def sizes(self) -> Dict[str, int]:
         """Tuple counts per relation."""
-        return {name: len(store) for name, store in self._relations.items()}
+        with self.rw.read():
+            return {name: len(store) for name, store in self._relations.items()}
 
     def rows(self, name: str) -> List[Row]:
         """Materialised list of all tuples of ``name``."""
-        return list(self.relation(name).scan())
+        with self.rw.read():
+            return list(self.relation(name).scan())
 
     def reset_stats(self) -> None:
         """Zero the engine counters (used between benchmark runs)."""

@@ -8,6 +8,18 @@ served efficiently by per-column hash indexes built lazily on first use.
 A :class:`Relation` stores tuples in insertion order (a list) alongside a
 set for O(1) duplicate/membership checks, mirroring set semantics of the
 relational model while keeping scans deterministic.
+
+Concurrency: relations carry no lock of their own — the
+:class:`~repro.db.Database` facade's reader–writer lock is the
+synchronization boundary.  Under it the invariants are simple: writers
+are exclusive, and concurrent *readers* are safe even through the lazy
+index build (:meth:`Relation._index_for`), because a build only reads
+the (frozen, under the read lock) row list into a local dict and
+installs it with one atomic store — two readers racing to build the
+same index each install a complete, identical dict.  The
+:attr:`Relation.write_epoch` stamp is what lets readers cache derived
+state across writes without holding any lock: epochs only grow, so a
+stamp comparison is a race-free staleness check.
 """
 
 from __future__ import annotations
@@ -67,7 +79,12 @@ class Relation:
     # Lookup
     # ------------------------------------------------------------------
     def _index_for(self, position: int) -> Dict[Hashable, List[int]]:
-        """Return (building lazily) the hash index on ``position``."""
+        """Return (building lazily) the hash index on ``position``.
+
+        Safe under concurrent readers (who may race to build the same
+        index): the build writes only a local dict over the frozen row
+        list and publishes it with a single atomic store.
+        """
         bucket = self._indexes.get(position)
         if bucket is None:
             bucket = {}

@@ -73,6 +73,19 @@ class PreconditionError(CoordinationError):
     """
 
 
+class ConcurrencyError(CoordinationError):
+    """A single-owner structure was accessed from two threads at once.
+
+    :class:`~repro.core.engine.CoordinationEngine` instances are owned
+    by exactly one shard worker at a time (see the concurrency model in
+    DESIGN.md); calling into an engine while another thread holds its
+    lock raises this instead of corrupting coordination state.  Also
+    raised for lifecycle misuse of the concurrent service (operations
+    on a closed :class:`~repro.core.ShardedCoordinationService`, or a
+    worker that died mid-stream).
+    """
+
+
 class HardnessError(ReproError):
     """Base class for errors in the reductions (:mod:`repro.hardness`)."""
 

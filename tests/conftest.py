@@ -6,6 +6,22 @@ import random
 
 import pytest
 
+
+def pytest_collection_modifyitems(config, items):
+    """Give every test a pytest-timeout budget when the plugin is there.
+
+    The concurrent shard executor makes deadlocks a *possible* failure
+    mode, and a deadlocked test must fail, not wedge the run.  CI
+    installs ``pytest-timeout``; local environments without it fall
+    back to the ``faulthandler_timeout`` traceback dump configured in
+    pytest.ini.  Tests may override with their own ``timeout`` marker.
+    """
+    if not config.pluginmanager.hasplugin("timeout"):
+        return
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(120))
+
 from repro.db import Database, DatabaseBuilder
 from repro.workloads import (
     members_database,

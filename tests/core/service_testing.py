@@ -1,0 +1,127 @@
+"""Shared helpers for the sharded-service equivalence tests.
+
+Used by both the serial-service suite (``test_service.py``) and the
+concurrent-executor suite (``test_concurrent_service.py``): workload
+query builders, the one-component-one-shard invariant check, and the
+drive-both-ends stream runner that asserts byte-identical outcomes
+against a single-engine oracle.
+"""
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core import (
+    EntangledQuery,
+    QueryState,
+    ShardedCoordinationService,
+)
+from repro.errors import PreconditionError
+from repro.logic import Atom, Variable
+from repro.networks import member_name
+from repro.workloads import partner_query
+
+DB_SIZE = 30
+USER_SPAN = 40
+
+
+def flight_query(user: str, partners: List[str]) -> EntangledQuery:
+    """Travellers coordinating with named partners over the Flights
+    table (the Gwyneth/Chris shape of Section 2.1)."""
+    flight = Variable("f")
+    body = [
+        Atom(
+            "Flights",
+            [flight, Variable("dest"), Variable("day"),
+             Variable("src"), Variable("airline")],
+        )
+    ]
+    posts = [
+        Atom("R", [Variable(f"y{i}"), partner])
+        for i, partner in enumerate(partners)
+    ]
+    head = [Atom("R", [flight, user])]
+    return EntangledQuery(user, posts, head, body)
+
+
+def assert_invariants(service: ShardedCoordinationService) -> None:
+    """Every weak component lives entirely inside one shard, and the
+    routing table agrees with the shards' pending pools."""
+    routed = dict(service._shard_of)
+    seen = set()
+    for index, engine in enumerate(service._engines):
+        for name in engine.pending():
+            assert routed.get(name) == index
+            seen.add(name)
+            for member in engine.component_of(name):
+                assert routed.get(member) == index
+    assert seen == set(routed)
+
+
+def chosen_bytes(result) -> Optional[Tuple]:
+    """A fully comparable rendering of a chosen set (members + values)."""
+    if result is None or result.chosen is None:
+        return None
+    chosen = result.chosen
+    return (
+        chosen.members,
+        tuple(sorted((str(k), v) for k, v in chosen.assignment.items())),
+    )
+
+
+def run_equivalent_streams(service, engine, events) -> None:
+    """Drive both ends with one stream; assert identical observables."""
+    for event in events:
+        if event[0] == "retract":
+            pending = sorted(engine.pending())
+            if not pending:
+                continue
+            name = pending[event[1] % len(pending)]
+            service_handle = service.retract(name)
+            engine.retract(name)
+            assert service_handle.state is QueryState.RETRACTED
+        else:
+            query = event[1]
+            service_error = engine_error = None
+            service_handle = engine_handle = None
+            try:
+                service_handle = service.submit(query)
+            except PreconditionError as exc:
+                service_error = exc
+            try:
+                engine_handle = engine.submit(query)
+            except PreconditionError as exc:
+                engine_error = exc
+            assert (service_error is None) == (engine_error is None)
+            if service_error is not None:
+                continue
+            assert service_handle.state is engine_handle.state
+            assert service_handle.satisfied == engine_handle.satisfied
+            assert chosen_bytes(service_handle.result) == chosen_bytes(
+                engine_handle.result
+            )
+        assert set(service.pending()) == set(engine.pending())
+        assert_invariants(service)
+
+
+def partner_stream(rng: random.Random, length: int):
+    """A random submit/retract event stream over the partner workload."""
+    events = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.18:
+            events.append(("retract", rng.randrange(1 << 30)))
+        else:
+            index = rng.randrange(USER_SPAN)
+            partners = rng.sample(
+                [i for i in range(USER_SPAN) if i != index],
+                k=rng.choice((0, 1, 1, 2, 3)),
+            )
+            events.append(
+                (
+                    "submit",
+                    partner_query(
+                        member_name(index), [member_name(p) for p in partners]
+                    ),
+                )
+            )
+    return events

@@ -12,128 +12,27 @@ asserted separately.
 """
 
 import random
-from typing import List, Optional, Tuple
 
 import pytest
 
 from repro.core import (
     CoordinationEngine,
-    EntangledQuery,
     QueryState,
     ShardedCoordinationService,
 )
 from repro.errors import PreconditionError
-from repro.logic import Atom, Variable
 from repro.networks import member_name
 from repro.workloads import members_database, partner_query
 from repro.workloads.flights import user_name, worst_case_database
 
-DB_SIZE = 30
-USER_SPAN = 40
-
-
-# ---------------------------------------------------------------------------
-# Flights workload in entangled form: travellers coordinating with named
-# partners over the Flights table (the Gwyneth/Chris shape of Section 2.1).
-# ---------------------------------------------------------------------------
-def flight_query(user: str, partners: List[str]) -> EntangledQuery:
-    flight = Variable("f")
-    body = [
-        Atom(
-            "Flights",
-            [flight, Variable("dest"), Variable("day"),
-             Variable("src"), Variable("airline")],
-        )
-    ]
-    posts = [
-        Atom("R", [Variable(f"y{i}"), partner])
-        for i, partner in enumerate(partners)
-    ]
-    head = [Atom("R", [flight, user])]
-    return EntangledQuery(user, posts, head, body)
-
-
-def _assert_invariants(service: ShardedCoordinationService) -> None:
-    """Every weak component lives entirely inside one shard, and the
-    routing table agrees with the shards' pending pools."""
-    routed = dict(service._shard_of)
-    seen = set()
-    for index, engine in enumerate(service._engines):
-        for name in engine.pending():
-            assert routed.get(name) == index
-            seen.add(name)
-            for member in engine.component_of(name):
-                assert routed.get(member) == index
-    assert seen == set(routed)
-
-
-def _chosen_bytes(result) -> Optional[Tuple]:
-    """A fully comparable rendering of a chosen set (members + values)."""
-    if result is None or result.chosen is None:
-        return None
-    chosen = result.chosen
-    return (
-        chosen.members,
-        tuple(sorted((str(k), v) for k, v in chosen.assignment.items())),
-    )
-
-
-def _run_equivalent_streams(service, engine, events) -> None:
-    """Drive both ends with one stream; assert identical observables."""
-    for event in events:
-        if event[0] == "retract":
-            pending = sorted(engine.pending())
-            if not pending:
-                continue
-            name = pending[event[1] % len(pending)]
-            service_handle = service.retract(name)
-            engine.retract(name)
-            assert service_handle.state is QueryState.RETRACTED
-        else:
-            query = event[1]
-            service_error = engine_error = None
-            service_handle = engine_handle = None
-            try:
-                service_handle = service.submit(query)
-            except PreconditionError as exc:
-                service_error = exc
-            try:
-                engine_handle = engine.submit(query)
-            except PreconditionError as exc:
-                engine_error = exc
-            assert (service_error is None) == (engine_error is None)
-            if service_error is not None:
-                continue
-            assert service_handle.state is engine_handle.state
-            assert service_handle.satisfied == engine_handle.satisfied
-            assert _chosen_bytes(service_handle.result) == _chosen_bytes(
-                engine_handle.result
-            )
-        assert set(service.pending()) == set(engine.pending())
-        _assert_invariants(service)
-
-
-def _partner_stream(rng: random.Random, length: int):
-    events = []
-    for _ in range(length):
-        roll = rng.random()
-        if roll < 0.18:
-            events.append(("retract", rng.randrange(1 << 30)))
-        else:
-            index = rng.randrange(USER_SPAN)
-            partners = rng.sample(
-                [i for i in range(USER_SPAN) if i != index],
-                k=rng.choice((0, 1, 1, 2, 3)),
-            )
-            events.append(
-                (
-                    "submit",
-                    partner_query(
-                        member_name(index), [member_name(p) for p in partners]
-                    ),
-                )
-            )
-    return events
+from service_testing import (
+    DB_SIZE,
+    assert_invariants as _assert_invariants,
+    chosen_bytes as _chosen_bytes,
+    flight_query,
+    partner_stream as _partner_stream,
+    run_equivalent_streams as _run_equivalent_streams,
+)
 
 
 @pytest.mark.parametrize("shards", [2, 3, 5])
@@ -240,20 +139,13 @@ def test_flush_drain_reaches_single_engine_fixpoint():
 def test_spanning_arrival_migrates_smaller_into_larger():
     db = members_database(size=DB_SIZE, seed=2012)
     service = ShardedCoordinationService(db, shards=4)
-    # Build two waiting components on (very likely) different shards by
-    # scanning user indexes until the default placement differs.
-    placed = {}
-    for i in range(20):
-        name = member_name(i)
-        shard = service._default_shard(name)
-        placed.setdefault(shard, []).append(name)
-        if len(placed) >= 2:
-            break
-    shard_a, shard_b = list(placed)[:2]
-    a, b = placed[shard_a][0], placed[shard_b][0]
+    # Least-loaded placement spreads edge-free arrivals deterministically:
+    # the first two waiting queries land on shards 0 and 1.
+    a, b = member_name(0), member_name(1)
     service.submit(partner_query(a, [member_name(100)]))  # waits on 100
     service.submit(partner_query(b, [member_name(101)]))  # waits on 101
-    assert service.shard_of(a) == shard_a != service.shard_of(b) == shard_b
+    assert service.shard_of(a) == 0
+    assert service.shard_of(b) == 1
 
     # A third query naming both spans the two shards: one migrates.
     bridge = member_name(25)
@@ -308,23 +200,22 @@ def test_submit_many_survives_cross_shard_migration_of_batch_member():
     service = ShardedCoordinationService(db, shards=2)
     engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
 
-    names = [member_name(i) for i in range(20)]
-    shard0 = [n for n in names if service._default_shard(n) == 0]
-    shard1 = [n for n in names if service._default_shard(n) == 1]
-    assert shard0 and len(shard1) >= 2
-
-    # Pre-seed shard 1 with a two-query waiting component {a, b}.
-    a, b = shard1[0], shard1[1]
+    # Pre-seed shard 0 with a two-query waiting component {a, b}: the
+    # first arrival takes the least-loaded shard 0, the second is
+    # incident to it and follows.
+    a, b = member_name(0), member_name(1)
     for query in (partner_query(a, [b]), partner_query(b, [member_name(100)])):
         service.submit(query)
         engine.submit(query)
+    assert service.shard_of(a) == service.shard_of(b) == 0
 
-    solo = shard0[0]
-    bridge = next(n for n in names if n not in {a, b, solo})
+    solo = member_name(2)
+    bridge = member_name(3)
     batch = [
-        partner_query(solo, [member_name(101)]),  # admitted on shard 0
-        # Spans both shards: solo's singleton (shard 0) migrates into
-        # shard 1's larger component before this one is admitted.
+        # Edge-free, so it lands on the now-least-loaded shard 1.
+        partner_query(solo, [member_name(101)]),
+        # Spans both shards: solo's singleton (shard 1) migrates into
+        # shard 0's larger component before this one is admitted.
         partner_query(bridge, [solo, a]),
     ]
     service_handles = service.submit_many(batch)
