@@ -33,9 +33,19 @@ pending-set size (100/300/1000):
   evaluation only on multi-core/free-threaded builds.  The
   ``workers_speedup`` figure is serial accept µs / workers accept µs.
 
+* **replicated arrivals** — the same worker burst against the
+  *replicated* storage backend (``backend="replicated"``): each shard
+  evaluates on a private lock-free database replica lazily synced by
+  per-relation version stamps, so the evaluation phase never touches
+  the shared reader–writer lock.  On a GIL build this mostly measures
+  the sync overhead being amortized away (the backends are
+  byte-identical in outcomes); on free-threaded builds it is the
+  configuration whose data plane scales with cores.
+
 Results are emitted as ``BENCH_engine_service.json`` (series keys
 ``retract``, ``single submit``, ``sharded submit``, ``serial
-arrivals``, ``workers arrivals`` — asserted by the CI smoke step).
+arrivals``, ``workers arrivals``, ``replicated arrivals`` — asserted
+by the CI smoke step).
 
 Usage::
 
@@ -191,6 +201,7 @@ def measure_arrivals(
     sizes,
     arrivals: int,
     repeats: int,
+    backend: str = "shared",
 ) -> Series:
     """Accept-throughput series for a burst of independent arrivals.
 
@@ -216,7 +227,9 @@ def measure_arrivals(
     previous_interval = sys.getswitchinterval()
     sys.setswitchinterval(0.0005)
     try:
-        _measure_arrival_points(series, workers, threaded, sizes, arrivals, repeats)
+        _measure_arrival_points(
+            series, workers, threaded, sizes, arrivals, repeats, backend
+        )
     finally:
         sys.setswitchinterval(previous_interval)
     return series
@@ -229,6 +242,7 @@ def _measure_arrival_points(
     sizes,
     arrivals: int,
     repeats: int,
+    backend: str,
 ) -> None:
     for size in sizes:
         accept_times: List[float] = []
@@ -237,10 +251,15 @@ def _measure_arrival_points(
             db = members_database(size=size + arrivals + 8, seed=2012)
             if threaded:
                 service = ShardedCoordinationService(
-                    db, workers=workers, mailbox_capacity=arrivals + 8
+                    db,
+                    workers=workers,
+                    mailbox_capacity=arrivals + 8,
+                    backend=backend,
                 )
             else:
-                service = ShardedCoordinationService(db, shards=workers)
+                service = ShardedCoordinationService(
+                    db, shards=workers, backend=backend
+                )
             _prefill(service, size)
             submit = service.submit_nowait if threaded else service.submit
             start = time.perf_counter()
@@ -311,6 +330,15 @@ def main(argv: List[str]) -> int:
     workers_arrivals = measure_arrivals(
         "workers arrivals", args.workers, True, arrival_sizes, arrivals, repeats
     )
+    replicated_arrivals = measure_arrivals(
+        "replicated arrivals",
+        args.workers,
+        True,
+        arrival_sizes,
+        arrivals,
+        repeats,
+        backend="replicated",
+    )
 
     print(render_series(retract, "Retract+resubmit cycles"))
     print()
@@ -327,15 +355,27 @@ def main(argv: List[str]) -> int:
         )
     )
     print()
+    print(
+        render_series(
+            replicated_arrivals,
+            f"Concurrent executor ({args.workers} workers, replicated backend)",
+        )
+    )
+    print()
 
     retract_us = _per_op_us(retract, 2 * ops)  # cycle = retract + resubmit
     single_us = _per_op_us(single, 2 * pairs)
     sharded_us = _per_op_us(sharded, 2 * pairs)
     serial_arrival_us = _per_op_us(serial_arrivals, arrivals)
     workers_arrival_us = _per_op_us(workers_arrivals, arrivals)
+    replicated_arrival_us = _per_op_us(replicated_arrivals, arrivals)
     overhead = {size: sharded_us[size] / single_us[size] for size in single_us}
     speedup = {
         size: serial_arrival_us[size] / workers_arrival_us[size]
+        for size in serial_arrival_us
+    }
+    replicated_speedup = {
+        size: serial_arrival_us[size] / replicated_arrival_us[size]
         for size in serial_arrival_us
     }
     for size in sorted(retract_us):
@@ -353,13 +393,20 @@ def main(argv: List[str]) -> int:
             f"{speedup[size]:.2f}× arrival throughput at "
             f"{args.workers} workers)"
         )
+    for size in sorted(replicated_arrival_us):
+        print(
+            f"pending={size:5d}: replicated-backend accept "
+            f"{replicated_arrival_us[size]:8.1f} µs/arrival "
+            f"({replicated_speedup[size]:.2f}× vs serial; shared-backend "
+            f"workers {workers_arrival_us[size]:8.1f})"
+        )
 
     drains = {
         series.name: {
             str(int(p.x)): p.extra_map().get("drain_seconds", 0.0)
             for p in series.points
         }
-        for series in (serial_arrivals, workers_arrivals)
+        for series in (serial_arrivals, workers_arrivals, replicated_arrivals)
     }
     payload = {
         "benchmark": "engine_service",
@@ -392,10 +439,14 @@ def main(argv: List[str]) -> int:
                 (sharded, sharded_us),
                 (serial_arrivals, serial_arrival_us),
                 (workers_arrivals, workers_arrival_us),
+                (replicated_arrivals, replicated_arrival_us),
             )
         },
         "sharded_overhead": {str(size): overhead[size] for size in overhead},
         "workers_speedup": {str(size): speedup[size] for size in speedup},
+        "replicated_speedup": {
+            str(size): replicated_speedup[size] for size in replicated_speedup
+        },
         "arrival_drain_seconds": drains,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -9,14 +9,17 @@ Subcommands:
 * ``coordinate DB.json QUERIES.eq [--algorithm scc|gupta|exact]
   [--trace] [--dot FILE]`` — run a coordination algorithm and print the
   chosen set with its assignment;
-* ``online DB.json STREAM.ops [--shards N] [--workers N]`` — replay a
-  query-lifecycle stream through a
-  :class:`~repro.core.ShardedCoordinationService` (one operation per
-  line: ``submit <query>``, ``retract <name>``,
+* ``online DB.json STREAM.ops [--shards N] [--workers N]
+  [--backend {shared,replicated}]`` — replay a query-lifecycle stream
+  through a :class:`~repro.core.ShardedCoordinationService` (one
+  operation per line: ``submit <query>``, ``retract <name>``,
   ``insert <relation> <value> ...``, ``flush``; ``#`` comments).
   ``--workers N`` runs N shards on worker threads behind the
   concurrent executor; the replay stays deterministic because each
-  line drains before the next is reported;
+  line drains before the next is reported.  ``--backend replicated``
+  evaluates each shard against a private lock-free database replica
+  with versioned invalidation (identical output, no cross-shard
+  locking during evaluation);
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -141,7 +144,9 @@ def _cmd_online(args: argparse.Namespace) -> int:
     # Read the stream before spawning any worker threads: an unreadable
     # path must fail before there is anything to leak.
     source = Path(args.stream).read_text(encoding="utf-8")
-    service = ShardedCoordinationService(db, shards=args.shards, workers=workers)
+    service = ShardedCoordinationService(
+        db, shards=args.shards, workers=workers, backend=args.backend
+    )
 
     # All satisfactions are reported through the resolution callback:
     # an arrival can retire a set it does not belong to (a previously
@@ -318,6 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run N shards on worker threads (concurrent executor; "
         "overrides --shards)",
+    )
+    online.add_argument(
+        "--backend",
+        choices=["shared", "replicated"],
+        default="shared",
+        help="storage backend: one locked shared store, or per-shard "
+        "lock-free replicas with versioned invalidation (default: shared)",
     )
     online.set_defaults(func=_cmd_online)
 

@@ -26,6 +26,13 @@ two primitives the standard library does not provide directly:
   :attr:`OwnedLock.held_elsewhere` and
   :class:`~repro.errors.ConcurrencyError`.
 
+* :class:`NullRWLock` — the lock-shaped no-op.  A per-shard database
+  *replica* (``repro.db.backend.ReplicatedBackend``) is only ever read
+  by its owning shard, so its facade needs no synchronization at all;
+  constructing the replica with this stand-in keeps the
+  :class:`~repro.db.Database` code identical while making every lock
+  acquisition free.
+
 Both primitives are cheap when uncontended (a condition-variable
 acquire/release pair), so the serial code paths can share one
 implementation with the threaded ones.
@@ -143,6 +150,32 @@ class RWLock:
     def read_count(self) -> int:
         """Number of currently active readers (introspection/tests)."""
         return self._readers
+
+
+class NullRWLock:
+    """An :class:`RWLock` stand-in whose acquisitions are no-ops.
+
+    Structures with a single-owner access pattern (per-shard database
+    replicas) pay no synchronization cost while keeping the lock-using
+    code paths identical.  :attr:`read_count` is always ``0``.
+    """
+
+    __slots__ = ()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """No-op shared acquisition."""
+        yield
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """No-op exclusive acquisition."""
+        yield
+
+    @property
+    def read_count(self) -> int:
+        """Always ``0`` (introspection parity with :class:`RWLock`)."""
+        return 0
 
 
 class OwnedLock:

@@ -71,7 +71,7 @@ from typing import (
 )
 
 from ..concurrency import OwnedLock
-from ..db import Database
+from ..db import Database, EvaluationReader
 from ..errors import ConcurrencyError, PreconditionError
 from ..graphs import UnionFind
 from .coordination_graph import CoordinationGraph
@@ -231,11 +231,14 @@ class _StateCache(dict):
 class _EvaluationPlan:
     """Snapshot handed from an evaluation's locked plan phase to its
     unlocked run phase: the component members, the independently-cored
-    induced subgraph, and the stamp-checked state cache."""
+    induced subgraph, the stamp-checked state cache, and the database
+    view acquired from the storage backend (the shared store, or a
+    freshly synced per-shard replica)."""
 
     component: Tuple[str, ...]
     restricted: "CoordinationGraph"
     cache: Optional[ComponentCache]
+    db: Database
 
 
 @dataclass
@@ -286,6 +289,16 @@ class CoordinationEngine:
         fail to explain a changed global stamp — and entries touching
         a satisfied/retracted (deleted) query are dropped.  Disable to
         reproduce the non-memoized evaluation cost profile.
+    reader:
+        Optional storage-backend view
+        (:class:`~repro.db.EvaluationReader`): where this engine's
+        evaluations *read* from.  ``None`` (default) evaluates against
+        ``db`` directly — the shared-store behaviour.  The sharded
+        service hands each shard its backend reader; with the
+        replicated backend the reader returns a private replica synced
+        at plan time, so the evaluation (run) phase touches no shared
+        lock.  Writes and version stamps always go through ``db``, the
+        authoritative store.
     """
 
     def __init__(
@@ -295,8 +308,10 @@ class CoordinationEngine:
         check_safety: bool = True,
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
+        reader: Optional[EvaluationReader] = None,
     ) -> None:
         self.db = db
+        self._reader = reader
         self.choose = choose
         self.check_safety = check_safety
         self.reuse_groundings = reuse_groundings
@@ -484,12 +499,13 @@ class CoordinationEngine:
         ``result.chosen`` is ``None``.
         """
         self._guard()
+        db = self._evaluation_db()
         result = scc_coordinate_on_graph(
-            self.db,
+            db,
             self._graph,
             choose=self.choose,
             reuse_groundings=self.reuse_groundings,
-            component_cache=self._component_cache(),
+            component_cache=self._component_cache(db),
         )
         if result.chosen is not None:
             satisfied = result.chosen.members
@@ -674,21 +690,41 @@ class CoordinationEngine:
         mutations of the live graph cannot reach it), and the
         stamp-checked state cache."""
         component = tuple(sorted(self._components.members(name)))
+        # Acquire the evaluation view first, then stamp-check the cache
+        # against *it*: the stamps then describe exactly the data the
+        # run phase will read (for a replica this is also lock-free —
+        # the authoritative store is only touched when its write token
+        # moved; epochs equal row counts, so replica stamps agree with
+        # the authoritative stamps they were synced from).
+        db = self._evaluation_db()
         return _EvaluationPlan(
             component,
             self._graph.restricted_to(component),
-            self._component_cache(),
+            self._component_cache(db),
+            db,
         )
+
+    def _evaluation_db(self) -> Database:
+        """The database view evaluations read from (plan-phase acquire).
+
+        Without a backend reader this is the authoritative store
+        itself.  With one, the backend hands back its view for this
+        shard — for the replicated backend, a private replica lazily
+        synced to the authoritative per-relation version stamps, so the
+        run phase that follows does no cross-shard locking."""
+        if self._reader is None:
+            return self.db
+        return self._reader.acquire()
 
     def _run_evaluation(self, plan: "_EvaluationPlan") -> CoordinationResult:
         """Data-plane half: pure computation over the plan's snapshot.
 
         Touches no engine structure, so the concurrent executor runs it
         outside :attr:`lock`; database access synchronizes through the
-        database's own reader–writer lock and cache writes through the
-        cache's mutex."""
+        plan database's own reader–writer lock (a no-op for a private
+        replica) and cache writes through the cache's mutex."""
         return scc_coordinate_on_graph(
-            self.db,
+            plan.db,
             plan.restricted,
             choose=self.choose,
             reuse_groundings=self.reuse_groundings,
@@ -781,8 +817,11 @@ class CoordinationEngine:
         query = self._pending.get(name)
         return None if query is None else query.body_relations()
 
-    def _component_cache(self) -> Optional[ComponentCache]:
-        """The cross-arrival component cache, stamped against the db.
+    def _component_cache(self, db: Database) -> Optional[ComponentCache]:
+        """The cross-arrival component cache, stamped against ``db`` —
+        the view the upcoming evaluation reads (the authoritative store,
+        or the shard replica just synced from it, whose per-relation
+        epochs agree with the authoritative stamps by construction).
 
         The cheap global-sum stamp (:meth:`~repro.db.Database.data_version`)
         gates the common unchanged case; when it moves, the per-relation
@@ -793,9 +832,9 @@ class CoordinationEngine:
         """
         if self._component_states is None:
             return None
-        stamp = self.db.data_version()
+        stamp = db.data_version()
         if stamp != self._db_stamp:
-            stamps = self.db.data_versions()
+            stamps = db.data_versions()
             changed = {
                 relation
                 for relation in stamps.keys() | self._db_stamps.keys()

@@ -3,8 +3,10 @@
 :class:`~repro.core.service.ShardedCoordinationService` separates a
 *control plane* (the router thread: probing, admission, migration,
 placement — cheap graph deltas) from a *data plane* (component
-evaluations — database joins).  This module supplies the two thread
-primitives that separation runs on:
+evaluations — database joins, against the shared store or, under the
+replicated storage backend, a private per-shard replica synced at plan
+time).  This module supplies the two thread primitives that separation
+runs on:
 
 * :class:`ShardWorker` — one thread per engine shard, consuming a
   bounded FIFO **mailbox** of jobs.  The mailbox bound is the service's

@@ -66,6 +66,26 @@ deadlocking the shard that resolved it.  Handles stay thread-safe
 (:meth:`~repro.core.lifecycle.QueryHandle.wait`), and the shared
 database synchronizes reads/writes through its own reader–writer lock.
 
+Storage backends (``backend="shared"``/``"replicated"``)
+--------------------------------------------------------
+Where shard evaluations *read from* is pluggable
+(:mod:`repro.db.backend`).  The default shared backend has every shard
+evaluate against the one authoritative database under its
+reader–writer lock.  The **replicated** backend gives each shard a
+private lock-free replica, lazily re-synced from the authoritative
+store at evaluation *plan* time by diffing the per-relation
+:meth:`~repro.db.Database.data_versions` stamps — so the expensive
+evaluation phase does no cross-shard locking at all.  Invalidation
+rides the write path: :meth:`insert` (after its evaluation barrier)
+lands in the authoritative store, whose write listener bumps the
+backend's write token; the next plan-phase acquisition on any shard
+sees the moved token and copies exactly the changed relations' new
+rows.  Replicas sync to the monotone authoritative state, so migration
+re-homing a component onto another shard never lets it observe older
+data than its donor shard did.  Outcomes are byte-identical across
+backends — asserted by the same equivalence and journal-replay fuzz
+suites that pin the worker mode to the serial service.
+
 Because the invariant holds at every step, the service returns
 **identical coordinating sets** (same members, same assignments) as a
 single engine fed the same submit/retract stream — the equivalence the
@@ -83,7 +103,7 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..concurrency import Deadline
-from ..db import Database
+from ..db import BackendSpec, Database, resolve_backend
 from ..errors import ConcurrencyError, PreconditionError
 from .engine import CoordinationEngine
 from .executor import CallbackDispatcher, ShardWorker
@@ -137,6 +157,11 @@ class ShardedCoordinationService:
     choose, check_safety, reuse_groundings, reuse_component_states:
         Forwarded to every shard's
         :class:`~repro.core.engine.CoordinationEngine`.
+    backend:
+        Storage backend the shards evaluate against: ``"shared"``
+        (default), ``"replicated"``, or a pre-built
+        :class:`~repro.db.Backend` instance bound to ``db``.  See the
+        module docstring; semantics are identical either way.
     """
 
     #: Router ops between opportunistic rebalance checks.
@@ -154,6 +179,7 @@ class ShardedCoordinationService:
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
         mailbox_capacity: int = 1024,
+        backend: BackendSpec = "shared",
     ) -> None:
         if workers is not None:
             if workers < 1:
@@ -162,6 +188,12 @@ class ShardedCoordinationService:
         if shards < 1:
             raise PreconditionError("a service needs at least one shard")
         self.db = db
+        #: The storage backend shard evaluations read through; writes
+        #: always go to the authoritative ``db``.  A backend built here
+        #: from a name spec is owned (and closed) by this service; a
+        #: caller-provided instance stays the caller's to close.
+        self._owns_backend = isinstance(backend, str)
+        self.backend = resolve_backend(backend, db)
         self._engines = [
             CoordinationEngine(
                 db,
@@ -169,8 +201,9 @@ class ShardedCoordinationService:
                 check_safety=check_safety,
                 reuse_groundings=reuse_groundings,
                 reuse_component_states=reuse_component_states,
+                reader=self.backend.reader(index),
             )
-            for _ in range(shards)
+            for index in range(shards)
         ]
         # Router lock: linearizes placement decisions, migrations,
         # retractions, flushes, and writes.  Held while waiting on
@@ -221,6 +254,11 @@ class ShardedCoordinationService:
     def worker_count(self) -> int:
         """Number of worker threads (0 in serial mode)."""
         return 0 if self._workers is None else len(self._workers)
+
+    @property
+    def backend_name(self) -> str:
+        """The storage backend identifier (``shared``/``replicated``)."""
+        return self.backend.name
 
     def shard_of(self, name: str) -> Optional[int]:
         """The shard index currently holding a pending query."""
@@ -410,12 +448,15 @@ class ShardedCoordinationService:
     def insert(self, relation: str, row: Sequence) -> bool:
         """Insert one database tuple, ordered against evaluations.
 
-        The shared database is visible to every evaluation, so a write
-        must not overtake evaluations admitted before it: this call
-        barriers behind *all* outstanding evaluations (worker mode),
-        then performs the insert, linearized under the router lock.
-        Direct ``db.insert`` calls bypass the barrier and are only
-        stream-equivalent in serial mode.
+        The authoritative database is visible to every evaluation, so a
+        write must not overtake evaluations admitted before it: this
+        call barriers behind *all* outstanding evaluations (worker
+        mode), then performs the insert, linearized under the router
+        lock.  The insert lands in the authoritative store, whose write
+        listener invalidates the replicated backend's per-shard
+        replicas (they re-sync at their next plan-phase acquisition).
+        Direct ``db.insert`` calls still invalidate replicas but bypass
+        the barrier, so they are only stream-equivalent in serial mode.
         """
         with self._router:
             self._check_open()
@@ -555,6 +596,12 @@ class ShardedCoordinationService:
             assert self._dispatcher is not None
             self._dispatcher.drain(deadline.remaining())
             self._dispatcher.stop(deadline.remaining())
+        if not already_closed and self._owns_backend:
+            # Detach the backend's database hooks so a long-lived
+            # database does not keep paying for (or pinning) the
+            # replicas of a service that is gone.  Caller-provided
+            # backend instances are the caller's to close.
+            self.backend.close()
         if raise_deferred:
             self._raise_deferred_errors()
 
@@ -964,6 +1011,6 @@ class ShardedCoordinationService:
         )
         return (
             f"ShardedCoordinationService({self.shard_count} shards, {mode}, "
-            f"pending per shard: [{loads}], {self.migrations} migrations, "
-            f"{self.rebalances} rebalanced)"
+            f"{self.backend.name} backend, pending per shard: [{loads}], "
+            f"{self.migrations} migrations, {self.rebalances} rebalanced)"
         )

@@ -6,6 +6,14 @@ storage, a backtracking conjunctive-query evaluator, and
 machine-independent instrumentation counters.
 """
 
+from .backend import (
+    Backend,
+    BackendSpec,
+    EvaluationReader,
+    ReplicatedBackend,
+    SharedBackend,
+    resolve_backend,
+)
 from .builder import DatabaseBuilder, unary_boolean_database
 from .database import Database
 from .evaluator import Assignment, Evaluator
@@ -24,13 +32,18 @@ from .storage import Relation, Row
 
 __all__ = [
     "Assignment",
+    "Backend",
+    "BackendSpec",
     "ConjunctiveQuery",
     "CoordinationStats",
     "Database",
     "DatabaseBuilder",
     "EngineStats",
+    "EvaluationReader",
     "Evaluator",
     "Relation",
+    "ReplicatedBackend",
+    "SharedBackend",
     "RelationSchema",
     "Row",
     "Schema",
@@ -38,6 +51,7 @@ __all__ = [
     "database_to_spec",
     "load_csv_table",
     "load_database",
+    "resolve_backend",
     "save_csv_table",
     "save_database",
     "unary_boolean_database",

@@ -1,0 +1,314 @@
+"""Pluggable storage backends: how engine shards see the database.
+
+The coordination engines split every component evaluation into a locked
+*plan* phase and an unlocked *run* phase (``evaluate_admitted_phased``).
+The run phase is pure database reads — which makes the question "what
+database object does a shard evaluate against?" a seam.  This module
+makes the seam explicit:
+
+* :class:`SharedBackend` — the status quo: every shard evaluates
+  against the one authoritative :class:`~repro.db.Database`, whose
+  reader–writer lock arbitrates between concurrently evaluating
+  workers and writers.  Zero copies, but every evaluation step takes
+  the shared read lock.
+
+* :class:`ReplicatedBackend` — the snapshot/versioned-store pattern of
+  disk-backed search engines: each shard owns a private, **lock-free**
+  replica (:class:`~repro.db.Database` built with
+  ``synchronized=False``) and lazily re-syncs it from the
+  authoritative store at *plan* time, by diffing the per-relation
+  :meth:`~repro.db.Database.data_versions` stamps.  Relations are
+  append-only, so a changed relation catches up by copying only its
+  new row tail (:meth:`~repro.db.storage.Relation.replicate_from`) —
+  O(rows written since the last sync), amortized over evaluations.
+  The *evaluation* phase then runs entirely against private state: no
+  cross-shard lock is touched, which is what lets worker shards scale
+  the data plane on free-threaded builds and is the stepping stone to
+  process-based shards (the sync protocol is already an explicit
+  copy-over-a-boundary).
+
+Invalidation is a two-level protocol:
+
+1. every facade-level write to the authoritative store bumps a backend
+   **write token** (registered via
+   :meth:`~repro.db.Database.add_write_listener`), so an untouched
+   database costs a replica exactly one integer comparison per
+   acquisition — no shared lock, no stamp walk;
+2. when the token moved, the reader takes one shared read acquisition
+   on the authoritative store, diffs the per-relation ``write_epoch``
+   stamps against what its replica last saw, and copies the changed
+   relations' new rows (creating relations the replica has never seen,
+   so DDL propagates too).
+
+Because the replica applies the authoritative row lists *in insertion
+order*, scans — and therefore conjunctive-query evaluation, option
+lists, and the active-domain filler — are byte-identical to evaluating
+against the authoritative store.  Writes performed directly on a
+:class:`~repro.db.storage.Relation` handle bypass the facade and
+therefore the token (exactly as they bypass the facade's counters);
+route writes through ``Database.insert``/``insert_many`` — as the
+service's ``insert`` barrier already does — when replicas are in play.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Callable, Dict, List, Optional, Protocol, Union
+
+from ..errors import PreconditionError
+from .database import Database
+
+
+class EvaluationReader(Protocol):
+    """One shard's view acquisition: hands out the database to evaluate on.
+
+    :meth:`acquire` is called in the engine's *plan* phase (under the
+    engine lock, never concurrently with itself for one reader); the
+    returned instance must stay valid and internally consistent for the
+    duration of the evaluation that follows.
+    """
+
+    def acquire(self) -> Database:
+        """Return the database instance this shard evaluates against."""
+        ...
+
+
+class Backend(Protocol):
+    """A storage backend: the authoritative store plus per-shard readers."""
+
+    #: Identifier used by CLI/benchmark selection (``shared``/``replicated``).
+    name: str
+    #: The authoritative database — writes always land here.
+    db: Database
+
+    def reader(self, shard: int) -> EvaluationReader:
+        """The evaluation reader for shard ``shard`` (stable per shard)."""
+        ...
+
+    def close(self) -> None:
+        """Release any hooks on the authoritative store (idempotent)."""
+        ...
+
+
+class _SharedReader:
+    """Reader of the shared backend: the authoritative store itself."""
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+
+    def acquire(self) -> Database:
+        return self._db
+
+
+class SharedBackend:
+    """All shards evaluate against the one locked authoritative store."""
+
+    name = "shared"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._reader = _SharedReader(db)
+
+    def reader(self, shard: int) -> _SharedReader:
+        return self._reader
+
+    def close(self) -> None:
+        """Nothing to release: the shared backend installs no hooks."""
+
+    def __repr__(self) -> str:
+        return f"SharedBackend({self.db!r})"
+
+
+class _Replica:
+    """One shard's private replica and its sync bookkeeping."""
+
+    __slots__ = ("db", "stamps", "token", "syncs", "rows_copied")
+
+    def __init__(self) -> None:
+        #: Lock-free private instance; only the owning shard reads it.
+        self.db = Database(synchronized=False)
+        #: Authoritative per-relation stamps as of the last sync.
+        self.stamps: Dict[str, int] = {}
+        #: Backend write token as of the last sync.  Real tokens are
+        #: ≥ 0 and monotone, so -1 doubles as the never-synced sentinel
+        #: (the first acquisition always takes the sync path).
+        self.token = -1
+        #: Introspection: completed sync passes / rows copied in total.
+        self.syncs = 0
+        self.rows_copied = 0
+
+
+class _ReplicaReader:
+    """Reader of the replicated backend: sync-on-demand private replica."""
+
+    __slots__ = ("_backend", "_replica")
+
+    def __init__(self, backend: "ReplicatedBackend", replica: _Replica) -> None:
+        self._backend = backend
+        self._replica = replica
+
+    def acquire(self) -> Database:
+        return self._backend._acquire(self._replica)
+
+
+class ReplicatedBackend:
+    """Per-shard lock-free replicas with versioned invalidation.
+
+    One instance serves one authoritative database and any number of
+    shards; each shard's reader owns a private replica.  See the module
+    docstring for the sync/invalidation protocol.
+    """
+
+    name = "replicated"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self._replicas: List[_Replica] = []
+        # The token is bumped by database write listeners, which may
+        # fire from any thread; a mutex keeps the increment lost-update
+        # free on free-threaded builds (readers only compare values).
+        self._token_mutex = threading.Lock()
+        self._write_token = 0
+        # The registered listener must not pin this backend (and its
+        # replicas) for the lifetime of the database: register a
+        # weakref stub that self-prunes from the listener list once the
+        # backend is collected, and detach eagerly in :meth:`close`.
+        self._listener = _weak_write_listener(db, weakref.ref(self))
+        db.add_write_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def _note_write(self) -> None:
+        """Database write listener: invalidate every replica's fast path."""
+        with self._token_mutex:
+            self._write_token += 1
+
+    @property
+    def write_token(self) -> int:
+        """Monotone count of authoritative facade writes (introspection)."""
+        return self._write_token
+
+    def close(self) -> None:
+        """Detach this backend's write listener (idempotent).
+
+        After closing, replicas stop receiving invalidation, so the
+        backend must not serve further evaluations; the service closes
+        the backends it created itself (``backend="replicated"``) from
+        its own ``close``.  Without an explicit close the weakref stub
+        self-prunes once the backend is garbage collected — but only an
+        eager detach stops the (tiny) per-write stub call immediately.
+        """
+        self.db.remove_write_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def reader(self, shard: int) -> _ReplicaReader:
+        """The reader for shard ``shard``, creating replicas as needed.
+
+        Shards index densely from 0; readers are stable (repeated calls
+        return views over the same replica), so an engine keeps its
+        replica across the service's component migrations.
+        """
+        while len(self._replicas) <= shard:
+            self._replicas.append(_Replica())
+        return _ReplicaReader(self, self._replicas[shard])
+
+    def replica_stats(self) -> List[Dict[str, int]]:
+        """Per-replica sync counters (introspection/benchmarks)."""
+        return [
+            {"syncs": r.syncs, "rows_copied": r.rows_copied}
+            for r in self._replicas
+        ]
+
+    # ------------------------------------------------------------------
+    # Sync protocol
+    # ------------------------------------------------------------------
+    def _acquire(self, replica: _Replica) -> Database:
+        """Return ``replica.db``, synced to the current authoritative state.
+
+        Fast path: the write token did not move since this replica's
+        last sync — return immediately, no shared lock taken.  Slow
+        path: under one shared read acquisition of the authoritative
+        store, diff the per-relation stamps and copy the changed
+        relations' new row tails.  Read the token *before* the stamp
+        walk: a write landing mid-sync leaves the recorded token stale,
+        so the next acquisition re-syncs — never the reverse.
+        """
+        token = self._write_token
+        if token == replica.token:
+            return replica.db
+        source = self.db
+        with source.rw.read():
+            for name, relation in source._relations.items():
+                epoch = relation.write_epoch
+                if replica.stamps.get(name) == epoch and name in replica.db:
+                    continue
+                if name in replica.db:
+                    mirror = replica.db.relation(name)
+                else:
+                    mirror = replica.db.attach_relation(relation.schema)
+                replica.rows_copied += mirror.replicate_from(relation)
+                replica.stamps[name] = epoch
+        replica.token = token
+        replica.syncs += 1
+        return replica.db
+
+
+def _weak_write_listener(
+    db: Database, ref: "weakref.ref[ReplicatedBackend]"
+) -> Callable[[], None]:
+    """A write-listener stub holding only a weakref to its backend.
+
+    Forwards to the live backend's token bump; once the backend has
+    been collected, removes itself from the database's listener list
+    (the snapshot in ``Database._notify_write`` makes mid-notification
+    removal safe), so long-lived databases do not accumulate dead
+    stubs across short-lived backends that were never ``close``d.
+    """
+
+    def stub() -> None:
+        backend = ref()
+        if backend is None:
+            db.remove_write_listener(stub)
+        else:
+            backend._note_write()
+
+    return stub
+
+
+#: What service/CLI callers may pass to select a backend.
+BackendSpec = Union[str, Backend]
+
+_BACKENDS = {
+    SharedBackend.name: SharedBackend,
+    ReplicatedBackend.name: ReplicatedBackend,
+}
+
+
+def resolve_backend(spec: BackendSpec, db: Database) -> Backend:
+    """Turn a backend spec into an instance bound to ``db``.
+
+    ``spec`` is a name (``"shared"``/``"replicated"``), or an existing
+    backend instance — which must already be bound to ``db`` (a backend
+    syncs replicas from *its* authoritative store; silently accepting a
+    mismatch would serve stale foreign data).
+    """
+    if isinstance(spec, str):
+        try:
+            factory = _BACKENDS[spec]
+        except KeyError:
+            raise PreconditionError(
+                f"unknown storage backend {spec!r} "
+                f"(expected one of {sorted(_BACKENDS)})"
+            ) from None
+        return factory(db)
+    if getattr(spec, "db", None) is not db:
+        raise PreconditionError(
+            "backend instance is bound to a different database"
+        )
+    return spec

@@ -5,7 +5,8 @@ role MySQL/JDBC played in the paper's implementation (Section 6): the
 algorithms submit conjunctive queries and receive one grounding
 (choose-1 semantics) or enumerate projections for option lists.
 
-Concurrency: one database instance is shared by every engine shard, so
+Concurrency: under the shared storage backend one database instance is
+shared by every engine shard, so
 the facade guards itself with a :class:`~repro.concurrency.RWLock` —
 evaluation (reads) from any number of shard workers proceeds
 concurrently, inserts take the lock exclusively.  Locking lives at the
@@ -17,13 +18,29 @@ concurrent readers — see the storage module).  The per-relation
 ``write_epoch`` stamps complete the picture: readers that cache derived
 state (the engine's component-state cache) validate against
 :meth:`data_versions` instead of serializing behind writers.
+
+Under the *replicated* backend (:mod:`repro.db.backend`) each shard
+evaluates against a private, lock-free replica instance
+(``synchronized=False``) that the backend lazily syncs from this
+authoritative store by diffing the same per-relation stamps, so the
+evaluation phase touches no cross-shard lock at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from ..concurrency import RWLock
+from ..concurrency import NullRWLock, RWLock
 from ..errors import UnknownRelationError
 from ..logic import Atom, Variable
 from .evaluator import Assignment, Evaluator
@@ -42,9 +59,18 @@ class Database:
         The database schema.  Relations are materialised lazily on first
         insert/use; all relations declared in the schema exist (empty)
         from the start.
+    synchronized:
+        ``True`` (default) guards the instance with a reader–writer
+        lock.  ``False`` installs the no-op
+        :class:`~repro.concurrency.NullRWLock` — for single-owner
+        instances such as the per-shard replicas of
+        :class:`~repro.db.backend.ReplicatedBackend`, whose readers
+        never race a writer by construction.
     """
 
-    def __init__(self, schema: Optional[Schema] = None) -> None:
+    def __init__(
+        self, schema: Optional[Schema] = None, synchronized: bool = True
+    ) -> None:
         self.schema = schema if schema is not None else Schema()
         self._relations: Dict[str, Relation] = {
             rs.name: Relation(rs) for rs in self.schema
@@ -55,7 +81,14 @@ class Database:
         #: scans, stamps) share, writes (inserts, DDL) exclude.  The
         #: engine counters in :attr:`stats` are deliberately outside
         #: it — under concurrent readers they are best-effort tallies.
-        self.rw = RWLock()
+        self.rw = RWLock() if synchronized else NullRWLock()
+        # Write listeners: called (outside the lock) after every
+        # facade-level mutation — inserts that changed data and DDL.
+        # Replicated backends register here so a write anywhere
+        # invalidates every replica's fast path; mutations performed
+        # directly on a Relation handle bypass them, exactly as they
+        # bypass the facade's counters.
+        self._write_listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
     # Schema / data definition
@@ -67,12 +100,26 @@ class Database:
         key: Optional[str] = None,
     ) -> Relation:
         """Declare a relation and return its (empty) store."""
+        return self.attach_relation(RelationSchema(name, attributes, key))
+
+    def attach_relation(self, relation_schema: RelationSchema) -> Relation:
+        """Register an existing (immutable) relation schema.
+
+        Also the replica-sync path: a replica mirrors the authoritative
+        store's relations by attaching the *same*
+        :class:`~repro.db.schema.RelationSchema` objects (they are
+        frozen, so sharing is safe) instead of re-validating a copy.
+        Fires write listeners like any DDL — a new relation must reach
+        the replicated backend's invalidation token no matter which
+        declaration path created it (on a replica the notify is a
+        no-op: replicas have no listeners).
+        """
         with self.rw.write():
-            relation_schema = RelationSchema(name, attributes, key)
             self.schema.add(relation_schema)
             store = Relation(relation_schema)
-            self._relations[name] = store
-            return store
+            self._relations[relation_schema.name] = store
+        self._notify_write()
+        return store
 
     def relation(self, name: str) -> Relation:
         """The tuple store for ``name``; raises if undeclared.
@@ -92,6 +139,7 @@ class Database:
             inserted = self.relation(name).insert(row)
         if inserted:
             self.stats.inserts += 1
+            self._notify_write()
         return inserted
 
     def insert_many(self, name: str, rows: Iterable[Iterable[Hashable]]) -> int:
@@ -99,7 +147,37 @@ class Database:
         with self.rw.write():
             count = self.relation(name).insert_many(rows)
         self.stats.inserts += count
+        if count:
+            self._notify_write()
         return count
+
+    def add_write_listener(self, listener: Callable[[], None]) -> None:
+        """Register a zero-argument callable fired after facade writes.
+
+        Fired after :meth:`insert`/:meth:`insert_many` calls that
+        changed data and after :meth:`create_relation`, outside the
+        instance lock.  Listeners must be cheap and idempotent (a
+        replicated backend bumps a write token); detach with
+        :meth:`remove_write_listener` when the registrant's lifetime is
+        shorter than the database's — a registered listener pins its
+        closure until removed.
+        """
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: Callable[[], None]) -> None:
+        """Detach a write listener; a no-op when it is not registered."""
+        try:
+            self._write_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify_write(self) -> None:
+        if not self._write_listeners:
+            return
+        # Snapshot: a listener may detach itself mid-notification (the
+        # replicated backend's self-pruning weakref stub does).
+        for listener in list(self._write_listeners):
+            listener()
 
     def data_version(self) -> int:
         """A monotone stamp of the database contents.

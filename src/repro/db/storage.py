@@ -75,6 +75,24 @@ class Relation:
         """Insert many tuples; returns the number actually inserted."""
         return sum(1 for row in rows if self.insert(row))
 
+    def replicate_from(self, source: "Relation") -> int:
+        """Append ``source``'s rows this store does not have yet.
+
+        The replica-sync primitive: relations are append-only (rows are
+        only ever added, in insertion order), so a replica that holds a
+        prefix of the authoritative row list catches up by copying the
+        tail — O(new rows), never O(relation).  Preserves insertion
+        order exactly, so scans (and therefore evaluation results) on
+        the replica are byte-identical to the source.  Returns the
+        number of rows copied; the caller holds whatever lock protects
+        ``source``.
+        """
+        copied = 0
+        for row in source._rows[len(self._rows):]:
+            if self.insert(row):
+                copied += 1
+        return copied
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

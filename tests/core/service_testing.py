@@ -8,9 +8,11 @@ against a single-engine oracle.
 """
 
 import random
+from collections import Counter
 from typing import List, Optional, Tuple
 
 from repro.core import (
+    CoordinationEngine,
     EntangledQuery,
     QueryState,
     ShardedCoordinationService,
@@ -101,6 +103,69 @@ def run_equivalent_streams(service, engine, events) -> None:
             )
         assert set(service.pending()) == set(engine.pending())
         assert_invariants(service)
+
+
+def replay_into_oracle(journal, db):
+    """Replay a service journal into a fresh single engine; return the
+    oracle outcomes: (engine, resolution Counter, per-entry raise log).
+
+    The one journal-to-oracle interpreter shared by every fuzz suite —
+    a new journal entry kind gets handled here once, so the concurrent
+    and backend fuzzes can never diverge in what they replay."""
+    engine = CoordinationEngine(db)
+    resolutions = Counter()
+
+    @engine.on_resolved
+    def _collect(handle):
+        resolutions[
+            (handle.query, handle.state.value, tuple(handle.satisfied_with))
+        ] += 1
+
+    raise_log = []
+    for entry in journal:
+        kind = entry[0]
+        if kind == "submit":
+            _, query, _service_raised = entry
+            try:
+                engine.submit(query)
+            except PreconditionError:
+                raise_log.append(True)
+            else:
+                raise_log.append(False)
+        elif kind == "submit_many":
+            engine.submit_many(entry[1])
+            raise_log.append(False)
+        elif kind == "retract":
+            _, name, _service_raised = entry
+            try:
+                engine.retract(name)
+            except PreconditionError:
+                raise_log.append(True)
+            else:
+                raise_log.append(False)
+        elif kind == "insert":
+            engine.db.insert(entry[1], entry[2])
+            raise_log.append(False)
+        elif kind == "flush_drain":
+            while True:
+                result = engine.flush()
+                if result.chosen is None:
+                    break
+            raise_log.append(False)
+        elif kind == "flush":
+            # A single service flush retires up to one set *per shard*
+            # — a placement-dependent subset a single engine cannot
+            # reproduce.  Fuzz streams must use flush_drain (whose
+            # fixpoint is placement-independent); a plain flush in a
+            # journal under replay is a test-design error, not a
+            # service bug, so fail loudly instead of diverging later.
+            raise AssertionError(
+                "journaled plain flush() is not oracle-replayable; "
+                "fuzz streams must call flush_drain()"
+            )
+        else:  # pragma: no cover - journal is produced by the service
+            raise AssertionError(f"unknown journal entry {entry!r}")
+    return engine, resolutions, raise_log
 
 
 def partner_stream(rng: random.Random, length: int):

@@ -11,6 +11,10 @@ asserts that three ways:
 * a multi-threaded fuzz of interleaved submit / submit_nowait /
   retract / insert / flush streams, replayed after quiescence from the
   service's linearization journal into a single-engine oracle;
+
+both run under **both storage backends** (the shared locked store and
+the per-shard replicated store with versioned invalidation — see
+``repro.db.backend``); plus
 * targeted regressions — an ``on_resolved`` callback that re-enters
   ``submit`` (must not deadlock a shard), handle ``wait``, least-loaded
   placement, the idle-component rebalancer, and the engine's
@@ -39,6 +43,7 @@ from service_testing import (
     chosen_bytes,
     flight_query,
     partner_stream,
+    replay_into_oracle,
     run_equivalent_streams,
 )
 
@@ -48,18 +53,20 @@ DRAIN_TIMEOUT = 60.0
 # ---------------------------------------------------------------------------
 # Blocking equivalence: workers=N against the single-engine oracle
 # ---------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
 @pytest.mark.parametrize("seed", range(3))
-def test_partner_workload_equivalence_with_workers(seed):
+def test_partner_workload_equivalence_with_workers(seed, backend):
     rng = random.Random(1000 + seed)
     db = members_database(size=DB_SIZE, seed=2012)
     engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
-    with ShardedCoordinationService(db, workers=4) as service:
+    with ShardedCoordinationService(db, workers=4, backend=backend) as service:
         run_equivalent_streams(service, engine, partner_stream(rng, 70))
         assert service.drain(timeout=DRAIN_TIMEOUT)
 
 
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
 @pytest.mark.parametrize("seed", range(2))
-def test_flights_workload_equivalence_with_workers(seed):
+def test_flights_workload_equivalence_with_workers(seed, backend):
     rng = random.Random(2000 + seed)
     users = 24
     db = worst_case_database(num_flights=20, num_users=users)
@@ -80,7 +87,7 @@ def test_flights_workload_equivalence_with_workers(seed):
                 ("submit",
                  flight_query(user_name(index), [user_name(p) for p in partners]))
             )
-    with ShardedCoordinationService(db, workers=4) as service:
+    with ShardedCoordinationService(db, workers=4, backend=backend) as service:
         run_equivalent_streams(service, engine, events)
         assert service.drain(timeout=DRAIN_TIMEOUT)
 
@@ -109,65 +116,6 @@ def test_submit_many_equivalence_with_workers():
 # ---------------------------------------------------------------------------
 # Journal-replay fuzz: interleaved multi-threaded streams vs the oracle
 # ---------------------------------------------------------------------------
-def _replay_into_oracle(journal, db):
-    """Replay a service journal into a fresh single engine; return the
-    oracle outcomes: (engine, resolution Counter, per-entry raise log)."""
-    engine = CoordinationEngine(db)
-    resolutions = Counter()
-
-    @engine.on_resolved
-    def _collect(handle):
-        resolutions[
-            (handle.query, handle.state.value, tuple(handle.satisfied_with))
-        ] += 1
-
-    raise_log = []
-    for entry in journal:
-        kind = entry[0]
-        if kind == "submit":
-            _, query, _service_raised = entry
-            try:
-                engine.submit(query)
-            except PreconditionError:
-                raise_log.append(True)
-            else:
-                raise_log.append(False)
-        elif kind == "submit_many":
-            engine.submit_many(entry[1])
-            raise_log.append(False)
-        elif kind == "retract":
-            _, name, _service_raised = entry
-            try:
-                engine.retract(name)
-            except PreconditionError:
-                raise_log.append(True)
-            else:
-                raise_log.append(False)
-        elif kind == "insert":
-            engine.db.insert(entry[1], entry[2])
-            raise_log.append(False)
-        elif kind == "flush_drain":
-            while True:
-                result = engine.flush()
-                if result.chosen is None:
-                    break
-            raise_log.append(False)
-        elif kind == "flush":
-            # A single service flush retires up to one set *per shard*
-            # — a placement-dependent subset a single engine cannot
-            # reproduce.  Fuzz streams must use flush_drain (whose
-            # fixpoint is placement-independent); a plain flush in a
-            # journal under replay is a test-design error, not a
-            # service bug, so fail loudly instead of diverging later.
-            raise AssertionError(
-                "journaled plain flush() is not oracle-replayable; "
-                "fuzz streams must call flush_drain()"
-            )
-        else:  # pragma: no cover - journal is produced by the service
-            raise AssertionError(f"unknown journal entry {entry!r}")
-    return engine, resolutions, raise_log
-
-
 def _fuzz_client(service, thread_index, ops, errors):
     """One client thread's deterministic op stream (timing is not)."""
     rng = random.Random(9000 + thread_index)
@@ -213,12 +161,13 @@ def _fuzz_client(service, thread_index, ops, errors):
         errors.append(error)
 
 
-def test_multithreaded_fuzz_matches_single_engine_oracle():
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
+def test_multithreaded_fuzz_matches_single_engine_oracle(backend):
     # Users 0..599 span the three clients' namespaces; most rows exist
     # up front (members_database covers 0..DB_SIZE-1), the rest arrive
     # via service.insert mid-stream.
     db = members_database(size=DB_SIZE, seed=2012)
-    service = ShardedCoordinationService(db, workers=3)
+    service = ShardedCoordinationService(db, workers=3, backend=backend)
     service.journal = []
     resolutions = Counter()
 
@@ -249,7 +198,7 @@ def test_multithreaded_fuzz_matches_single_engine_oracle():
         service_raises = [
             entry[-1] for entry in journal if entry[0] in ("submit", "retract")
         ]
-        oracle, oracle_resolutions, raise_log = _replay_into_oracle(
+        oracle, oracle_resolutions, raise_log = replay_into_oracle(
             journal, members_database(size=DB_SIZE, seed=2012)
         )
         # Replay the journal's inserts were applied to the oracle's own
@@ -271,7 +220,8 @@ def test_multithreaded_fuzz_matches_single_engine_oracle():
         service.close()
 
 
-def test_nowait_burst_matches_oracle():
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
+def test_nowait_burst_matches_oracle(backend):
     db = members_database(size=DB_SIZE, seed=2012)
     oracle = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
     rng = random.Random(7)
@@ -280,7 +230,7 @@ def test_nowait_burst_matches_oracle():
         name = member_name(i % 25)
         partners = [member_name(p) for p in rng.sample(range(25), k=rng.choice((0, 1, 2)))]
         queries.append(partner_query(name, partners))
-    with ShardedCoordinationService(db, workers=4) as service:
+    with ShardedCoordinationService(db, workers=4, backend=backend) as service:
         service.journal = []
         for query in queries:
             try:
@@ -289,7 +239,7 @@ def test_nowait_burst_matches_oracle():
                 pass
         assert service.drain(timeout=DRAIN_TIMEOUT)
         journal = list(service.journal)
-        oracle_engine, _, raise_log = _replay_into_oracle(
+        oracle_engine, _, raise_log = replay_into_oracle(
             journal, members_database(size=DB_SIZE, seed=2012)
         )
         assert [e[-1] for e in journal] == raise_log
@@ -532,15 +482,18 @@ def test_closed_service_rejects_operations():
         service.submit(partner_query(member_name(0), []))
 
 
-def test_insert_barrier_orders_writes_after_admitted_evaluations():
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
+def test_insert_barrier_orders_writes_after_admitted_evaluations(backend):
     # A nowait submit whose body row is missing stays pending even
     # though the row arrives "immediately" after: the insert barriers
     # behind the already-admitted evaluation, exactly like the serial
-    # order submit-then-insert.  A flush then completes it.
+    # order submit-then-insert.  A flush then completes it.  Under the
+    # replicated backend the insert additionally invalidates every
+    # shard replica, so the flush evaluates against the new row.
     absent = member_name(1000)
     db = members_database(size=DB_SIZE, seed=2012)
     oracle = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
-    with ShardedCoordinationService(db, workers=2) as service:
+    with ShardedCoordinationService(db, workers=2, backend=backend) as service:
         query = partner_query(absent, [absent])
         service.submit_nowait(query)
         oracle.submit(query)

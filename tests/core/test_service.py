@@ -35,25 +35,27 @@ from service_testing import (
 )
 
 
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
 @pytest.mark.parametrize("shards", [2, 3, 5])
 @pytest.mark.parametrize("seed", range(4))
-def test_partner_workload_equivalence(shards, seed):
+def test_partner_workload_equivalence(shards, seed, backend):
     rng = random.Random(seed)
     db = members_database(size=DB_SIZE, seed=2012)
-    service = ShardedCoordinationService(db, shards=shards)
+    service = ShardedCoordinationService(db, shards=shards, backend=backend)
     engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
     # Duplicate submissions in the stream are themselves part of the
     # equivalence check: both ends must reject them identically.
     _run_equivalent_streams(service, engine, _partner_stream(rng, 70))
 
 
+@pytest.mark.parametrize("backend", ["shared", "replicated"])
 @pytest.mark.parametrize("shards", [2, 4])
 @pytest.mark.parametrize("seed", range(3))
-def test_flights_workload_equivalence(shards, seed):
+def test_flights_workload_equivalence(shards, seed, backend):
     rng = random.Random(100 + seed)
     users = 24
     db = worst_case_database(num_flights=20, num_users=users)
-    service = ShardedCoordinationService(db, shards=shards)
+    service = ShardedCoordinationService(db, shards=shards, backend=backend)
     engine = CoordinationEngine(
         worst_case_database(num_flights=20, num_users=users)
     )

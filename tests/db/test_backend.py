@@ -1,0 +1,234 @@
+"""Storage backends: replica sync protocol and versioned invalidation.
+
+Unit-level pins for :mod:`repro.db.backend`: the shared backend is a
+pass-through, the replicated backend lazily syncs per-shard lock-free
+replicas by diffing per-relation ``data_versions`` stamps, the write
+token gates re-sync (no shared lock on the untouched fast path), and
+evaluation against a replica is byte-identical to evaluating against
+the authoritative store.
+"""
+
+import pytest
+
+from repro.concurrency import NullRWLock, RWLock
+from repro.db import (
+    ConjunctiveQuery,
+    Database,
+    DatabaseBuilder,
+    ReplicatedBackend,
+    SharedBackend,
+    resolve_backend,
+)
+from repro.db.schema import RelationSchema
+from repro.db.storage import Relation
+from repro.errors import PreconditionError
+from repro.logic import Atom, Variable
+
+
+def _flights_db(rows):
+    builder = DatabaseBuilder().table(
+        "Flights", ["flightId", "destination"], key="flightId"
+    )
+    builder.rows("Flights", rows)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Relation.replicate_from: the append-only tail copy
+# ---------------------------------------------------------------------------
+def test_replicate_from_copies_only_the_new_tail_in_order():
+    schema = RelationSchema("R", ["a", "b"])
+    source, mirror = Relation(schema), Relation(schema)
+    source.insert_many([(1, "x"), (2, "y")])
+    assert mirror.replicate_from(source) == 2
+    source.insert_many([(3, "z"), (4, "w")])
+    assert mirror.replicate_from(source) == 2  # only the tail
+    assert list(mirror.scan()) == list(source.scan())  # same order
+    assert mirror.replicate_from(source) == 0  # idempotent when caught up
+
+
+# ---------------------------------------------------------------------------
+# NullRWLock: the lock-free stand-in
+# ---------------------------------------------------------------------------
+def test_null_rwlock_is_a_noop_with_rwlock_shape():
+    lock = NullRWLock()
+    with lock.read():
+        with lock.write():  # nesting never deadlocks; nothing is tracked
+            assert lock.read_count == 0
+    db = Database(synchronized=False)
+    assert isinstance(db.rw, NullRWLock)
+    assert isinstance(Database().rw, RWLock)
+
+
+# ---------------------------------------------------------------------------
+# SharedBackend: pass-through
+# ---------------------------------------------------------------------------
+def test_shared_backend_reader_returns_the_authoritative_store():
+    db = _flights_db([(1, "Zurich")])
+    backend = SharedBackend(db)
+    assert backend.reader(0).acquire() is db
+    assert backend.reader(3).acquire() is db
+
+
+# ---------------------------------------------------------------------------
+# ReplicatedBackend: sync, laziness, invalidation
+# ---------------------------------------------------------------------------
+def test_replica_mirrors_content_and_evaluates_identically():
+    db = _flights_db([(i, f"city{i % 3}") for i in range(20)])
+    backend = ReplicatedBackend(db)
+    replica = backend.reader(0).acquire()
+    assert replica is not db
+    assert replica.sizes() == db.sizes()
+    query = ConjunctiveQuery((Atom("Flights", [Variable("f"), "city1"]),))
+    assert replica.first_solution(query) == db.first_solution(query)
+    assert replica.rows("Flights") == db.rows("Flights")
+    assert replica.domain() == db.domain()
+
+
+def test_fast_path_skips_sync_until_a_write_lands():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    reader = backend.reader(0)
+    reader.acquire()
+    assert backend.replica_stats()[0]["syncs"] == 1
+    reader.acquire()  # token unchanged: no sync pass at all
+    assert backend.replica_stats()[0]["syncs"] == 1
+    db.insert("Flights", (2, "b"))
+    reader.acquire()
+    assert backend.replica_stats()[0]["syncs"] == 2
+
+
+def test_sync_copies_only_changed_relations_tails():
+    db = (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .table("Hotels", ["hotelId", "city"], key="hotelId")
+        .rows("Flights", [(i, "z") for i in range(50)])
+        .rows("Hotels", [(i, "z") for i in range(50)])
+        .build()
+    )
+    backend = ReplicatedBackend(db)
+    reader = backend.reader(0)
+    reader.acquire()
+    copied_initial = backend.replica_stats()[0]["rows_copied"]
+    assert copied_initial == 100
+    db.insert("Hotels", (50, "q"))  # one relation, one row
+    replica = reader.acquire()
+    assert backend.replica_stats()[0]["rows_copied"] == copied_initial + 1
+    assert replica.sizes() == db.sizes()
+
+
+def test_duplicate_insert_does_not_invalidate_replicas():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    reader = backend.reader(0)
+    reader.acquire()
+    assert not db.insert("Flights", (1, "a"))  # duplicate: no data change
+    reader.acquire()
+    assert backend.replica_stats()[0]["syncs"] == 1
+
+
+def test_create_relation_propagates_to_replicas():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    reader = backend.reader(0)
+    reader.acquire()
+    db.create_relation("Trains", ["trainId", "destination"])
+    replica = reader.acquire()
+    assert "Trains" in replica
+    # An empty new relation validates (and yields no solutions), exactly
+    # like the authoritative store.
+    query = ConjunctiveQuery((Atom("Trains", [Variable("t"), "a"]),))
+    assert replica.first_solution(query) is None
+
+
+def test_attach_relation_on_the_authoritative_store_invalidates_too():
+    # Both DDL declaration paths must reach the invalidation token; a
+    # replica evaluating a query over the new relation before any row
+    # exists must see it (empty), not raise UnknownRelationError.
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    reader = backend.reader(0)
+    reader.acquire()
+    db.attach_relation(RelationSchema("Boats", ["boatId", "destination"]))
+    replica = reader.acquire()
+    assert "Boats" in replica
+    query = ConjunctiveQuery((Atom("Boats", [Variable("b"), "a"]),))
+    assert replica.first_solution(query) is None
+
+
+def test_replicas_are_per_shard_and_stable():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    r0, r1 = backend.reader(0), backend.reader(1)
+    assert r0.acquire() is not r1.acquire()
+    assert r0.acquire() is backend.reader(0).acquire()  # stable per shard
+    assert len(backend.replica_stats()) == 2
+
+
+def test_insert_many_bumps_the_write_token_once():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    before = backend.write_token
+    db.insert_many("Flights", [(2, "b"), (3, "c")])
+    assert backend.write_token == before + 1
+    db.insert_many("Flights", [(2, "b")])  # all duplicates: no change
+    assert backend.write_token == before + 1
+
+
+# ---------------------------------------------------------------------------
+# Listener lifecycle: closed/collected backends stop costing the database
+# ---------------------------------------------------------------------------
+def test_backend_close_detaches_the_write_listener():
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    backend.close()
+    backend.close()  # idempotent
+    db.insert("Flights", (2, "b"))
+    assert backend.write_token == 0  # no longer notified
+
+
+def test_collected_backend_self_prunes_its_listener_stub():
+    import gc
+
+    db = _flights_db([(1, "a")])
+    backend = ReplicatedBackend(db)
+    backend.reader(0).acquire()
+    assert len(db._write_listeners) == 1
+    del backend
+    gc.collect()
+    db.insert("Flights", (2, "b"))  # dead stub removes itself
+    assert db._write_listeners == []
+
+
+def test_service_closes_the_backend_it_created_but_not_a_provided_one():
+    from repro.core import ShardedCoordinationService
+
+    db = _flights_db([(1, "a")])
+    service = ShardedCoordinationService(db, shards=2, backend="replicated")
+    owned = service.backend
+    service.close()
+    db.insert("Flights", (2, "b"))
+    assert owned.write_token == 0  # detached by service.close()
+
+    provided = ReplicatedBackend(db)
+    service = ShardedCoordinationService(db, shards=2, backend=provided)
+    service.close()
+    db.insert("Flights", (3, "c"))
+    assert provided.write_token == 1  # still attached: caller owns it
+    provided.close()
+
+
+# ---------------------------------------------------------------------------
+# resolve_backend
+# ---------------------------------------------------------------------------
+def test_resolve_backend_names_and_instances():
+    db = _flights_db([(1, "a")])
+    assert isinstance(resolve_backend("shared", db), SharedBackend)
+    assert isinstance(resolve_backend("replicated", db), ReplicatedBackend)
+    prebuilt = ReplicatedBackend(db)
+    assert resolve_backend(prebuilt, db) is prebuilt
+    with pytest.raises(PreconditionError):
+        resolve_backend("mystery", db)
+    with pytest.raises(PreconditionError):
+        resolve_backend(prebuilt, _flights_db([(2, "b")]))
