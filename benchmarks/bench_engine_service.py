@@ -42,10 +42,19 @@ pending-set size (100/300/1000):
   byte-identical in outcomes); on free-threaded builds it is the
   configuration whose data plane scales with cores.
 
+* **process arrivals** — the same burst with ``executor="process"``:
+  each shard's engine lives in a worker *process* owning a wire-synced
+  replica (``repro.core.procexec``), so evaluations run on separate
+  interpreters — the only configuration whose data plane scales with
+  cores on GIL builds.  The accept path pays IPC round trips for its
+  routing probes (and a probe landing mid-evaluation waits for that
+  command's reply), so ``process_speedup`` is an end-to-end figure:
+  wire overhead included, not idealized.
+
 Results are emitted as ``BENCH_engine_service.json`` (series keys
 ``retract``, ``single submit``, ``sharded submit``, ``serial
-arrivals``, ``workers arrivals``, ``replicated arrivals`` — asserted
-by the CI smoke step).
+arrivals``, ``workers arrivals``, ``replicated arrivals``, ``process
+arrivals`` — asserted by the CI smoke step).
 
 Usage::
 
@@ -202,6 +211,7 @@ def measure_arrivals(
     arrivals: int,
     repeats: int,
     backend: str = "shared",
+    executor: str = "thread",
 ) -> Series:
     """Accept-throughput series for a burst of independent arrivals.
 
@@ -228,7 +238,8 @@ def measure_arrivals(
     sys.setswitchinterval(0.0005)
     try:
         _measure_arrival_points(
-            series, workers, threaded, sizes, arrivals, repeats, backend
+            series, workers, threaded, sizes, arrivals, repeats, backend,
+            executor,
         )
     finally:
         sys.setswitchinterval(previous_interval)
@@ -243,6 +254,7 @@ def _measure_arrival_points(
     arrivals: int,
     repeats: int,
     backend: str,
+    executor: str,
 ) -> None:
     for size in sizes:
         accept_times: List[float] = []
@@ -255,6 +267,7 @@ def _measure_arrival_points(
                     workers=workers,
                     mailbox_capacity=arrivals + 8,
                     backend=backend,
+                    executor=executor,
                 )
             else:
                 service = ShardedCoordinationService(
@@ -339,6 +352,15 @@ def main(argv: List[str]) -> int:
         repeats,
         backend="replicated",
     )
+    process_arrivals = measure_arrivals(
+        "process arrivals",
+        args.workers,
+        True,
+        arrival_sizes,
+        arrivals,
+        repeats,
+        executor="process",
+    )
 
     print(render_series(retract, "Retract+resubmit cycles"))
     print()
@@ -362,6 +384,13 @@ def main(argv: List[str]) -> int:
         )
     )
     print()
+    print(
+        render_series(
+            process_arrivals,
+            f"Process executor ({args.workers} worker processes, wire-synced replicas)",
+        )
+    )
+    print()
 
     retract_us = _per_op_us(retract, 2 * ops)  # cycle = retract + resubmit
     single_us = _per_op_us(single, 2 * pairs)
@@ -369,6 +398,7 @@ def main(argv: List[str]) -> int:
     serial_arrival_us = _per_op_us(serial_arrivals, arrivals)
     workers_arrival_us = _per_op_us(workers_arrivals, arrivals)
     replicated_arrival_us = _per_op_us(replicated_arrivals, arrivals)
+    process_arrival_us = _per_op_us(process_arrivals, arrivals)
     overhead = {size: sharded_us[size] / single_us[size] for size in single_us}
     speedup = {
         size: serial_arrival_us[size] / workers_arrival_us[size]
@@ -376,6 +406,10 @@ def main(argv: List[str]) -> int:
     }
     replicated_speedup = {
         size: serial_arrival_us[size] / replicated_arrival_us[size]
+        for size in serial_arrival_us
+    }
+    process_speedup = {
+        size: serial_arrival_us[size] / process_arrival_us[size]
         for size in serial_arrival_us
     }
     for size in sorted(retract_us):
@@ -400,13 +434,25 @@ def main(argv: List[str]) -> int:
             f"({replicated_speedup[size]:.2f}× vs serial; shared-backend "
             f"workers {workers_arrival_us[size]:8.1f})"
         )
+    for size in sorted(process_arrival_us):
+        print(
+            f"pending={size:5d}: process-executor accept "
+            f"{process_arrival_us[size]:8.1f} µs/arrival "
+            f"({process_speedup[size]:.2f}× vs serial; thread workers "
+            f"{workers_arrival_us[size]:8.1f})"
+        )
 
     drains = {
         series.name: {
             str(int(p.x)): p.extra_map().get("drain_seconds", 0.0)
             for p in series.points
         }
-        for series in (serial_arrivals, workers_arrivals, replicated_arrivals)
+        for series in (
+            serial_arrivals,
+            workers_arrivals,
+            replicated_arrivals,
+            process_arrivals,
+        )
     }
     payload = {
         "benchmark": "engine_service",
@@ -440,12 +486,16 @@ def main(argv: List[str]) -> int:
                 (serial_arrivals, serial_arrival_us),
                 (workers_arrivals, workers_arrival_us),
                 (replicated_arrivals, replicated_arrival_us),
+                (process_arrivals, process_arrival_us),
             )
         },
         "sharded_overhead": {str(size): overhead[size] for size in overhead},
         "workers_speedup": {str(size): speedup[size] for size in speedup},
         "replicated_speedup": {
             str(size): replicated_speedup[size] for size in replicated_speedup
+        },
+        "process_speedup": {
+            str(size): process_speedup[size] for size in process_speedup
         },
         "arrival_drain_seconds": drains,
     }

@@ -10,16 +10,19 @@ Subcommands:
   [--trace] [--dot FILE]`` — run a coordination algorithm and print the
   chosen set with its assignment;
 * ``online DB.json STREAM.ops [--shards N] [--workers N]
-  [--backend {shared,replicated}]`` — replay a query-lifecycle stream
-  through a :class:`~repro.core.ShardedCoordinationService` (one
-  operation per line: ``submit <query>``, ``retract <name>``,
+  [--backend {shared,replicated}] [--executor {thread,process}]`` —
+  replay a query-lifecycle stream through a
+  :class:`~repro.core.ShardedCoordinationService` (one operation per
+  line: ``submit <query>``, ``retract <name>``,
   ``insert <relation> <value> ...``, ``flush``; ``#`` comments).
   ``--workers N`` runs N shards on worker threads behind the
   concurrent executor; the replay stays deterministic because each
   line drains before the next is reported.  ``--backend replicated``
   evaluates each shard against a private lock-free database replica
   with versioned invalidation (identical output, no cross-shard
-  locking during evaluation);
+  locking during evaluation).  ``--executor process`` hosts each shard
+  in a worker *process* with its replica synced over a framed pipe
+  protocol — identical output, true multi-core evaluation;
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -145,7 +148,11 @@ def _cmd_online(args: argparse.Namespace) -> int:
     # path must fail before there is anything to leak.
     source = Path(args.stream).read_text(encoding="utf-8")
     service = ShardedCoordinationService(
-        db, shards=args.shards, workers=workers, backend=args.backend
+        db,
+        shards=args.shards,
+        workers=workers,
+        backend=args.backend,
+        executor=args.executor,
     )
 
     # All satisfactions are reported through the resolution callback:
@@ -329,7 +336,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["shared", "replicated"],
         default="shared",
         help="storage backend: one locked shared store, or per-shard "
-        "lock-free replicas with versioned invalidation (default: shared)",
+        "lock-free replicas with versioned invalidation (default: shared; "
+        "thread executor only — process shards always use replicas)",
+    )
+    online.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="what shards run on: in-process engines (thread) or worker "
+        "processes with wire-synced replicas (process; default: thread)",
     )
     online.set_defaults(func=_cmd_online)
 

@@ -48,6 +48,7 @@ from .engine import ArrivalOutcome, CoordinationEngine
 from .executor import CallbackDispatcher, ShardWorker
 from .gupta import gupta_coordinate
 from .lifecycle import QueryHandle, QueryState
+from .procexec import ProcessShardExecutor
 from .service import ShardedCoordinationService
 from .parallel import consistent_coordinate_parallel, partition_values
 from .parser import parse_queries, parse_query
@@ -123,6 +124,7 @@ __all__ = [
     "GroundedView",
     "NamedPartner",
     "PreprocessResult",
+    "ProcessShardExecutor",
     "QueryHandle",
     "QueryState",
     "SafetyReport",

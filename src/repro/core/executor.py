@@ -28,6 +28,13 @@ Both threads are daemons (an abandoned service cannot hang interpreter
 shutdown) and drain through counted-outstanding condition variables, so
 ``service.drain()`` can wait for true quiescence: empty mailboxes, idle
 workers, *and* an empty callback queue.
+
+The service's *executor seam* is the choice of what a shard's data
+plane runs on.  ``executor="thread"`` (this module) keeps the engines
+in-process behind :class:`ShardWorker` mailboxes; ``executor="process"``
+(:mod:`repro.core.procexec`) hosts each engine in a worker *process*
+behind a framed pipe, with the same mailbox threads acting as I/O
+waiters — see :func:`resolve_executor`.
 """
 
 from __future__ import annotations
@@ -38,6 +45,19 @@ from concurrent.futures import Future
 from typing import Callable, List, Optional, Tuple
 
 from ..concurrency import Deadline
+from ..errors import PreconditionError
+
+#: The executor seam's valid specs (``ShardedCoordinationService(executor=...)``).
+EXECUTORS = ("thread", "process")
+
+
+def resolve_executor(spec: str) -> str:
+    """Validate an executor spec (``"thread"``/``"process"``)."""
+    if spec not in EXECUTORS:
+        raise PreconditionError(
+            f"unknown executor {spec!r} (expected one of {list(EXECUTORS)})"
+        )
+    return spec
 
 #: A unit of shard work: ``(run, future)``.  ``run`` executes on the
 #: worker thread; its return value (or exception) resolves ``future``.

@@ -107,6 +107,46 @@ def record_final_state(
         del record[next(iter(record))]
 
 
+def encode_resolution(handle: "QueryHandle") -> dict:
+    """The serializable face of a resolved handle (a *resolution record*).
+
+    The process-based shard executor cannot share handle objects across
+    the IPC boundary, so resolution travels as data: the worker process
+    resolves its private handle, encodes this record, and the router
+    process applies it to the caller-visible handle with
+    :func:`apply_resolution`.  Uses the wire codec of
+    :mod:`repro.db.wire` for the coordination result payload (imported
+    lazily — lifecycle stays import-light for serial users).
+    """
+    from ..db import wire  # lazy: keep lifecycle import-light
+
+    return {
+        "query": handle.query,
+        "state": handle.state.value,
+        "satisfied_with": list(handle.satisfied_with),
+        "reason": handle.reason,
+        "resolution": wire.encode_result(handle.resolution),
+    }
+
+
+def apply_resolution(handle: "QueryHandle", record: dict) -> None:
+    """Apply a :func:`encode_resolution` record to a live handle.
+
+    Runs the handle's ordinary resolution path (state transition under
+    the handle lock, ``wait`` wake-up, callbacks via the dispatch seam),
+    so a proxy handle resolving from a wire record is indistinguishable
+    from one resolved in-process.
+    """
+    from ..db import wire  # lazy: keep lifecycle import-light
+
+    handle._resolve(
+        QueryState(record["state"]),
+        resolution=wire.decode_result(record["resolution"]),
+        satisfied_with=tuple(record["satisfied_with"]),
+        reason=record["reason"],
+    )
+
+
 class QueryHandle:
     """A live view of one submitted query's lifecycle.
 

@@ -1,0 +1,542 @@
+"""Process-based shard executor: one engine shard per worker *process*.
+
+The worker-thread executor (:mod:`repro.core.executor`) decouples the
+accept path from evaluation, and the replicated storage backend
+(:mod:`repro.db.backend`) makes the evaluation phase lock-free — but on
+GIL builds the data plane still shares one interpreter.  This module
+moves each shard across a process boundary, the way a parallel DBMS
+scales its data plane:
+
+* :func:`_host_main` — the worker process.  It owns a private,
+  lock-free :class:`~repro.db.Database` replica and a full
+  :class:`~repro.core.engine.CoordinationEngine` over it, and serves
+  framed commands (:mod:`repro.db.wire`) off a duplex pipe: admission
+  deltas, evaluation/flush commands, retraction, component probes, and
+  the release/adopt halves of component migration.  Replica sync rides
+  the command stream — an evaluation command carries the changed
+  relations' serialized row tails, keyed by the same per-relation
+  ``data_versions`` stamps the in-process replicated backend diffs.
+
+* :class:`ProcessShardExecutor` — the router-side proxy.  It presents
+  the exact engine surface :class:`~repro.core.service.ShardedCoordinationService`
+  drives (``admit``/``incident_pending``/``component_of``/``retract``/
+  ``evaluate_admitted_phased``/``flush``/``release_component``/
+  ``adopt``/…), so the service's routing, component-freeze rule,
+  migration, and journal linearization apply unchanged — which is the
+  whole equivalence argument: the process run is byte-identical to the
+  worker-thread run, which is byte-identical to the serial service and
+  the single engine.  Query handles stay **router-side proxy objects**:
+  the worker resolves its private handle and ships a *resolution
+  record* (:func:`~repro.core.lifecycle.encode_resolution`) back with
+  the command reply; the proxy applies it to the caller's handle, so
+  ``wait``/callbacks/``status`` — and handle identity across
+  migrations — work exactly as in-process.
+
+One command is in flight per worker at a time (the pipe is a strict
+request/reply channel guarded by a router-side mutex), so the worker
+needs no locks at all: its engine and replica are single-owner by
+construction.  The cost is that a routing probe landing mid-evaluation
+waits for that evaluation's reply — admission latency can trail the
+thread executor's — in exchange for evaluations that scale across
+cores and an explicit wire protocol that is one transport swap away
+from multi-node replicas.
+
+Worker death is a first-class failure: a broken pipe marks the shard
+dead, rejects its pending handles with a reason naming the crash (so
+``wait`` returns and callbacks fire instead of hanging), and raises
+:class:`~repro.errors.ConcurrencyError` from the in-flight call —
+``drain``/``submit``/``retract`` surface the error, they never hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..concurrency import Deadline, OwnedLock
+from ..db import Database, wire
+from ..errors import ConcurrencyError, PreconditionError, ReproError
+from .engine import ArrivalOutcome, CoordinationEngine
+from .lifecycle import (
+    QueryHandle,
+    QueryState,
+    ResolutionCallback,
+    apply_resolution,
+    encode_resolution,
+)
+from .query import EntangledQuery
+
+#: Environment override for the multiprocessing start method (testing /
+#: platform quirks).  Default: ``forkserver`` where available (cheap
+#: per-worker startup, safe with the router's threads), else ``spawn``.
+START_METHOD_ENV = "REPRO_PROCEXEC_START_METHOD"
+
+
+def _mp_context():
+    method = os.environ.get(START_METHOD_ENV)
+    if not method:
+        method = (
+            "forkserver"
+            if "forkserver" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+    return multiprocessing.get_context(method)
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+def _host_main(connection, options: dict) -> None:
+    """Entry point of one shard worker process.
+
+    Builds the private lock-free replica and its engine, then serves
+    framed commands until a ``stop`` command or EOF (router gone).
+    Every reply carries the resolution records the command produced, in
+    resolution order, so the router's handle states never lag.
+    """
+    replica = Database(synchronized=False)
+    engine = CoordinationEngine(
+        replica,
+        check_safety=options["check_safety"],
+        reuse_groundings=options["reuse_groundings"],
+        reuse_component_states=options["reuse_component_states"],
+    )
+    resolutions: List[dict] = []
+    engine.on_resolved(lambda handle: resolutions.append(encode_resolution(handle)))
+
+    while True:
+        try:
+            frame = connection.recv_bytes()
+        except (EOFError, OSError):
+            return
+        stop = False
+        try:
+            message = wire.loads(frame)
+            sync = message.get("sync")
+            if sync is not None:
+                wire.apply_sync(replica, sync)
+            reply = _execute(engine, message)
+            stop = message.get("op") == "stop"
+        except PreconditionError as error:
+            reply = {"error": {"kind": "precondition", "message": str(error)}}
+        except ReproError as error:
+            reply = {"error": {"kind": "repro", "message": str(error)}}
+        except BaseException:  # noqa: BLE001 - forwarded to the router
+            reply = {
+                "error": {"kind": "internal", "message": traceback.format_exc()}
+            }
+        reply["resolutions"] = list(resolutions)
+        resolutions.clear()
+        try:
+            connection.send_bytes(wire.dumps(reply))
+        except (EOFError, OSError):
+            return
+        if stop:
+            return
+
+
+def _execute(engine: CoordinationEngine, message: dict) -> dict:
+    """Run one router command against the worker's private engine."""
+    op = message["op"]
+    if op == "admit":
+        query = wire.decode_query(message["query"])
+        engine.admit(query)
+        return {"component": list(engine.component_of(query.name))}
+    if op == "incident":
+        query = wire.decode_query(message["query"])
+        return {"names": list(engine.incident_pending(query))}
+    if op == "component_of":
+        return {"names": list(engine.component_of(message["name"]))}
+    if op == "components":
+        return {"components": [list(c) for c in engine.components()]}
+    if op == "evaluate":
+        handles = [
+            handle
+            for name in message["names"]
+            if (handle := engine.handle(name)) is not None
+        ]
+        engine.evaluate_admitted(handles)
+        return {
+            "outcomes": [
+                {
+                    "query": handle.query,
+                    "component": list(handle.outcome.component),
+                    "result": wire.encode_result(handle.outcome.result),
+                    "satisfied": list(handle.outcome.satisfied),
+                }
+                for handle in handles
+                if handle.outcome is not None
+            ]
+        }
+    if op == "flush":
+        return {"result": wire.encode_result(engine.flush())}
+    if op == "retract":
+        engine.retract(message["name"])
+        return {}
+    if op == "release":
+        released = engine.release_component(message["name"])
+        return {"names": [handle.query for handle in released]}
+    if op == "adopt":
+        queries = [wire.decode_query(q) for q in message["queries"]]
+        engine.adopt([QueryHandle(query) for query in queries])
+        return {}
+    if op == "pending":
+        return {"names": list(engine.pending())}
+    if op == "stop":
+        return {}
+    raise PreconditionError(f"unknown worker command {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Router side
+# ---------------------------------------------------------------------------
+class ProcessShardExecutor:
+    """Router-side proxy for one shard engine hosted in a child process.
+
+    Duck-types the :class:`~repro.core.engine.CoordinationEngine`
+    surface the sharded service drives, so the service's control plane
+    — routing probes, admission, the component-freeze rule, two-phase
+    migration, journaling — is executor-agnostic.  All caller-visible
+    :class:`~repro.core.lifecycle.QueryHandle` objects live on this
+    side; the worker's private handles never cross the boundary (their
+    resolutions do, as records).
+
+    Replica sync is write-token gated exactly like the in-process
+    replicated backend: a listener on the authoritative database bumps
+    the token on every facade write, and the next ``evaluate``/``flush``
+    command whose token moved carries a :func:`repro.db.wire.build_sync`
+    payload of the changed relations' row tails.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        index: int,
+        check_safety: bool = True,
+        reuse_groundings: bool = False,
+        reuse_component_states: bool = True,
+    ) -> None:
+        self.db = db
+        self.index = index
+        #: Structure-lock parity with :class:`CoordinationEngine`: the
+        #: service brackets engine calls in ``with engine.lock``; for a
+        #: proxy the pipe mutex below does the real serialization.
+        self.lock = OwnedLock()
+        self._io = threading.Lock()
+        self._handles: Dict[str, QueryHandle] = {}
+        self._callbacks: List[ResolutionCallback] = []
+        #: Component memo from the last ``admit`` reply — valid only
+        #: until the next state-changing command (components can merge).
+        self._component_hint: Dict[str, Tuple[str, ...]] = {}
+        self._stamps: Dict[str, int] = {}
+        self._token = 0
+        self._synced_token = -1
+        self._token_mutex = threading.Lock()
+        self._dead: Optional[str] = None
+        self._stopped = False
+        # Serializes the death transition: several threads can observe
+        # a broken pipe at once, but only the first may reject the
+        # orphaned handles (callbacks must fire exactly once).
+        self._fail_mutex = threading.Lock()
+
+        ctx = _mp_context()
+        parent_end, child_end = ctx.Pipe(duplex=True)
+        self._conn = parent_end
+        self._process = ctx.Process(
+            target=_host_main,
+            args=(
+                child_end,
+                {
+                    "check_safety": check_safety,
+                    "reuse_groundings": reuse_groundings,
+                    "reuse_component_states": reuse_component_states,
+                },
+            ),
+            name=f"repro-shard-proc-{index}",
+            daemon=True,
+        )
+        self._process.start()
+        child_end.close()
+        self._listener = self._note_write
+        db.add_write_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # Invalidation (authoritative-store write listener)
+    # ------------------------------------------------------------------
+    def _note_write(self) -> None:
+        with self._token_mutex:
+            self._token += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / local state
+    # ------------------------------------------------------------------
+    @property
+    def process_alive(self) -> bool:
+        """Whether the shard's worker process is still running."""
+        return self._process.is_alive()
+
+    def pending(self) -> Tuple[str, ...]:
+        """Names of queries currently pending on this shard."""
+        return tuple(self._handles)
+
+    def handle(self, name: str) -> Optional[QueryHandle]:
+        """The live (router-side) handle of a pending query."""
+        return self._handles.get(name)
+
+    def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
+        """Register a proxy-level resolution callback (service hook)."""
+        self._callbacks.append(callback)
+        return callback
+
+    # ------------------------------------------------------------------
+    # Engine surface (IPC-backed)
+    # ------------------------------------------------------------------
+    def admit(self, query: EntangledQuery) -> QueryHandle:
+        """Admit one arrival on the worker; returns the proxy handle."""
+        reply = self._request({"op": "admit", "query": wire.encode_query(query)})
+        handle = QueryHandle(query)
+        self._handles[query.name] = handle
+        self._component_hint = {query.name: tuple(reply["component"])}
+        return handle
+
+    def incident_pending(self, query: EntangledQuery) -> Tuple[str, ...]:
+        """Read-only probe: pending queries the arrival would touch."""
+        reply = self._request(
+            {"op": "incident", "query": wire.encode_query(query)}
+        )
+        return tuple(reply["names"])
+
+    def component_of(self, name: str) -> Tuple[str, ...]:
+        """The weak component of a pending query, sorted by name."""
+        if name not in self._handles:
+            raise PreconditionError(f"query {name!r} is not pending")
+        hint = self._component_hint.get(name)
+        if hint is not None:
+            return hint
+        reply = self._request({"op": "component_of", "name": name})
+        return tuple(reply["names"])
+
+    def components(self) -> List[Tuple[str, ...]]:
+        """All weak components of this shard's pending pool."""
+        reply = self._request({"op": "components"})
+        return [tuple(component) for component in reply["components"]]
+
+    def retract(self, name: str) -> QueryHandle:
+        """Withdraw one pending query; resolves its proxy handle."""
+        if name not in self._handles:
+            raise PreconditionError(f"query {name!r} is not pending")
+        handle = self._handles[name]
+        self._component_hint = {}
+        self._request({"op": "retract", "name": name})
+        return handle
+
+    def evaluate_admitted(self, admitted: Sequence[QueryHandle]) -> None:
+        """Evaluate the admitted handles' components on the worker."""
+        if not admitted:
+            return
+        self._component_hint = {}
+        self._request(
+            {"op": "evaluate", "names": [h.query for h in admitted]},
+            sync=True,
+        )
+
+    # The worker process is single-owner, so there is no phased/unlocked
+    # variant to speak of — the shard worker thread blocks on the reply
+    # while the expensive work runs in the other *process*.
+    evaluate_admitted_phased = evaluate_admitted
+
+    def flush(self):
+        """One global evaluation run on the worker's pending pool."""
+        self._component_hint = {}
+        reply = self._request({"op": "flush"}, sync=True)
+        return wire.decode_result(reply["result"])
+
+    def release_component(self, name: str) -> List[QueryHandle]:
+        """Migration phase 1: detach a component, handles stay pending."""
+        if name not in self._handles:
+            raise PreconditionError(f"query {name!r} is not pending")
+        self._component_hint = {}
+        reply = self._request({"op": "release", "name": name})
+        released: List[QueryHandle] = []
+        for member in reply["names"]:
+            handle = self._handles.pop(member, None)
+            if handle is None:
+                raise ConcurrencyError(
+                    f"shard {self.index} released unknown query {member!r} "
+                    "(router and worker handle tables desynced)"
+                )
+            released.append(handle)
+        return released
+
+    def adopt(self, handles: Sequence[QueryHandle]) -> None:
+        """Migration phase 2: re-home released handles onto this shard."""
+        if not handles:
+            return
+        self._component_hint = {}
+        self._request(
+            {
+                "op": "adopt",
+                "queries": [wire.encode_query(h.entangled) for h in handles],
+            }
+        )
+        for handle in handles:
+            self._handles[handle.query] = handle
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, message: dict, sync: bool = False) -> dict:
+        """One framed request/reply round trip (serialized per shard)."""
+        failure: Optional[BaseException] = None
+        reply: dict = {}
+        with self._io:
+            self._check_alive()
+            if sync:
+                # Token before stamp walk (a write landing mid-build
+                # leaves the recorded token stale, so the next command
+                # re-syncs — never the reverse).
+                token = self._token
+                if token != self._synced_token:
+                    payload, self._stamps = wire.build_sync(self.db, self._stamps)
+                    if payload is not None:
+                        message["sync"] = payload
+                    self._synced_token = token
+            try:
+                self._conn.send_bytes(wire.dumps(message))
+                reply = wire.loads(self._conn.recv_bytes())
+            except (EOFError, OSError) as error:
+                failure = error
+        if failure is not None:
+            self._fail(failure)
+        self._apply_reply(reply)
+        error = reply.get("error")
+        if error is not None:
+            if error["kind"] == "precondition":
+                raise PreconditionError(error["message"])
+            if error["kind"] == "repro":
+                raise ReproError(error["message"])
+            raise ConcurrencyError(
+                f"shard {self.index} worker command failed:\n{error['message']}"
+            )
+        return reply
+
+    def _apply_reply(self, reply: dict) -> None:
+        """Mirror the worker's outcomes and resolutions onto proxy handles.
+
+        Outcomes first (the engine records an admitted handle's outcome
+        before retiring its coordinating set), then resolutions in the
+        worker's resolution order.  Handle state transitions run the
+        ordinary :class:`QueryHandle` resolution path, so ``wait``,
+        callbacks and the dispatcher seam behave exactly as in-process.
+        """
+        for record in reply.get("outcomes", ()):
+            handle = self._handles.get(record["query"])
+            if handle is not None:
+                handle.outcome = ArrivalOutcome(
+                    record["query"],
+                    tuple(record["component"]),
+                    wire.decode_result(record["result"]),
+                    tuple(record["satisfied"]),
+                )
+        for record in reply.get("resolutions", ()):
+            handle = self._handles.pop(record["query"], None)
+            if handle is None:
+                continue
+            apply_resolution(handle, record)
+            for callback in list(self._callbacks):
+                callback(handle)
+
+    def _check_alive(self) -> None:
+        if self._stopped:
+            raise ConcurrencyError(
+                f"shard {self.index} worker process is stopped"
+            )
+        if self._dead is not None:
+            raise ConcurrencyError(self._dead)
+
+    def _fail(self, error: BaseException) -> None:
+        """Handle worker death: reject pending handles, raise loudly.
+
+        Called outside the pipe mutex so handle callbacks (which may
+        re-enter the service in serial mode) cannot deadlock against an
+        in-flight request.  Idempotent under races: the death
+        transition is mutex-guarded, so of several threads observing
+        the broken pipe at once exactly one rejects the orphaned
+        handles (callbacks fire once per handle); the rest re-raise.
+        """
+        orphans: List[QueryHandle] = []
+        with self._fail_mutex:
+            if self._dead is None:
+                exitcode = self._process.exitcode
+                self._dead = (
+                    f"shard {self.index} worker process died "
+                    f"(exitcode {exitcode}): {error!r}"
+                )
+                orphans = list(self._handles.values())
+                self._handles.clear()
+                self._component_hint = {}
+        for handle in orphans:
+            try:
+                handle._resolve(QueryState.REJECTED, reason=self._dead)
+            except RuntimeError:  # pragma: no cover - already resolved
+                continue
+            for callback in list(self._callbacks):
+                callback(handle)
+        raise ConcurrencyError(self._dead) from error
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Stop the worker process; best-effort within ``timeout``.
+
+        Graceful first (a ``stop`` command, so the worker exits its
+        loop cleanly), then ``terminate``, then ``kill`` — the call
+        never hangs on a wedged or dead child, and it is idempotent and
+        safe to run after a crash.  Returns ``True`` when the process
+        is gone on return.
+        """
+        self.db.remove_write_listener(self._listener)
+        deadline = Deadline(timeout)
+        if not self._stopped and self._dead is None and self._process.is_alive():
+            remaining = deadline.remaining()
+            acquired = (
+                self._io.acquire()
+                if remaining is None
+                else self._io.acquire(timeout=remaining)
+            )
+            if acquired:
+                try:
+                    self._conn.send_bytes(wire.dumps({"op": "stop"}))
+                    if self._conn.poll(deadline.remaining()):
+                        self._conn.recv_bytes()
+                except (EOFError, OSError, ValueError):
+                    pass
+                finally:
+                    self._io.release()
+        self._stopped = True
+        self._process.join(deadline.remaining())
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(deadline.remaining())
+        if self._process.is_alive():  # pragma: no cover - last resort
+            self._process.kill()
+            self._process.join(deadline.remaining())
+        gone = not self._process.is_alive()
+        if gone:
+            self._conn.close()
+        return gone
+
+    def __repr__(self) -> str:
+        state = (
+            "stopped"
+            if self._stopped
+            else ("dead" if self._dead else f"pid {self._process.pid}")
+        )
+        return (
+            f"ProcessShardExecutor(shard {self.index}, {state}, "
+            f"{len(self._handles)} pending)"
+        )

@@ -86,6 +86,21 @@ data than its donor shard did.  Outcomes are byte-identical across
 backends — asserted by the same equivalence and journal-replay fuzz
 suites that pin the worker mode to the serial service.
 
+Process executor (``executor="process"``)
+-----------------------------------------
+The same router can drive shards hosted in worker *processes*
+(:mod:`repro.core.procexec`): each shard's engine lives in a child
+process with a private lock-free database replica, commanded over a
+framed request/reply pipe (:mod:`repro.db.wire`), with replica sync
+payloads — serialized per-relation row tails keyed by ``data_versions``
+stamps — riding the evaluation commands.  Handles stay router-side
+proxies resolved from wire records, so ``wait``/callbacks/``status``
+and handle identity across migrations are unchanged, and the freeze
+rule and journal linearization apply verbatim.  A worker process that
+dies mid-stream rejects its handles with a reason naming the crash and
+surfaces :class:`~repro.errors.ConcurrencyError` from the affected
+calls — ``drain`` and blocking submits fail fast instead of hanging.
+
 Because the invariant holds at every step, the service returns
 **identical coordinating sets** (same members, same assignments) as a
 single engine fed the same submit/retract stream — the equivalence the
@@ -106,7 +121,8 @@ from ..concurrency import Deadline
 from ..db import BackendSpec, Database, resolve_backend
 from ..errors import ConcurrencyError, PreconditionError
 from .engine import CoordinationEngine
-from .executor import CallbackDispatcher, ShardWorker
+from .executor import CallbackDispatcher, ShardWorker, resolve_executor
+from .procexec import ProcessShardExecutor
 from .lifecycle import (
     QueryHandle,
     QueryState,
@@ -161,7 +177,18 @@ class ShardedCoordinationService:
         Storage backend the shards evaluate against: ``"shared"``
         (default), ``"replicated"``, or a pre-built
         :class:`~repro.db.Backend` instance bound to ``db``.  See the
-        module docstring; semantics are identical either way.
+        module docstring; semantics are identical either way.  Thread
+        executor only — the process executor always evaluates on
+        per-process replicas synced over the wire.
+    executor:
+        What a shard's data plane runs on: ``"thread"`` (default)
+        keeps the engines in-process; ``"process"`` hosts each shard's
+        engine in a worker *process* owning a private lock-free
+        database replica, commanded over a framed pipe protocol
+        (:mod:`repro.core.procexec`).  Outcomes are byte-identical
+        across executors; with ``workers=N`` the same mailbox threads
+        drive the shards, acting as I/O waiters while the evaluations
+        run in the worker processes (true parallelism on GIL builds).
     """
 
     #: Router ops between opportunistic rebalance checks.
@@ -180,6 +207,7 @@ class ShardedCoordinationService:
         reuse_component_states: bool = True,
         mailbox_capacity: int = 1024,
         backend: BackendSpec = "shared",
+        executor: str = "thread",
     ) -> None:
         if workers is not None:
             if workers < 1:
@@ -188,23 +216,53 @@ class ShardedCoordinationService:
         if shards < 1:
             raise PreconditionError("a service needs at least one shard")
         self.db = db
-        #: The storage backend shard evaluations read through; writes
-        #: always go to the authoritative ``db``.  A backend built here
-        #: from a name spec is owned (and closed) by this service; a
-        #: caller-provided instance stays the caller's to close.
-        self._owns_backend = isinstance(backend, str)
-        self.backend = resolve_backend(backend, db)
-        self._engines = [
-            CoordinationEngine(
-                db,
-                choose=choose,
-                check_safety=check_safety,
-                reuse_groundings=reuse_groundings,
-                reuse_component_states=reuse_component_states,
-                reader=self.backend.reader(index),
-            )
-            for index in range(shards)
-        ]
+        self.executor = resolve_executor(executor)
+        if self.executor == "process":
+            # Each shard worker process owns a private replica synced
+            # over the wire — the process executor *is* a replicated
+            # backend across an IPC boundary, so the thread-mode
+            # backend seam does not apply.
+            if not isinstance(backend, str):
+                raise PreconditionError(
+                    "the process executor owns its per-process replicas; "
+                    "pass a backend name, not a backend instance"
+                )
+            if choose is not largest_candidate:
+                raise PreconditionError(
+                    "the process executor cannot ship a custom selection "
+                    "criterion across the process boundary"
+                )
+            self._owns_backend = False
+            self.backend = None
+            self._engines: List = [
+                ProcessShardExecutor(
+                    db,
+                    index,
+                    check_safety=check_safety,
+                    reuse_groundings=reuse_groundings,
+                    reuse_component_states=reuse_component_states,
+                )
+                for index in range(shards)
+            ]
+        else:
+            #: The storage backend shard evaluations read through; writes
+            #: always go to the authoritative ``db``.  A backend built
+            #: here from a name spec is owned (and closed) by this
+            #: service; a caller-provided instance stays the caller's to
+            #: close.
+            self._owns_backend = isinstance(backend, str)
+            self.backend = resolve_backend(backend, db)
+            self._engines = [
+                CoordinationEngine(
+                    db,
+                    choose=choose,
+                    check_safety=check_safety,
+                    reuse_groundings=reuse_groundings,
+                    reuse_component_states=reuse_component_states,
+                    reader=self.backend.reader(index),
+                )
+                for index in range(shards)
+            ]
         # Router lock: linearizes placement decisions, migrations,
         # retractions, flushes, and writes.  Held while waiting on
         # engine locks and on the component-freeze condition, never
@@ -257,7 +315,14 @@ class ShardedCoordinationService:
 
     @property
     def backend_name(self) -> str:
-        """The storage backend identifier (``shared``/``replicated``)."""
+        """The storage backend identifier.
+
+        ``shared``/``replicated`` under the thread executor;
+        ``ipc-replicated`` under the process executor, whose per-process
+        replicas are not a pluggable thread-mode backend.
+        """
+        if self.backend is None:
+            return "ipc-replicated"
         return self.backend.name
 
     def shard_of(self, name: str) -> Optional[int]:
@@ -587,21 +652,29 @@ class ShardedCoordinationService:
         with self._router:
             already_closed = self._closed
             self._closed = True
-        if not already_closed and self._workers is not None:
+        if not already_closed:
             # One shared deadline across every join, like drain():
             # close(timeout=t) blocks at most ~t, not (workers+2)·t.
             deadline = Deadline(timeout)
-            for worker in self._workers:
-                worker.stop(deadline.remaining())
-            assert self._dispatcher is not None
-            self._dispatcher.drain(deadline.remaining())
-            self._dispatcher.stop(deadline.remaining())
-        if not already_closed and self._owns_backend:
-            # Detach the backend's database hooks so a long-lived
-            # database does not keep paying for (or pinning) the
-            # replicas of a service that is gone.  Caller-provided
-            # backend instances are the caller's to close.
-            self.backend.close()
+            if self._workers is not None:
+                for worker in self._workers:
+                    worker.stop(deadline.remaining())
+                assert self._dispatcher is not None
+                self._dispatcher.drain(deadline.remaining())
+                self._dispatcher.stop(deadline.remaining())
+            if self.executor == "process":
+                # Queued jobs finished above (mailboxes are FIFO), so
+                # the pipes are idle; stop each worker process.  Safe
+                # after a worker crash: a dead child's stop() reaps it
+                # without hanging.
+                for engine in self._engines:
+                    engine.stop(deadline.remaining())
+            if self._owns_backend:
+                # Detach the backend's database hooks so a long-lived
+                # database does not keep paying for (or pinning) the
+                # replicas of a service that is gone.  Caller-provided
+                # backend instances are the caller's to close.
+                self.backend.close()
         if raise_deferred:
             self._raise_deferred_errors()
 
@@ -706,10 +779,21 @@ class ShardedCoordinationService:
     def _route(self, query: EntangledQuery) -> int:
         """Pick (and, for spanning arrivals, prepare) the target shard."""
         with self._tables:
-            if query.name in self._shard_of:
-                raise PreconditionError(
-                    f"query {query.name!r} already pending"
-                )
+            shard = self._shard_of.get(query.name)
+        if shard is not None:
+            # Component-freeze rule, duplicate edition: the pending
+            # namesake may have an outstanding evaluation that the
+            # linearized stream orders *before* this submit — if that
+            # evaluation satisfies it, this submit is not a duplicate.
+            # Wait the component out and re-check, exactly as retract
+            # does.  (Migration cannot re-home the name meanwhile: it
+            # needs the router lock, which this thread holds.)
+            self._wait_component_idle(shard, query.name)
+            with self._tables:
+                if query.name in self._shard_of:
+                    raise PreconditionError(
+                        f"query {query.name!r} already pending"
+                    )
         while True:
             touched: Dict[int, Tuple[str, ...]] = {}
             for index, engine in enumerate(self._engines):
@@ -961,9 +1045,21 @@ class ShardedCoordinationService:
         """
         with self._tables:
             if handle.state is QueryState.REJECTED:
-                # An engine-level batch rejection (duplicate within one
-                # shard); never shadow a pending namesake's routing entry.
-                if handle.query not in self._shard_of:
+                # Two sources: an engine-level batch rejection (a
+                # duplicate within one shard — never shadow the pending
+                # namesake's routing entry), or a crashed worker
+                # process rejecting the queries it held (the routed
+                # handle itself — its shard no longer knows the name,
+                # so the routing entry must go or ``pending()`` and the
+                # loads would report ghosts forever).
+                shard = self._shard_of.get(handle.query)
+                if shard is None:
+                    record_final_state(
+                        self._final_states, handle.query, handle.state
+                    )
+                elif self._engines[shard].handle(handle.query) is None:
+                    self._shard_of.pop(handle.query)
+                    self._loads[shard] -= 1
                     record_final_state(
                         self._final_states, handle.query, handle.state
                     )
@@ -1011,6 +1107,7 @@ class ShardedCoordinationService:
         )
         return (
             f"ShardedCoordinationService({self.shard_count} shards, {mode}, "
-            f"{self.backend.name} backend, pending per shard: [{loads}], "
+            f"{self.executor} executor, {self.backend_name} backend, "
+            f"pending per shard: [{loads}], "
             f"{self.migrations} migrations, {self.rebalances} rebalanced)"
         )

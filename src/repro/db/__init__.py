@@ -29,6 +29,7 @@ from .query import ConjunctiveQuery
 from .schema import RelationSchema, Schema
 from .stats import CoordinationStats, EngineStats
 from .storage import Relation, Row
+from . import wire
 
 __all__ = [
     "Assignment",
@@ -55,4 +56,5 @@ __all__ = [
     "save_csv_table",
     "save_database",
     "unary_boolean_database",
+    "wire",
 ]

@@ -23,9 +23,11 @@ makes the seam explicit:
   O(rows written since the last sync), amortized over evaluations.
   The *evaluation* phase then runs entirely against private state: no
   cross-shard lock is touched, which is what lets worker shards scale
-  the data plane on free-threaded builds and is the stepping stone to
-  process-based shards (the sync protocol is already an explicit
-  copy-over-a-boundary).
+  the data plane on free-threaded builds.  The process-based shard
+  executor (:mod:`repro.core.procexec`) is the cross-*process*
+  incarnation of the same protocol: the identical stamp diff, with the
+  row tails serialized by :mod:`repro.db.wire` instead of copied
+  in-memory (:meth:`~repro.db.storage.Relation.row_tail` feeds both).
 
 Invalidation is a two-level protocol:
 

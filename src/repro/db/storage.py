@@ -88,10 +88,21 @@ class Relation:
         ``source``.
         """
         copied = 0
-        for row in source._rows[len(self._rows):]:
+        for row in source.row_tail(len(self._rows)):
             if self.insert(row):
                 copied += 1
         return copied
+
+    def row_tail(self, start: int) -> List[Row]:
+        """The rows appended at or after index ``start``, in order.
+
+        The serializable face of :meth:`replicate_from`: an in-process
+        replica copies the tail directly, while the process executor's
+        wire codec (:func:`repro.db.wire.build_sync`) encodes the same
+        tail into a sync payload shipped over the IPC boundary.  The
+        caller holds whatever lock protects this relation.
+        """
+        return self._rows[start:]
 
     # ------------------------------------------------------------------
     # Lookup

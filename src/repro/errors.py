@@ -44,6 +44,16 @@ class ArityError(DatabaseError):
     """A tuple or atom has the wrong number of attributes for a relation."""
 
 
+class WireError(DatabaseError):
+    """A wire frame or payload could not be encoded or decoded.
+
+    Raised by :mod:`repro.db.wire` for unsupported value types, corrupt
+    or version-mismatched frames, and replica-sync payloads that do not
+    line up with the replica's row counts (a desynced replica must fail
+    loudly rather than silently evaluate against wrong data).
+    """
+
+
 class GraphError(ReproError):
     """Base class for errors in the graph substrate (:mod:`repro.graphs`)."""
 

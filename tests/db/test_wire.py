@@ -1,0 +1,256 @@
+"""Round-trip property tests for the process-executor wire codec.
+
+Everything the router and a shard worker process exchange must survive
+the trip through :mod:`repro.db.wire` byte-exactly: database values of
+every supported type, relation schemas, row tails, stamp vectors,
+entangled queries, coordination results, and the service's journal
+records (the crash-replay format).  Framing errors must fail loudly
+with :class:`~repro.errors.WireError`, never mis-decode.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CoordinatingSet, CoordinationResult, EntangledQuery
+from repro.db import CoordinationStats, Database, DatabaseBuilder, RelationSchema, wire
+from repro.errors import WireError
+from repro.logic import Atom, Constant, Variable
+from repro.workloads import partner_query
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+)
+values = st.recursive(
+    scalars, lambda children: st.lists(children, max_size=3).map(tuple), max_leaves=8
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_",
+    min_size=1,
+    max_size=8,
+)
+variables = st.builds(Variable, names, names | st.just(""))
+terms = variables | values.map(Constant)
+atoms = st.builds(
+    Atom, names, st.lists(terms, max_size=4)
+)
+
+
+# ---------------------------------------------------------------------------
+# Values and frames
+# ---------------------------------------------------------------------------
+@given(values)
+def test_value_round_trip(value):
+    assert wire.decode_value(wire.encode_value(value)) == value
+
+
+@given(values)
+def test_framed_message_round_trip(value):
+    message = {"op": "probe", "payload": wire.encode_value(value)}
+    assert wire.loads(wire.dumps(message)) == message
+
+
+def test_non_finite_floats_round_trip():
+    for special in (float("inf"), float("-inf")):
+        assert wire.decode_value(wire.encode_value(special)) == special
+    decoded = wire.decode_value(wire.encode_value(float("nan")))
+    assert math.isnan(decoded)
+
+
+def test_unsupported_values_and_corrupt_frames_raise():
+    with pytest.raises(WireError):
+        wire.encode_value({"a": 1})
+    with pytest.raises(WireError):
+        wire.encode_value(frozenset({1}))
+    with pytest.raises(WireError):
+        wire.loads(b"XX\x01{}")  # wrong magic
+    with pytest.raises(WireError):
+        wire.loads(wire.MAGIC + bytes((wire.VERSION + 1,)) + b"{}")
+    with pytest.raises(WireError):
+        wire.loads(wire.MAGIC + bytes((wire.VERSION,)) + b"{not json")
+    with pytest.raises(WireError):
+        wire.dumps({"raw-object": object()})
+
+
+# ---------------------------------------------------------------------------
+# Schemas, rows, stamps
+# ---------------------------------------------------------------------------
+@given(
+    names,
+    st.lists(names, min_size=1, max_size=5, unique=True),
+    st.booleans(),
+)
+def test_schema_round_trip(name, attributes, keyed):
+    schema = RelationSchema(name, attributes, attributes[0] if keyed else None)
+    assert wire.decode_schema(wire.encode_schema(schema)) == schema
+
+
+@given(st.lists(st.lists(values, min_size=2, max_size=2).map(tuple), max_size=6))
+def test_rows_round_trip(rows):
+    assert wire.decode_rows(wire.encode_rows(rows)) == rows
+
+
+@given(st.dictionaries(names, st.integers(min_value=0), max_size=5))
+def test_stamp_vector_round_trip(stamps):
+    assert wire.decode_stamps(wire.encode_stamps(stamps)) == stamps
+
+
+# ---------------------------------------------------------------------------
+# Queries, assignments, results
+# ---------------------------------------------------------------------------
+@given(
+    names,
+    st.lists(atoms, max_size=2),
+    st.lists(atoms, min_size=1, max_size=2),
+    st.lists(atoms, max_size=2),
+)
+def test_query_round_trip(name, post, head, body):
+    query = EntangledQuery(name, post, head, body)
+    assert wire.decode_query(wire.encode_query(query)) == query
+
+
+@given(st.dictionaries(variables, values, max_size=5))
+def test_assignment_round_trip(assignment):
+    assert wire.decode_assignment(wire.encode_assignment(assignment)) == assignment
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(names, min_size=1, max_size=3, unique=True),
+            st.dictionaries(variables, values, max_size=3),
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    st.integers(min_value=0, max_value=99),
+)
+def test_result_round_trip(raw_sets, db_queries):
+    candidates = [
+        CoordinatingSet(tuple(members), assignment)
+        for members, assignment in raw_sets
+    ]
+    stats = CoordinationStats(db_queries=db_queries)
+    stats.extra["rounds"] = 3
+    result = CoordinationResult(
+        chosen=candidates[0], candidates=candidates, stats=stats
+    )
+    decoded = wire.decode_result(wire.encode_result(result))
+    assert decoded.chosen == result.chosen
+    assert decoded.candidates == result.candidates
+    assert decoded.stats.db_queries == db_queries
+    assert decoded.stats.extra == {"rounds": 3}
+    assert wire.decode_result(wire.encode_result(None)) is None
+    no_chosen = CoordinationResult(chosen=None)
+    assert wire.decode_result(wire.encode_result(no_chosen)).chosen is None
+
+
+# ---------------------------------------------------------------------------
+# Replica sync payloads
+# ---------------------------------------------------------------------------
+def _authoritative() -> Database:
+    return (
+        DatabaseBuilder()
+        .table("Flights", ["flightId", "destination"], key="flightId")
+        .rows("Flights", [(101, "Zurich"), (102, "Paris")])
+        .table("Empty", ["x"])
+        .build()
+    )
+
+
+def test_sync_payload_replicates_byte_identically():
+    source = _authoritative()
+    replica = Database(synchronized=False)
+    payload, stamps = wire.build_sync(source, {})
+    applied = wire.apply_sync(replica, wire.loads(wire.dumps(payload)))
+    assert applied == 2
+    assert replica.sizes() == source.sizes()
+    assert replica.rows("Flights") == source.rows("Flights")
+    assert "Empty" in replica  # DDL propagates even for empty relations
+    assert stamps == source.data_versions()
+
+    # Nothing changed: no payload, stamps unchanged.
+    payload, stamps2 = wire.build_sync(source, stamps)
+    assert payload is None and stamps2 == stamps
+
+    # Incremental tail: only the changed relation rides the wire.
+    source.insert("Flights", (103, "Athens"))
+    source.create_relation("Hotels", ["name", "city"])
+    source.insert("Hotels", ("Dolder", "Zurich"))
+    payload, stamps3 = wire.build_sync(source, stamps)
+    synced = {record["schema"]["name"] for record in payload["relations"]}
+    assert synced == {"Flights", "Hotels"}
+    flights_tail = next(
+        r for r in payload["relations"] if r["schema"]["name"] == "Flights"
+    )
+    assert flights_tail["start"] == 2 and len(flights_tail["rows"]) == 1
+    wire.apply_sync(replica, payload)
+    assert replica.sizes() == source.sizes()
+    assert replica.rows("Flights") == source.rows("Flights")
+    assert replica.rows("Hotels") == source.rows("Hotels")
+    assert stamps3 == source.data_versions()
+
+
+def test_sync_detects_missing_record_via_stamp_vector():
+    # A payload whose stamp vector promises an epoch its records cannot
+    # deliver (a dropped record) must fail loudly after apply.
+    source = _authoritative()
+    replica = Database(synchronized=False)
+    payload, _ = wire.build_sync(source, {})
+    payload["relations"] = [
+        r for r in payload["relations"] if r["schema"]["name"] != "Flights"
+    ]
+    with pytest.raises(WireError):
+        wire.apply_sync(replica, payload)
+
+
+def test_sync_detects_desynced_replica():
+    source = _authoritative()
+    replica = Database(synchronized=False)
+    payload, _ = wire.build_sync(source, {})
+    wire.apply_sync(replica, payload)
+    # A replica that drifted (extra local row) must fail loudly.
+    replica.relation("Flights").insert((999, "Nowhere"))
+    source.insert("Flights", (104, "Oslo"))
+    payload, _ = wire.build_sync(source, {"Flights": 2, "Empty": 0})
+    with pytest.raises(WireError):
+        wire.apply_sync(replica, payload)
+
+
+# ---------------------------------------------------------------------------
+# Journal records (crash-replay format)
+# ---------------------------------------------------------------------------
+def test_journal_round_trip():
+    queries = [
+        partner_query("alice", ["bob"]),
+        partner_query("bob", ["alice"]),
+        partner_query("carol", []),
+    ]
+    journal = [
+        ("submit", queries[0], False),
+        ("submit_many", (queries[1], queries[2])),
+        ("retract", "carol", False),
+        ("insert", "Members", ("dave", "region", "interest", 3)),
+        ("flush",),
+        ("flush_drain",),
+        ("submit", queries[2], True),
+    ]
+    encoded = wire.loads(wire.dumps(wire.encode_journal(journal)))
+    assert wire.decode_journal(encoded) == journal
+
+
+def test_journal_rejects_unknown_records():
+    with pytest.raises(WireError):
+        wire.encode_journal([("compact",)])
+    with pytest.raises(WireError):
+        wire.decode_journal([{"op": "compact"}])

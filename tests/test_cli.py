@@ -157,6 +157,22 @@ class TestOnline:
         assert "done: 0 pending" in out
         assert "2 workers" in out
 
+    def test_replays_stream_with_process_executor(self, db_file, stream_file, capsys):
+        """Process-hosted shards replay the same stream with the same
+        deterministic output (replicas sync the mid-stream insert)."""
+        assert (
+            main(
+                ["online", db_file, stream_file,
+                 "--workers", "2", "--executor", "process"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "gwyneth: pending" in out
+        assert "satisfied {chris, gwyneth}" in out
+        assert "satisfied {solo}" in out
+        assert "done: 0 pending" in out
+
     def test_unsafe_submit_is_rejected_not_fatal(self, db_file, tmp_path, capsys):
         path = tmp_path / "unsafe.ops"
         path.write_text(
