@@ -7,10 +7,13 @@ Subcommands:
   (safety, uniqueness, single-connectedness) that decide which
   algorithm applies;
 * ``coordinate DB.json QUERIES.eq [--algorithm scc|gupta|exact]
-  [--trace] [--dot FILE]`` — run a coordination algorithm and print the
-  chosen set with its assignment;
+  [--trace] [--dot FILE] [--stats]`` — run a coordination algorithm and
+  print the chosen set with its assignment (``--stats`` appends the
+  engine counters: queries issued, index probes, plan-cache hits and
+  misses, composite indexes built);
 * ``online DB.json STREAM.ops [--shards N] [--workers N]
-  [--backend {shared,replicated}] [--executor {thread,process}]`` —
+  [--backend {shared,replicated}] [--executor {thread,process}]
+  [--stats]`` —
   replay a query-lifecycle stream through a
   :class:`~repro.core.ShardedCoordinationService` (one operation per
   line: ``submit <query>``, ``retract <name>``,
@@ -58,6 +61,25 @@ from .core import (
 )
 from .db import load_database
 from .errors import ReproError
+
+
+def _print_engine_stats(db) -> None:
+    """The ``--stats`` report: the database engine's counters.
+
+    Counters accrue on the instance that evaluated — for ``online``
+    runs on replicated/process backends the evaluation happens on
+    per-shard replicas, so the authoritative store reports admission
+    and insert traffic while replicas keep their own tallies.
+    """
+    s = db.stats
+    print("engine stats:")
+    print(f"  queries issued:          {s.queries_issued}")
+    print(f"  tuples examined:         {s.tuples_examined}")
+    print(f"  index probes:            {s.index_probes}")
+    print(f"  plan cache:              {s.plan_cache_hits} hits / "
+          f"{s.plan_cache_misses} misses")
+    print(f"  composite indexes built: {s.composite_indexes_built}")
+    print(f"  inserts:                 {s.inserts}")
 
 
 def _load_inputs(db_path: str, queries_path: str):
@@ -119,6 +141,8 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
 
     if chosen is None:
         print("no coordinating set exists")
+        if args.stats:
+            _print_engine_stats(db)
         return 1
     print(f"coordinating set ({chosen.size} queries): {chosen}")
     for variable in sorted(chosen.assignment, key=str):
@@ -127,6 +151,8 @@ def _cmd_coordinate(args: argparse.Namespace) -> int:
         db, queries, chosen.members, chosen.assignment
     )
     print(f"Definition 1 check: {'OK' if verification.ok else verification.reason}")
+    if args.stats:
+        _print_engine_stats(db)
     return 0
 
 
@@ -241,6 +267,8 @@ def _cmd_online(args: argparse.Namespace) -> int:
             f"done: {len(service.pending())} pending "
             f"[per shard: {loads}], {service.migrations} migrations{mode}"
         )
+        if args.stats:
+            _print_engine_stats(db)
         return 0
     finally:
         # Always stop the worker/dispatcher threads, also when an
@@ -306,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
     coordinate.add_argument(
         "--dot", metavar="FILE", help="also write the coordination graph as dot"
     )
+    coordinate.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the database engine counters (queries, index probes, "
+        "plan cache, composite indexes) after the run",
+    )
     coordinate.set_defaults(func=_cmd_coordinate)
 
     online = subparsers.add_parser(
@@ -345,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="what shards run on: in-process engines (thread) or worker "
         "processes with wire-synced replicas (process; default: thread)",
+    )
+    online.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the authoritative store's engine counters after the "
+        "replay (replicated/process evaluation tallies on the replicas)",
     )
     online.set_defaults(func=_cmd_online)
 

@@ -25,7 +25,8 @@ from .io import (
     save_csv_table,
     save_database,
 )
-from .query import ConjunctiveQuery
+from .planner import CompiledPlan, Planner, compile_plan
+from .query import ConjunctiveQuery, QueryShape
 from .schema import RelationSchema, Schema
 from .stats import CoordinationStats, EngineStats
 from .storage import Relation, Row
@@ -35,8 +36,12 @@ __all__ = [
     "Assignment",
     "Backend",
     "BackendSpec",
+    "CompiledPlan",
     "ConjunctiveQuery",
     "CoordinationStats",
+    "Planner",
+    "QueryShape",
+    "compile_plan",
     "Database",
     "DatabaseBuilder",
     "EngineStats",

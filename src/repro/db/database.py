@@ -76,6 +76,10 @@ class Database:
             rs.name: Relation(rs) for rs in self.schema
         }
         self.stats = EngineStats()
+        # Relations report storage-level counters (index probes,
+        # composite-index builds) into the facade's stats object.
+        for store in self._relations.values():
+            store.stats = self.stats
         self._evaluator = Evaluator(self._relations, self.stats)
         #: Readers–writer lock over the instance: reads (evaluation,
         #: scans, stamps) share, writes (inserts, DDL) exclude.  The
@@ -117,6 +121,7 @@ class Database:
         with self.rw.write():
             self.schema.add(relation_schema)
             store = Relation(relation_schema)
+            store.stats = self.stats
             self._relations[relation_schema.name] = store
         self._notify_write()
         return store

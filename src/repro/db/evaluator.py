@@ -1,44 +1,51 @@
-"""Backtracking evaluator for conjunctive queries.
+"""Conjunctive-query evaluation through compiled plans.
 
-The evaluator implements an index-nested-loop join with a greedy
-*bound-first* atom ordering: at every step it picks the atom with the
-most already-bound positions (ties broken toward the smaller relation),
-fetches candidate tuples through the storage layer's hash indexes, and
-extends the current partial assignment.  For the star-shaped, mostly
-constant-bound bodies issued by the coordination algorithms this is
-effectively index lookup followed by constant-time checks, mirroring
-what MySQL did for the paper's experiments.
+The evaluator is the thin public face over :mod:`repro.db.planner`:
+every evaluation asks the per-database :class:`~repro.db.planner.Planner`
+for a :class:`~repro.db.planner.CompiledPlan` (cached across queries of
+the same shape) and runs it.  The plan executes an index-nested-loop
+join whose join order was chosen from per-relation cardinalities and
+per-column distinct-value statistics at compile time, and whose probe
+specs (constant positions, bound slots, newly-bound slots) are
+precomputed — the hot loop does tuple-slot comparisons only, with no
+``isinstance`` checks and no per-call atom ordering.  Candidate tuples
+are fetched through the storage layer's single-column and composite
+hash indexes, so each probe is one exact-match bucket lookup —
+mirroring (and improving on) what MySQL did for the paper's
+experiments.
 
-Repeated variables inside one atom and across atoms are handled through
-plain dictionary bindings (terms are flat, so no substitution machinery
-is required on this hot path).
+Repeated variables inside one atom and across atoms are handled by the
+plan's slot machinery (terms are flat, so no substitution machinery is
+required on this hot path).
 """
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
-from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, Optional
 
-from ..logic import Atom, Constant, Variable
+from ..logic import Variable
+from .planner import Planner
 from .query import ConjunctiveQuery
 from .stats import EngineStats
 from .storage import Relation
 
 Assignment = Dict[Variable, Hashable]
 
-# Sentinel distinguishing "variable unbound" from "bound to None" with a
-# single dict lookup on the innermost join loop.
-_UNBOUND = object()
-
 
 class Evaluator:
     """Evaluates conjunctive queries against a set of relations."""
 
-    __slots__ = ("_relations", "_stats")
+    __slots__ = ("_relations", "_stats", "_planner")
 
     def __init__(self, relations: Dict[str, Relation], stats: EngineStats) -> None:
         self._relations = relations
         self._stats = stats
+        self._planner = Planner(relations, stats)
+
+    @property
+    def planner(self) -> Planner:
+        """The plan cache this evaluator compiles through."""
+        return self._planner
 
     # ------------------------------------------------------------------
     # Public API
@@ -56,8 +63,8 @@ class Evaluator:
         The empty query yields exactly one assignment (the seed).
         """
         self._stats.queries_issued += 1
-        bound: Assignment = dict(initial) if initial else {}
-        yield from self._search(self._order_atoms(list(query.atoms)), bound)
+        plan = self._planner.plan_for(query)
+        yield from plan.run(query, initial, self._relations, self._stats)
 
     def first_solution(
         self,
@@ -81,164 +88,3 @@ class Evaluator:
             if limit is not None and count >= limit:
                 break
         return count
-
-    # ------------------------------------------------------------------
-    # Search
-    # ------------------------------------------------------------------
-    def _order_atoms(self, atoms: List[Atom]) -> List[Atom]:
-        """Static join order: constant-rich atoms first, then by
-        variable connectivity.
-
-        A standard static ordering heuristic in two phases: rank atoms
-        globally by (number of constant positions, relation size), then
-        emit them in a BFS over shared variables so every atom after the
-        first is (whenever possible) connected to already-bound
-        variables — index lookups instead of scans.  ``O(k·log k)`` in
-        the number of atoms ``k``, which matters because the paper's
-        combined queries grow with the coordinating set.
-        """
-        k = len(atoms)
-        if k <= 1:
-            return list(atoms)
-
-        def global_rank(atom: Atom) -> Tuple[int, int]:
-            constants = sum(1 for t in atom.terms if isinstance(t, Constant))
-            relation = self._relations.get(atom.relation)
-            size = len(relation) if relation is not None else 0
-            return (-constants, size)
-
-        ranked = sorted(range(k), key=lambda i: global_rank(atoms[i]))
-        rank_of = {index: position for position, index in enumerate(ranked)}
-
-        by_variable: Dict[Variable, List[int]] = {}
-        for index, atom in enumerate(atoms):
-            for variable in atom.variables():
-                by_variable.setdefault(variable, []).append(index)
-
-        ordered: List[Atom] = []
-        placed = [False] * k
-        bound_vars: set = set()
-        heap: List[Tuple[int, int]] = []
-
-        def place(index: int) -> None:
-            placed[index] = True
-            ordered.append(atoms[index])
-            for variable in atoms[index].variables():
-                if variable not in bound_vars:
-                    bound_vars.add(variable)
-                    for neighbour in by_variable.get(variable, ()):
-                        if not placed[neighbour]:
-                            heappush(heap, (rank_of[neighbour], neighbour))
-
-        cursor = 0
-        while len(ordered) < k:
-            while heap and placed[heap[0][1]]:
-                heappop(heap)
-            if heap:
-                _, index = heappop(heap)
-                place(index)
-                continue
-            while placed[ranked[cursor]]:
-                cursor += 1
-            place(ranked[cursor])
-        return ordered
-
-    def _candidate_rows(
-        self, atom: Atom, bound: Assignment
-    ) -> Iterator[Tuple[Hashable, ...]]:
-        """Index-filtered candidate tuples for one atom."""
-        relation = self._relations.get(atom.relation)
-        if relation is None or not len(relation):
-            return iter(())
-        fixed: Dict[int, Hashable] = {}
-        for position, term in enumerate(atom.terms):
-            if isinstance(term, Constant):
-                fixed[position] = term.value
-            elif term in bound:
-                fixed[position] = bound[term]
-        return relation.match(fixed)
-
-    def _search(self, atoms: List[Atom], bound: Assignment) -> Iterator[Assignment]:
-        """Depth-first join with an explicit frame stack.
-
-        Iterative rather than recursive: the combined queries of the
-        coordination algorithms grow with the coordinating set, and a
-        thousand-atom conjunction must not hit the interpreter's
-        recursion limit.  Each frame holds the candidate-row iterator
-        for one atom plus the variables it bound (for undo).
-        """
-        total = len(atoms)
-        if total == 0:
-            self._stats.solutions_found += 1
-            yield dict(bound)
-            return
-
-        # Frame: [row_iterator, added_variables]
-        stack: List[List[object]] = [
-            [self._candidate_rows(atoms[0], bound), []]
-        ]
-        while stack:
-            depth = len(stack) - 1
-            frame = stack[-1]
-            rows, added = frame
-            # Undo this frame's previous bindings before trying the
-            # next candidate row.
-            for variable in added:  # type: ignore[union-attr]
-                del bound[variable]
-            frame[1] = []
-
-            advanced = False
-            for row in rows:  # type: ignore[union-attr]
-                self._stats.tuples_examined += 1
-                extension = self._try_bind(atoms[depth], row, bound)
-                if extension is None:
-                    continue
-                _, new_added = extension
-                frame[1] = new_added
-                if depth + 1 == total:
-                    self._stats.solutions_found += 1
-                    yield dict(bound)
-                    # Stay on this frame; next loop iteration undoes the
-                    # bindings and tries the following row.
-                    advanced = True
-                    break
-                stack.append(
-                    [self._candidate_rows(atoms[depth + 1], bound), []]
-                )
-                advanced = True
-                break
-            if not advanced:
-                stack.pop()
-
-    def _try_bind(
-        self, atom: Atom, row: Tuple[Hashable, ...], bound: Assignment
-    ) -> Optional[Tuple[Assignment, List[Variable]]]:
-        """Extend ``bound`` so that ``atom`` matches ``row``.
-
-        Returns the (shared, mutated) assignment plus the list of newly
-        added variables so the caller can undo them, or ``None`` if the
-        row is inconsistent with the current bindings (repeated-variable
-        clash).  Constant positions were already filtered by the index
-        lookup but are re-checked for safety.
-        """
-        added: List[Variable] = []
-        for position, term in enumerate(atom.terms):
-            value = row[position]
-            if isinstance(term, Constant):
-                if term.value != value:
-                    self._undo(bound, added)
-                    return None
-            else:
-                existing = bound.get(term, _UNBOUND)
-                if existing is _UNBOUND:
-                    bound[term] = value
-                    added.append(term)
-                elif existing != value:
-                    self._undo(bound, added)
-                    return None
-        return bound, added
-
-    @staticmethod
-    def _undo(bound: Assignment, added: List[Variable]) -> None:
-        for variable in added:
-            del bound[variable]

@@ -13,8 +13,15 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
-from ..logic import Atom, Variable, atoms_variables
+from ..logic import Atom, Constant, Variable, atoms_variables
 from .schema import Schema
+
+#: One atom of a query shape: relation name plus, per position, the
+#: variable's slot id (first-occurrence numbering across the body) or
+#: ``-1`` for a constant position.
+ShapeAtom = Tuple[str, Tuple[int, ...]]
+#: The structural key of a query body — what the plan cache is keyed by.
+QueryShape = Tuple[ShapeAtom, ...]
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,45 @@ class ConjunctiveQuery:
     def is_trivial(self) -> bool:
         """``True`` for the empty conjunction, which is always satisfied."""
         return not self.atoms
+
+    def shape(self) -> QueryShape:
+        """The structural key of the body: constants erased to ``-1``,
+        variables numbered by first occurrence.
+
+        Two queries share a shape exactly when they differ only in
+        constant values and variable names — which is when a compiled
+        plan (join order + probe specs) transfers between them, so the
+        plan cache of :mod:`repro.db.planner` keys on this.  Memoized on
+        the instance (the body is frozen).
+        """
+        shape = getattr(self, "_shape", None)
+        if shape is None:
+            slots: dict = {}
+            parts = []
+            for atom in self.atoms:
+                cols = []
+                for term in atom.terms:
+                    if isinstance(term, Constant):
+                        cols.append(-1)
+                    else:
+                        slot = slots.get(term)
+                        if slot is None:
+                            slot = slots[term] = len(slots)
+                        cols.append(slot)
+                parts.append((atom.relation, tuple(cols)))
+            shape = tuple(parts)
+            object.__setattr__(self, "_shape", shape)
+            object.__setattr__(self, "_slot_variables", tuple(slots))
+        return shape
+
+    def slot_variables(self) -> Tuple[Variable, ...]:
+        """Body variables in slot order (first occurrence); the inverse
+        of the numbering :meth:`shape` assigns."""
+        variables = getattr(self, "_slot_variables", None)
+        if variables is None:
+            self.shape()
+            variables = getattr(self, "_slot_variables")
+        return variables
 
     def variables(self) -> frozenset:
         """All distinct variables of the body."""

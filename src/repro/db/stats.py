@@ -28,12 +28,29 @@ class EngineStats:
         Number of satisfying assignments produced across all queries.
     inserts:
         Number of tuples inserted.
+    index_probes:
+        Number of bound :meth:`~repro.db.storage.Relation.match` calls
+        answered from an index bucket (single-column or composite).
+    plan_cache_hits:
+        Evaluations served by a cached
+        :class:`~repro.db.planner.CompiledPlan`.
+    plan_cache_misses:
+        Evaluations that (re)compiled a plan — first sight of a query
+        shape, or a participating relation's statistics moved size
+        class.
+    composite_indexes_built:
+        Composite (multi-column) hash indexes materialized across all
+        relations.
     """
 
     queries_issued: int = 0
     tuples_examined: int = 0
     solutions_found: int = 0
     inserts: int = 0
+    index_probes: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    composite_indexes_built: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -41,6 +58,10 @@ class EngineStats:
         self.tuples_examined = 0
         self.solutions_found = 0
         self.inserts = 0
+        self.index_probes = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.composite_indexes_built = 0
 
     def snapshot(self) -> "EngineStats":
         """Return an independent copy of the current counters."""
@@ -49,6 +70,10 @@ class EngineStats:
             tuples_examined=self.tuples_examined,
             solutions_found=self.solutions_found,
             inserts=self.inserts,
+            index_probes=self.index_probes,
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
+            composite_indexes_built=self.composite_indexes_built,
         )
 
     def delta(self, earlier: "EngineStats") -> "EngineStats":
@@ -58,6 +83,12 @@ class EngineStats:
             tuples_examined=self.tuples_examined - earlier.tuples_examined,
             solutions_found=self.solutions_found - earlier.solutions_found,
             inserts=self.inserts - earlier.inserts,
+            index_probes=self.index_probes - earlier.index_probes,
+            plan_cache_hits=self.plan_cache_hits - earlier.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses - earlier.plan_cache_misses,
+            composite_indexes_built=(
+                self.composite_indexes_built - earlier.composite_indexes_built
+            ),
         )
 
 

@@ -3,7 +3,11 @@
 The paper's experiments issue two kinds of database work: conjunctive
 query grounding ("is there a tuple matching these constants?") and
 option-list scans ("all distinct values of these attributes").  Both are
-served efficiently by per-column hash indexes built lazily on first use.
+served efficiently by hash indexes built lazily on first use: one per
+probed column, plus **composite** indexes keyed by a position tuple for
+multi-column binding patterns (the evaluator's join probes), so an
+exact-match probe on any binding pattern is a single bucket lookup with
+no residual filtering.
 
 A :class:`Relation` stores tuples in insertion order (a list) alongside a
 set for O(1) duplicate/membership checks, mirroring set semantics of the
@@ -13,13 +17,16 @@ Concurrency: relations carry no lock of their own — the
 :class:`~repro.db.Database` facade's reader–writer lock is the
 synchronization boundary.  Under it the invariants are simple: writers
 are exclusive, and concurrent *readers* are safe even through the lazy
-index build (:meth:`Relation._index_for`), because a build only reads
-the (frozen, under the read lock) row list into a local dict and
-installs it with one atomic store — two readers racing to build the
-same index each install a complete, identical dict.  The
-:attr:`Relation.write_epoch` stamp is what lets readers cache derived
-state across writes without holding any lock: epochs only grow, so a
-stamp comparison is a race-free staleness check.
+index builds (:meth:`Relation._index_for`,
+:meth:`Relation._composite_index_for`) and the projection caches,
+because a build only reads the (frozen, under the read lock) row list
+into a local dict and installs it with one atomic store — two readers
+racing to build the same index each install a complete, identical
+dict.  The :attr:`Relation.write_epoch` stamp is what lets readers
+cache derived state across writes without holding any lock: epochs
+only grow, so a stamp comparison is a race-free staleness check; the
+:meth:`distinct_values`/:meth:`domain` caches below use exactly that
+check, as does the plan cache in :mod:`repro.db.planner`.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 
 from ..errors import ArityError
 from .schema import RelationSchema
+from .stats import EngineStats
 
 Row = Tuple[Hashable, ...]
 
@@ -35,7 +43,17 @@ Row = Tuple[Hashable, ...]
 class Relation:
     """An indexed, in-memory tuple store for one relation."""
 
-    __slots__ = ("schema", "_rows", "_row_set", "_indexes", "write_epoch")
+    __slots__ = (
+        "schema",
+        "_rows",
+        "_row_set",
+        "_indexes",
+        "_composites",
+        "_distinct_cache",
+        "_domain_cache",
+        "write_epoch",
+        "stats",
+    )
 
     def __init__(self, schema: RelationSchema) -> None:
         self.schema = schema
@@ -43,12 +61,22 @@ class Relation:
         self._row_set: Set[Row] = set()
         # position -> value -> list of row indexes
         self._indexes: Dict[int, Dict[Hashable, List[int]]] = {}
+        # position tuple (sorted, len >= 2) -> value tuple -> row indexes
+        self._composites: Dict[Tuple[int, ...], Dict[Tuple[Hashable, ...], List[int]]] = {}
+        # positions tuple -> (epoch, projection set); epoch-stamped so a
+        # cached projection survives until the next insert.
+        self._distinct_cache: Dict[Tuple[int, ...], Tuple[int, Set[Tuple[Hashable, ...]]]] = {}
+        self._domain_cache: Optional[Tuple[int, Set[Hashable]]] = None
         # Monotone mutation counter; bumped on every successful insert,
         # regardless of which facade performed it.  Caches key their
         # validity on this — globally via Database.data_version and
         # per relation via Database.data_versions — so it must never
         # be reset or decremented.
         self.write_epoch = 0
+        #: Engine counters this store reports into (``index_probes``,
+        #: ``composite_indexes_built``).  Set by the owning
+        #: :class:`~repro.db.Database`; ``None`` for standalone stores.
+        self.stats: Optional[EngineStats] = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -69,6 +97,9 @@ class Relation:
         self.write_epoch += 1
         for position, bucket in self._indexes.items():
             bucket.setdefault(row[position], []).append(index)
+        for positions, bucket in self._composites.items():
+            key = tuple(row[p] for p in positions)
+            bucket.setdefault(key, []).append(index)
         return True
 
     def insert_many(self, rows: Iterable[Iterable[Hashable]]) -> int:
@@ -122,6 +153,35 @@ class Relation:
             self._indexes[position] = bucket
         return bucket
 
+    def _composite_index_for(
+        self, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Hashable, ...], List[int]]:
+        """Return (building lazily) the composite index on ``positions``.
+
+        ``positions`` must be sorted.  Built on the first probe of that
+        binding pattern and maintained incrementally by :meth:`insert`
+        from then on; the same atomic-publish discipline as
+        :meth:`_index_for` makes the lazy build safe under concurrent
+        readers.  Memory: one dict entry per distinct projection of the
+        relation onto ``positions`` — bounded by the row count, paid
+        only for patterns actually probed.
+        """
+        bucket = self._composites.get(positions)
+        if bucket is None:
+            bucket = {}
+            for i, row in enumerate(self._rows):
+                bucket.setdefault(tuple(row[p] for p in positions), []).append(i)
+            self._composites[positions] = bucket
+            if self.stats is not None:
+                self.stats.composite_indexes_built += 1
+        return bucket
+
+    def distinct_count(self, position: int) -> int:
+        """Number of distinct values in column ``position`` (O(1) once
+        the column's index exists; builds it otherwise).  The planner's
+        per-column statistic."""
+        return len(self._index_for(position))
+
     def contains(self, row: Iterable[Hashable]) -> bool:
         """Membership test for a fully ground tuple."""
         return tuple(row) in self._row_set
@@ -133,56 +193,80 @@ class Relation:
     def match(self, bindings: Dict[int, Hashable]) -> Iterator[Row]:
         """Iterate over tuples matching position→value equality bindings.
 
-        Uses the most selective available index among the bound
-        positions, then filters on the rest.  With no bindings this is a
-        full scan.  The one-bound-position case (the evaluator's common
-        star-query probe) skips the residual-filter machinery entirely
-        and returns a plain list iterator over the index hits.
+        Every bound pattern is a single exact-match bucket lookup: one
+        column through the per-column index, several columns through the
+        composite index on that position tuple — no residual filtering
+        in either case.  With no bindings this is a full scan.  Rows
+        come out in insertion order (buckets store row indexes in
+        insertion order), so consumers see the same sequence a filtered
+        scan would produce.
         """
         if not bindings:
             return iter(self._rows)
+        stats = self.stats
+        if stats is not None:
+            stats.index_probes += 1
+        hits = self._hits_for(bindings)
+        if not hits:
+            return iter(())
+        # Lazy map over the index hits: consumers like
+        # ``first_solution`` stop at the first row, so a large
+        # bucket must not be materialized up front.
+        return map(self._rows.__getitem__, hits)
+
+    def _hits_for(self, bindings: Dict[int, Hashable]) -> Optional[List[int]]:
+        """The index bucket for a non-empty binding pattern (or None)."""
         if len(bindings) == 1:
             ((position, value),) = bindings.items()
-            hits = self._index_for(position).get(value)
-            if not hits:
-                return iter(())
-            # Lazy map over the index hits: consumers like
-            # ``first_solution`` stop at the first row, so a large
-            # bucket must not be materialized up front.
-            return map(self._rows.__getitem__, hits)
-        return self._match_filtered(bindings)
-
-    def _match_filtered(self, bindings: Dict[int, Hashable]) -> Iterator[Row]:
-        """The multi-position case: best index probe + residual filter."""
-        # Pick the bound position whose index bucket is smallest.
-        best_position = None
-        best_rows: Optional[List[int]] = None
-        for position, value in bindings.items():
-            bucket = self._index_for(position).get(value, [])
-            if best_rows is None or len(bucket) < len(best_rows):
-                best_position, best_rows = position, bucket
-                if not bucket:
-                    return
-        assert best_rows is not None
-        rest = [(p, v) for p, v in bindings.items() if p != best_position]
-        for i in best_rows:
-            row = self._rows[i]
-            if all(row[p] == v for p, v in rest):
-                yield row
+            return self._index_for(position).get(value)
+        positions = tuple(sorted(bindings))
+        key = tuple(bindings[p] for p in positions)
+        return self._composite_index_for(positions).get(key)
 
     def count_match(self, bindings: Dict[int, Hashable]) -> int:
-        """Number of tuples matching the bindings."""
-        return sum(1 for _ in self.match(bindings))
+        """Number of tuples matching the bindings.
+
+        O(1) for any binding pattern: the answer is the length of the
+        (single-column or composite) index bucket, never an iteration
+        over the match stream.
+        """
+        if not bindings:
+            return len(self._rows)
+        hits = self._hits_for(bindings)
+        return len(hits) if hits else 0
 
     def distinct_values(self, positions: Tuple[int, ...]) -> Set[Tuple[Hashable, ...]]:
-        """All distinct projections of the relation onto ``positions``."""
-        return {tuple(row[p] for p in positions) for row in self._rows}
+        """All distinct projections of the relation onto ``positions``.
+
+        Cached per position tuple, keyed by :attr:`write_epoch`: the
+        option-list scans of the Consistent Coordination Algorithm ask
+        for the same projections on every evaluation, and between
+        inserts the answer cannot change.  The returned set is the
+        cached instance — treat it as read-only.
+        """
+        positions = tuple(positions)
+        epoch = self.write_epoch
+        cached = self._distinct_cache.get(positions)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        out = {tuple(row[p] for p in positions) for row in self._rows}
+        self._distinct_cache[positions] = (epoch, out)
+        return out
 
     def domain(self) -> Set[Hashable]:
-        """All values appearing anywhere in the relation."""
+        """All values appearing anywhere in the relation.
+
+        Epoch-cached like :meth:`distinct_values`; the returned set is
+        the cached instance — treat it as read-only.
+        """
+        epoch = self.write_epoch
+        cached = self._domain_cache
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         out: Set[Hashable] = set()
         for row in self._rows:
             out.update(row)
+        self._domain_cache = (epoch, out)
         return out
 
     def __len__(self) -> int:

@@ -68,3 +68,71 @@ class TestProjections:
 
     def test_domain(self, flights):
         assert flights.domain() == {1, 2, 3, "Paris", "Athens"}
+
+
+class TestCompositeIndexes:
+    def test_multi_binding_probe_uses_composite_bucket(self, flights):
+        assert list(flights.match({0: 2, 1: "Paris"})) == [(2, "Paris")]
+        assert (0, 1) in flights._composites
+
+    def test_composite_maintained_by_insert(self, flights):
+        # Build the composite, then insert: the bucket must stay fresh
+        # (incremental maintenance, not a rebuild).
+        assert flights.count_match({0: 1, 1: "Paris"}) == 1
+        bucket = flights._composites[(0, 1)]
+        flights.insert((1, "Athens"))
+        assert flights._composites[(0, 1)] is bucket
+        assert list(flights.match({0: 1, 1: "Athens"})) == [(1, "Athens")]
+
+    def test_composite_maintained_through_replicate_from(self, flights):
+        replica = Relation(RelationSchema("F", ["id", "dest"], key="id"))
+        replica.replicate_from(flights)
+        assert replica.count_match({0: 2, 1: "Paris"}) == 1  # builds composite
+        flights.insert((4, "Rome"))
+        flights.insert((5, "Rome"))
+        assert replica.replicate_from(flights) == 2
+        assert list(replica.match({0: 4, 1: "Rome"})) == [(4, "Rome")]
+        assert replica.count_match({0: 5, 1: "Rome"}) == 1
+        assert list(replica.scan()) == list(flights.scan())
+
+    def test_count_match_equals_match_stream_length(self, flights):
+        flights.insert((4, "Paris"))
+        for bindings in ({}, {1: "Paris"}, {0: 1}, {0: 1, 1: "Paris"},
+                         {0: 99, 1: "Rome"}):
+            assert flights.count_match(bindings) == len(list(flights.match(bindings)))
+
+    def test_composite_builds_counted_in_stats(self, flights):
+        from repro.db import EngineStats
+
+        flights.stats = EngineStats()
+        flights.count_match({0: 1, 1: "Paris"})
+        flights.count_match({0: 2, 1: "Paris"})  # same pattern: no rebuild
+        assert flights.stats.composite_indexes_built == 1
+
+    def test_match_insertion_order_preserved(self, flights):
+        flights.insert((7, "Paris"))
+        assert list(flights.match({1: "Paris"})) == [
+            (1, "Paris"), (2, "Paris"), (7, "Paris")
+        ]
+
+
+class TestEpochCaches:
+    def test_distinct_values_cached_until_insert(self, flights):
+        first = flights.distinct_values((1,))
+        assert flights.distinct_values((1,)) is first  # cached instance
+        flights.insert((4, "Rome"))
+        second = flights.distinct_values((1,))
+        assert second is not first
+        assert ("Rome",) in second
+
+    def test_domain_cached_until_insert(self, flights):
+        first = flights.domain()
+        assert flights.domain() is first
+        flights.insert((4, "Rome"))
+        assert "Rome" in flights.domain()
+        assert flights.domain() is not first
+
+    def test_duplicate_insert_keeps_caches(self, flights):
+        first = flights.domain()
+        flights.insert((1, "Paris"))  # duplicate: epoch unchanged
+        assert flights.domain() is first

@@ -209,3 +209,35 @@ class TestOnline:
         out = capsys.readouterr().out
         assert "submit b: pending" in out       # b itself still waits
         assert "submit b: satisfied {a}" in out  # ... but retired a
+
+
+class TestStatsFlag:
+    def test_coordinate_stats_prints_engine_counters(
+        self, db_file, queries_file, capsys
+    ):
+        assert main(["coordinate", db_file, queries_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "queries issued:" in out
+        assert "index probes:" in out
+        assert "plan cache:" in out
+        assert "composite indexes built:" in out
+
+    def test_coordinate_without_stats_is_silent(
+        self, db_file, queries_file, capsys
+    ):
+        assert main(["coordinate", db_file, queries_file]) == 0
+        assert "engine stats:" not in capsys.readouterr().out
+
+    def test_online_stats_prints_engine_counters(self, db_file, tmp_path, capsys):
+        path = tmp_path / "stats.ops"
+        path.write_text(
+            """
+            submit a: {} A(x) :- Flights(x, 'Zurich')
+            insert Flights 103 'Atlantis'
+            """
+        )
+        assert main(["online", db_file, str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "inserts:" in out
