@@ -51,10 +51,24 @@ pending-set size (100/300/1000):
   command's reply), so ``process_speedup`` is an end-to-end figure:
   wire overhead included, not idealized.
 
+* **durable arrivals** — the serial burst with a write-ahead log on
+  the accept path (``durability=DurabilityConfig(...)``, DESIGN.md
+  §11): every submit appends one wire-encoded journal record before
+  evaluating.  Two fsync policies are swept: ``fsync="never"`` (one
+  unbuffered ``write()`` per record — kill -9 durable, the deployment
+  default for a local disk) and ``fsync="always"`` (a disk barrier per
+  record — power-loss durable, and the honest price of it).  The
+  ``durable_overhead`` figure is durable-accept µs / in-memory serial
+  µs; the ``fsync="never"`` ratio is gated at ≤ 2× in CI.  Each
+  measurement runs in a fresh scratch directory under
+  ``benchmarks/_scratch/durability/`` (wiped before and after — a
+  stale WAL would turn a benchmark into a recovery replay).
+
 Results are emitted as ``BENCH_engine_service.json`` (series keys
 ``retract``, ``single submit``, ``sharded submit``, ``serial
 arrivals``, ``workers arrivals``, ``replicated arrivals``, ``process
-arrivals`` — asserted by the CI smoke step).
+arrivals``, ``durable arrivals``, ``durable fsync arrivals`` —
+asserted by the CI smoke step).
 
 Usage::
 
@@ -66,16 +80,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
+import shutil
 import statistics
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.bench import Point, Series, run_series
 from repro.bench.reporting import render_series
 from repro.core import CoordinationEngine, EntangledQuery, ShardedCoordinationService
+from repro.db import DurabilityConfig
 from repro.logic import Atom, Variable
 from repro.networks import member_name
 from repro.workloads import members_database, partner_query
@@ -97,6 +114,29 @@ SMOKE_ARRIVALS = 30
 SHARDS = 4
 
 ABSENT_BASE = 10 ** 6  # partners that never arrive keep the pool pending
+
+#: Scratch space for the durable-arrival measurements.  Every point
+#: gets a fresh subdirectory (a stale WAL would make the service replay
+#: someone else's run instead of benchmarking), and the whole tree is
+#: wiped before and after a run.
+SCRATCH = Path(__file__).resolve().parent / "_scratch" / "durability"
+_SCRATCH_COUNTER = itertools.count()
+
+
+def clean_scratch() -> None:
+    shutil.rmtree(SCRATCH, ignore_errors=True)
+
+
+def fresh_durability(fsync: str) -> DurabilityConfig:
+    """A durability config rooted in a never-before-used directory.
+
+    ``snapshot_every`` is set beyond the per-point record count so the
+    series isolates the per-arrival WAL-append cost; checkpoint cost is
+    amortized in deployment and covered by the recovery test suite.
+    """
+    target = SCRATCH / f"{fsync}-{next(_SCRATCH_COUNTER):04d}"
+    shutil.rmtree(target, ignore_errors=True)
+    return DurabilityConfig(dir=target, fsync=fsync, snapshot_every=1 << 20)
 
 
 def _prefill(engine, pending_size: int) -> None:
@@ -212,6 +252,7 @@ def measure_arrivals(
     repeats: int,
     backend: str = "shared",
     executor: str = "thread",
+    fsync: Optional[str] = None,
 ) -> Series:
     """Accept-throughput series for a burst of independent arrivals.
 
@@ -239,7 +280,7 @@ def measure_arrivals(
     try:
         _measure_arrival_points(
             series, workers, threaded, sizes, arrivals, repeats, backend,
-            executor,
+            executor, fsync,
         )
     finally:
         sys.setswitchinterval(previous_interval)
@@ -255,12 +296,14 @@ def _measure_arrival_points(
     repeats: int,
     backend: str,
     executor: str,
+    fsync: Optional[str] = None,
 ) -> None:
     for size in sizes:
         accept_times: List[float] = []
         drain_times: List[float] = []
         for _ in range(repeats):
             db = members_database(size=size + arrivals + 8, seed=2012)
+            durability = fresh_durability(fsync) if fsync else None
             if threaded:
                 service = ShardedCoordinationService(
                     db,
@@ -268,10 +311,12 @@ def _measure_arrival_points(
                     mailbox_capacity=arrivals + 8,
                     backend=backend,
                     executor=executor,
+                    durability=durability,
                 )
             else:
                 service = ShardedCoordinationService(
-                    db, shards=workers, backend=backend
+                    db, shards=workers, backend=backend,
+                    durability=durability,
                 )
             _prefill(service, size)
             submit = service.submit_nowait if threaded else service.submit
@@ -361,6 +406,18 @@ def main(argv: List[str]) -> int:
         repeats,
         executor="process",
     )
+    clean_scratch()
+    try:
+        durable_arrivals = measure_arrivals(
+            "durable arrivals", args.workers, False, arrival_sizes,
+            arrivals, repeats, fsync="never",
+        )
+        durable_fsync_arrivals = measure_arrivals(
+            "durable fsync arrivals", args.workers, False, arrival_sizes,
+            arrivals, repeats, fsync="always",
+        )
+    finally:
+        clean_scratch()
 
     print(render_series(retract, "Retract+resubmit cycles"))
     print()
@@ -391,6 +448,14 @@ def main(argv: List[str]) -> int:
         )
     )
     print()
+    print(render_series(durable_arrivals, "Durable serial driver (WAL, fsync=never)"))
+    print()
+    print(
+        render_series(
+            durable_fsync_arrivals, "Durable serial driver (WAL, fsync=always)"
+        )
+    )
+    print()
 
     retract_us = _per_op_us(retract, 2 * ops)  # cycle = retract + resubmit
     single_us = _per_op_us(single, 2 * pairs)
@@ -399,6 +464,8 @@ def main(argv: List[str]) -> int:
     workers_arrival_us = _per_op_us(workers_arrivals, arrivals)
     replicated_arrival_us = _per_op_us(replicated_arrivals, arrivals)
     process_arrival_us = _per_op_us(process_arrivals, arrivals)
+    durable_arrival_us = _per_op_us(durable_arrivals, arrivals)
+    durable_fsync_us = _per_op_us(durable_fsync_arrivals, arrivals)
     overhead = {size: sharded_us[size] / single_us[size] for size in single_us}
     speedup = {
         size: serial_arrival_us[size] / workers_arrival_us[size]
@@ -410,6 +477,14 @@ def main(argv: List[str]) -> int:
     }
     process_speedup = {
         size: serial_arrival_us[size] / process_arrival_us[size]
+        for size in serial_arrival_us
+    }
+    durable_overhead = {
+        size: durable_arrival_us[size] / serial_arrival_us[size]
+        for size in serial_arrival_us
+    }
+    durable_fsync_overhead = {
+        size: durable_fsync_us[size] / serial_arrival_us[size]
         for size in serial_arrival_us
     }
     for size in sorted(retract_us):
@@ -441,6 +516,14 @@ def main(argv: List[str]) -> int:
             f"({process_speedup[size]:.2f}× vs serial; thread workers "
             f"{workers_arrival_us[size]:8.1f})"
         )
+    for size in sorted(durable_arrival_us):
+        print(
+            f"pending={size:5d}: durable accept "
+            f"{durable_arrival_us[size]:8.1f} µs/arrival "
+            f"(fsync=never {durable_overhead[size]:.2f}× vs in-memory; "
+            f"fsync=always {durable_fsync_us[size]:8.1f} µs, "
+            f"{durable_fsync_overhead[size]:.2f}×)"
+        )
 
     drains = {
         series.name: {
@@ -452,6 +535,8 @@ def main(argv: List[str]) -> int:
             workers_arrivals,
             replicated_arrivals,
             process_arrivals,
+            durable_arrivals,
+            durable_fsync_arrivals,
         )
     }
     payload = {
@@ -487,6 +572,8 @@ def main(argv: List[str]) -> int:
                 (workers_arrivals, workers_arrival_us),
                 (replicated_arrivals, replicated_arrival_us),
                 (process_arrivals, process_arrival_us),
+                (durable_arrivals, durable_arrival_us),
+                (durable_fsync_arrivals, durable_fsync_us),
             )
         },
         "sharded_overhead": {str(size): overhead[size] for size in overhead},
@@ -496,6 +583,13 @@ def main(argv: List[str]) -> int:
         },
         "process_speedup": {
             str(size): process_speedup[size] for size in process_speedup
+        },
+        "durable_overhead": {
+            str(size): durable_overhead[size] for size in durable_overhead
+        },
+        "durable_fsync_overhead": {
+            str(size): durable_fsync_overhead[size]
+            for size in durable_fsync_overhead
         },
         "arrival_drain_seconds": drains,
     }

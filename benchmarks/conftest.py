@@ -8,11 +8,29 @@ Slashdot-sized 82 168-row table); it is built once per session.  Set
 from __future__ import annotations
 
 import os
+import shutil
+from pathlib import Path
 
 import pytest
 
 from repro.networks import SLASHDOT_SIZE
 from repro.workloads import members_database
+
+#: Where the durable-arrival series keeps its WAL/snapshot directories
+#: (see ``bench_engine_service.SCRATCH``).  Wiped around every session:
+#: a stale WAL left by an interrupted run would make the next durable
+#: measurement *recover* (replay someone else's journal) instead of
+#: benchmarking a clean accept path.
+SCRATCH_DIRS = (Path(__file__).resolve().parent / "_scratch",)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def clean_scratch_dirs():
+    for scratch in SCRATCH_DIRS:
+        shutil.rmtree(scratch, ignore_errors=True)
+    yield
+    for scratch in SCRATCH_DIRS:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def member_table_size() -> int:

@@ -13,7 +13,8 @@ Subcommands:
   misses, composite indexes built);
 * ``online DB.json STREAM.ops [--shards N] [--workers N]
   [--backend {shared,replicated}] [--executor {thread,process}]
-  [--stats]`` —
+  [--durable-dir DIR] [--fsync {always,never}]
+  [--snapshot-store {file,sqlite}] [--stats]`` —
   replay a query-lifecycle stream through a
   :class:`~repro.core.ShardedCoordinationService` (one operation per
   line: ``submit <query>``, ``retract <name>``,
@@ -25,7 +26,12 @@ Subcommands:
   with versioned invalidation (identical output, no cross-shard
   locking during evaluation).  ``--executor process`` hosts each shard
   in a worker *process* with its replica synced over a framed pipe
-  protocol — identical output, true multi-core evaluation;
+  protocol — identical output, true multi-core evaluation.
+  ``--durable-dir DIR`` makes the service durable: the replay is
+  write-ahead logged (with periodic snapshot + compaction
+  checkpoints) into DIR, and a restart pointing at the same DIR
+  first recovers everything a previous run — even one killed with
+  ``kill -9`` — made durable (see DESIGN.md §11);
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -173,13 +179,32 @@ def _cmd_online(args: argparse.Namespace) -> int:
     # Read the stream before spawning any worker threads: an unreadable
     # path must fail before there is anything to leak.
     source = Path(args.stream).read_text(encoding="utf-8")
+    durability = None
+    if args.durable_dir is not None:
+        from .db import DurabilityConfig
+
+        durability = DurabilityConfig(
+            dir=Path(args.durable_dir),
+            fsync=args.fsync,
+            snapshot_store=args.snapshot_store,
+        )
     service = ShardedCoordinationService(
         db,
         shards=args.shards,
         workers=workers,
         backend=args.backend,
         executor=args.executor,
+        durability=durability,
     )
+    if service.recovered is not None and not service.recovered.empty:
+        state = service.recovered
+        print(
+            f"recovered from {args.durable_dir}: snapshot generation "
+            f"{state.generation}, {len(state.pending)} pending re-admitted, "
+            f"{len(state.records)} WAL records replayed"
+            + (", torn final record discarded"
+               if state.torn_record_discarded else "")
+        )
 
     # All satisfactions are reported through the resolution callback:
     # an arrival can retire a set it does not belong to (a previously
@@ -385,6 +410,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the authoritative store's engine counters after the "
         "replay (replicated/process evaluation tallies on the replicas)",
+    )
+    online.add_argument(
+        "--durable-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the service to DIR (write-ahead log + snapshots) "
+        "and recover whatever a previous run left there before "
+        "replaying — survives kill -9 (default: in-memory only)",
+    )
+    online.add_argument(
+        "--fsync",
+        choices=["always", "never"],
+        default="always",
+        help="WAL fsync policy with --durable-dir: every append "
+        "(survives power loss) or never (still survives process "
+        "kill -9; default: always)",
+    )
+    online.add_argument(
+        "--snapshot-store",
+        choices=["file", "sqlite"],
+        default="file",
+        help="snapshot storage with --durable-dir: one file per "
+        "generation, or a WAL-journaled SQLite table (default: file)",
     )
     online.set_defaults(func=_cmd_online)
 

@@ -118,7 +118,15 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..concurrency import Deadline
-from ..db import BackendSpec, Database, resolve_backend
+from ..db import BackendSpec, Database, resolve_backend, wire
+from ..db.database import MutationEvent
+from ..db.durability import (
+    DurabilitySpec,
+    DurableStore,
+    RecoveredState,
+    build_snapshot_payload,
+    resolve_durability,
+)
 from ..errors import ConcurrencyError, PreconditionError
 from .engine import CoordinationEngine
 from .executor import CallbackDispatcher, ShardWorker, resolve_executor
@@ -189,6 +197,18 @@ class ShardedCoordinationService:
         across executors; with ``workers=N`` the same mailbox threads
         drive the shards, acting as I/O waiters while the evaluations
         run in the worker processes (true parallelism on GIL builds).
+    durability:
+        ``None`` (default) keeps the service purely in-memory.  A
+        :class:`~repro.db.DurabilityConfig` (or a bare directory path)
+        makes the service durable: construction first **recovers**
+        whatever the directory holds — newest valid snapshot, then the
+        WAL suffix, discarding a torn final record — and from then on
+        every database mutation and journal entry is written ahead to
+        the WAL, with periodic snapshot + compaction checkpoints
+        (see :mod:`repro.db.durability` and DESIGN.md §11).  Composes
+        with every ``backend``/``executor``/``workers`` combination;
+        the recovered outcome is byte-identical to a service that
+        never crashed (the crash-recovery fuzz suite's contract).
     """
 
     #: Router ops between opportunistic rebalance checks.
@@ -208,6 +228,7 @@ class ShardedCoordinationService:
         mailbox_capacity: int = 1024,
         backend: BackendSpec = "shared",
         executor: str = "thread",
+        durability: DurabilitySpec = None,
     ) -> None:
         if workers is not None:
             if workers < 1:
@@ -299,6 +320,26 @@ class ShardedCoordinationService:
             self._dispatcher = CallbackDispatcher()
         for engine in self._engines:
             engine.on_resolved(self._on_shard_resolved)
+        #: The durable store when the service persists itself
+        #: (``None`` in-memory).  See the ``durability`` parameter.
+        self.durable: Optional[DurableStore] = None
+        #: What construction recovered from the durability directory
+        #: (``None`` when not durable; ``.empty`` on a fresh directory).
+        self.recovered: Optional[RecoveredState] = None
+        self._replaying = False
+        config = resolve_durability(durability)
+        if config is not None:
+            self.durable = DurableStore(config)
+            try:
+                self._recover_durable()
+            except BaseException:
+                # A failed recovery must not leak the WAL/snapshot-store
+                # handles (or worker threads/processes) of a service
+                # that never finished constructing.
+                self.durable.close()
+                self.durable = None
+                self.close(raise_deferred=False)
+                raise
 
     # ------------------------------------------------------------------
     # Introspection
@@ -446,6 +487,7 @@ class ShardedCoordinationService:
         with self._router:
             self._check_open()
             self._maybe_rebalance()
+            self._maybe_checkpoint()
             for query in batch:
                 try:
                     _, handle, _ = self._route_and_admit(query)
@@ -488,6 +530,7 @@ class ShardedCoordinationService:
         """
         with self._router:
             self._check_open()
+            self._maybe_checkpoint()
             raised = True
             try:
                 with self._tables:
@@ -525,6 +568,7 @@ class ShardedCoordinationService:
         """
         with self._router:
             self._check_open()
+            self._maybe_checkpoint()
             if self._workers is not None:
                 with self._tables:
                     self._tables.wait_for(
@@ -551,6 +595,7 @@ class ShardedCoordinationService:
         """
         with self._router:
             self._check_open()
+            self._maybe_checkpoint()
             results = self._flush_once()
             self._journal_append(("flush",))
         return results
@@ -568,6 +613,7 @@ class ShardedCoordinationService:
         collected: List[CoordinationResult] = []
         with self._router:
             self._check_open()
+            self._maybe_checkpoint()
             while True:
                 results = self._flush_once()
                 collected.extend(results)
@@ -675,6 +721,13 @@ class ShardedCoordinationService:
                 # replicas of a service that is gone.  Caller-provided
                 # backend instances are the caller's to close.
                 self.backend.close()
+            if self.durable is not None:
+                # Everything since the last checkpoint is already in
+                # the WAL, so closing needs no final snapshot — just
+                # release the file handles and stop taxing the
+                # database's write path.
+                self.db.remove_mutation_listener(self._on_db_mutation)
+                self.durable.close()
         if raise_deferred:
             self._raise_deferred_errors()
 
@@ -753,6 +806,7 @@ class ShardedCoordinationService:
         with self._router:
             self._check_open()
             self._maybe_rebalance()
+            self._maybe_checkpoint()
             raised = True
             try:
                 target, handle, component = self._route_and_admit(query)
@@ -1013,6 +1067,8 @@ class ShardedCoordinationService:
     def _journal_append(self, entry: JournalEntry) -> None:
         if self.journal is not None:
             self.journal.append(entry)
+        if self.durable is not None and not self._replaying:
+            self.durable.append_journal(entry)
 
     def _raise_deferred_errors(self) -> None:
         """Raise the oldest deferred worker/callback error, if any.
@@ -1032,6 +1088,178 @@ class ShardedCoordinationService:
             with self._tables:
                 self._errors.extend(rest)
         raise deferred[0]
+
+    # ------------------------------------------------------------------
+    # Durability (recovery, WAL taps, checkpoints)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Optional[int]:
+        """Snapshot the full durable state and compact the WAL now.
+
+        Waits out outstanding evaluations (worker mode), captures the
+        database, the pending pool in arrival order, and the recorded
+        final states into the next snapshot generation, and truncates
+        the log at that barrier.  Returns the new generation number, or
+        ``None`` for an in-memory service.  The router also checkpoints
+        opportunistically once the WAL passes the configured
+        ``snapshot_every`` record count.
+        """
+        with self._router:
+            self._check_open()
+            if self.durable is None:
+                return None
+            return self._checkpoint_locked()
+
+    def _maybe_checkpoint(self) -> None:
+        """Opportunistic WAL compaction between router commands."""
+        if (
+            self.durable is not None
+            and not self._replaying
+            and self.durable.checkpoint_due
+        ):
+            self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
+        """Write the next snapshot generation (router lock held).
+
+        The snapshot must subsume every WAL record, so outstanding
+        evaluations are barriered out first — the same quiescence wait
+        :meth:`insert` uses — making the captured pending pool and
+        final states a consistent cut of the linearized stream.
+        """
+        if self._workers is not None:
+            with self._tables:
+                self._tables.wait_for(lambda: self._eval_outstanding == 0)
+        pending: List[EntangledQuery] = []
+        with self._tables:
+            # Dict insertion order is admission order (migration only
+            # updates values), so this is the arrival-ordered pool.
+            names = list(self._shard_of)
+            finals = [
+                (name, state.value)
+                for name, state in self._final_states.items()
+            ]
+        for name in names:
+            live = self.handle(name)
+            if live is not None:
+                pending.append(live.entangled)
+        payload = build_snapshot_payload(
+            self.db, pending, finals, self.durable.journal_len
+        )
+        return self.durable.checkpoint(payload)
+
+    def _recover_durable(self) -> None:
+        """Rebuild state from the durability directory (construction).
+
+        Three layers, in order: the snapshot's database image lands
+        first (lenient set-semantics apply — the authoritative ``db``
+        may legitimately be pre-seeded with the same base facts the
+        snapshot holds, e.g. a CLI demo database); the snapshot's
+        pending pool is **re-admitted without evaluation** (the pool is
+        not an evaluation fixpoint — a component may hold a satisfiable
+        set that stays pending until the next event, exactly as
+        migration's release/adopt preserves — so re-evaluating here
+        would diverge from the never-crashed oracle); then the WAL
+        suffix replays in commit order — database mutations directly,
+        journal entries through the very lifecycle API that produced
+        them (those *did* evaluate originally, so replaying them with
+        evaluation recreates the original execution byte for byte).
+        Durability taps are suppressed throughout; a fresh checkpoint
+        afterwards collapses the replayed WAL into one generation.
+        """
+        assert self.durable is not None
+        state = self.durable.recover()
+        self.recovered = state
+        self._replaying = True
+        try:
+            if state.db_sync is not None:
+                self._apply_snapshot_db(state.db_sync)
+            with self._router:
+                for query in state.pending:
+                    self._route_and_admit(query)
+            with self._tables:
+                for name, value in state.final_states:
+                    record_final_state(
+                        self._final_states, name, QueryState(value)
+                    )
+            for record in state.records:
+                self._replay_wal_record(record)
+        finally:
+            self._replaying = False
+        with self._router:
+            self._checkpoint_locked()
+        self.db.add_mutation_listener(self._on_db_mutation)
+
+    def _apply_snapshot_db(self, payload: Dict[str, Any]) -> None:
+        """Apply a snapshot's database image through the facade.
+
+        Unlike the strict replica path (:func:`repro.db.wire.apply_sync`)
+        this tolerates a pre-populated authoritative database: relation
+        inserts are set-semantics, so re-applying rows the caller
+        already seeded is a no-op, and going through the facade keeps
+        backend invalidation (write listeners) working.  Integrity is
+        the frame CRC's job, not a stamp cross-check against a database
+        the snapshot never promised to match.
+        """
+        for record in payload["relations"]:
+            schema = wire.decode_schema(record["schema"])
+            if schema.name not in self.db:
+                self.db.attach_relation(schema)
+            rows = wire.decode_rows(record["rows"])
+            if rows:
+                self.db.insert_many(schema.name, rows)
+
+    def _replay_wal_record(self, record: Tuple) -> None:
+        kind = record[0]
+        if kind == "rows":
+            _, relation, rows = record
+            if rows:
+                self.db.insert_many(relation, rows)
+        elif kind == "ddl":
+            schema = record[1]
+            if schema.name not in self.db:
+                self.db.attach_relation(schema)
+        else:
+            self._replay_journal_entry(record[1])
+
+    def _replay_journal_entry(self, entry: JournalEntry) -> None:
+        """Re-execute one journaled operation during recovery.
+
+        Entries that raised originally (``raised=True``) are replayed
+        expecting the same :class:`~repro.errors.PreconditionError`;
+        either way the op lands in the linearization exactly once, so
+        the durable journal count keeps mapping one-to-one onto the
+        original stream.
+        """
+        kind = entry[0]
+        if kind == "submit":
+            _, query, raised = entry
+            try:
+                self.submit(query)
+            except PreconditionError:
+                if not raised:
+                    raise
+        elif kind == "submit_many":
+            self.submit_many(list(entry[1]))
+        elif kind == "retract":
+            _, name, raised = entry
+            try:
+                self.retract(name)
+            except PreconditionError:
+                if not raised:
+                    raise
+        elif kind == "insert":
+            self.insert(entry[1], entry[2])
+        elif kind == "flush":
+            self.flush()
+        elif kind == "flush_drain":
+            self.flush_drain()
+        else:  # pragma: no cover - decode_journal rejects unknown ops
+            raise PreconditionError(f"unknown journal entry {entry!r}")
+
+    def _on_db_mutation(self, event: MutationEvent) -> None:
+        """Database mutation-listener hook: write-ahead the content."""
+        if self.durable is not None and not self._replaying:
+            self.durable.append_mutation(event)
 
     # ------------------------------------------------------------------
     # Resolution plumbing

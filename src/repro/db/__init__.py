@@ -15,7 +15,17 @@ from .backend import (
     resolve_backend,
 )
 from .builder import DatabaseBuilder, unary_boolean_database
-from .database import Database
+from .database import Database, MutationEvent
+from .durability import (
+    DurabilityConfig,
+    DurableStore,
+    FileSnapshotStore,
+    RecoveredState,
+    SnapshotStore,
+    SQLiteSnapshotStore,
+    WriteAheadLog,
+    resolve_durability,
+)
 from .evaluator import Assignment, Evaluator
 from .io import (
     database_from_spec,
@@ -44,15 +54,24 @@ __all__ = [
     "compile_plan",
     "Database",
     "DatabaseBuilder",
+    "DurabilityConfig",
+    "DurableStore",
     "EngineStats",
     "EvaluationReader",
     "Evaluator",
+    "FileSnapshotStore",
+    "MutationEvent",
+    "RecoveredState",
     "Relation",
     "ReplicatedBackend",
     "SharedBackend",
     "RelationSchema",
     "Row",
     "Schema",
+    "SnapshotStore",
+    "SQLiteSnapshotStore",
+    "WriteAheadLog",
+    "resolve_durability",
     "database_from_spec",
     "database_to_spec",
     "load_csv_table",

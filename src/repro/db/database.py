@@ -49,6 +49,12 @@ from .schema import RelationSchema, Schema
 from .stats import EngineStats
 from .storage import Relation, Row
 
+#: One structured mutation event handed to mutation listeners:
+#: ``("create_relation", RelationSchema)`` for DDL, or
+#: ``("insert", relation_name, (row, ...))`` with the tuple of rows a
+#: facade write actually added (duplicates excluded).
+MutationEvent = Tuple
+
 
 class Database:
     """An in-memory relational database instance.
@@ -93,6 +99,11 @@ class Database:
         # directly on a Relation handle bypass them, exactly as they
         # bypass the facade's counters.
         self._write_listeners: List[Callable[[], None]] = []
+        # Mutation listeners: like write listeners, but called with a
+        # structured MutationEvent describing *what* changed — the
+        # durability subsystem's WAL tap.  Kept separate so the
+        # zero-argument invalidation path stays allocation-free.
+        self._mutation_listeners: List[Callable[[MutationEvent], None]] = []
 
     # ------------------------------------------------------------------
     # Schema / data definition
@@ -124,6 +135,7 @@ class Database:
             store.stats = self.stats
             self._relations[relation_schema.name] = store
         self._notify_write()
+        self._notify_mutation(("create_relation", relation_schema))
         return store
 
     def relation(self, name: str) -> Relation:
@@ -140,20 +152,35 @@ class Database:
 
     def insert(self, name: str, row: Iterable[Hashable]) -> bool:
         """Insert one tuple into relation ``name``."""
+        row = tuple(row)
         with self.rw.write():
             inserted = self.relation(name).insert(row)
         if inserted:
             self.stats.inserts += 1
             self._notify_write()
+            self._notify_mutation(("insert", name, (row,)))
         return inserted
 
     def insert_many(self, name: str, rows: Iterable[Iterable[Hashable]]) -> int:
         """Insert many tuples into relation ``name``."""
-        with self.rw.write():
-            count = self.relation(name).insert_many(rows)
+        if self._mutation_listeners:
+            # The WAL tap needs the rows actually added (duplicates
+            # excluded), so take the slightly slower collecting path.
+            with self.rw.write():
+                store = self.relation(name)
+                added = tuple(
+                    row for row in map(tuple, rows) if store.insert(row)
+                )
+            count = len(added)
+        else:
+            added = ()
+            with self.rw.write():
+                count = self.relation(name).insert_many(rows)
         self.stats.inserts += count
         if count:
             self._notify_write()
+            if added:
+                self._notify_mutation(("insert", name, added))
         return count
 
     def add_write_listener(self, listener: Callable[[], None]) -> None:
@@ -176,6 +203,32 @@ class Database:
         except ValueError:
             pass
 
+    def add_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        """Register a listener fired with a :data:`MutationEvent` after
+        facade writes that changed data and after DDL.
+
+        The structured sibling of :meth:`add_write_listener`: the
+        durability subsystem registers here to journal every mutation's
+        *content* (relation, rows, schemas), not merely the fact that
+        one happened.  Fired outside the instance lock, after the write
+        listeners; events are stream-ordered only while writes are
+        serialized (single writer, or the service's router-linearized
+        :meth:`~repro.core.service.ShardedCoordinationService.insert`).
+        Detach with :meth:`remove_mutation_listener`.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[MutationEvent], None]
+    ) -> None:
+        """Detach a mutation listener; a no-op when it is not registered."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify_write(self) -> None:
         if not self._write_listeners:
             return
@@ -183,6 +236,12 @@ class Database:
         # replicated backend's self-pruning weakref stub does).
         for listener in list(self._write_listeners):
             listener()
+
+    def _notify_mutation(self, event: MutationEvent) -> None:
+        if not self._mutation_listeners:
+            return
+        for listener in list(self._mutation_listeners):
+            listener(event)
 
     def data_version(self) -> int:
         """A monotone stamp of the database contents.

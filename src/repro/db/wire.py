@@ -7,10 +7,14 @@ makes the boundary a real one — a framed, versioned byte protocol the
 :class:`~repro.core.procexec.ProcessShardExecutor` ships over a pipe
 between the router process and its shard worker processes:
 
-* **frames** — every message is ``MAGIC + version byte + compact JSON``
-  (:func:`dumps` / :func:`loads`).  The explicit magic/version header
-  means a mixed-version router/worker pair fails loudly at the first
-  frame instead of mis-decoding payloads;
+* **frames** — every message is ``MAGIC + version byte + CRC-32 +
+  compact JSON`` (:func:`dumps` / :func:`loads`).  The explicit
+  magic/version header means a mixed-version router/worker pair fails
+  loudly at the first frame instead of mis-decoding payloads, and the
+  payload checksum means a frame corrupted in transit *or at rest*
+  (the durability subsystem journals these frames to disk —
+  :mod:`repro.db.durability`) raises
+  :class:`~repro.errors.WireError` instead of decoding garbage;
 * **values** — database values (the hashables rows and assignments
   carry: ``None``/``bool``/``int``/``float``/``str`` and nested
   tuples) round-trip through a tagged encoding
@@ -41,6 +45,7 @@ from __future__ import annotations
 
 import json
 import math
+import zlib
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..errors import WireError
@@ -48,11 +53,16 @@ from ..logic import Atom, Constant, Variable
 from .database import Database
 from .schema import RelationSchema
 
-#: Frame header: magic + one version byte.  Bump the version whenever a
-#: payload shape changes incompatibly; a mismatched peer then fails at
-#: the first frame with a :class:`~repro.errors.WireError`.
+#: Frame header: magic + one version byte + CRC-32 of the payload
+#: (4 bytes, big-endian).  Bump the version whenever the frame layout
+#: or a payload shape changes incompatibly; a mismatched peer then
+#: fails at the first frame with a :class:`~repro.errors.WireError`.
+#: Version history: 1 = MAGIC+version+JSON, 2 = added the CRC-32.
 MAGIC = b"EQ"
-VERSION = 1
+VERSION = 2
+
+#: Bytes before the payload: magic (2) + version (1) + CRC-32 (4).
+HEADER_SIZE = 7
 
 #: Reserved key marking a tagged (non-scalar) encoded value.
 _TAG = "%"
@@ -69,19 +79,35 @@ def dumps(message: Any) -> bytes:
         ).encode("utf-8")
     except (TypeError, ValueError) as error:
         raise WireError(f"message is not wire-encodable: {error}") from None
-    return MAGIC + bytes((VERSION,)) + payload
+    crc = zlib.crc32(payload).to_bytes(4, "big")
+    return MAGIC + bytes((VERSION,)) + crc + payload
 
 
 def loads(frame: bytes) -> Any:
-    """Decode one framed byte string back into its message."""
-    if len(frame) < 3 or frame[:2] != MAGIC:
+    """Decode one framed byte string back into its message.
+
+    Verifies the header *and* the payload CRC-32: a frame with any
+    flipped byte — header, checksum, or payload — raises
+    :class:`~repro.errors.WireError` rather than decoding to garbage.
+    The WAL (:mod:`repro.db.durability`) leans on exactly this to turn
+    a torn or bit-rotted record into a clean recovery boundary.
+    """
+    if len(frame) < HEADER_SIZE or frame[:2] != MAGIC:
         raise WireError("frame does not start with the wire magic")
     if frame[2] != VERSION:
         raise WireError(
             f"wire version mismatch: peer speaks {frame[2]}, we speak {VERSION}"
         )
+    payload = frame[HEADER_SIZE:]
+    expected = int.from_bytes(frame[3:HEADER_SIZE], "big")
+    actual = zlib.crc32(payload)
+    if actual != expected:
+        raise WireError(
+            f"wire frame CRC mismatch: header says {expected:#010x}, "
+            f"payload hashes to {actual:#010x}"
+        )
     try:
-        return json.loads(frame[3:].decode("utf-8"))
+        return json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise WireError(f"corrupt wire frame: {error}") from None
 

@@ -1,0 +1,150 @@
+"""Shared helpers for the durable-service crash/recovery suites.
+
+Used by both the in-process recovery tests
+(``test_durable_service.py``) and the ``kill -9`` subprocess harness
+(``durable_crash_child.py``): a deterministic, placement-independent
+operation stream, the one interpreter that applies it to a service, and
+a JSON-comparable rendering of every durable observable (relations,
+pending pool, per-query lifecycle states).
+
+The crash-point contract the harness relies on: **every stream
+operation produces exactly one service journal entry**, so the durable
+journal length ``D`` after recovery is precisely the index of the next
+stream operation to run — the oracle for a crash at any point is a
+never-crashed service fed ``stream[:D]``.
+"""
+
+import random
+from typing import List, Tuple
+
+from repro.core.service import ShardedCoordinationService
+from repro.db import Database, RelationSchema
+from repro.errors import PreconditionError
+from repro.networks import member_name
+from repro.workloads import partner_query
+
+USER_SPAN = 40
+BASE_ROWS = 30
+
+#: One stream operation (all placement-independent — plain ``flush`` is
+#: per-shard-relative, so the durable streams use ``flush_drain`` like
+#: every other oracle-replayable fuzz in the suite).
+StreamOp = Tuple
+
+
+def fresh_db() -> Database:
+    """An empty database with the Members schema the stream inserts into."""
+    db = Database()
+    db.attach_relation(
+        RelationSchema("Members", ("member", "region", "interest", "karma"))
+    )
+    return db
+
+
+def seed_rows(size: int = BASE_ROWS) -> List[Tuple]:
+    """The base member rows; part of the stream so they are journaled."""
+    return [
+        (member_name(i), f"region{i % 4}", f"interest{i % 6}", i)
+        for i in range(size)
+    ]
+
+
+def build_stream(seed: int, length: int = 220) -> List[StreamOp]:
+    """A deterministic op stream: seeding inserts, then fuzzed traffic.
+
+    Derived purely from ``seed`` — never from runtime service state —
+    so a recovered service resuming at any index replays exactly what
+    the crashed run would have executed (retracts may target a name
+    that is not pending; that raises, is journaled as raised, and
+    replays identically).
+    """
+    rng = random.Random(seed)
+    ops: List[StreamOp] = [("insert", row) for row in seed_rows()]
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.15:
+            ops.append(("retract", member_name(rng.randrange(USER_SPAN))))
+        elif roll < 0.25:
+            extra = BASE_ROWS + rng.randrange(20)
+            ops.append(
+                (
+                    "insert",
+                    (
+                        member_name(extra),
+                        f"region{rng.randrange(4)}",
+                        f"interest{rng.randrange(6)}",
+                        100 + extra,
+                    ),
+                )
+            )
+        elif roll < 0.32:
+            ops.append(("flush_drain",))
+        else:
+            index = rng.randrange(USER_SPAN)
+            partners = rng.sample(
+                [j for j in range(USER_SPAN) if j != index],
+                k=rng.choice((0, 1, 1, 2, 3)),
+            )
+            ops.append(("submit", index, tuple(partners)))
+    return ops
+
+
+def apply_op(service: ShardedCoordinationService, op: StreamOp) -> None:
+    """Apply one stream op; exactly one journal entry either way."""
+    kind = op[0]
+    if kind == "submit":
+        _, index, partners = op
+        query = partner_query(
+            member_name(index), [member_name(p) for p in partners]
+        )
+        try:
+            service.submit(query)
+        except PreconditionError:
+            pass  # duplicate pending name — journaled as raised
+    elif kind == "retract":
+        try:
+            service.retract(op[1])
+        except PreconditionError:
+            pass  # not pending — journaled as raised
+    elif kind == "insert":
+        service.insert("Members", op[1])
+    elif kind == "flush_drain":
+        service.flush_drain()
+    else:  # pragma: no cover - streams come from build_stream
+        raise AssertionError(f"unknown stream op {op!r}")
+
+
+def observables(service: ShardedCoordinationService) -> dict:
+    """Every durable observable, rendered JSON-comparable.
+
+    Relations are dumped in row order (byte-identity, not just set
+    equality), the pending pool comes from the routing table, and the
+    lifecycle state of every name the stream can mention captures the
+    handle outcomes that survive a restart.
+    """
+    db = service.db
+    relations = {
+        name: [list(row) for row in db.relation(name).row_tail(0)]
+        for name in sorted(db._relations)
+    }
+    states = {}
+    for index in range(USER_SPAN):
+        name = member_name(index)
+        state = service.status(name)
+        states[name] = None if state is None else state.value
+    return {
+        "relations": relations,
+        "pending": list(service.pending()),
+        "states": states,
+    }
+
+
+def oracle_observables(stream: List[StreamOp]) -> dict:
+    """What a never-crashed serial in-memory service observes."""
+    service = ShardedCoordinationService(fresh_db(), shards=2)
+    try:
+        for op in stream:
+            apply_op(service, op)
+        return observables(service)
+    finally:
+        service.close()

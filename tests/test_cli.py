@@ -173,6 +173,34 @@ class TestOnline:
         assert "satisfied {solo}" in out
         assert "done: 0 pending" in out
 
+    @pytest.mark.parametrize("snapshot_store", ["file", "sqlite"])
+    def test_durable_dir_persists_and_recovers(
+        self, db_file, tmp_path, capsys, snapshot_store
+    ):
+        """A replay with --durable-dir leaves a directory a second run
+        recovers from: the pending query survives the restart and is
+        retired by the second stream's insert."""
+        durable = str(tmp_path / "durable")
+        first = tmp_path / "first.ops"
+        first.write_text(
+            "submit solo: {} S(z) :- Flights(z, 'Atlantis')\n"
+        )
+        args = ["--durable-dir", durable, "--fsync", "never",
+                "--snapshot-store", snapshot_store]
+        assert main(["online", db_file, str(first)] + args) == 0
+        out = capsys.readouterr().out
+        assert "solo: pending" in out
+        assert "done: 1 pending" in out
+
+        second = tmp_path / "second.ops"
+        second.write_text("insert Flights 103 'Atlantis'\nflush\n")
+        assert main(["online", db_file, str(second)] + args) == 0
+        out = capsys.readouterr().out
+        assert f"recovered from {durable}" in out
+        assert "WAL records replayed" in out
+        assert "satisfied {solo}" in out
+        assert "done: 0 pending" in out
+
     def test_unsafe_submit_is_rejected_not_fatal(self, db_file, tmp_path, capsys):
         path = tmp_path / "unsafe.ops"
         path.write_text(
