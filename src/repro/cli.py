@@ -31,7 +31,17 @@ Subcommands:
   write-ahead logged (with periodic snapshot + compaction
   checkpoints) into DIR, and a restart pointing at the same DIR
   first recovers everything a previous run — even one killed with
-  ``kill -9`` — made durable (see DESIGN.md §11);
+  ``kill -9`` — made durable (see DESIGN.md §11).
+  ``--batch N`` coalesces consecutive submit lines into batched
+  admission passes (``submit_many``); the summary line reports the
+  replay's ops/s either way.  ``--serve HOST:PORT`` keeps the service
+  alive after the replay and serves it over the async gateway
+  (:mod:`repro.core.gateway`) until interrupted or — with
+  ``--allow-remote-shutdown`` — remotely stopped;
+* ``client HOST:PORT OP [...]`` — drive a running gateway: ``ping``,
+  ``submit '<query>' [--wait]``, ``retract NAME``,
+  ``insert REL V...``, ``flush``/``flush-drain``, ``pending``,
+  ``status NAME``, ``stats``, ``shutdown``;
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -44,8 +54,9 @@ from __future__ import annotations
 import argparse
 import shlex
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .core import (
     CoordinationGraph,
@@ -172,13 +183,27 @@ def _parse_stream_value(token: str):
         return token
 
 
+def _parse_address(spec: str) -> Tuple[str, int]:
+    """``HOST:PORT`` (IPv6 hosts may be bracketed) for serve/client."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {spec!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
 def _cmd_online(args: argparse.Namespace) -> int:
     """Replay a query-lifecycle stream through the sharded service."""
+    if args.stream is None and args.serve is None:
+        raise ReproError("online needs a stream file, --serve, or both")
     db = load_database(args.database)
     workers = args.workers
     # Read the stream before spawning any worker threads: an unreadable
     # path must fail before there is anything to leak.
-    source = Path(args.stream).read_text(encoding="utf-8")
+    source = (
+        ""
+        if args.stream is None
+        else Path(args.stream).read_text(encoding="utf-8")
+    )
     durability = None
     if args.durable_dir is not None:
         from .db import DurabilityConfig
@@ -232,6 +257,28 @@ def _cmd_online(args: argparse.Namespace) -> int:
         resolutions.clear()
         return reported
 
+    # Consecutive submits can coalesce into one submit_many_nowait
+    # admission pass (--batch N); buffered entries flush before any
+    # other operation so the replay stays stream-ordered.
+    batch_size = max(1, args.batch)
+    batched: List[Tuple[str, object]] = []
+
+    def flush_batch() -> None:
+        if not batched:
+            return
+        entries, batched[:] = list(batched), []
+        handles = service.submit_many_nowait([q for _, q in entries])
+        settle()
+        for (prefix, query), handle in zip(entries, handles):
+            if handle.state is QueryState.REJECTED:
+                print(f"{prefix} {query.name}: rejected ({handle.reason})")
+            elif handle.is_pending:
+                shard = service.shard_of(query.name)
+                print(f"{prefix} {query.name}: pending (shard {shard})")
+            drain_satisfied(f"{prefix} {query.name}")
+
+    operations = 0
+    started = time.perf_counter()
     try:
         for lineno, raw in enumerate(source.splitlines(), start=1):
             line = raw.strip()
@@ -247,22 +294,35 @@ def _cmd_online(args: argparse.Namespace) -> int:
                 )
                 return 2
             prefix = f"[{lineno:3d}] {op}"
+            operations += 1
             try:
                 if op == "submit":
                     query = parse_query(rest.rstrip(";"))
                     query.validate(db.schema)
-                    handle = service.submit(query)
+                    if batch_size > 1:
+                        batched.append((prefix, query))
+                        if len(batched) >= batch_size:
+                            flush_batch()
+                        continue
+                    # Admission is synchronous (routing, safety — and
+                    # the duplicate/unsafe rejections below); only the
+                    # evaluation overlaps, and settle() drains it before
+                    # the line is reported, keeping the replay output
+                    # deterministic.
+                    handle = service.submit_nowait(query)
                     settle()
                     if handle.is_pending:
                         shard = service.shard_of(query.name)
                         print(f"{prefix} {query.name}: pending (shard {shard})")
                     drain_satisfied(f"{prefix} {query.name}")
                 elif op == "retract":
+                    flush_batch()
                     service.retract(rest)
                     settle()
                     print(f"{prefix} {rest}: retracted")
                     resolutions.clear()  # the retraction itself
                 elif op == "insert":
+                    flush_batch()
                     tokens = shlex.split(rest)
                     if len(tokens) < 2:
                         raise ReproError(
@@ -275,6 +335,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
                     )
                     print(f"{prefix} {tokens[0]}: ok")
                 elif op == "flush":
+                    flush_batch()
                     service.flush()
                     settle()
                     if not drain_satisfied(prefix):
@@ -285,15 +346,39 @@ def _cmd_online(args: argparse.Namespace) -> int:
                 print(f"{prefix}: rejected ({error})")
                 resolutions.clear()
 
+        flush_batch()
         settle()
+        elapsed = time.perf_counter() - started
+        rate = operations / elapsed if elapsed > 0 else float("inf")
         loads = ", ".join(str(n) for n in service.shard_pending_counts())
         mode = "" if workers is None else f", {workers} workers"
-        print(
-            f"done: {len(service.pending())} pending "
-            f"[per shard: {loads}], {service.migrations} migrations{mode}"
-        )
+        if args.stream is not None:
+            print(
+                f"done: {len(service.pending())} pending "
+                f"[per shard: {loads}], {service.migrations} migrations{mode} "
+                f"({operations} ops, {rate:.0f} ops/s)"
+            )
         if args.stats:
             _print_engine_stats(db)
+        if args.serve is not None:
+            from .core import Gateway
+
+            host, port = _parse_address(args.serve)
+            gateway = Gateway(
+                service,
+                host=host,
+                port=port,
+                allow_shutdown=args.allow_remote_shutdown,
+            )
+            bound_host, bound_port = gateway.start()
+            print(f"serving on {bound_host}:{bound_port}", flush=True)
+            try:
+                gateway.wait()
+                print("gateway stopped")
+            except KeyboardInterrupt:
+                print("interrupted")
+            finally:
+                gateway.close()
         return 0
     finally:
         # Always stop the worker/dispatcher threads, also when an
@@ -302,6 +387,70 @@ def _cmd_online(args: argparse.Namespace) -> int:
         # Deferred worker errors surface only when not already
         # unwinding an exception, which close() must not mask.
         service.close(raise_deferred=sys.exc_info()[0] is None)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Drive a running gateway (``online --serve``) over the wire."""
+    from .core import GatewayClient
+
+    host, port = _parse_address(args.address)
+    with GatewayClient(host, port, timeout=args.timeout) as client:
+        op = args.op
+        operands = args.operands
+        if op == "ping":
+            client.ping()
+            print("pong")
+        elif op == "submit":
+            if not operands:
+                raise ReproError("client submit needs a query string")
+            query = parse_query(" ".join(operands).rstrip(";"))
+            reply = client.submit(query)
+            print(f"{reply['name']}: {reply['state']}")
+            if args.wait and reply["state"] == "pending":
+                record = client.wait_resolved(reply["name"])
+                members = record.get("satisfied_with")
+                detail = (
+                    f" with {{{', '.join(sorted(members))}}}" if members else ""
+                )
+                print(f"{record['query']}: {record['state']}{detail}")
+        elif op == "retract":
+            if len(operands) != 1:
+                raise ReproError("client retract needs exactly one query name")
+            reply = client.retract(operands[0])
+            print(f"{operands[0]}: {reply['state']}")
+        elif op == "insert":
+            if len(operands) < 2:
+                raise ReproError("client insert needs a relation and values")
+            inserted = client.insert(
+                operands[0], [_parse_stream_value(t) for t in operands[1:]]
+            )
+            print("inserted" if inserted else "duplicate")
+        elif op in ("flush", "flush-drain"):
+            results = client.flush() if op == "flush" else client.flush_drain()
+            retired = [r for r in results if r is not None and r.chosen]
+            for result in retired:
+                print(f"satisfied {{{', '.join(sorted(result.chosen.members))}}}")
+            if not retired:
+                print("nothing coordinated")
+        elif op == "pending":
+            names = client.pending()
+            print(f"{len(names)} pending: {', '.join(names)}")
+        elif op == "status":
+            if len(operands) != 1:
+                raise ReproError("client status needs exactly one query name")
+            print(client.status(operands[0]) or "unknown")
+        elif op == "stats":
+            stats = client.stats()
+            print(f"pending per shard: {stats['pending_per_shard']}")
+            print(f"cost scores:       {stats['cost_scores']}")
+            print(f"migrations:        {stats['migrations']}")
+            print(f"rebalances:        {stats['rebalances']}")
+        elif op == "shutdown":
+            client.shutdown()
+            print("shutdown requested")
+        else:  # pragma: no cover - argparse choices guard this
+            raise ReproError(f"unknown client op {op!r}")
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -374,7 +523,10 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("database", help="database JSON spec")
     online.add_argument(
         "stream",
-        help="operations file: submit/retract/insert/flush, one per line",
+        nargs="?",
+        default=None,
+        help="operations file: submit/retract/insert/flush, one per line "
+        "(optional with --serve: replayed before serving)",
     )
     online.add_argument(
         "--shards",
@@ -434,7 +586,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot storage with --durable-dir: one file per "
         "generation, or a WAL-journaled SQLite table (default: file)",
     )
+    online.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coalesce up to N consecutive submit lines into one batched "
+        "admission pass (submit_many; default: 1 = per-line replay with "
+        "deterministic per-line output)",
+    )
+    online.add_argument(
+        "--serve",
+        default=None,
+        metavar="HOST:PORT",
+        help="after the replay, serve the service over the async gateway "
+        "on HOST:PORT (port 0 picks a free port) until interrupted",
+    )
+    online.add_argument(
+        "--allow-remote-shutdown",
+        action="store_true",
+        help="with --serve: let gateway clients stop the server via the "
+        "shutdown op (off by default)",
+    )
     online.set_defaults(func=_cmd_online)
+
+    client = subparsers.add_parser(
+        "client",
+        help="drive a running gateway (online --serve) over the wire",
+    )
+    client.add_argument("address", help="gateway address as HOST:PORT")
+    client.add_argument(
+        "op",
+        choices=[
+            "ping",
+            "submit",
+            "retract",
+            "insert",
+            "flush",
+            "flush-drain",
+            "pending",
+            "status",
+            "stats",
+            "shutdown",
+        ],
+        help="operation to run against the gateway",
+    )
+    client.add_argument(
+        "operands",
+        nargs="*",
+        help="operation operands (query text, name, or relation + values)",
+    )
+    client.add_argument(
+        "--wait",
+        action="store_true",
+        help="with submit: block until the resolution record streams back",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout for gateway requests (default: 30)",
+    )
+    client.set_defaults(func=_cmd_client)
 
     demo = subparsers.add_parser("demo", help="run the built-in example")
     demo.set_defaults(func=_cmd_demo)

@@ -46,6 +46,7 @@ from .consistent_lowering import (
 from .coordination_graph import ArrivalProbe, CoordinationGraph, ExtendedEdge
 from .engine import ArrivalOutcome, CoordinationEngine
 from .executor import CallbackDispatcher, ShardWorker
+from .gateway import Gateway, GatewayClient, GatewayError
 from .gupta import gupta_coordinate
 from .lifecycle import QueryHandle, QueryState
 from .procexec import ProcessShardExecutor
@@ -121,6 +122,9 @@ __all__ = [
     "EntangledQuery",
     "ExtendedEdge",
     "FriendSlot",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
     "GroundedView",
     "NamedPartner",
     "PreprocessResult",

@@ -569,19 +569,39 @@ class CoordinationEngine:
         self._guard()
         return [tuple(sorted(members)) for members in self._components.components()]
 
-    def evaluate_admitted(self, admitted: Sequence[QueryHandle]) -> None:
+    def evaluate_admitted(
+        self,
+        admitted: Sequence[QueryHandle],
+        between: Optional[Callable[[], object]] = None,
+    ) -> None:
         """Evaluate the components of freshly admitted handles, once each.
 
         The batch building block shared by :meth:`submit_many` and the
         sharded service: handles are grouped by weak component and each
         component is evaluated exactly once; every handle of a group
         receives that single evaluation as its ``outcome``.
+
+        ``between`` is the control-lane yield hook: when given, it runs
+        after each component's evaluation commits, at a point where the
+        engine is fully consistent.  The process worker host uses it to
+        service control-pipe frames (routing probes, admissions for
+        *other* components) between evaluation steps — the
+        component-freeze rule keeps everything a control command may
+        touch disjoint from the components of this batch, so the
+        byte-identical equivalence argument is unchanged.
         """
         self._guard()
-        for group in self._group_by_component(admitted):
+        groups = self._group_by_component(admitted)
+        for index, group in enumerate(groups):
             self._evaluate_component(group[0].query, group)
+            if between is not None and index + 1 < len(groups):
+                between()
 
-    def evaluate_admitted_phased(self, admitted: Sequence[QueryHandle]) -> None:
+    def evaluate_admitted_phased(
+        self,
+        admitted: Sequence[QueryHandle],
+        between: Optional[Callable[[], object]] = None,
+    ) -> None:
         """As :meth:`evaluate_admitted`, but evaluation runs unlocked.
 
         The shard worker's data-plane entry point.  The call acquires
@@ -604,6 +624,13 @@ class CoordinationEngine:
         outstanding evaluation (its busy-component drain rule).  The
         payoff is that routing probes from the router thread only ever
         wait out the short locked sections, not the evaluations.
+
+        ``between``, when given, runs in the *unlocked* run phase after
+        each component's evaluation — the shard worker passes its
+        control-lane drain here, so a queued control job (probe, status)
+        waits at most one component evaluation even while this worker
+        grinds a long batch.  The hook runs with the engine lock free;
+        control jobs take it themselves for their own short reads.
         """
         with self.lock:
             self._guard()
@@ -611,9 +638,11 @@ class CoordinationEngine:
                 (group, self._evaluation_plan(group[0].query))
                 for group in self._group_by_component(admitted)
             ]
-        finished = [
-            (group, plan, self._run_evaluation(plan)) for group, plan in plans
-        ]
+        finished = []
+        for group, plan in plans:
+            finished.append((group, plan, self._run_evaluation(plan)))
+            if between is not None:
+                between()
         with self.lock:
             for group, plan, result in finished:
                 self._commit_evaluation(plan, result, group)

@@ -41,8 +41,9 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from concurrent.futures import Future
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from ..concurrency import Deadline
 from ..errors import PreconditionError
@@ -65,42 +66,108 @@ Job = Tuple[Callable[[], object], "Future[object]"]
 
 
 class ShardWorker:
-    """One shard's mailbox and worker thread.
+    """One shard's two-lane mailbox and worker thread.
 
-    The worker owns its engine's data plane: it executes jobs strictly
-    in mailbox (FIFO) order, one at a time.  The router enqueues an
-    evaluation job per admitted component and a flush job per flush —
-    per-shard FIFO is exactly the ordering the equivalence argument
-    needs, because all commands touching one weak component go through
-    one mailbox in router order.
+    The worker owns its engine's data plane: it executes **data jobs**
+    (evaluations, flushes) strictly in mailbox (FIFO) order, one at a
+    time.  The router enqueues an evaluation job per admitted component
+    and a flush job per flush — per-shard FIFO is exactly the ordering
+    the equivalence argument needs, because all commands touching one
+    weak component go through one mailbox in router order.
+
+    A second, unbounded **control lane** carries cheap control commands
+    (routing probes, status, admission bookkeeping).  Control jobs are
+    serviced *before* any queued data job, and a long-running data job
+    can cooperatively yield between evaluation steps via
+    :meth:`service_control` — so a probe's latency is bounded by one
+    component evaluation, not by the whole mailbox backlog.  Control
+    jobs never mutate busy components (the component-freeze rule keeps
+    probed components disjoint from those under evaluation), so the
+    byte-identical equivalence argument is unchanged.
     """
 
     def __init__(self, index: int, capacity: int) -> None:
         self.index = index
-        self._mailbox: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=capacity)
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        # Worker waits on _ready for work in either lane; producers wait
+        # on _space for a free data-lane slot (the service's backpressure).
+        self._ready = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._data: Deque[Optional[Job]] = deque()
+        self._control: Deque[Job] = deque()
         self._thread = threading.Thread(
             target=self._run, name=f"repro-shard-{index}", daemon=True
         )
         self._thread.start()
 
     def post(self, run: Callable[[], object]) -> "Future[object]":
-        """Enqueue a job; blocks when the mailbox is full (backpressure)."""
+        """Enqueue a data job; blocks when the mailbox is full (backpressure)."""
         future: "Future[object]" = Future()
-        self._mailbox.put((run, future))
+        with self._space:
+            self._space.wait_for(lambda: len(self._data) < self._capacity)
+            self._data.append((run, future))
+            self._ready.notify()
         return future
+
+    def post_control(self, run: Callable[[], object]) -> "Future[object]":
+        """Enqueue a control job on the priority lane (never blocks).
+
+        The lane is unbounded because control commands are few, cheap,
+        and issued by the router/gateway at request granularity — the
+        bounded data lane remains the only backpressure surface.
+        """
+        future: "Future[object]" = Future()
+        with self._lock:
+            self._control.append((run, future))
+            self._ready.notify_all()
+        return future
+
+    def service_control(self) -> int:
+        """Drain the control lane inline; returns jobs serviced.
+
+        Called from the worker thread itself, between steps of a
+        long-running data job (the engine's between-component yield
+        hook) — this is what bounds probe latency to one evaluation
+        step instead of one mailbox backlog.
+        """
+        serviced = 0
+        while True:
+            with self._lock:
+                if not self._control:
+                    return serviced
+                job = self._control.popleft()
+            self._execute(job)
+            serviced += 1
+
+    @property
+    def depth(self) -> int:
+        """Queued data jobs (mailbox depth, for cost-based routing)."""
+        with self._lock:
+            return len(self._data)
+
+    @staticmethod
+    def _execute(job: Job) -> None:
+        run, future = job
+        if not future.set_running_or_notify_cancel():
+            return
+        try:
+            future.set_result(run())
+        except BaseException as error:  # noqa: BLE001 - forwarded to waiter
+            future.set_exception(error)
 
     def _run(self) -> None:
         while True:
-            job = self._mailbox.get()
+            with self._ready:
+                self._ready.wait_for(lambda: self._control or self._data)
+                if self._control:
+                    job: Optional[Job] = self._control.popleft()
+                else:
+                    job = self._data.popleft()
+                    self._space.notify()
             if job is None:
                 return
-            run, future = job
-            if not future.set_running_or_notify_cancel():
-                continue
-            try:
-                future.set_result(run())
-            except BaseException as error:  # noqa: BLE001 - forwarded to waiter
-                future.set_exception(error)
+            self._execute(job)
 
     def stop(self, timeout: Optional[float] = None) -> bool:
         """Post the shutdown sentinel and join the thread.
@@ -113,13 +180,14 @@ class ShardWorker:
         report, not a leak of process lifetime.
         """
         deadline = Deadline(timeout)
-        try:
-            if timeout is None:
-                self._mailbox.put(None)
-            else:
-                self._mailbox.put(None, timeout=deadline.remaining())
-        except queue.Full:
-            return False
+        with self._space:
+            if not self._space.wait_for(
+                lambda: len(self._data) < self._capacity,
+                timeout=deadline.remaining(),
+            ):
+                return False
+            self._data.append(None)
+            self._ready.notify()
         self._thread.join(deadline.remaining())
         return not self._thread.is_alive()
 
@@ -208,18 +276,30 @@ class CallbackDispatcher:
         with self._idle:
             return self._outstanding == 0
 
-    def drain(self, timeout: Optional[float] = None) -> bool:
+    def drain(
+        self, timeout: Optional[float] = None, *, raise_errors: bool = False
+    ) -> bool:
         """Block until every posted callback has finished running.
 
         Must not be called from the dispatch thread itself: the running
         callback counts as outstanding and queued callbacks cannot run
         while it blocks.  Callers (the service) guard for that and
         raise instead of hanging.
+
+        With ``raise_errors=True`` a complete drain re-raises every
+        collected callback error *deterministically* — all of them, in
+        the order they occurred, on this call — instead of leaving them
+        in :attr:`errors` to surface on some later service call.  A
+        single error is re-raised as itself; several become one
+        :class:`ExceptionGroup`.
         """
         with self._idle:
-            return self._idle.wait_for(
+            drained = self._idle.wait_for(
                 lambda: self._outstanding == 0, timeout=timeout
             )
+        if raise_errors and drained:
+            raise_collected("deferred callback errors", self.take_errors())
+        return drained
 
     def stop(self, timeout: Optional[float] = None) -> None:
         """Post the shutdown sentinel and join the thread.
@@ -232,3 +312,29 @@ class CallbackDispatcher:
             self._stopping = True
             self._queue.put(None)
         self._thread.join(timeout)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop the dispatcher, then re-raise any collected errors.
+
+        The deterministic shutdown path: after the thread joins, every
+        callback error still sitting in :attr:`errors` is re-raised here
+        (single error as itself, several as one :class:`ExceptionGroup`)
+        rather than being silently lost with the dispatcher.
+        """
+        self.stop(timeout)
+        raise_collected("deferred callback errors", self.take_errors())
+
+
+def raise_collected(message: str, errors: List[BaseException]) -> None:
+    """Re-raise collected callback errors deterministically.
+
+    No errors: no-op.  One error: re-raised as itself (the common case
+    keeps its concrete type for ``pytest.raises`` and retry logic).
+    Several: raised together as one :class:`ExceptionGroup` so none is
+    deferred to a later call — the loss mode this helper exists to fix.
+    """
+    if not errors:
+        return
+    if len(errors) == 1:
+        raise errors[0]
+    raise BaseExceptionGroup(message, errors)

@@ -32,14 +32,28 @@ scales its data plane:
   ``wait``/callbacks/``status`` — and handle identity across
   migrations — work exactly as in-process.
 
-One command is in flight per worker at a time (the pipe is a strict
-request/reply channel guarded by a router-side mutex), so the worker
-needs no locks at all: its engine and replica are single-owner by
-construction.  The cost is that a routing probe landing mid-evaluation
-waits for that evaluation's reply — admission latency can trail the
-thread executor's — in exchange for evaluations that scale across
-cores and an explicit wire protocol that is one transport swap away
-from multi-node replicas.
+One command is in flight per worker *per lane* at a time (each pipe is
+a strict request/reply channel guarded by a router-side mutex).  Two
+lanes exist because their latency profiles must not couple:
+
+* the **main lane** carries the data plane (``evaluate``/``flush``) and
+  every command that produces resolution records, in router order;
+* the **control lane** (a second duplex pipe, ``control_lane=True``)
+  carries cheap control commands — routing probes, ``component_of``,
+  ``components``, ``pending``, ``admit`` bookkeeping, and the
+  ``release``/``adopt`` halves of migration.  A dedicated worker-side
+  thread (:func:`_control_main`) services it under the engine lock,
+  while main-lane ``evaluate`` runs the engine's phased plan/run/commit
+  split with the lock free during the expensive run phase — the thread
+  executor's two-lane architecture, mirrored inside the worker process.
+  A probe is therefore answered mid-component (one GIL switch interval
+  plus a short critical section), not at the next component boundary.
+  Control commands never resolve handles and — by the service's
+  component-freeze rule — never touch a component under evaluation, so
+  the byte-identical equivalence argument is unchanged.  With
+  ``control_lane=False`` the worker stays a single-threaded, lock-free
+  request/reply loop: the pre-control-lane blocking path the latency
+  benchmark measures against.
 
 Worker death is a first-class failure: a broken pipe marks the shard
 dead, rejects its pending handles with a reason naming the crash (so
@@ -52,6 +66,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import sys
 import threading
 import traceback
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -89,13 +104,93 @@ def _mp_context():
 # ---------------------------------------------------------------------------
 # Worker-process side
 # ---------------------------------------------------------------------------
-def _host_main(connection, options: dict) -> None:
+#: Commands the worker accepts on the control lane.  All are either
+#: read-only probes or mutations the component-freeze rule keeps
+#: disjoint from any component under evaluation (``admit`` of a new
+#: arrival, ``release``/``adopt`` of an *idle* migrating component),
+#: and none can resolve handles — control replies never carry
+#: resolutions, so resolution ordering stays a main-lane property.
+_CONTROL_OPS = frozenset(
+    {
+        "admit",
+        "incident",
+        "component_of",
+        "components",
+        "pending",
+        "release",
+        "adopt",
+    }
+)
+
+#: GIL switch interval inside a worker that runs a control thread.
+#: The control thread wakes mid-``evaluate`` only at a switch point of
+#: the CPU-bound run phase, so the default 5 ms interval would be the
+#: floor of every control-lane round trip.
+_CONTROL_SWITCH_INTERVAL = 0.001
+
+
+def _control_main(control, engine: CoordinationEngine) -> None:
+    """Control-lane service loop: one daemon thread per worker process.
+
+    Each frame executes under the engine lock, contending only with
+    the short plan/commit critical sections of a phased ``evaluate``
+    (and with replica sync writes) — never with the expensive unlocked
+    run phase.  That bounds a control round trip by one GIL switch
+    interval plus one critical section, where boundary polling bounded
+    it by a whole component evaluation.  A broken control pipe retires
+    the lane silently: the main lane and its ``stop`` protocol keep
+    working, and process exit reaps this daemon thread.
+    """
+    while True:
+        try:
+            frame = control.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            message = wire.loads(frame)
+            op = message.get("op")
+            if op not in _CONTROL_OPS:
+                raise PreconditionError(
+                    f"op {op!r} is not a control-lane command"
+                )
+            with engine.lock:
+                reply = _execute(engine, message)
+        except PreconditionError as error:
+            reply = {"error": {"kind": "precondition", "message": str(error)}}
+        except ReproError as error:
+            reply = {"error": {"kind": "repro", "message": str(error)}}
+        except BaseException:  # noqa: BLE001 - forwarded to the router
+            reply = {
+                "error": {"kind": "internal", "message": traceback.format_exc()}
+            }
+        try:
+            control.send_bytes(wire.dumps(reply))
+        except (EOFError, OSError):
+            return
+
+
+def _host_main(connection, control, options: dict) -> None:
     """Entry point of one shard worker process.
 
     Builds the private lock-free replica and its engine, then serves
     framed commands until a ``stop`` command or EOF (router gone).
-    Every reply carries the resolution records the command produced, in
-    resolution order, so the router's handle states never lag.
+    Every main-lane reply carries the resolution records the command
+    produced, in resolution order, so the router's handle states never
+    lag.
+
+    With a ``control`` pipe the worker mirrors the thread executor's
+    two-lane split *internally*: a daemon thread (:func:`_control_main`)
+    answers control frames under the engine lock, and main-lane
+    ``evaluate`` runs through
+    :meth:`~repro.core.engine.CoordinationEngine.evaluate_admitted_phased`,
+    whose expensive run phase leaves the lock free — so a probe is
+    answered mid-frame, mid-component, instead of queueing until the
+    next component boundary.  The equivalence argument is the thread
+    executor's own: the service's freeze rule keeps everything a
+    control command may touch disjoint from the components under
+    evaluation, and control commands never resolve handles.  Without a
+    control pipe the worker is the original single-threaded blocking
+    loop, unchanged.
     """
     replica = Database(synchronized=False)
     engine = CoordinationEngine(
@@ -107,6 +202,16 @@ def _host_main(connection, options: dict) -> None:
     resolutions: List[dict] = []
     engine.on_resolved(lambda handle: resolutions.append(encode_resolution(handle)))
 
+    phased = control is not None
+    if phased:
+        sys.setswitchinterval(_CONTROL_SWITCH_INTERVAL)
+        threading.Thread(
+            target=_control_main,
+            args=(control, engine),
+            name="repro-procexec-control",
+            daemon=True,
+        ).start()
+
     while True:
         try:
             frame = connection.recv_bytes()
@@ -117,8 +222,16 @@ def _host_main(connection, options: dict) -> None:
             message = wire.loads(frame)
             sync = message.get("sync")
             if sync is not None:
-                wire.apply_sync(replica, sync)
-            reply = _execute(engine, message)
+                # The replica is written only by this thread, but the
+                # control thread reads it (admission probes), so writes
+                # serialize through the engine lock like any mutation.
+                with engine.lock:
+                    wire.apply_sync(replica, sync)
+            if phased and message.get("op") == "evaluate":
+                reply = _evaluate_phased(engine, message)
+            else:
+                with engine.lock:
+                    reply = _execute(engine, message)
             stop = message.get("op") == "stop"
         except PreconditionError as error:
             reply = {"error": {"kind": "precondition", "message": str(error)}}
@@ -138,8 +251,43 @@ def _host_main(connection, options: dict) -> None:
             return
 
 
+def _evaluate_phased(engine: CoordinationEngine, message: dict) -> dict:
+    """Main-lane ``evaluate`` while a control thread is live.
+
+    Handle lookup and the reply build bracket the engine lock; the run
+    phase inside ``evaluate_admitted_phased`` leaves it free, which is
+    what lets the control thread answer mid-frame.  Outcomes are
+    byte-identical to the plain ``evaluate_admitted`` path — the freeze
+    rule keeps the evaluated components untouched between plan and
+    commit (see the engine docstring).
+    """
+    with engine.lock:
+        handles = [
+            handle
+            for name in message["names"]
+            if (handle := engine.handle(name)) is not None
+        ]
+    engine.evaluate_admitted_phased(handles)
+    with engine.lock:
+        return {
+            "outcomes": [
+                {
+                    "query": handle.query,
+                    "component": list(handle.outcome.component),
+                    "result": wire.encode_result(handle.outcome.result),
+                    "satisfied": list(handle.outcome.satisfied),
+                }
+                for handle in handles
+                if handle.outcome is not None
+            ]
+        }
+
+
 def _execute(engine: CoordinationEngine, message: dict) -> dict:
-    """Run one router command against the worker's private engine."""
+    """Run one router command against the worker's private engine.
+
+    Callers hold the engine lock (main thread and control thread share
+    the engine once a control thread exists)."""
     op = message["op"]
     if op == "admit":
         query = wire.decode_query(message["query"])
@@ -218,14 +366,20 @@ class ProcessShardExecutor:
         check_safety: bool = True,
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
+        control_lane: bool = True,
     ) -> None:
         self.db = db
         self.index = index
+        #: Whether this shard has the second (control) pipe.  ``False``
+        #: is the pre-control-lane blocking path, kept for the latency
+        #: benchmark's before/after comparison.
+        self.control_lane = control_lane
         #: Structure-lock parity with :class:`CoordinationEngine`: the
         #: service brackets engine calls in ``with engine.lock``; for a
-        #: proxy the pipe mutex below does the real serialization.
+        #: proxy the pipe mutexes below do the real serialization.
         self.lock = OwnedLock()
         self._io = threading.Lock()
+        self._control_io = threading.Lock()
         self._handles: Dict[str, QueryHandle] = {}
         self._callbacks: List[ResolutionCallback] = []
         #: Component memo from the last ``admit`` reply — valid only
@@ -244,11 +398,17 @@ class ProcessShardExecutor:
 
         ctx = _mp_context()
         parent_end, child_end = ctx.Pipe(duplex=True)
+        if control_lane:
+            control_parent, control_child = ctx.Pipe(duplex=True)
+        else:
+            control_parent = control_child = None
         self._conn = parent_end
+        self._control_conn = control_parent
         self._process = ctx.Process(
             target=_host_main,
             args=(
                 child_end,
+                control_child,
                 {
                     "check_safety": check_safety,
                     "reuse_groundings": reuse_groundings,
@@ -260,6 +420,8 @@ class ProcessShardExecutor:
         )
         self._process.start()
         child_end.close()
+        if control_child is not None:
+            control_child.close()
         self._listener = self._note_write
         db.add_write_listener(self._listener)
 
@@ -286,6 +448,15 @@ class ProcessShardExecutor:
         """The live (router-side) handle of a pending query."""
         return self._handles.get(name)
 
+    def probe_pending(self) -> Tuple[str, ...]:
+        """Pending names read on the *worker*, over the control lane.
+
+        Unlike :meth:`pending` (a local table read), this is a real
+        IPC round trip — the service's control-lane latency probe.
+        """
+        reply = self._control_request({"op": "pending"})
+        return tuple(reply["names"])
+
     def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
         """Register a proxy-level resolution callback (service hook)."""
         self._callbacks.append(callback)
@@ -295,8 +466,17 @@ class ProcessShardExecutor:
     # Engine surface (IPC-backed)
     # ------------------------------------------------------------------
     def admit(self, query: EntangledQuery) -> QueryHandle:
-        """Admit one arrival on the worker; returns the proxy handle."""
-        reply = self._request({"op": "admit", "query": wire.encode_query(query)})
+        """Admit one arrival on the worker; returns the proxy handle.
+
+        Rides the control lane: admission bookkeeping must not queue
+        behind an in-flight ``evaluate`` frame.  Safe mid-evaluation
+        because the service's freeze rule guarantees the arrival touches
+        no component under evaluation, and the worker only services the
+        lane at engine-consistent points.
+        """
+        reply = self._control_request(
+            {"op": "admit", "query": wire.encode_query(query)}
+        )
         handle = QueryHandle(query)
         self._handles[query.name] = handle
         self._component_hint = {query.name: tuple(reply["component"])}
@@ -304,7 +484,7 @@ class ProcessShardExecutor:
 
     def incident_pending(self, query: EntangledQuery) -> Tuple[str, ...]:
         """Read-only probe: pending queries the arrival would touch."""
-        reply = self._request(
+        reply = self._control_request(
             {"op": "incident", "query": wire.encode_query(query)}
         )
         return tuple(reply["names"])
@@ -316,12 +496,12 @@ class ProcessShardExecutor:
         hint = self._component_hint.get(name)
         if hint is not None:
             return hint
-        reply = self._request({"op": "component_of", "name": name})
+        reply = self._control_request({"op": "component_of", "name": name})
         return tuple(reply["names"])
 
     def components(self) -> List[Tuple[str, ...]]:
         """All weak components of this shard's pending pool."""
-        reply = self._request({"op": "components"})
+        reply = self._control_request({"op": "components"})
         return [tuple(component) for component in reply["components"]]
 
     def retract(self, name: str) -> QueryHandle:
@@ -333,8 +513,17 @@ class ProcessShardExecutor:
         self._request({"op": "retract", "name": name})
         return handle
 
-    def evaluate_admitted(self, admitted: Sequence[QueryHandle]) -> None:
-        """Evaluate the admitted handles' components on the worker."""
+    def evaluate_admitted(
+        self, admitted: Sequence[QueryHandle], between=None
+    ) -> None:
+        """Evaluate the admitted handles' components on the worker.
+
+        ``between`` (the thread executor's control-lane yield hook) is
+        accepted for surface parity and ignored: the worker *process*
+        services its own control pipe from a dedicated thread, and the
+        router-side mailbox thread is already free while it blocks on
+        the reply.
+        """
         if not admitted:
             return
         self._component_hint = {}
@@ -359,7 +548,11 @@ class ProcessShardExecutor:
         if name not in self._handles:
             raise PreconditionError(f"query {name!r} is not pending")
         self._component_hint = {}
-        reply = self._request({"op": "release", "name": name})
+        # Control lane: the freeze rule guarantees a migrating
+        # component is idle, so releasing it between two component
+        # evaluations is safe — and a rebalance under load must not
+        # park the router behind a grinding evaluate frame.
+        reply = self._control_request({"op": "release", "name": name})
         released: List[QueryHandle] = []
         for member in reply["names"]:
             handle = self._handles.pop(member, None)
@@ -376,7 +569,10 @@ class ProcessShardExecutor:
         if not handles:
             return
         self._component_hint = {}
-        self._request(
+        # Control lane, like release: adopted components are idle by
+        # the freeze rule, and their replica rows sync lazily at the
+        # next evaluate's plan phase.
+        self._control_request(
             {
                 "op": "adopt",
                 "queries": [wire.encode_query(h.entangled) for h in handles],
@@ -412,6 +608,35 @@ class ProcessShardExecutor:
         if failure is not None:
             self._fail(failure)
         self._apply_reply(reply)
+        self._raise_reply_error(reply)
+        return reply
+
+    def _control_request(self, message: dict) -> dict:
+        """One round trip on the control lane (falls back to the main pipe).
+
+        Serialized by its own mutex, so a probe/admit never waits behind
+        an in-flight ``evaluate`` frame on the main lane — the latency
+        decoupling this executor's control lane exists for.  Control
+        replies carry no resolutions (control commands cannot resolve
+        handles), so there is nothing to apply.
+        """
+        if self._control_conn is None:
+            return self._request(message)
+        failure: Optional[BaseException] = None
+        reply: dict = {}
+        with self._control_io:
+            self._check_alive()
+            try:
+                self._control_conn.send_bytes(wire.dumps(message))
+                reply = wire.loads(self._control_conn.recv_bytes())
+            except (EOFError, OSError) as error:
+                failure = error
+        if failure is not None:
+            self._fail(failure)
+        self._raise_reply_error(reply)
+        return reply
+
+    def _raise_reply_error(self, reply: dict) -> None:
         error = reply.get("error")
         if error is not None:
             if error["kind"] == "precondition":
@@ -421,7 +646,6 @@ class ProcessShardExecutor:
             raise ConcurrencyError(
                 f"shard {self.index} worker command failed:\n{error['message']}"
             )
-        return reply
 
     def _apply_reply(self, reply: dict) -> None:
         """Mirror the worker's outcomes and resolutions onto proxy handles.
@@ -528,6 +752,8 @@ class ProcessShardExecutor:
         gone = not self._process.is_alive()
         if gone:
             self._conn.close()
+            if self._control_conn is not None:
+                self._control_conn.close()
         return gone
 
     def __repr__(self) -> str:

@@ -115,6 +115,7 @@ outcomes are unaffected).
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..concurrency import Deadline
@@ -127,9 +128,15 @@ from ..db.durability import (
     build_snapshot_payload,
     resolve_durability,
 )
+from ..db.stats import evaluation_cost
 from ..errors import ConcurrencyError, PreconditionError
 from .engine import CoordinationEngine
-from .executor import CallbackDispatcher, ShardWorker, resolve_executor
+from .executor import (
+    CallbackDispatcher,
+    ShardWorker,
+    raise_collected,
+    resolve_executor,
+)
 from .procexec import ProcessShardExecutor
 from .lifecycle import (
     QueryHandle,
@@ -209,12 +216,25 @@ class ShardedCoordinationService:
         with every ``backend``/``executor``/``workers`` combination;
         the recovered outcome is byte-identical to a service that
         never crashed (the crash-recovery fuzz suite's contract).
+    control_lane:
+        Process executor only: whether each shard worker process gets
+        the second (priority) pipe for control commands, so routing
+        probes and admissions never queue behind an in-flight
+        ``evaluate`` frame.  Default ``True``; ``False`` restores the
+        pre-control-lane blocking path (the latency benchmark's
+        baseline).  Thread workers always have their in-process
+        control lane.
     """
 
     #: Router ops between opportunistic rebalance checks.
     REBALANCE_INTERVAL = 64
-    #: Minimum hottest-vs-coldest pending gap that triggers a move.
+    #: Minimum hottest-vs-coldest cost-score gap that triggers a move.
     REBALANCE_THRESHOLD = 4
+    #: Cost-score weight of one queued mailbox job (worker mode): a
+    #: queued evaluation is counted like a medium component, so a shard
+    #: with a deep backlog stops attracting default placements even
+    #: when its admitted cost looks low.
+    MAILBOX_DEPTH_WEIGHT = 4
 
     def __init__(
         self,
@@ -229,6 +249,7 @@ class ShardedCoordinationService:
         backend: BackendSpec = "shared",
         executor: str = "thread",
         durability: DurabilitySpec = None,
+        control_lane: bool = True,
     ) -> None:
         if workers is not None:
             if workers < 1:
@@ -262,6 +283,7 @@ class ShardedCoordinationService:
                     check_safety=check_safety,
                     reuse_groundings=reuse_groundings,
                     reuse_component_states=reuse_component_states,
+                    control_lane=control_lane,
                 )
                 for index in range(shards)
             ]
@@ -284,6 +306,19 @@ class ShardedCoordinationService:
                 )
                 for index in range(shards)
             ]
+        # Probe fan-out pool: under the process executor each per-shard
+        # incident probe is a control-lane IPC round trip whose latency
+        # is one worker component boundary; probing N shards
+        # sequentially pays N boundary waits per arrival.  The pipes
+        # are per-shard, so the probes genuinely overlap — fanning them
+        # out caps routing at ~one boundary wait regardless of shard
+        # count.  Thread shards answer probes in-process in
+        # microseconds, where a pool would only add overhead.
+        self._probe_pool: Optional[ThreadPoolExecutor] = None
+        if executor == "process" and shards > 1:
+            self._probe_pool = ThreadPoolExecutor(
+                max_workers=shards, thread_name_prefix="repro-probe"
+            )
         # Router lock: linearizes placement decisions, migrations,
         # retractions, flushes, and writes.  Held while waiting on
         # engine locks and on the component-freeze condition, never
@@ -295,6 +330,15 @@ class ShardedCoordinationService:
         self._tables = threading.Condition(threading.Lock())
         self._shard_of: Dict[str, int] = {}
         self._loads: List[int] = [0] * shards
+        # Cost-based routing state: per-query evaluation-cost score
+        # (component size × body-relation cardinality classes, summed
+        # per shard) — what _default_shard and the rebalancer measure
+        # load by, instead of raw pending counts.
+        self._costs: List[int] = [0] * shards
+        self._query_cost: Dict[str, int] = {}
+        #: Whether process shards carry the second (control) pipe; the
+        #: thread executor's worker control lane is always present.
+        self.control_lane = control_lane
         self._final_states: Dict[str, QueryState] = {}
         self._resolution_callbacks: List[ResolutionCallback] = []
         self._busy: List[Set[str]] = [set() for _ in range(shards)]
@@ -375,6 +419,45 @@ class ShardedCoordinationService:
         """Pending-query count per shard (load inspection)."""
         with self._tables:
             return tuple(self._loads)
+
+    def shard_cost_scores(self) -> Tuple[int, ...]:
+        """Evaluation-cost score per shard (what routing balances).
+
+        Each pending query contributes
+        :func:`~repro.db.stats.evaluation_cost` (its body relations'
+        cardinality classes, recorded at admission); in worker mode a
+        shard's queued mailbox jobs add
+        :data:`MAILBOX_DEPTH_WEIGHT` each.
+        """
+        with self._tables:
+            scores = list(self._costs)
+        if self._workers is not None:
+            for index, worker in enumerate(self._workers):
+                scores[index] += self.MAILBOX_DEPTH_WEIGHT * worker.depth
+        return tuple(scores)
+
+    def probe(self, shard: int) -> Tuple[str, ...]:
+        """Round-trip a control-lane probe to one shard's worker.
+
+        Returns the shard's pending names, read on the worker itself —
+        the latency yardstick the control lane exists for: under the
+        process executor the probe rides the second pipe (serviced
+        between component evaluations instead of queueing behind an
+        in-flight ``evaluate`` frame); in thread-worker mode it rides
+        the worker's priority lane.  Serial services answer inline.
+        """
+        engine = self._engines[shard]
+        if self.executor == "process":
+            return engine.probe_pending()
+        if self._workers is not None:
+
+            def read() -> Tuple[str, ...]:
+                with engine.lock:
+                    return engine.pending()
+
+            return self._workers[shard].post_control(read).result()
+        with engine.lock:
+            return engine.pending()
 
     def pending(self) -> Tuple[str, ...]:
         """Names of all pending queries across shards, sorted.
@@ -480,7 +563,30 @@ class ShardedCoordinationService:
         with backpressure from the mailbox bounds.  Blocks until every
         evaluation finished.
         """
-        batch = list(queries)
+        handles, futures = self._submit_many_routed(list(queries))
+        for future in futures:
+            if future is not None:
+                self._await_eval(future)
+        return handles
+
+    def submit_many_nowait(
+        self, queries: Iterable[EntangledQuery]
+    ) -> List[QueryHandle]:
+        """Batch admission; let the evaluations overlap (worker mode).
+
+        :meth:`submit_many`'s admission pass — routing, migration,
+        safety, one evaluation job per affected component — without
+        waiting for those evaluations: the batched analogue of
+        :meth:`submit_nowait`, and the gateway's translation target for
+        client request bursts.  Returned handles are ``PENDING`` (or
+        already ``REJECTED`` for failed admissions) and resolve from
+        the workers.  In serial mode evaluations ran inline, so this
+        equals :meth:`submit_many`.
+        """
+        handles, _ = self._submit_many_routed(list(queries))
+        return handles
+
+    def _submit_many_routed(self, batch: List[EntangledQuery]):
         handles: List[QueryHandle] = []
         admitted: List[QueryHandle] = []
         futures = []
@@ -516,10 +622,7 @@ class ShardedCoordinationService:
                         frozen.update(engine.component_of(handle.query))
                 futures.append(self._post_eval(target, tuple(group), frozen))
             self._journal_append(("submit_many", tuple(batch)))
-        for future in futures:
-            if future is not None:
-                self._await_eval(future)
-        return handles
+        return handles, futures
 
     def retract(self, name: str) -> QueryHandle:
         """Withdraw a pending query; O(its component), on its shard.
@@ -625,8 +728,10 @@ class ShardedCoordinationService:
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for quiescence: no queued/running evaluations, no
         pending callbacks.  Returns ``False`` on timeout.  Re-raises
-        the first error a worker job or user callback raised since the
-        last drain (fire-and-forget failures must not vanish).
+        *every* error a worker job or user callback raised since the
+        last drain — one as itself, several as an ``ExceptionGroup`` —
+        so fire-and-forget failures surface here deterministically
+        instead of leaking onto later unrelated calls.
 
         Resolution callbacks may re-enter the lifecycle API
         (``submit``/``retract``/``flush``/...), but not this method or
@@ -686,9 +791,10 @@ class ShardedCoordinationService:
         its late completion would have fired are dropped rather than
         left to wedge the dispatcher's accounting.
 
-        After the threads stop, the first error a fire-and-forget
+        After the threads stop, every error a fire-and-forget
         evaluation or user callback raised since the last drain is
-        re-raised (deferred failures must not vanish just because the
+        re-raised — one as itself, several as an ``ExceptionGroup`` —
+        (deferred failures must not vanish just because the
         service was closed without a final :meth:`drain`); pass
         ``raise_deferred=False`` to suppress that — the context manager
         does so automatically when the ``with`` body is already
@@ -715,6 +821,8 @@ class ShardedCoordinationService:
                 # without hanging.
                 for engine in self._engines:
                     engine.stop(deadline.remaining())
+            if self._probe_pool is not None:
+                self._probe_pool.shutdown(wait=False)
             if self._owns_backend:
                 # Detach the backend's database hooks so a long-lived
                 # database does not keep paying for (or pinning) the
@@ -766,19 +874,17 @@ class ShardedCoordinationService:
         if self._ops_since_rebalance < self.REBALANCE_INTERVAL:
             return
         self._ops_since_rebalance = 0
-        with self._tables:
-            gap = max(self._loads) - min(self._loads)
-        if gap >= self.REBALANCE_THRESHOLD:
+        scores = self.shard_cost_scores()
+        if max(scores) - min(scores) >= self.REBALANCE_THRESHOLD:
             self._rebalance_locked(max_moves=4)
 
     def _rebalance_locked(self, max_moves: int) -> int:
         moved = 0
         for _ in range(max_moves):
-            with self._tables:
-                loads = list(self._loads)
-            hot = max(range(len(loads)), key=lambda i: (loads[i], -i))
-            cold = min(range(len(loads)), key=lambda i: (loads[i], i))
-            gap = loads[hot] - loads[cold]
+            scores = self.shard_cost_scores()
+            hot = max(range(len(scores)), key=lambda i: (scores[i], -i))
+            cold = min(range(len(scores)), key=lambda i: (scores[i], i))
+            gap = scores[hot] - scores[cold]
             if gap < 2:
                 break
             limit = gap // 2
@@ -787,14 +893,24 @@ class ShardedCoordinationService:
                 components = engine.components()
             with self._tables:
                 busy = set(self._busy[hot])
+                weights = {
+                    component: sum(
+                        self._query_cost.get(name, 1) for name in component
+                    )
+                    for component in components
+                }
+            # A component moves only when its evaluation-cost weight is
+            # at most half the hot–cold score gap, so each move strictly
+            # narrows the gap and the loop terminates.
             movable = [
                 component
                 for component in components
-                if len(component) <= limit and not busy.intersection(component)
+                if weights[component] <= limit
+                and not busy.intersection(component)
             ]
             if not movable:
                 break
-            pick = sorted(movable, key=lambda c: (-len(c), c))[0]
+            pick = sorted(movable, key=lambda c: (-weights[c], c))[0]
             moved += self._migrate(hot, cold, (pick[0],), rebalance=True)
         return moved
 
@@ -825,10 +941,31 @@ class ShardedCoordinationService:
             component = engine.component_of(query.name)
         if self._dispatcher is not None:
             handle._use_dispatcher(self._dispatcher.post)
+        cost = evaluation_cost(self.db, query)
         with self._tables:
             self._shard_of[query.name] = target
             self._loads[target] += 1
+            self._query_cost[query.name] = cost
+            self._costs[target] += cost
         return target, handle, component
+
+    def _probe_incident(
+        self, query: EntangledQuery
+    ) -> List[Tuple[str, ...]]:
+        """Incident probe on every shard, fanned out for process shards.
+
+        Read-only, so running the per-shard probes concurrently cannot
+        change what any one probe observes; ordering of arrivals is
+        still fixed by the router lock every caller holds.
+        """
+
+        def probe(engine) -> Tuple[str, ...]:
+            with engine.lock:
+                return engine.incident_pending(query)
+
+        if self._probe_pool is None:
+            return [probe(engine) for engine in self._engines]
+        return list(self._probe_pool.map(probe, self._engines))
 
     def _route(self, query: EntangledQuery) -> int:
         """Pick (and, for spanning arrivals, prepare) the target shard."""
@@ -850,9 +987,7 @@ class ShardedCoordinationService:
                     )
         while True:
             touched: Dict[int, Tuple[str, ...]] = {}
-            for index, engine in enumerate(self._engines):
-                with engine.lock:
-                    incident = engine.incident_pending(query)
+            for index, incident in enumerate(self._probe_incident(query)):
                 if incident:
                     touched[index] = incident
             # Component freeze: an arrival incident to a component with
@@ -916,10 +1051,14 @@ class ShardedCoordinationService:
         with receiver.lock:
             receiver.adopt(moved)
         with self._tables:
+            moved_cost = 0
             for handle in moved:
                 self._shard_of[handle.query] = target
+                moved_cost += self._query_cost.get(handle.query, 0)
             self._loads[source] -= len(moved)
             self._loads[target] += len(moved)
+            self._costs[source] -= moved_cost
+            self._costs[target] += moved_cost
         if rebalance:
             self.rebalances += len(moved)
         else:
@@ -929,16 +1068,16 @@ class ShardedCoordinationService:
     def _default_shard(self) -> int:
         """Least-loaded placement for edge-free arrivals.
 
-        Fewest pending queries wins, ties to the lowest shard index —
-        deterministic for a given stream (the loads are a pure function
-        of the stream in serial/blocking use) and stable across
-        processes, unlike the salted-hash placement it replaced.
-        Placement is unobservable in outcomes either way; this only
-        evens the load.
+        Lowest evaluation-cost score wins (admitted query costs plus,
+        in worker mode, mailbox depth — see :meth:`shard_cost_scores`),
+        ties to the lowest shard index.  In serial/blocking use the
+        scores are a pure function of the stream (mailboxes are empty
+        at routing time), so placement stays deterministic there and
+        reproducible across processes.  Placement is unobservable in
+        outcomes either way; this only evens the *work*.
         """
-        with self._tables:
-            loads = self._loads
-            return min(range(len(loads)), key=lambda i: (loads[i], i))
+        scores = self.shard_cost_scores()
+        return min(range(len(scores)), key=lambda i: (scores[i], i))
 
     # ------------------------------------------------------------------
     # Worker plumbing
@@ -963,10 +1102,17 @@ class ShardedCoordinationService:
         with self._tables:
             self._busy[target].update(frozen)
             self._eval_outstanding += 1
+        worker = self._workers[target]
 
         def job() -> None:
             try:
-                engine.evaluate_admitted_phased(handles)
+                # The worker services its control lane between component
+                # evaluations (probes/status never touch the frozen
+                # components), so control latency stays bounded by one
+                # component evaluation even under a long batch.
+                engine.evaluate_admitted_phased(
+                    handles, between=worker.service_control
+                )
             except BaseException as error:  # noqa: BLE001 - surfaced at drain
                 with self._tables:
                     self._errors.append(error)
@@ -977,7 +1123,7 @@ class ShardedCoordinationService:
                     self._eval_outstanding -= 1
                     self._tables.notify_all()
 
-        return self._workers[target].post(job)
+        return worker.post(job)
 
     def _await_eval(self, future) -> None:
         """Block on one evaluation job; de-duplicate its error record."""
@@ -1071,23 +1217,20 @@ class ShardedCoordinationService:
             self.durable.append_journal(entry)
 
     def _raise_deferred_errors(self) -> None:
-        """Raise the oldest deferred worker/callback error, if any.
+        """Re-raise every deferred worker/callback error, deterministically.
 
-        One error per drain call; the rest go back on the queue so
-        later drains surface them too — deferred failures never vanish.
+        All errors accumulated since the last drain surface on *this*
+        call — a single error as itself, several as one
+        :class:`ExceptionGroup` — instead of trickling out one per
+        later service call (the loss mode where a callback error only
+        appeared on some unrelated future drain, or never).
         """
         with self._tables:
             deferred = list(self._errors)
             self._errors.clear()
         if self._dispatcher is not None:
             deferred.extend(self._dispatcher.take_errors())
-        if not deferred:
-            return
-        rest = deferred[1:]
-        if rest:
-            with self._tables:
-                self._errors.extend(rest)
-        raise deferred[0]
+        raise_collected("deferred evaluation/callback errors", deferred)
 
     # ------------------------------------------------------------------
     # Durability (recovery, WAL taps, checkpoints)
@@ -1288,6 +1431,7 @@ class ShardedCoordinationService:
                 elif self._engines[shard].handle(handle.query) is None:
                     self._shard_of.pop(handle.query)
                     self._loads[shard] -= 1
+                    self._costs[shard] -= self._query_cost.pop(handle.query, 0)
                     record_final_state(
                         self._final_states, handle.query, handle.state
                     )
@@ -1295,6 +1439,7 @@ class ShardedCoordinationService:
                 shard = self._shard_of.pop(handle.query, None)
                 if shard is not None:
                     self._loads[shard] -= 1
+                    self._costs[shard] -= self._query_cost.pop(handle.query, 0)
                 record_final_state(
                     self._final_states, handle.query, handle.state
                 )

@@ -128,3 +128,35 @@ class CoordinationStats:
         }
         out.update(self.extra)
         return out
+
+
+# ---------------------------------------------------------------------------
+# Cardinality classes (router cost model)
+# ---------------------------------------------------------------------------
+def size_class(rows: int) -> int:
+    """Cardinality class of a row count: its ``bit_length`` bucket.
+
+    The same quantization the plan cache keys on
+    (:mod:`repro.db.planner`): class moves only when a relation roughly
+    doubles, so scores built from it are stable under ordinary churn.
+    """
+    return rows.bit_length()
+
+
+def evaluation_cost(db, query) -> int:
+    """Evaluation-cost score of one entangled query against ``db``.
+
+    ``1 +`` the sum of the cardinality classes of the query's body
+    relations — a machine-independent proxy for how expensive this
+    query makes every evaluation of its component (each body atom
+    contributes a join against its relation; bigger relations cost
+    more, logarithmically).  Undeclared relations contribute 0.  The
+    sharded service's router sums these per shard (component size times
+    body-relation weight falls out of the sum over members) to measure
+    shard load by *work*, not pending count.
+    """
+    cost = 1
+    for atom in query.body:
+        if atom.relation in db:
+            cost += size_class(len(db.relation(atom.relation)))
+    return cost
