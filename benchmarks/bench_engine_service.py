@@ -64,6 +64,14 @@ pending-set size (100/300/1000):
   ``benchmarks/_scratch/durability/`` (wiped before and after — a
   stale WAL would turn a benchmark into a recovery replay).
 
+A second mode, ``--executor remote``, sweeps the TCP shard fabric
+instead: the same arrival burst against loopback
+:class:`~repro.core.remote.ShardHost` processes-in-threads, serial and
+worker-overlapped, with the in-memory serial driver as the baseline.
+It writes a separate payload (``BENCH_engine_service_remote.json``,
+benchmark name ``engine_service_remote``) so this file's baseline
+stays untouched by fabric-less runs.
+
 Results are emitted as ``BENCH_engine_service.json`` (series keys
 ``retract``, ``single submit``, ``sharded submit``, ``serial
 arrivals``, ``workers arrivals``, ``replicated arrivals``, ``process
@@ -75,6 +83,7 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine_service.py            # full
     PYTHONPATH=src python benchmarks/bench_engine_service.py --smoke    # CI
     PYTHONPATH=src python benchmarks/bench_engine_service.py --workers 4
+    PYTHONPATH=src python benchmarks/bench_engine_service.py --executor remote
 """
 
 from __future__ import annotations
@@ -91,7 +100,13 @@ from typing import Dict, List, Optional
 
 from repro.bench import Point, Series, run_series
 from repro.bench.reporting import render_series
-from repro.core import CoordinationEngine, EntangledQuery, ShardedCoordinationService
+from repro.core import (
+    CoordinationEngine,
+    EntangledQuery,
+    ServiceConfig,
+    ShardHost,
+    ShardedCoordinationService,
+)
 from repro.db import DurabilityConfig
 from repro.logic import Atom, Variable
 from repro.networks import member_name
@@ -304,19 +319,39 @@ def _measure_arrival_points(
         for _ in range(repeats):
             db = members_database(size=size + arrivals + 8, seed=2012)
             durability = fresh_durability(fsync) if fsync else None
-            if threaded:
+            hosts: List[ShardHost] = []
+            if executor == "remote":
+                # One in-process TCP host per shard: the loopback hop
+                # is real (framing, sockets, session replicas), only
+                # the network distance is not.
+                hosts = [ShardHost() for _ in range(workers)]
                 service = ShardedCoordinationService(
                     db,
-                    workers=workers,
-                    mailbox_capacity=arrivals + 8,
-                    backend=backend,
-                    executor=executor,
-                    durability=durability,
+                    ServiceConfig(
+                        workers=workers if threaded else None,
+                        mailbox_capacity=arrivals + 8,
+                        executor="remote",
+                        remote_shards=tuple(h.start() for h in hosts),
+                        durability=durability,
+                    ),
+                )
+            elif threaded:
+                service = ShardedCoordinationService(
+                    db,
+                    ServiceConfig(
+                        workers=workers,
+                        mailbox_capacity=arrivals + 8,
+                        backend=backend,
+                        executor=executor,
+                        durability=durability,
+                    ),
                 )
             else:
                 service = ShardedCoordinationService(
-                    db, shards=workers, backend=backend,
-                    durability=durability,
+                    db,
+                    ServiceConfig(
+                        shards=workers, backend=backend, durability=durability
+                    ),
                 )
             _prefill(service, size)
             submit = service.submit_nowait if threaded else service.submit
@@ -328,6 +363,8 @@ def _measure_arrival_points(
             service.drain()
             drain_times.append(time.perf_counter() - start)
             service.close()
+            for host in hosts:
+                host.close()
         series.points.append(
             Point(
                 x=size,
@@ -343,6 +380,122 @@ def _measure_arrival_points(
         )
 
 
+def _remote_main(args, arrival_sizes, arrivals: int, repeats: int) -> int:
+    """The TCP shard-fabric sweep (``--executor remote``).
+
+    Three series against the same arrival burst: the in-memory serial
+    driver (the baseline every other series in this file compares to),
+    the serial driver routing over loopback-TCP ShardHosts (every
+    routing probe and evaluation pays a framed socket round trip), and
+    the worker-threaded remote configuration (mailbox threads act as
+    I/O waiters, so round trips overlap).  ``remote_overhead`` is
+    remote-serial µs / in-memory-serial µs — the honest wire tax;
+    ``remote_workers_speedup`` is remote-serial µs / remote-workers µs
+    — what overlap buys back.  Emitted as a *separate* payload
+    (``engine_service_remote``) so the in-process baseline file stays
+    byte-comparable across runs that lack the fabric.
+    """
+    serial_arrivals = measure_arrivals(
+        "serial arrivals", args.workers, False, arrival_sizes, arrivals, repeats
+    )
+    remote_arrivals = measure_arrivals(
+        "remote arrivals", args.workers, False, arrival_sizes, arrivals,
+        repeats, executor="remote",
+    )
+    remote_workers_arrivals = measure_arrivals(
+        "remote workers arrivals", args.workers, True, arrival_sizes,
+        arrivals, repeats, executor="remote",
+    )
+
+    print(render_series(serial_arrivals, "Serial sharded driver (in-memory)"))
+    print()
+    print(
+        render_series(
+            remote_arrivals,
+            f"Remote executor ({args.workers} TCP shard hosts, serial driver)",
+        )
+    )
+    print()
+    print(
+        render_series(
+            remote_workers_arrivals,
+            f"Remote executor ({args.workers} TCP shard hosts, "
+            f"{args.workers} workers)",
+        )
+    )
+    print()
+
+    serial_us = _per_op_us(serial_arrivals, arrivals)
+    remote_us = _per_op_us(remote_arrivals, arrivals)
+    remote_workers_us = _per_op_us(remote_workers_arrivals, arrivals)
+    remote_overhead = {
+        size: remote_us[size] / serial_us[size] for size in serial_us
+    }
+    remote_workers_speedup = {
+        size: remote_us[size] / remote_workers_us[size] for size in remote_us
+    }
+    for size in sorted(serial_us):
+        print(
+            f"pending={size:5d}: remote accept "
+            f"{remote_us[size]:8.1f} µs/arrival "
+            f"({remote_overhead[size]:.2f}× vs in-memory serial "
+            f"{serial_us[size]:8.1f}; workers overlap "
+            f"{remote_workers_us[size]:8.1f} µs, "
+            f"{remote_workers_speedup[size]:.2f}× vs remote serial)"
+        )
+
+    drains = {
+        series.name: {
+            str(int(p.x)): p.extra_map().get("drain_seconds", 0.0)
+            for p in series.points
+        }
+        for series in (
+            serial_arrivals,
+            remote_arrivals,
+            remote_workers_arrivals,
+        )
+    }
+    payload = {
+        "benchmark": "engine_service_remote",
+        "smoke": args.smoke,
+        "shards": args.workers,
+        "workers": args.workers,
+        "ops_per_point": {"burst_arrivals": arrivals},
+        "repeats": repeats,
+        "series": {
+            series.name: {
+                "x_label": series.x_label,
+                "y_label": series.y_label,
+                "points": [
+                    {
+                        "pending": int(p.x),
+                        "seconds": p.seconds,
+                        "seconds_stdev": p.seconds_stdev,
+                        "us_per_op": us_map[int(p.x)],
+                    }
+                    for p in series.points
+                ],
+            }
+            for series, us_map in (
+                (serial_arrivals, serial_us),
+                (remote_arrivals, remote_us),
+                (remote_workers_arrivals, remote_workers_us),
+            )
+        },
+        "remote_overhead": {
+            str(size): remote_overhead[size] for size in remote_overhead
+        },
+        "remote_workers_speedup": {
+            str(size): remote_workers_speedup[size]
+            for size in remote_workers_speedup
+        },
+        "arrival_drain_seconds": drains,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python benchmarks/bench_engine_service.py",
@@ -356,11 +509,30 @@ def main(argv: List[str]) -> int:
         help=f"worker threads for the workers-arrival series (default: {SHARDS})",
     )
     parser.add_argument(
+        "--executor",
+        choices=["thread", "remote"],
+        default="thread",
+        help=(
+            "thread (default): the full in-process series sweep; "
+            "remote: the TCP shard-fabric series only, written to a "
+            "separate output file"
+        ),
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_engine_service.json",
-        help="output JSON path (default: ./BENCH_engine_service.json)",
+        default=None,
+        help=(
+            "output JSON path (default: ./BENCH_engine_service.json, "
+            "or ./BENCH_engine_service_remote.json with --executor remote)"
+        ),
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = (
+            "BENCH_engine_service_remote.json"
+            if args.executor == "remote"
+            else "BENCH_engine_service.json"
+        )
 
     sizes = SMOKE_SIZES if args.smoke else SIZES
     arrival_sizes = SMOKE_ARRIVAL_SIZES if args.smoke else ARRIVAL_SIZES
@@ -371,13 +543,16 @@ def main(argv: List[str]) -> int:
     # means occasionally invert the single-vs-sharded ordering.
     repeats = 1 if args.smoke else 5
 
+    if args.executor == "remote":
+        return _remote_main(args, arrival_sizes, arrivals, repeats)
+
     retract = measure_retract(sizes, ops, repeats)
     single = measure_submit(
         "single submit", CoordinationEngine, sizes, pairs, repeats
     )
     sharded = measure_submit(
         "sharded submit",
-        lambda db: ShardedCoordinationService(db, shards=SHARDS),
+        lambda db: ShardedCoordinationService(db, ServiceConfig(shards=SHARDS)),
         sizes,
         pairs,
         repeats,

@@ -24,7 +24,7 @@ Quickstart::
     assert result.found and result.chosen.value_of("q1", "x") == 101
 """
 
-from . import core, db, graphs, hardness, logic, networks, workloads
+from . import client, core, db, graphs, hardness, logic, networks, workloads
 from .core import (
     ConsistentCoordinator,
     ConsistentQuery,
@@ -34,7 +34,15 @@ from .core import (
     CoordinationResult,
     EntangledQuery,
     FriendSlot,
+    Gateway,
+    GatewayClient,
     NamedPartner,
+    QueryHandle,
+    QueryState,
+    RemoteShardTransport,
+    ServiceConfig,
+    ShardHost,
+    ShardedCoordinationService,
     consistent_coordinate,
     find_coordinating_set,
     find_maximum_coordinating_set,
@@ -63,9 +71,18 @@ __all__ = [
     "DatabaseBuilder",
     "EntangledQuery",
     "FriendSlot",
+    "Gateway",
+    "GatewayClient",
     "NamedPartner",
+    "QueryHandle",
+    "QueryState",
+    "RemoteShardTransport",
     "ReproError",
+    "ServiceConfig",
+    "ShardHost",
+    "ShardedCoordinationService",
     "__version__",
+    "client",
     "consistent_coordinate",
     "core",
     "db",

@@ -12,13 +12,15 @@ Subcommands:
   engine counters: queries issued, index probes, plan-cache hits and
   misses, composite indexes built);
 * ``online DB.json STREAM.ops [--shards N] [--workers N]
-  [--backend {shared,replicated}] [--executor {thread,process}]
-  [--durable-dir DIR] [--fsync {always,never}]
-  [--snapshot-store {file,sqlite}] [--stats]`` —
+  [--backend {shared,replicated}] [--executor {thread,process,remote}]
+  [--remote-shard HOST:PORT ...] [--durable-dir DIR]
+  [--fsync {always,never}] [--snapshot-store {file,sqlite}]
+  [--stats]`` —
   replay a query-lifecycle stream through a
   :class:`~repro.core.ShardedCoordinationService` (one operation per
   line: ``submit <query>``, ``retract <name>``,
-  ``insert <relation> <value> ...``, ``flush``; ``#`` comments).
+  ``insert <relation> <value> ...``, ``delete <relation> <value> ...``,
+  ``flush``; ``#`` comments).
   ``--workers N`` runs N shards on worker threads behind the
   concurrent executor; the replay stays deterministic because each
   line drains before the next is reported.  ``--backend replicated``
@@ -27,6 +29,10 @@ Subcommands:
   locking during evaluation).  ``--executor process`` hosts each shard
   in a worker *process* with its replica synced over a framed pipe
   protocol — identical output, true multi-core evaluation.
+  ``--executor remote`` places each shard on an already-running shard
+  host (one ``--remote-shard HOST:PORT`` per shard, see
+  ``shard-host`` below); a host that dies mid-run fails over: its
+  components re-home onto a survivor and coordination continues.
   ``--durable-dir DIR`` makes the service durable: the replay is
   write-ahead logged (with periodic snapshot + compaction
   checkpoints) into DIR, and a restart pointing at the same DIR
@@ -40,8 +46,12 @@ Subcommands:
   ``--allow-remote-shutdown`` — remotely stopped;
 * ``client HOST:PORT OP [...]`` — drive a running gateway: ``ping``,
   ``submit '<query>' [--wait]``, ``retract NAME``,
-  ``insert REL V...``, ``flush``/``flush-drain``, ``pending``,
-  ``status NAME``, ``stats``, ``shutdown``;
+  ``insert REL V...``, ``delete REL V...``, ``flush``/``flush-drain``,
+  ``pending``, ``status NAME``, ``stats``, ``shutdown``;
+* ``shard-host HOST:PORT`` — run one remote shard host
+  (:class:`~repro.core.ShardHost`): bind, print the bound address,
+  and serve shard sessions until interrupted.  Services connect with
+  ``online --executor remote --remote-shard HOST:PORT``;
 * ``demo`` — the Gwyneth/Chris example end to end, no files needed.
 
 Query programs use the textual syntax of :mod:`repro.core.parser`
@@ -61,6 +71,7 @@ from typing import List, Optional, Tuple
 from .core import (
     CoordinationGraph,
     QueryState,
+    ServiceConfig,
     ShardedCoordinationService,
     Trace,
     coordination_graph_dot,
@@ -213,14 +224,22 @@ def _cmd_online(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             snapshot_store=args.snapshot_store,
         )
-    service = ShardedCoordinationService(
-        db,
-        shards=args.shards,
+    remote_shards = tuple(
+        _parse_address(spec) for spec in (args.remote_shard or ())
+    )
+    if args.executor == "remote" and not remote_shards:
+        raise ReproError(
+            "--executor remote needs at least one --remote-shard HOST:PORT"
+        )
+    config = ServiceConfig(
+        shards=len(remote_shards) if remote_shards else args.shards,
         workers=workers,
         backend=args.backend,
         executor=args.executor,
         durability=durability,
+        remote_shards=remote_shards,
     )
+    service = ShardedCoordinationService(db, config)
     if service.recovered is not None and not service.recovered.empty:
         state = service.recovered
         print(
@@ -286,10 +305,10 @@ def _cmd_online(args: argparse.Namespace) -> int:
                 continue
             op, _, rest = line.partition(" ")
             rest = rest.strip()
-            if op not in ("submit", "retract", "insert", "flush"):
+            if op not in ("submit", "retract", "insert", "delete", "flush"):
                 print(
                     f"error: line {lineno}: unknown operation {op!r} "
-                    "(expected submit/retract/insert/flush)",
+                    "(expected submit/retract/insert/delete/flush)",
                     file=sys.stderr,
                 )
                 return 2
@@ -334,6 +353,20 @@ def _cmd_online(args: argparse.Namespace) -> int:
                         tokens[0], [_parse_stream_value(t) for t in tokens[1:]]
                     )
                     print(f"{prefix} {tokens[0]}: ok")
+                elif op == "delete":
+                    flush_batch()
+                    tokens = shlex.split(rest)
+                    if len(tokens) < 2:
+                        raise ReproError(
+                            f"line {lineno}: delete needs a relation and values"
+                        )
+                    deleted = service.delete(
+                        tokens[0], [_parse_stream_value(t) for t in tokens[1:]]
+                    )
+                    print(
+                        f"{prefix} {tokens[0]}: "
+                        f"{'ok' if deleted else 'absent'}"
+                    )
                 elif op == "flush":
                     flush_batch()
                     service.flush()
@@ -425,6 +458,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 operands[0], [_parse_stream_value(t) for t in operands[1:]]
             )
             print("inserted" if inserted else "duplicate")
+        elif op == "delete":
+            if len(operands) < 2:
+                raise ReproError("client delete needs a relation and values")
+            deleted = client.delete(
+                operands[0], [_parse_stream_value(t) for t in operands[1:]]
+            )
+            print("deleted" if deleted else "absent")
         elif op in ("flush", "flush-drain"):
             results = client.flush() if op == "flush" else client.flush_drain()
             retired = [r for r in results if r is not None and r.chosen]
@@ -450,6 +490,29 @@ def _cmd_client(args: argparse.Namespace) -> int:
             print("shutdown requested")
         else:  # pragma: no cover - argparse choices guard this
             raise ReproError(f"unknown client op {op!r}")
+    return 0
+
+
+def _cmd_shard_host(args: argparse.Namespace) -> int:
+    """Run one remote shard host until interrupted."""
+    from .core import ShardHost
+
+    host, port = _parse_address(args.address)
+    shard_host = ShardHost(
+        host=host, port=port, worker_threads=args.worker_threads
+    )
+    bound_host, bound_port = shard_host.start()
+    # The bound address is the machine-readable contract: port 0 asks
+    # the OS for a free port, and whoever spawned this process reads
+    # the line to learn where to point --remote-shard.
+    print(f"shard host on {bound_host}:{bound_port}", flush=True)
+    try:
+        shard_host.wait()
+        print("shard host stopped")
+    except KeyboardInterrupt:
+        print("interrupted")
+    finally:
+        shard_host.close()
     return 0
 
 
@@ -552,10 +615,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     online.add_argument(
         "--executor",
-        choices=["thread", "process"],
+        choices=["thread", "process", "remote"],
         default="thread",
-        help="what shards run on: in-process engines (thread) or worker "
-        "processes with wire-synced replicas (process; default: thread)",
+        help="what shards run on: in-process engines (thread), worker "
+        "processes with wire-synced replicas (process), or remote shard "
+        "hosts over TCP (remote, with --remote-shard; default: thread)",
+    )
+    online.add_argument(
+        "--remote-shard",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --executor remote: a shard host address (repeat once "
+        "per shard; the shard count is the number of addresses)",
     )
     online.add_argument(
         "--stats",
@@ -622,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
             "submit",
             "retract",
             "insert",
+            "delete",
             "flush",
             "flush-drain",
             "pending",
@@ -649,6 +722,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout for gateway requests (default: 30)",
     )
     client.set_defaults(func=_cmd_client)
+
+    shard_host = subparsers.add_parser(
+        "shard-host",
+        help="run one remote shard host (serves --executor remote shards)",
+    )
+    shard_host.add_argument(
+        "address",
+        help="bind address as HOST:PORT (port 0 picks a free port; the "
+        "bound address is printed)",
+    )
+    shard_host.add_argument(
+        "--worker-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="size of the host's evaluation thread pool (default: 8)",
+    )
+    shard_host.set_defaults(func=_cmd_shard_host)
 
     demo = subparsers.add_parser("demo", help="run the built-in example")
     demo.set_defaults(func=_cmd_demo)

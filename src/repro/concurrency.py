@@ -40,10 +40,33 @@ implementation with the threaded ones.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
+
+
+def _shutdown_grace_default() -> float:
+    """Resolve :data:`SHUTDOWN_GRACE` from the environment (>= 0)."""
+    raw = os.environ.get("REPRO_SHUTDOWN_GRACE")
+    if raw is None:
+        return 10.0
+    try:
+        value = float(raw)
+    except ValueError:
+        return 10.0
+    return max(0.0, value)
+
+
+#: Default grace period (seconds) every teardown path shares before it
+#: escalates: the process executor's stop→terminate→kill ladder, the
+#: gateway's shutdown sentinel (drain outbound frames, then close) and
+#: the remote shard transport's socket close all budget against this
+#: one constant, so "how long may shutdown take" has a single answer.
+#: Override with the ``REPRO_SHUTDOWN_GRACE`` environment variable
+#: (a float, in seconds; clamped at 0).
+SHUTDOWN_GRACE = _shutdown_grace_default()
 
 
 class Deadline:

@@ -14,7 +14,12 @@ Public surface:
 * the single-connected solver (Theorem 3);
 * an online :class:`CoordinationEngine` facade in the Youtopia style,
   with a query-lifecycle API (:class:`QueryHandle` / :class:`QueryState`)
-  and a component-sharded :class:`ShardedCoordinationService` router.
+  and a component-sharded :class:`ShardedCoordinationService` router
+  (configured by :class:`ServiceConfig`) whose shards can live
+  in-process, in worker processes (:class:`ProcessShardExecutor`), or
+  on remote :class:`ShardHost` workers over TCP
+  (:class:`RemoteShardTransport`), all behind the one
+  :class:`ShardProxy` transport seam.
 """
 
 from .bruteforce import (
@@ -50,7 +55,9 @@ from .gateway import Gateway, GatewayClient, GatewayError
 from .gupta import gupta_coordinate
 from .lifecycle import QueryHandle, QueryState
 from .procexec import ProcessShardExecutor
-from .service import ShardedCoordinationService
+from .remote import RemoteShardTransport, ShardHost, parse_address
+from .service import ServiceConfig, ShardedCoordinationService
+from .transport import ShardProxy, WorkerSession
 from .parallel import consistent_coordinate_parallel, partition_values
 from .parser import parse_queries, parse_query
 from .properties import (
@@ -131,9 +138,14 @@ __all__ = [
     "ProcessShardExecutor",
     "QueryHandle",
     "QueryState",
+    "RemoteShardTransport",
     "SafetyReport",
+    "ServiceConfig",
+    "ShardHost",
+    "ShardProxy",
     "ShardWorker",
     "ShardedCoordinationService",
+    "WorkerSession",
     "VerificationReport",
     "analyze_consistent",
     "analyze_program",
@@ -159,6 +171,7 @@ __all__ = [
     "largest_consistent_candidate",
     "lower_all",
     "outcome_witness",
+    "parse_address",
     "parse_queries",
     "parse_query",
     "postcondition_fanout",

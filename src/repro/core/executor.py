@@ -33,8 +33,11 @@ The service's *executor seam* is the choice of what a shard's data
 plane runs on.  ``executor="thread"`` (this module) keeps the engines
 in-process behind :class:`ShardWorker` mailboxes; ``executor="process"``
 (:mod:`repro.core.procexec`) hosts each engine in a worker *process*
-behind a framed pipe, with the same mailbox threads acting as I/O
-waiters — see :func:`resolve_executor`.
+behind a framed pipe, and ``executor="remote"``
+(:mod:`repro.core.remote`) hosts it on another machine over TCP — both
+behind the shard-proxy protocol of :mod:`repro.core.transport`, with
+the same mailbox threads acting as I/O waiters — see
+:func:`resolve_executor`.
 """
 
 from __future__ import annotations
@@ -49,11 +52,11 @@ from ..concurrency import Deadline
 from ..errors import PreconditionError
 
 #: The executor seam's valid specs (``ShardedCoordinationService(executor=...)``).
-EXECUTORS = ("thread", "process")
+EXECUTORS = ("thread", "process", "remote")
 
 
 def resolve_executor(spec: str) -> str:
-    """Validate an executor spec (``"thread"``/``"process"``)."""
+    """Validate an executor spec (``"thread"``/``"process"``/``"remote"``)."""
     if spec not in EXECUTORS:
         raise PreconditionError(
             f"unknown executor {spec!r} (expected one of {list(EXECUTORS)})"

@@ -53,7 +53,8 @@ process executor uses), and event frames ``{"event": "resolution",
 "record": ...}`` arrive interleaved, unordered relative to *other*
 requests' replies.  Ops: ``ping``, ``status``, ``pending``, ``stats``,
 ``probe``, ``submit``, ``submit_many``, ``retract``, ``insert``,
-``flush``, ``flush_drain``, and (when enabled) ``shutdown``.
+``delete``, ``flush``, ``flush_drain``, and (when enabled)
+``shutdown``.
 
 :class:`GatewayClient` is the small synchronous client the CLI and
 benchmarks drive; it pipelines requests and buffers event frames.
@@ -62,46 +63,33 @@ benchmarks drive; it pipelines requests and buffers event frames.
 from __future__ import annotations
 
 import asyncio
-import socket
-import struct
 import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..client import MAX_FRAME, FramedEndpoint, checked_length, pack_frame
+from ..concurrency import SHUTDOWN_GRACE
 from ..db import wire
 from ..errors import PreconditionError, ReproError
 from .lifecycle import QueryHandle, encode_resolution
 from .query import EntangledQuery
 
-#: Hard bound on one frame's payload; a length prefix past this is a
-#: corrupt or hostile stream, not a big request.
-MAX_FRAME = 32 * 1024 * 1024
-
-_LEN = struct.Struct(">I")
+__all__ = [
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "MAX_FRAME",
+    "pack_frame",
+]
 
 
 class GatewayError(ReproError):
     """A gateway request failed (transport, protocol, or remote error)."""
 
 
-def pack_frame(payload: dict) -> bytes:
-    """Length-prefix one wire-encoded frame for the stream transport."""
-    body = wire.dumps(payload)
-    if len(body) > MAX_FRAME:
-        raise PreconditionError(
-            f"frame of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
-        )
-    return _LEN.pack(len(body)) + body
-
-
 def _checked_length(prefix: bytes) -> int:
-    (length,) = _LEN.unpack(prefix)
-    if length > MAX_FRAME:
-        raise GatewayError(
-            f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
-        )
-    return length
+    return checked_length(prefix, GatewayError)
 
 
 # ---------------------------------------------------------------------------
@@ -278,7 +266,7 @@ class _Connection:
             return
         await self.outbound.put({"id": rid, "ok": True})
         try:
-            await asyncio.wait_for(self.outbound.join(), timeout=5)
+            await asyncio.wait_for(self.outbound.join(), timeout=SHUTDOWN_GRACE)
         except asyncio.TimeoutError:  # pragma: no cover - dead writer
             pass
         self.gateway._request_shutdown()
@@ -341,6 +329,10 @@ class _Connection:
                 row = wire.decode_rows(message["row"])[0]
                 inserted = service.insert(message["relation"], row)
                 return {"id": rid, "ok": True, "inserted": inserted}
+            if op == "delete":
+                row = wire.decode_rows(message["row"])[0]
+                deleted = service.delete(message["relation"], row)
+                return {"id": rid, "ok": True, "deleted": deleted}
             if op == "flush":
                 results = service.flush()
                 return {
@@ -472,12 +464,14 @@ class Gateway:
         thread.join(timeout)
         return not thread.is_alive()
 
-    def close(self, timeout: Optional[float] = 10.0) -> None:
+    def close(self, timeout: Optional[float] = SHUTDOWN_GRACE) -> None:
         """Stop serving: close the listener and every live connection.
 
-        Idempotent.  The service itself is untouched — it belongs to
-        the caller (pending handles keep resolving after the edge is
-        gone).
+        Idempotent.  The default budget is
+        :data:`repro.concurrency.SHUTDOWN_GRACE` (shared with every
+        other teardown ladder).  The service itself is untouched — it
+        belongs to the caller (pending handles keep resolving after
+        the edge is gone).
         """
         if self._thread is None:
             return
@@ -530,7 +524,7 @@ class Gateway:
                 conn.closed = True
                 conn.writer.close()
         if self._conn_tasks:
-            await asyncio.wait(list(self._conn_tasks), timeout=5)
+            await asyncio.wait(list(self._conn_tasks), timeout=SHUTDOWN_GRACE)
 
     async def _handle_connection(self, reader, writer) -> None:
         conn = _Connection(self, reader, writer)
@@ -567,10 +561,15 @@ class GatewayClient:
     """
 
     def __init__(
-        self, host: str, port: int, timeout: Optional[float] = 30.0
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 30.0,
+        retries: int = 0,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.settimeout(timeout)
+        self._conn = FramedEndpoint(
+            host, port, timeout=timeout, retries=retries, error=GatewayError
+        )
         self._next_id = 0
         self._replies: Dict[int, dict] = {}
         #: Event frames (resolution records) in arrival order.
@@ -579,19 +578,8 @@ class GatewayClient:
         self.resolutions: Dict[str, dict] = {}
 
     # -- transport -------------------------------------------------------
-    def _recv_exact(self, n: int) -> bytes:
-        chunks = []
-        while n:
-            chunk = self._sock.recv(n)
-            if not chunk:
-                raise GatewayError("gateway closed the connection")
-            chunks.append(chunk)
-            n -= len(chunk)
-        return b"".join(chunks)
-
     def _recv_frame(self) -> dict:
-        length = _checked_length(self._recv_exact(4))
-        return wire.loads(self._recv_exact(length))
+        return self._conn.recv_message()
 
     def _pump_one(self) -> None:
         message = self._recv_frame()
@@ -613,7 +601,7 @@ class GatewayClient:
         """Send one request without waiting; returns its request id."""
         rid = self._next_id
         self._next_id += 1
-        self._sock.sendall(pack_frame({"op": op, "id": rid, **fields}))
+        self._conn.send_message({"op": op, "id": rid, **fields})
         return rid
 
     def read_reply(self, rid: int) -> dict:
@@ -664,6 +652,13 @@ class GatewayClient:
             )["inserted"]
         )
 
+    def delete(self, relation: str, row: Iterable) -> bool:
+        return bool(
+            self.request(
+                "delete", relation=relation, row=wire.encode_rows([tuple(row)])
+            )["deleted"]
+        )
+
     def flush(self) -> List:
         reply = self.request("flush")
         return [wire.decode_result(r) for r in reply["results"]]
@@ -695,16 +690,13 @@ class GatewayClient:
         comes surfaces as ``socket.timeout`` rather than a hang.
         """
         if timeout is not None:
-            self._sock.settimeout(timeout)
+            self._conn.set_timeout(timeout)
         while name not in self.resolutions:
             self._pump_one()
         return self.resolutions.pop(name)
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover - close is best-effort
-            pass
+        self._conn.close()
 
     def __enter__(self) -> "GatewayClient":
         return self

@@ -1,59 +1,32 @@
-"""Process-based shard executor: one engine shard per worker *process*.
+"""Process-based shard transport: one engine shard per worker *process*.
 
 The worker-thread executor (:mod:`repro.core.executor`) decouples the
 accept path from evaluation, and the replicated storage backend
 (:mod:`repro.db.backend`) makes the evaluation phase lock-free — but on
 GIL builds the data plane still shares one interpreter.  This module
 moves each shard across a process boundary, the way a parallel DBMS
-scales its data plane:
+scales its data plane.
 
-* :func:`_host_main` — the worker process.  It owns a private,
-  lock-free :class:`~repro.db.Database` replica and a full
-  :class:`~repro.core.engine.CoordinationEngine` over it, and serves
-  framed commands (:mod:`repro.db.wire`) off a duplex pipe: admission
-  deltas, evaluation/flush commands, retraction, component probes, and
-  the release/adopt halves of component migration.  Replica sync rides
-  the command stream — an evaluation command carries the changed
-  relations' serialized row tails, keyed by the same per-relation
-  ``data_versions`` stamps the in-process replicated backend diffs.
+Both halves are thin wrappers over the transport seam
+(:mod:`repro.core.transport`), which owns the shard-proxy protocol,
+the two-lane architecture and the worker-side command dispatch:
 
-* :class:`ProcessShardExecutor` — the router-side proxy.  It presents
-  the exact engine surface :class:`~repro.core.service.ShardedCoordinationService`
-  drives (``admit``/``incident_pending``/``component_of``/``retract``/
-  ``evaluate_admitted_phased``/``flush``/``release_component``/
-  ``adopt``/…), so the service's routing, component-freeze rule,
-  migration, and journal linearization apply unchanged — which is the
-  whole equivalence argument: the process run is byte-identical to the
-  worker-thread run, which is byte-identical to the serial service and
-  the single engine.  Query handles stay **router-side proxy objects**:
-  the worker resolves its private handle and ships a *resolution
-  record* (:func:`~repro.core.lifecycle.encode_resolution`) back with
-  the command reply; the proxy applies it to the caller's handle, so
-  ``wait``/callbacks/``status`` — and handle identity across
-  migrations — work exactly as in-process.
+* :func:`_host_main` — the worker process.  It builds one
+  :class:`~repro.core.transport.WorkerSession` (a private lock-free
+  :class:`~repro.db.Database` replica plus a full
+  :class:`~repro.core.engine.CoordinationEngine`) and serves framed
+  commands (:mod:`repro.db.wire`) off a duplex pipe; with
+  ``control_lane=True`` a dedicated daemon thread
+  (:func:`_control_main`) services a second pipe so probes are
+  answered mid-``evaluate`` — one GIL switch interval plus a short
+  critical section, not a whole component evaluation.
 
-One command is in flight per worker *per lane* at a time (each pipe is
-a strict request/reply channel guarded by a router-side mutex).  Two
-lanes exist because their latency profiles must not couple:
-
-* the **main lane** carries the data plane (``evaluate``/``flush``) and
-  every command that produces resolution records, in router order;
-* the **control lane** (a second duplex pipe, ``control_lane=True``)
-  carries cheap control commands — routing probes, ``component_of``,
-  ``components``, ``pending``, ``admit`` bookkeeping, and the
-  ``release``/``adopt`` halves of migration.  A dedicated worker-side
-  thread (:func:`_control_main`) services it under the engine lock,
-  while main-lane ``evaluate`` runs the engine's phased plan/run/commit
-  split with the lock free during the expensive run phase — the thread
-  executor's two-lane architecture, mirrored inside the worker process.
-  A probe is therefore answered mid-component (one GIL switch interval
-  plus a short critical section), not at the next component boundary.
-  Control commands never resolve handles and — by the service's
-  component-freeze rule — never touch a component under evaluation, so
-  the byte-identical equivalence argument is unchanged.  With
-  ``control_lane=False`` the worker stays a single-threaded, lock-free
-  request/reply loop: the pre-control-lane blocking path the latency
-  benchmark measures against.
+* :class:`ProcessShardExecutor` — the router-side
+  :class:`~repro.core.transport.ShardProxy` whose transport is a pair
+  of multiprocessing pipes.  It adds only what is pipe-specific:
+  process spawning, ``process_alive``, an exit-code-bearing death
+  message, and the graceful stop → ``terminate`` → ``kill`` ladder
+  (budgeted by :data:`repro.concurrency.SHUTDOWN_GRACE` by default).
 
 Worker death is a first-class failure: a broken pipe marks the shard
 dead, rejects its pending handles with a reason naming the crash (so
@@ -68,26 +41,26 @@ import multiprocessing
 import os
 import sys
 import threading
-import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional
 
-from ..concurrency import Deadline, OwnedLock
+from ..concurrency import SHUTDOWN_GRACE, Deadline
 from ..db import Database, wire
-from ..errors import ConcurrencyError, PreconditionError, ReproError
-from .engine import ArrivalOutcome, CoordinationEngine
-from .lifecycle import (
-    QueryHandle,
-    QueryState,
-    ResolutionCallback,
-    apply_resolution,
-    encode_resolution,
+from .transport import (
+    CONTROL_OPS,
+    CONTROL_SWITCH_INTERVAL,
+    ShardProxy,
+    WorkerSession,
+    error_reply,
 )
-from .query import EntangledQuery
 
 #: Environment override for the multiprocessing start method (testing /
 #: platform quirks).  Default: ``forkserver`` where available (cheap
 #: per-worker startup, safe with the router's threads), else ``spawn``.
 START_METHOD_ENV = "REPRO_PROCEXEC_START_METHOD"
+
+#: Backwards-compatible aliases; the definitions live on the seam.
+_CONTROL_OPS = CONTROL_OPS
+_CONTROL_SWITCH_INTERVAL = CONTROL_SWITCH_INTERVAL
 
 
 def _mp_context():
@@ -104,42 +77,15 @@ def _mp_context():
 # ---------------------------------------------------------------------------
 # Worker-process side
 # ---------------------------------------------------------------------------
-#: Commands the worker accepts on the control lane.  All are either
-#: read-only probes or mutations the component-freeze rule keeps
-#: disjoint from any component under evaluation (``admit`` of a new
-#: arrival, ``release``/``adopt`` of an *idle* migrating component),
-#: and none can resolve handles — control replies never carry
-#: resolutions, so resolution ordering stays a main-lane property.
-_CONTROL_OPS = frozenset(
-    {
-        "admit",
-        "incident",
-        "component_of",
-        "components",
-        "pending",
-        "release",
-        "adopt",
-    }
-)
-
-#: GIL switch interval inside a worker that runs a control thread.
-#: The control thread wakes mid-``evaluate`` only at a switch point of
-#: the CPU-bound run phase, so the default 5 ms interval would be the
-#: floor of every control-lane round trip.
-_CONTROL_SWITCH_INTERVAL = 0.001
-
-
-def _control_main(control, engine: CoordinationEngine) -> None:
+def _control_main(control, session: WorkerSession) -> None:
     """Control-lane service loop: one daemon thread per worker process.
 
     Each frame executes under the engine lock, contending only with
     the short plan/commit critical sections of a phased ``evaluate``
     (and with replica sync writes) — never with the expensive unlocked
-    run phase.  That bounds a control round trip by one GIL switch
-    interval plus one critical section, where boundary polling bounded
-    it by a whole component evaluation.  A broken control pipe retires
-    the lane silently: the main lane and its ``stop`` protocol keep
-    working, and process exit reaps this daemon thread.
+    run phase.  A broken control pipe retires the lane silently: the
+    main lane and its ``stop`` protocol keep working, and process exit
+    reaps this daemon thread.
     """
     while True:
         try:
@@ -147,22 +93,9 @@ def _control_main(control, engine: CoordinationEngine) -> None:
         except (EOFError, OSError):
             return
         try:
-            message = wire.loads(frame)
-            op = message.get("op")
-            if op not in _CONTROL_OPS:
-                raise PreconditionError(
-                    f"op {op!r} is not a control-lane command"
-                )
-            with engine.lock:
-                reply = _execute(engine, message)
-        except PreconditionError as error:
-            reply = {"error": {"kind": "precondition", "message": str(error)}}
-        except ReproError as error:
-            reply = {"error": {"kind": "repro", "message": str(error)}}
-        except BaseException:  # noqa: BLE001 - forwarded to the router
-            reply = {
-                "error": {"kind": "internal", "message": traceback.format_exc()}
-            }
+            reply = session.handle_control(wire.loads(frame))
+        except BaseException as error:  # noqa: BLE001 - undecodable frame
+            reply = error_reply(error)
         try:
             control.send_bytes(wire.dumps(reply))
         except (EOFError, OSError):
@@ -172,42 +105,26 @@ def _control_main(control, engine: CoordinationEngine) -> None:
 def _host_main(connection, control, options: dict) -> None:
     """Entry point of one shard worker process.
 
-    Builds the private lock-free replica and its engine, then serves
-    framed commands until a ``stop`` command or EOF (router gone).
-    Every main-lane reply carries the resolution records the command
-    produced, in resolution order, so the router's handle states never
-    lag.
-
-    With a ``control`` pipe the worker mirrors the thread executor's
-    two-lane split *internally*: a daemon thread (:func:`_control_main`)
-    answers control frames under the engine lock, and main-lane
-    ``evaluate`` runs through
-    :meth:`~repro.core.engine.CoordinationEngine.evaluate_admitted_phased`,
-    whose expensive run phase leaves the lock free — so a probe is
-    answered mid-frame, mid-component, instead of queueing until the
-    next component boundary.  The equivalence argument is the thread
-    executor's own: the service's freeze rule keeps everything a
-    control command may touch disjoint from the components under
-    evaluation, and control commands never resolve handles.  Without a
-    control pipe the worker is the original single-threaded blocking
-    loop, unchanged.
+    Builds the session (private lock-free replica + engine), then
+    serves framed commands until a ``stop`` command or EOF (router
+    gone).  Every main-lane reply carries the resolution records the
+    command produced, in resolution order, so the router's handle
+    states never lag.  With a ``control`` pipe the worker mirrors the
+    thread executor's two-lane split *internally* — see
+    :mod:`repro.core.transport` for the architecture and the
+    equivalence argument.
     """
-    replica = Database(synchronized=False)
-    engine = CoordinationEngine(
-        replica,
+    session = WorkerSession(
         check_safety=options["check_safety"],
         reuse_groundings=options["reuse_groundings"],
         reuse_component_states=options["reuse_component_states"],
     )
-    resolutions: List[dict] = []
-    engine.on_resolved(lambda handle: resolutions.append(encode_resolution(handle)))
-
-    phased = control is not None
-    if phased:
-        sys.setswitchinterval(_CONTROL_SWITCH_INTERVAL)
+    if control is not None:
+        session.phased = True
+        sys.setswitchinterval(CONTROL_SWITCH_INTERVAL)
         threading.Thread(
             target=_control_main,
-            args=(control, engine),
+            args=(control, session),
             name="repro-procexec-control",
             daemon=True,
         ).start()
@@ -220,29 +137,10 @@ def _host_main(connection, control, options: dict) -> None:
         stop = False
         try:
             message = wire.loads(frame)
-            sync = message.get("sync")
-            if sync is not None:
-                # The replica is written only by this thread, but the
-                # control thread reads it (admission probes), so writes
-                # serialize through the engine lock like any mutation.
-                with engine.lock:
-                    wire.apply_sync(replica, sync)
-            if phased and message.get("op") == "evaluate":
-                reply = _evaluate_phased(engine, message)
-            else:
-                with engine.lock:
-                    reply = _execute(engine, message)
+            reply = session.handle_main(message)
             stop = message.get("op") == "stop"
-        except PreconditionError as error:
-            reply = {"error": {"kind": "precondition", "message": str(error)}}
-        except ReproError as error:
-            reply = {"error": {"kind": "repro", "message": str(error)}}
-        except BaseException:  # noqa: BLE001 - forwarded to the router
-            reply = {
-                "error": {"kind": "internal", "message": traceback.format_exc()}
-            }
-        reply["resolutions"] = list(resolutions)
-        resolutions.clear()
+        except BaseException as error:  # noqa: BLE001 - undecodable frame
+            reply = error_reply(error)
         try:
             connection.send_bytes(wire.dumps(reply))
         except (EOFError, OSError):
@@ -251,112 +149,16 @@ def _host_main(connection, control, options: dict) -> None:
             return
 
 
-def _evaluate_phased(engine: CoordinationEngine, message: dict) -> dict:
-    """Main-lane ``evaluate`` while a control thread is live.
-
-    Handle lookup and the reply build bracket the engine lock; the run
-    phase inside ``evaluate_admitted_phased`` leaves it free, which is
-    what lets the control thread answer mid-frame.  Outcomes are
-    byte-identical to the plain ``evaluate_admitted`` path — the freeze
-    rule keeps the evaluated components untouched between plan and
-    commit (see the engine docstring).
-    """
-    with engine.lock:
-        handles = [
-            handle
-            for name in message["names"]
-            if (handle := engine.handle(name)) is not None
-        ]
-    engine.evaluate_admitted_phased(handles)
-    with engine.lock:
-        return {
-            "outcomes": [
-                {
-                    "query": handle.query,
-                    "component": list(handle.outcome.component),
-                    "result": wire.encode_result(handle.outcome.result),
-                    "satisfied": list(handle.outcome.satisfied),
-                }
-                for handle in handles
-                if handle.outcome is not None
-            ]
-        }
-
-
-def _execute(engine: CoordinationEngine, message: dict) -> dict:
-    """Run one router command against the worker's private engine.
-
-    Callers hold the engine lock (main thread and control thread share
-    the engine once a control thread exists)."""
-    op = message["op"]
-    if op == "admit":
-        query = wire.decode_query(message["query"])
-        engine.admit(query)
-        return {"component": list(engine.component_of(query.name))}
-    if op == "incident":
-        query = wire.decode_query(message["query"])
-        return {"names": list(engine.incident_pending(query))}
-    if op == "component_of":
-        return {"names": list(engine.component_of(message["name"]))}
-    if op == "components":
-        return {"components": [list(c) for c in engine.components()]}
-    if op == "evaluate":
-        handles = [
-            handle
-            for name in message["names"]
-            if (handle := engine.handle(name)) is not None
-        ]
-        engine.evaluate_admitted(handles)
-        return {
-            "outcomes": [
-                {
-                    "query": handle.query,
-                    "component": list(handle.outcome.component),
-                    "result": wire.encode_result(handle.outcome.result),
-                    "satisfied": list(handle.outcome.satisfied),
-                }
-                for handle in handles
-                if handle.outcome is not None
-            ]
-        }
-    if op == "flush":
-        return {"result": wire.encode_result(engine.flush())}
-    if op == "retract":
-        engine.retract(message["name"])
-        return {}
-    if op == "release":
-        released = engine.release_component(message["name"])
-        return {"names": [handle.query for handle in released]}
-    if op == "adopt":
-        queries = [wire.decode_query(q) for q in message["queries"]]
-        engine.adopt([QueryHandle(query) for query in queries])
-        return {}
-    if op == "pending":
-        return {"names": list(engine.pending())}
-    if op == "stop":
-        return {}
-    raise PreconditionError(f"unknown worker command {op!r}")
-
-
 # ---------------------------------------------------------------------------
 # Router side
 # ---------------------------------------------------------------------------
-class ProcessShardExecutor:
+class ProcessShardExecutor(ShardProxy):
     """Router-side proxy for one shard engine hosted in a child process.
 
-    Duck-types the :class:`~repro.core.engine.CoordinationEngine`
-    surface the sharded service drives, so the service's control plane
-    — routing probes, admission, the component-freeze rule, two-phase
-    migration, journaling — is executor-agnostic.  All caller-visible
-    :class:`~repro.core.lifecycle.QueryHandle` objects live on this
-    side; the worker's private handles never cross the boundary (their
-    resolutions do, as records).
-
-    Replica sync is write-token gated exactly like the in-process
-    replicated backend: a listener on the authoritative database bumps
-    the token on every facade write, and the next ``evaluate``/``flush``
-    command whose token moved carries a :func:`repro.db.wire.build_sync`
-    payload of the changed relations' row tails.
+    The generic proxy protocol — engine surface, two-lane request
+    serialization, write-token-gated replica sync, handle mirroring,
+    death handling — lives in :class:`~repro.core.transport.ShardProxy`;
+    this class supplies the pipe transport and the process lifecycle.
     """
 
     def __init__(
@@ -368,34 +170,6 @@ class ProcessShardExecutor:
         reuse_component_states: bool = True,
         control_lane: bool = True,
     ) -> None:
-        self.db = db
-        self.index = index
-        #: Whether this shard has the second (control) pipe.  ``False``
-        #: is the pre-control-lane blocking path, kept for the latency
-        #: benchmark's before/after comparison.
-        self.control_lane = control_lane
-        #: Structure-lock parity with :class:`CoordinationEngine`: the
-        #: service brackets engine calls in ``with engine.lock``; for a
-        #: proxy the pipe mutexes below do the real serialization.
-        self.lock = OwnedLock()
-        self._io = threading.Lock()
-        self._control_io = threading.Lock()
-        self._handles: Dict[str, QueryHandle] = {}
-        self._callbacks: List[ResolutionCallback] = []
-        #: Component memo from the last ``admit`` reply — valid only
-        #: until the next state-changing command (components can merge).
-        self._component_hint: Dict[str, Tuple[str, ...]] = {}
-        self._stamps: Dict[str, int] = {}
-        self._token = 0
-        self._synced_token = -1
-        self._token_mutex = threading.Lock()
-        self._dead: Optional[str] = None
-        self._stopped = False
-        # Serializes the death transition: several threads can observe
-        # a broken pipe at once, but only the first may reject the
-        # orphaned handles (callbacks must fire exactly once).
-        self._fail_mutex = threading.Lock()
-
         ctx = _mp_context()
         parent_end, child_end = ctx.Pipe(duplex=True)
         if control_lane:
@@ -422,306 +196,48 @@ class ProcessShardExecutor:
         child_end.close()
         if control_child is not None:
             control_child.close()
-        self._listener = self._note_write
-        db.add_write_listener(self._listener)
+        # Register the write listener only after the spawn succeeded.
+        super().__init__(db, index, control_lane=control_lane)
 
     # ------------------------------------------------------------------
-    # Invalidation (authoritative-store write listener)
+    # Transport
     # ------------------------------------------------------------------
-    def _note_write(self) -> None:
-        with self._token_mutex:
-            self._token += 1
+    def _transact(self, frame: bytes, control: bool = False) -> bytes:
+        conn = self._control_conn if control else self._conn
+        conn.send_bytes(frame)
+        return conn.recv_bytes()
+
+    @property
+    def _has_control(self) -> bool:
+        return self._control_conn is not None
+
+    def _describe_death(self, error: BaseException) -> str:
+        return (
+            f"shard {self.index} worker process died "
+            f"(exitcode {self._process.exitcode}): {error!r}"
+        )
 
     # ------------------------------------------------------------------
-    # Introspection / local state
+    # Introspection
     # ------------------------------------------------------------------
     @property
     def process_alive(self) -> bool:
         """Whether the shard's worker process is still running."""
         return self._process.is_alive()
 
-    def pending(self) -> Tuple[str, ...]:
-        """Names of queries currently pending on this shard."""
-        return tuple(self._handles)
-
-    def handle(self, name: str) -> Optional[QueryHandle]:
-        """The live (router-side) handle of a pending query."""
-        return self._handles.get(name)
-
-    def probe_pending(self) -> Tuple[str, ...]:
-        """Pending names read on the *worker*, over the control lane.
-
-        Unlike :meth:`pending` (a local table read), this is a real
-        IPC round trip — the service's control-lane latency probe.
-        """
-        reply = self._control_request({"op": "pending"})
-        return tuple(reply["names"])
-
-    def on_resolved(self, callback: ResolutionCallback) -> ResolutionCallback:
-        """Register a proxy-level resolution callback (service hook)."""
-        self._callbacks.append(callback)
-        return callback
-
-    # ------------------------------------------------------------------
-    # Engine surface (IPC-backed)
-    # ------------------------------------------------------------------
-    def admit(self, query: EntangledQuery) -> QueryHandle:
-        """Admit one arrival on the worker; returns the proxy handle.
-
-        Rides the control lane: admission bookkeeping must not queue
-        behind an in-flight ``evaluate`` frame.  Safe mid-evaluation
-        because the service's freeze rule guarantees the arrival touches
-        no component under evaluation, and the worker only services the
-        lane at engine-consistent points.
-        """
-        reply = self._control_request(
-            {"op": "admit", "query": wire.encode_query(query)}
-        )
-        handle = QueryHandle(query)
-        self._handles[query.name] = handle
-        self._component_hint = {query.name: tuple(reply["component"])}
-        return handle
-
-    def incident_pending(self, query: EntangledQuery) -> Tuple[str, ...]:
-        """Read-only probe: pending queries the arrival would touch."""
-        reply = self._control_request(
-            {"op": "incident", "query": wire.encode_query(query)}
-        )
-        return tuple(reply["names"])
-
-    def component_of(self, name: str) -> Tuple[str, ...]:
-        """The weak component of a pending query, sorted by name."""
-        if name not in self._handles:
-            raise PreconditionError(f"query {name!r} is not pending")
-        hint = self._component_hint.get(name)
-        if hint is not None:
-            return hint
-        reply = self._control_request({"op": "component_of", "name": name})
-        return tuple(reply["names"])
-
-    def components(self) -> List[Tuple[str, ...]]:
-        """All weak components of this shard's pending pool."""
-        reply = self._control_request({"op": "components"})
-        return [tuple(component) for component in reply["components"]]
-
-    def retract(self, name: str) -> QueryHandle:
-        """Withdraw one pending query; resolves its proxy handle."""
-        if name not in self._handles:
-            raise PreconditionError(f"query {name!r} is not pending")
-        handle = self._handles[name]
-        self._component_hint = {}
-        self._request({"op": "retract", "name": name})
-        return handle
-
-    def evaluate_admitted(
-        self, admitted: Sequence[QueryHandle], between=None
-    ) -> None:
-        """Evaluate the admitted handles' components on the worker.
-
-        ``between`` (the thread executor's control-lane yield hook) is
-        accepted for surface parity and ignored: the worker *process*
-        services its own control pipe from a dedicated thread, and the
-        router-side mailbox thread is already free while it blocks on
-        the reply.
-        """
-        if not admitted:
-            return
-        self._component_hint = {}
-        self._request(
-            {"op": "evaluate", "names": [h.query for h in admitted]},
-            sync=True,
-        )
-
-    # The worker process is single-owner, so there is no phased/unlocked
-    # variant to speak of — the shard worker thread blocks on the reply
-    # while the expensive work runs in the other *process*.
-    evaluate_admitted_phased = evaluate_admitted
-
-    def flush(self):
-        """One global evaluation run on the worker's pending pool."""
-        self._component_hint = {}
-        reply = self._request({"op": "flush"}, sync=True)
-        return wire.decode_result(reply["result"])
-
-    def release_component(self, name: str) -> List[QueryHandle]:
-        """Migration phase 1: detach a component, handles stay pending."""
-        if name not in self._handles:
-            raise PreconditionError(f"query {name!r} is not pending")
-        self._component_hint = {}
-        # Control lane: the freeze rule guarantees a migrating
-        # component is idle, so releasing it between two component
-        # evaluations is safe — and a rebalance under load must not
-        # park the router behind a grinding evaluate frame.
-        reply = self._control_request({"op": "release", "name": name})
-        released: List[QueryHandle] = []
-        for member in reply["names"]:
-            handle = self._handles.pop(member, None)
-            if handle is None:
-                raise ConcurrencyError(
-                    f"shard {self.index} released unknown query {member!r} "
-                    "(router and worker handle tables desynced)"
-                )
-            released.append(handle)
-        return released
-
-    def adopt(self, handles: Sequence[QueryHandle]) -> None:
-        """Migration phase 2: re-home released handles onto this shard."""
-        if not handles:
-            return
-        self._component_hint = {}
-        # Control lane, like release: adopted components are idle by
-        # the freeze rule, and their replica rows sync lazily at the
-        # next evaluate's plan phase.
-        self._control_request(
-            {
-                "op": "adopt",
-                "queries": [wire.encode_query(h.entangled) for h in handles],
-            }
-        )
-        for handle in handles:
-            self._handles[handle.query] = handle
-
-    # ------------------------------------------------------------------
-    # Transport
-    # ------------------------------------------------------------------
-    def _request(self, message: dict, sync: bool = False) -> dict:
-        """One framed request/reply round trip (serialized per shard)."""
-        failure: Optional[BaseException] = None
-        reply: dict = {}
-        with self._io:
-            self._check_alive()
-            if sync:
-                # Token before stamp walk (a write landing mid-build
-                # leaves the recorded token stale, so the next command
-                # re-syncs — never the reverse).
-                token = self._token
-                if token != self._synced_token:
-                    payload, self._stamps = wire.build_sync(self.db, self._stamps)
-                    if payload is not None:
-                        message["sync"] = payload
-                    self._synced_token = token
-            try:
-                self._conn.send_bytes(wire.dumps(message))
-                reply = wire.loads(self._conn.recv_bytes())
-            except (EOFError, OSError) as error:
-                failure = error
-        if failure is not None:
-            self._fail(failure)
-        self._apply_reply(reply)
-        self._raise_reply_error(reply)
-        return reply
-
-    def _control_request(self, message: dict) -> dict:
-        """One round trip on the control lane (falls back to the main pipe).
-
-        Serialized by its own mutex, so a probe/admit never waits behind
-        an in-flight ``evaluate`` frame on the main lane — the latency
-        decoupling this executor's control lane exists for.  Control
-        replies carry no resolutions (control commands cannot resolve
-        handles), so there is nothing to apply.
-        """
-        if self._control_conn is None:
-            return self._request(message)
-        failure: Optional[BaseException] = None
-        reply: dict = {}
-        with self._control_io:
-            self._check_alive()
-            try:
-                self._control_conn.send_bytes(wire.dumps(message))
-                reply = wire.loads(self._control_conn.recv_bytes())
-            except (EOFError, OSError) as error:
-                failure = error
-        if failure is not None:
-            self._fail(failure)
-        self._raise_reply_error(reply)
-        return reply
-
-    def _raise_reply_error(self, reply: dict) -> None:
-        error = reply.get("error")
-        if error is not None:
-            if error["kind"] == "precondition":
-                raise PreconditionError(error["message"])
-            if error["kind"] == "repro":
-                raise ReproError(error["message"])
-            raise ConcurrencyError(
-                f"shard {self.index} worker command failed:\n{error['message']}"
-            )
-
-    def _apply_reply(self, reply: dict) -> None:
-        """Mirror the worker's outcomes and resolutions onto proxy handles.
-
-        Outcomes first (the engine records an admitted handle's outcome
-        before retiring its coordinating set), then resolutions in the
-        worker's resolution order.  Handle state transitions run the
-        ordinary :class:`QueryHandle` resolution path, so ``wait``,
-        callbacks and the dispatcher seam behave exactly as in-process.
-        """
-        for record in reply.get("outcomes", ()):
-            handle = self._handles.get(record["query"])
-            if handle is not None:
-                handle.outcome = ArrivalOutcome(
-                    record["query"],
-                    tuple(record["component"]),
-                    wire.decode_result(record["result"]),
-                    tuple(record["satisfied"]),
-                )
-        for record in reply.get("resolutions", ()):
-            handle = self._handles.pop(record["query"], None)
-            if handle is None:
-                continue
-            apply_resolution(handle, record)
-            for callback in list(self._callbacks):
-                callback(handle)
-
-    def _check_alive(self) -> None:
-        if self._stopped:
-            raise ConcurrencyError(
-                f"shard {self.index} worker process is stopped"
-            )
-        if self._dead is not None:
-            raise ConcurrencyError(self._dead)
-
-    def _fail(self, error: BaseException) -> None:
-        """Handle worker death: reject pending handles, raise loudly.
-
-        Called outside the pipe mutex so handle callbacks (which may
-        re-enter the service in serial mode) cannot deadlock against an
-        in-flight request.  Idempotent under races: the death
-        transition is mutex-guarded, so of several threads observing
-        the broken pipe at once exactly one rejects the orphaned
-        handles (callbacks fire once per handle); the rest re-raise.
-        """
-        orphans: List[QueryHandle] = []
-        with self._fail_mutex:
-            if self._dead is None:
-                exitcode = self._process.exitcode
-                self._dead = (
-                    f"shard {self.index} worker process died "
-                    f"(exitcode {exitcode}): {error!r}"
-                )
-                orphans = list(self._handles.values())
-                self._handles.clear()
-                self._component_hint = {}
-        for handle in orphans:
-            try:
-                handle._resolve(QueryState.REJECTED, reason=self._dead)
-            except RuntimeError:  # pragma: no cover - already resolved
-                continue
-            for callback in list(self._callbacks):
-                callback(handle)
-        raise ConcurrencyError(self._dead) from error
-
     # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
-    def stop(self, timeout: Optional[float] = None) -> bool:
+    def stop(self, timeout: Optional[float] = SHUTDOWN_GRACE) -> bool:
         """Stop the worker process; best-effort within ``timeout``.
 
         Graceful first (a ``stop`` command, so the worker exits its
         loop cleanly), then ``terminate``, then ``kill`` — the call
         never hangs on a wedged or dead child, and it is idempotent and
-        safe to run after a crash.  Returns ``True`` when the process
-        is gone on return.
+        safe to run after a crash.  The default budget is
+        :data:`repro.concurrency.SHUTDOWN_GRACE`; pass ``None`` for an
+        unbounded wait.  Returns ``True`` when the process is gone on
+        return.
         """
         self.db.remove_write_listener(self._listener)
         deadline = Deadline(timeout)

@@ -1,0 +1,494 @@
+"""TCP shard transport: engine shards hosted on other machines.
+
+The third implementation of the shard seam
+(:mod:`repro.core.transport`), and the multi-node half of the fabric:
+
+* :class:`ShardHost` — the worker side, a standalone server any
+  machine can run (``python -m repro shard-host HOST:PORT``).  It is
+  the gateway's asyncio architecture pointed inward: an event loop on
+  a daemon thread accepts connections speaking length-prefixed
+  :mod:`repro.db.wire` frames (the same stream framing the gateway
+  uses — see :mod:`repro.client`), and each router connects with a
+  small **hello handshake** that names its lane and session.  A main
+  lane builds one :class:`~repro.core.transport.WorkerSession`
+  (private lock-free replica + engine); a control lane attaches to it
+  and flips the session to phased evaluation — frames on different
+  connections execute on different pool threads, so a control probe is
+  answered mid-``evaluate`` exactly as in the worker process.  Frames
+  on *one* connection execute strictly in order (the request/reply
+  discipline every lane requires).  An undecodable or
+  version-mismatched frame — a router speaking a different
+  ``db/wire`` version — is answered with a clean error reply and the
+  connection closed; the host never crashes on it.
+
+* :class:`RemoteShardTransport` — the router-side
+  :class:`~repro.core.transport.ShardProxy` whose transport is a pair
+  of TCP connections.  On construction it performs **replica warm-up**:
+  one ``sync=True`` round trip ships the authoritative database as a
+  bulk :func:`~repro.db.wire.build_sync` snapshot (the stamp vector
+  starts empty), so the first evaluation pays no sync cost and a shard
+  joining mid-stream starts from current state.  Steady-state sync is
+  the usual write-token-gated stamp diff, now with tombstone tails —
+  retract-heavy workloads no longer grow remote replicas unboundedly.
+
+Failover is the service's job, not this module's: the proxy reports
+death through the seam's :attr:`~repro.core.transport.ShardProxy.on_death`
+hook, and :class:`~repro.core.service.ShardedCoordinationService`
+re-homes the orphaned components to a surviving shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Tuple, Union
+
+from ..client import FramedEndpoint, checked_length
+from ..concurrency import SHUTDOWN_GRACE, Deadline
+from ..db import Database, wire
+from ..errors import ConcurrencyError, PreconditionError, ReproError
+from .transport import (
+    CONTROL_SWITCH_INTERVAL,
+    ShardProxy,
+    WorkerSession,
+    error_reply,
+)
+
+#: Accepted lane names in the hello handshake.
+_LANES = ("main", "control")
+
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_address(spec: Address) -> Tuple[str, int]:
+    """``"host:port"`` (IPv6 brackets allowed) or ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise PreconditionError(
+            f"remote shard address {spec!r} is not HOST:PORT"
+        )
+    host = host.strip("[]")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise PreconditionError(
+            f"remote shard address {spec!r} has a non-numeric port"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Worker side: the shard host server
+# ---------------------------------------------------------------------------
+class ShardHost:
+    """Host engine shards for remote routers, over TCP.
+
+    Lifecycle mirrors :class:`~repro.core.gateway.Gateway`: the event
+    loop runs on a daemon thread, ``start()`` returns the bound
+    address (``port=0`` binds ephemerally), ``close()`` tears down
+    within :data:`~repro.concurrency.SHUTDOWN_GRACE`.  One host serves
+    any number of shard sessions — each router main-lane connection
+    owns a private :class:`~repro.core.transport.WorkerSession`, so
+    several services (or several shards of one service) can share a
+    host process.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_threads: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._pool = ThreadPoolExecutor(
+            max_workers=worker_threads, thread_name_prefix="repro-shard-host"
+        )
+        self._sessions: Dict[str, WorkerSession] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._conn_tasks: set = set()
+        self._writers: set = set()
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._address is None:
+            raise PreconditionError("shard host is not started")
+        return self._address
+
+    @property
+    def session_count(self) -> int:
+        """Live shard sessions (leak assertion hook for tests)."""
+        return len(self._sessions)
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, start serving on a background thread, return the address."""
+        if self._thread is not None:
+            raise PreconditionError("shard host already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-shard-host-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise self._startup_error
+        assert self._address is not None
+        return self._address
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the serving loop exits; ``True`` when it has."""
+        thread = self._thread
+        if thread is None:
+            return True
+        thread.join(timeout)
+        return not thread.is_alive()
+
+    def close(self, timeout: Optional[float] = SHUTDOWN_GRACE) -> None:
+        """Stop serving and drop every session (idempotent)."""
+        if self._thread is None:
+            return
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None:
+            try:
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+        self._thread.join(timeout)
+        self._thread = None
+        self._pool.shutdown(wait=False)
+
+    def __enter__(self) -> "ShardHost":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- event loop ------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 - surfaced via start()
+            if not self._started.is_set():
+                self._startup_error = error
+                self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._address = server.sockets[0].getsockname()[:2]
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+            for writer in list(self._writers):
+                writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=SHUTDOWN_GRACE)
+
+    async def _read_frame(self, reader) -> Optional[bytes]:
+        try:
+            prefix = await reader.readexactly(4)
+            return await reader.readexactly(
+                checked_length(prefix, ConcurrencyError)
+            )
+        except (asyncio.IncompleteReadError, OSError, ConnectionError):
+            return None
+
+    async def _send(self, writer, reply: dict) -> bool:
+        frame = wire.dumps(reply)
+        try:
+            writer.write(len(frame).to_bytes(4, "big") + frame)
+            await writer.drain()
+            return True
+        except (OSError, ConnectionError):
+            return False
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        session_token: Optional[str] = None
+        lane = "main"
+        try:
+            session, session_token, lane = await self._handshake(reader, writer)
+            if session is None:
+                return
+            loop = asyncio.get_running_loop()
+            handler = (
+                session.handle_main if lane == "main" else session.handle_control
+            )
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    return
+                stop = False
+                try:
+                    message = wire.loads(frame)
+                except ReproError as error:
+                    # A frame this router cannot even decode (foreign
+                    # wire version, corruption): reject it cleanly and
+                    # keep the host alive; the connection is useless,
+                    # so close it after replying.
+                    await self._send(writer, error_reply(error))
+                    return
+                reply = await loop.run_in_executor(self._pool, handler, message)
+                stop = lane == "main" and message.get("op") == "stop"
+                if not await self._send(writer, reply) or stop:
+                    return
+        finally:
+            if session_token is not None and lane == "main":
+                self._sessions.pop(session_token, None)
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    async def _handshake(self, reader, writer):
+        """Validate the hello frame; returns ``(session, token, lane)``.
+
+        Any problem — undecodable frame (wrong wire version), a
+        non-hello first frame, an unknown lane or session — earns a
+        clean error reply, never a crash; ``(None, None, "main")``
+        signals the caller to drop the connection.
+        """
+        frame = await self._read_frame(reader)
+        if frame is None:
+            return None, None, "main"
+        try:
+            hello = wire.loads(frame)
+        except ReproError as error:
+            await self._send(writer, error_reply(error))
+            return None, None, "main"
+        lane = hello.get("lane", "main")
+        token = hello.get("session")
+        if (
+            hello.get("op") != "hello"
+            or lane not in _LANES
+            or not isinstance(token, str)
+        ):
+            await self._send(
+                writer,
+                error_reply(
+                    PreconditionError(
+                        "expected a hello frame "
+                        "{op: 'hello', lane: 'main'|'control', session: str}"
+                    )
+                ),
+            )
+            return None, None, "main"
+        if lane == "main":
+            if token in self._sessions:
+                await self._send(
+                    writer,
+                    error_reply(
+                        PreconditionError(f"session {token!r} already exists")
+                    ),
+                )
+                return None, None, "main"
+            options = hello.get("options") or {}
+            session = WorkerSession(
+                check_safety=bool(options.get("check_safety", True)),
+                reuse_groundings=bool(options.get("reuse_groundings", False)),
+                reuse_component_states=bool(
+                    options.get("reuse_component_states", True)
+                ),
+            )
+            self._sessions[token] = session
+        else:
+            session = self._sessions.get(token)
+            if session is None:
+                await self._send(
+                    writer,
+                    error_reply(
+                        PreconditionError(
+                            f"control lane for unknown session {token!r}"
+                        )
+                    ),
+                )
+                return None, None, "main"
+            session.phased = True
+            sys.setswitchinterval(CONTROL_SWITCH_INTERVAL)
+        if not await self._send(
+            writer, {"ok": True, "version": wire.VERSION}
+        ):
+            return None, None, "main"
+        return session, token, lane
+
+
+# ---------------------------------------------------------------------------
+# Router side: the TCP shard proxy
+# ---------------------------------------------------------------------------
+class RemoteShardTransport(ShardProxy):
+    """Router-side proxy for one shard engine hosted over TCP.
+
+    The generic proxy protocol lives in
+    :class:`~repro.core.transport.ShardProxy`; this class supplies the
+    socket transport (two :class:`~repro.client.FramedEndpoint`
+    connections, one per lane, joined to one host-side session by the
+    hello handshake) and the connect-time replica warm-up.
+
+    Sockets run without a read timeout by default: an ``evaluate``
+    legitimately blocks for as long as evaluation takes, and a killed
+    host surfaces promptly as a reset/closed connection — the seam's
+    ordinary death path.  ``connect_retries`` spaces out connection
+    attempts against a host that is still binding its listener.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        index: int,
+        address: Address,
+        check_safety: bool = True,
+        reuse_groundings: bool = False,
+        reuse_component_states: bool = True,
+        control_lane: bool = True,
+        timeout: Optional[float] = None,
+        connect_retries: int = 10,
+    ) -> None:
+        self.host, self.port = parse_address(address)
+        self.session = uuid.uuid4().hex
+        options = {
+            "check_safety": check_safety,
+            "reuse_groundings": reuse_groundings,
+            "reuse_component_states": reuse_component_states,
+        }
+        self._endpoint = self._connect(
+            "main", options, timeout, connect_retries
+        )
+        self._control_endpoint = (
+            self._connect("control", options, timeout, connect_retries)
+            if control_lane
+            else None
+        )
+        super().__init__(db, index, control_lane=control_lane)
+        # Warm-up: the stamp vector starts empty, so this sync=True
+        # round trip ships the entire authoritative database as one
+        # bulk snapshot — the first evaluation pays no sync cost.
+        self._request({"op": "ping"}, sync=True)
+
+    def _connect(
+        self,
+        lane: str,
+        options: dict,
+        timeout: Optional[float],
+        retries: int,
+    ) -> FramedEndpoint:
+        endpoint = FramedEndpoint(
+            self.host,
+            self.port,
+            timeout=timeout,
+            retries=retries,
+            error=EOFError,
+        )
+        try:
+            endpoint.send_message(
+                {
+                    "op": "hello",
+                    "lane": lane,
+                    "session": self.session,
+                    "options": options,
+                }
+            )
+            reply = endpoint.recv_message()
+        except (EOFError, OSError) as error:
+            endpoint.close()
+            raise ConcurrencyError(
+                f"shard {lane} handshake with {self.host}:{self.port} "
+                f"failed: {error!r}"
+            ) from error
+        if reply.get("error") is not None or not reply.get("ok"):
+            endpoint.close()
+            error = reply.get("error") or {}
+            raise PreconditionError(
+                f"shard host {self.host}:{self.port} rejected the {lane} "
+                f"handshake: {error.get('message', reply)}"
+            )
+        return endpoint
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _transact(self, frame: bytes, control: bool = False) -> bytes:
+        endpoint = self._control_endpoint if control else self._endpoint
+        endpoint.send_frame(frame)
+        return endpoint.recv_frame()
+
+    @property
+    def _has_control(self) -> bool:
+        return self._control_endpoint is not None
+
+    def _describe_death(self, error: BaseException) -> str:
+        return (
+            f"shard {self.index} remote worker at "
+            f"{self.host}:{self.port} died: {error!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def stop(self, timeout: Optional[float] = SHUTDOWN_GRACE) -> bool:
+        """Disconnect from the host; best-effort within ``timeout``.
+
+        Graceful first (a ``stop`` command retires the host-side
+        session), then the sockets close unconditionally.  The host
+        process itself belongs to its operator — stopping a proxy never
+        kills the host.  Returns ``True`` (the connection is always
+        gone on return).
+        """
+        self.db.remove_write_listener(self._listener)
+        deadline = Deadline(timeout)
+        if not self._stopped and self._dead is None:
+            remaining = deadline.remaining()
+            acquired = (
+                self._io.acquire()
+                if remaining is None
+                else self._io.acquire(timeout=remaining)
+            )
+            if acquired:
+                try:
+                    self._endpoint.set_timeout(deadline.remaining())
+                    self._endpoint.send_frame(wire.dumps({"op": "stop"}))
+                    self._endpoint.recv_frame()
+                except (EOFError, OSError, ValueError):
+                    pass
+                finally:
+                    self._io.release()
+        self._stopped = True
+        self._endpoint.close()
+        if self._control_endpoint is not None:
+            self._control_endpoint.close()
+        return True
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else ("dead" if self._dead else "up")
+        return (
+            f"RemoteShardTransport(shard {self.index} @ "
+            f"{self.host}:{self.port}, {state}, {len(self._handles)} pending)"
+        )

@@ -101,6 +101,27 @@ dies mid-stream rejects its handles with a reason naming the crash and
 surfaces :class:`~repro.errors.ConcurrencyError` from the affected
 calls — ``drain`` and blocking submits fail fast instead of hanging.
 
+Remote executor (``executor="remote"``) and failover
+-----------------------------------------------------
+``ServiceConfig(executor="remote", remote_shards=[...])`` drives the
+same router over shards hosted on *other machines*: each address names
+a :class:`~repro.core.remote.ShardHost` (``python -m repro shard-host``)
+and gets a :class:`~repro.core.remote.RemoteShardTransport` — the TCP
+implementation of the shard seam (:mod:`repro.core.transport`), with
+connect-time snapshot warm-up and tombstone-bearing replica sync.
+Uniquely to this executor, worker death is *survivable*: the proxy's
+``on_death`` hook re-homes the dead shard's components onto the
+least-loaded surviving shard (the same release/adopt machinery as
+migration — ``adopt`` rebuilds the component graph from the queries
+themselves, so no dead-worker state is needed), failed evaluations
+re-run on the new home, and in-flight flushes restart over the
+survivors.  Re-run evaluations never committed on the dead shard
+(its reply never arrived), so the recovered outcomes stay
+byte-identical to a never-crashed service — the network kill-fuzz
+suite's contract.  With no survivor left, death degrades to the
+process executor's behaviour: orphans reject with a reason naming the
+crash.  See DESIGN.md §13.
+
 Because the invariant holds at every step, the service returns
 **identical coordinating sets** (same members, same assignments) as a
 single engine fed the same submit/retract stream — the equivalence the
@@ -115,10 +136,12 @@ outcomes are unaffected).
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, fields as dataclass_fields, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..concurrency import Deadline
+from ..concurrency import SHUTDOWN_GRACE, Deadline
 from ..db import BackendSpec, Database, resolve_backend, wire
 from ..db.database import MutationEvent
 from ..db.durability import (
@@ -138,6 +161,7 @@ from .executor import (
     resolve_executor,
 )
 from .procexec import ProcessShardExecutor
+from .remote import Address, RemoteShardTransport
 from .lifecycle import (
     QueryHandle,
     QueryState,
@@ -150,6 +174,49 @@ from .scc_coordination import SelectionCriterion, largest_candidate
 
 #: One linearized operation of the service's optional journal.
 JournalEntry = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Typed construction options for :class:`ShardedCoordinationService`.
+
+    One value object instead of a twelve-keyword pile: build it once,
+    pass it as the service's second argument, :meth:`evolve` variants
+    of it.  Field semantics are documented on the service class (each
+    field matches its former keyword argument 1:1, as do the CLI's
+    ``online`` flags); the legacy keyword form still works but emits a
+    :class:`DeprecationWarning`.
+
+    ``remote_shards`` is the one field with no keyword ancestry: under
+    ``executor="remote"`` it lists the ``HOST:PORT`` address (or
+    ``(host, port)`` tuple) of one :class:`~repro.core.remote.ShardHost`
+    per shard — the shard count *is* ``len(remote_shards)``.
+    """
+
+    shards: int = 2
+    workers: Optional[int] = None
+    choose: SelectionCriterion = largest_candidate
+    check_safety: bool = True
+    reuse_groundings: bool = False
+    reuse_component_states: bool = True
+    mailbox_capacity: int = 1024
+    backend: BackendSpec = "shared"
+    executor: str = "thread"
+    durability: DurabilitySpec = None
+    control_lane: bool = True
+    remote_shards: Tuple[Address, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Normalize: accept any iterable of addresses, store a tuple so
+        # the config stays hashable/frozen.
+        object.__setattr__(self, "remote_shards", tuple(self.remote_shards))
+
+    def evolve(self, **changes: Any) -> "ServiceConfig":
+        """A copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(ServiceConfig))
 
 
 class ShardedCoordinationService:
@@ -171,6 +238,13 @@ class ShardedCoordinationService:
         The shared database instance (all shards evaluate against it;
         its reader–writer lock is the only synchronization evaluation
         needs).
+    config:
+        A :class:`ServiceConfig` carrying every other option.  The
+        field-per-field meanings follow (named after the former
+        keyword arguments, which are still accepted — with a
+        :class:`DeprecationWarning` — for one transition cycle; a bare
+        integer second argument is read as the legacy positional
+        ``shards``).
     shards:
         Number of engine shards (≥ 1; 1 degenerates to a single engine
         behind the routing facade).  Ignored when ``workers`` is given.
@@ -200,10 +274,20 @@ class ShardedCoordinationService:
         keeps the engines in-process; ``"process"`` hosts each shard's
         engine in a worker *process* owning a private lock-free
         database replica, commanded over a framed pipe protocol
-        (:mod:`repro.core.procexec`).  Outcomes are byte-identical
-        across executors; with ``workers=N`` the same mailbox threads
-        drive the shards, acting as I/O waiters while the evaluations
-        run in the worker processes (true parallelism on GIL builds).
+        (:mod:`repro.core.procexec`); ``"remote"`` hosts it on another
+        machine behind a :class:`~repro.core.remote.ShardHost`,
+        commanded over TCP with the same framing — see
+        ``remote_shards`` and the module docstring's failover section.
+        Outcomes are byte-identical across executors; with
+        ``workers=N`` the same mailbox threads drive the shards,
+        acting as I/O waiters while the evaluations run in the worker
+        processes (true parallelism on GIL builds).
+    remote_shards:
+        Remote executor only: one :class:`~repro.core.remote.ShardHost`
+        address (``"host:port"`` or ``(host, port)``) per shard; the
+        shard count is the list's length (``workers``, when given,
+        must match it).  Several shards may name the same host — each
+        gets its own session (private replica + engine) there.
     durability:
         ``None`` (default) keeps the service purely in-memory.  A
         :class:`~repro.db.DurabilityConfig` (or a bare directory path)
@@ -239,54 +323,128 @@ class ShardedCoordinationService:
     def __init__(
         self,
         db: Database,
-        shards: int = 2,
-        workers: Optional[int] = None,
-        choose: SelectionCriterion = largest_candidate,
-        check_safety: bool = True,
-        reuse_groundings: bool = False,
-        reuse_component_states: bool = True,
-        mailbox_capacity: int = 1024,
-        backend: BackendSpec = "shared",
-        executor: str = "thread",
-        durability: DurabilitySpec = None,
-        control_lane: bool = True,
+        config: Optional[ServiceConfig] = None,
+        **kwargs: Any,
     ) -> None:
-        if workers is not None:
+        if isinstance(config, int):
+            # Legacy positional ``shards``.
+            kwargs.setdefault("shards", config)
+            config = None
+        if config is not None:
+            if kwargs:
+                raise PreconditionError(
+                    "pass a ServiceConfig or legacy keyword arguments, "
+                    "not both"
+                )
+            if not isinstance(config, ServiceConfig):
+                raise PreconditionError(
+                    f"expected a ServiceConfig, got {type(config).__name__}"
+                )
+        else:
+            unknown = set(kwargs) - _CONFIG_FIELDS
+            if unknown:
+                raise PreconditionError(
+                    f"unknown service option(s) {sorted(unknown)!r} "
+                    f"(ServiceConfig fields: {sorted(_CONFIG_FIELDS)})"
+                )
+            if kwargs:
+                warnings.warn(
+                    "ShardedCoordinationService keyword arguments are "
+                    "deprecated; pass ServiceConfig(...) as the second "
+                    "argument instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = ServiceConfig(**kwargs)
+        #: The resolved construction-time configuration (immutable).
+        self.config = config
+        shards = config.shards
+        workers = config.workers
+        choose = config.choose
+        check_safety = config.check_safety
+        reuse_groundings = config.reuse_groundings
+        reuse_component_states = config.reuse_component_states
+        mailbox_capacity = config.mailbox_capacity
+        backend = config.backend
+        executor = config.executor
+        durability = config.durability
+        control_lane = config.control_lane
+        remote_shards = config.remote_shards
+
+        self.executor = resolve_executor(executor)
+        if remote_shards and self.executor != "remote":
+            raise PreconditionError(
+                "remote_shards requires executor='remote'"
+            )
+        if self.executor == "remote":
+            if not remote_shards:
+                raise PreconditionError(
+                    "executor='remote' needs remote_shards (one "
+                    "ShardHost address per shard)"
+                )
+            shards = len(remote_shards)
+            if workers is not None and workers != shards:
+                raise PreconditionError(
+                    "the remote executor runs one worker per remote "
+                    f"shard: workers={workers} but "
+                    f"{shards} remote_shards were given"
+                )
+        elif workers is not None:
             if workers < 1:
                 raise PreconditionError("a service needs at least one worker")
             shards = workers
         if shards < 1:
             raise PreconditionError("a service needs at least one shard")
         self.db = db
-        self.executor = resolve_executor(executor)
-        if self.executor == "process":
-            # Each shard worker process owns a private replica synced
-            # over the wire — the process executor *is* a replicated
-            # backend across an IPC boundary, so the thread-mode
-            # backend seam does not apply.
+        if self.executor in ("process", "remote"):
+            # Each hosted shard owns a private replica synced over the
+            # wire — these executors *are* a replicated backend across
+            # an IPC/network boundary, so the thread-mode backend seam
+            # does not apply.
             if not isinstance(backend, str):
                 raise PreconditionError(
-                    "the process executor owns its per-process replicas; "
-                    "pass a backend name, not a backend instance"
+                    f"the {self.executor} executor owns its per-worker "
+                    "replicas; pass a backend name, not a backend instance"
                 )
             if choose is not largest_candidate:
                 raise PreconditionError(
-                    "the process executor cannot ship a custom selection "
-                    "criterion across the process boundary"
+                    f"the {self.executor} executor cannot ship a custom "
+                    "selection criterion across the worker boundary"
                 )
             self._owns_backend = False
             self.backend = None
-            self._engines: List = [
-                ProcessShardExecutor(
-                    db,
-                    index,
-                    check_safety=check_safety,
-                    reuse_groundings=reuse_groundings,
-                    reuse_component_states=reuse_component_states,
-                    control_lane=control_lane,
-                )
-                for index in range(shards)
-            ]
+            self._engines: List = []
+            try:
+                for index in range(shards):
+                    if self.executor == "process":
+                        self._engines.append(
+                            ProcessShardExecutor(
+                                db,
+                                index,
+                                check_safety=check_safety,
+                                reuse_groundings=reuse_groundings,
+                                reuse_component_states=reuse_component_states,
+                                control_lane=control_lane,
+                            )
+                        )
+                    else:
+                        self._engines.append(
+                            RemoteShardTransport(
+                                db,
+                                index,
+                                remote_shards[index],
+                                check_safety=check_safety,
+                                reuse_groundings=reuse_groundings,
+                                reuse_component_states=reuse_component_states,
+                                control_lane=control_lane,
+                            )
+                        )
+            except BaseException:
+                # A shard that never connected must not leak the ones
+                # that did (worker processes, TCP sessions).
+                for engine in self._engines:
+                    engine.stop(timeout=1.0)
+                raise
         else:
             #: The storage backend shard evaluations read through; writes
             #: always go to the authoritative ``db``.  A backend built
@@ -315,7 +473,7 @@ class ShardedCoordinationService:
         # count.  Thread shards answer probes in-process in
         # microseconds, where a pool would only add overhead.
         self._probe_pool: Optional[ThreadPoolExecutor] = None
-        if executor == "process" and shards > 1:
+        if self.executor in ("process", "remote") and shards > 1:
             self._probe_pool = ThreadPoolExecutor(
                 max_workers=shards, thread_name_prefix="repro-probe"
             )
@@ -350,6 +508,18 @@ class ShardedCoordinationService:
         self.migrations = 0
         #: Queries relocated by the idle-component rebalancer (monotone).
         self.rebalances = 0
+        #: Queries re-homed off dead shards by failover (monotone).
+        self.failovers = 0
+        # Failover is a remote-executor behaviour: a dead worker
+        # *process* keeps its established contract (orphans reject, the
+        # error surfaces) — local children are respawnable, whereas a
+        # dead remote host is a partition the fabric must survive.
+        self._failover = self.executor == "remote"
+        # Bumped once per observed shard death (under the tables lock);
+        # the routing loop re-probes when it moves mid-probe, because a
+        # death re-homes components between shards exactly like a
+        # migration the probes did not see.
+        self._deaths = 0
         #: Optional linearized operation journal: assign a list and the
         #: router appends one entry per operation in the order it
         #: committed them — the replayable serialization the
@@ -364,6 +534,8 @@ class ShardedCoordinationService:
             self._dispatcher = CallbackDispatcher()
         for engine in self._engines:
             engine.on_resolved(self._on_shard_resolved)
+            if self._failover:
+                engine.on_death = self._handle_shard_death
         #: The durable store when the service persists itself
         #: (``None`` in-memory).  See the ``durability`` parameter.
         self.durable: Optional[DurableStore] = None
@@ -403,12 +575,26 @@ class ShardedCoordinationService:
         """The storage backend identifier.
 
         ``shared``/``replicated`` under the thread executor;
-        ``ipc-replicated`` under the process executor, whose per-process
-        replicas are not a pluggable thread-mode backend.
+        ``ipc-replicated`` (process) or ``tcp-replicated`` (remote)
+        under the hosted executors, whose per-worker replicas are not
+        a pluggable thread-mode backend.
         """
         if self.backend is None:
-            return "ipc-replicated"
+            return (
+                "tcp-replicated"
+                if self.executor == "remote"
+                else "ipc-replicated"
+            )
         return self.backend.name
+
+    @property
+    def live_shards(self) -> Tuple[int, ...]:
+        """Indices of shards whose workers are up (all, for threads)."""
+        return tuple(
+            index
+            for index, engine in enumerate(self._engines)
+            if getattr(engine, "alive", True)
+        )
 
     def shard_of(self, name: str) -> Optional[int]:
         """The shard index currently holding a pending query."""
@@ -447,7 +633,7 @@ class ShardedCoordinationService:
         the worker's priority lane.  Serial services answer inline.
         """
         engine = self._engines[shard]
-        if self.executor == "process":
+        if self.executor in ("process", "remote"):
             return engine.probe_pending()
         if self._workers is not None:
 
@@ -636,22 +822,42 @@ class ShardedCoordinationService:
             self._maybe_checkpoint()
             raised = True
             try:
-                with self._tables:
-                    shard = self._shard_of.get(name)
-                if shard is None:
-                    raise PreconditionError(f"query {name!r} is not pending")
-                self._wait_component_idle(shard, name)
-                # The wait may have let the component's evaluation
-                # satisfy (and thereby remove) the query; re-check so
-                # the error matches what the serial stream would say.
-                with self._tables:
-                    shard = self._shard_of.get(name)
-                if shard is None:
-                    raise PreconditionError(f"query {name!r} is not pending")
-                engine = self._engines[shard]
-                with engine.lock:
-                    handle = engine.retract(name)
-                raised = False
+                while True:
+                    with self._tables:
+                        shard = self._shard_of.get(name)
+                    if shard is None:
+                        raise PreconditionError(
+                            f"query {name!r} is not pending"
+                        )
+                    self._wait_component_idle(shard, name)
+                    # The wait may have let the component's evaluation
+                    # satisfy (and thereby remove) the query; re-check so
+                    # the error matches what the serial stream would say.
+                    with self._tables:
+                        shard = self._shard_of.get(name)
+                    if shard is None:
+                        raise PreconditionError(
+                            f"query {name!r} is not pending"
+                        )
+                    engine = self._engines[shard]
+                    try:
+                        with engine.lock:
+                            handle = engine.retract(name)
+                    except (ConcurrencyError, PreconditionError) as error:
+                        # Failover may have re-homed the query between
+                        # the table lookup and the engine call (dead
+                        # shard, or a survivor that no longer holds the
+                        # name); chase the routing table.  Each retry
+                        # implies an observed shard death, so the loop
+                        # terminates.
+                        if self._failover and (
+                            not getattr(engine, "alive", True)
+                            or self._shard_of.get(name) not in (None, shard)
+                        ):
+                            continue
+                        raise error
+                    raised = False
+                    break
             finally:
                 self._journal_append(("retract", name, raised))
         return handle
@@ -680,6 +886,30 @@ class ShardedCoordinationService:
             inserted = self.db.insert(relation, row)
             self._journal_append(("insert", relation, tuple(row)))
         return inserted
+
+    def delete(self, relation: str, row: Sequence) -> bool:
+        """Delete one database tuple, ordered against evaluations.
+
+        :meth:`insert`'s mirror image, with the same linearization:
+        barriers behind all outstanding evaluations (worker mode), then
+        removes the row from the authoritative store under the router
+        lock.  Replicas pick the deletion up as a tombstone entry in
+        their next sync tail (:mod:`repro.db.wire` v3), and durable
+        services write it ahead as a ``del`` WAL record.  Returns
+        whether the row existed (deleting an absent row is a no-op, so
+        replaying a delete is idempotent).
+        """
+        with self._router:
+            self._check_open()
+            self._maybe_checkpoint()
+            if self._workers is not None:
+                with self._tables:
+                    self._tables.wait_for(
+                        lambda: self._eval_outstanding == 0
+                    )
+            deleted = self.db.delete(relation, row)
+            self._journal_append(("delete", relation, tuple(row)))
+        return deleted
 
     def flush(self) -> List[CoordinationResult]:
         """Evaluate everything pending, one global run **per shard**.
@@ -814,11 +1044,12 @@ class ShardedCoordinationService:
                 assert self._dispatcher is not None
                 self._dispatcher.drain(deadline.remaining())
                 self._dispatcher.stop(deadline.remaining())
-            if self.executor == "process":
+            if self.executor in ("process", "remote"):
                 # Queued jobs finished above (mailboxes are FIFO), so
-                # the pipes are idle; stop each worker process.  Safe
-                # after a worker crash: a dead child's stop() reaps it
-                # without hanging.
+                # the transports are idle; stop each hosted shard.
+                # Safe after a worker crash: a dead child's (or
+                # vanished host's) stop() reaps/disconnects without
+                # hanging.
                 for engine in self._engines:
                     engine.stop(deadline.remaining())
             if self._probe_pool is not None:
@@ -882,8 +1113,13 @@ class ShardedCoordinationService:
         moved = 0
         for _ in range(max_moves):
             scores = self.shard_cost_scores()
-            hot = max(range(len(scores)), key=lambda i: (scores[i], -i))
-            cold = min(range(len(scores)), key=lambda i: (scores[i], i))
+            candidates = (
+                self.live_shards if self._failover else range(len(scores))
+            )
+            if len(candidates) < 2:
+                break
+            hot = max(candidates, key=lambda i: (scores[i], -i))
+            cold = min(candidates, key=lambda i: (scores[i], i))
             gap = scores[hot] - scores[cold]
             if gap < 2:
                 break
@@ -960,8 +1196,19 @@ class ShardedCoordinationService:
         """
 
         def probe(engine) -> Tuple[str, ...]:
-            with engine.lock:
-                return engine.incident_pending(query)
+            if self._failover and not getattr(engine, "alive", True):
+                # A dead shard holds nothing: its components were
+                # re-homed (and will answer from their new shard) or
+                # rejected.  The caller's death-counter re-probe covers
+                # the in-flight window.
+                return ()
+            try:
+                with engine.lock:
+                    return engine.incident_pending(query)
+            except ConcurrencyError:
+                if self._failover and not getattr(engine, "alive", True):
+                    return ()
+                raise
 
         if self._probe_pool is None:
             return [probe(engine) for engine in self._engines]
@@ -986,6 +1233,7 @@ class ShardedCoordinationService:
                         f"query {query.name!r} already pending"
                     )
         while True:
+            deaths = self._deaths
             touched: Dict[int, Tuple[str, ...]] = {}
             for index, incident in enumerate(self._probe_incident(query)):
                 if incident:
@@ -1002,8 +1250,16 @@ class ShardedCoordinationService:
             # nothing.  Once nothing is busy no further retirement can
             # happen under the router lock, so a liveness re-check here
             # is race-free; any dead name means the probes are stale.
-            if not self._touched_stale(touched):
-                break
+            if self._touched_stale(touched):
+                continue
+            # A shard death re-homes components between shards exactly
+            # like a migration the probes did not see; if one landed
+            # anywhere inside this probe round, the round is suspect —
+            # wait for re-homing to settle and probe again.
+            if deaths != self._deaths:
+                self._failover_settled()
+                continue
+            break
         if not touched:
             return self._default_shard()
         if len(touched) == 1:
@@ -1077,7 +1333,12 @@ class ShardedCoordinationService:
         outcomes either way; this only evens the *work*.
         """
         scores = self.shard_cost_scores()
-        return min(range(len(scores)), key=lambda i: (scores[i], i))
+        candidates = (
+            self.live_shards if self._failover else range(len(scores))
+        )
+        if not candidates:
+            raise ConcurrencyError("no live shard left to place on")
+        return min(candidates, key=lambda i: (scores[i], i))
 
     # ------------------------------------------------------------------
     # Worker plumbing
@@ -1094,32 +1355,66 @@ class ShardedCoordinationService:
         names; they are marked busy until the job finishes, which is
         what the freeze rule waits on.
         """
-        engine = self._engines[target]
         if self._workers is None:
-            with engine.lock:
-                engine.evaluate_admitted(handles)
-            return None
+            home = target
+            while True:
+                engine = self._engines[home]
+                try:
+                    with engine.lock:
+                        engine.evaluate_admitted(handles)
+                except ConcurrencyError:
+                    moved = self._failover_rehome(home, handles)
+                    if moved is None:
+                        raise
+                    home = moved
+                    continue
+                return None
+        engine = self._engines[target]
         with self._tables:
             self._busy[target].update(frozen)
             self._eval_outstanding += 1
         worker = self._workers[target]
 
         def job() -> None:
+            home = target
             try:
-                # The worker services its control lane between component
-                # evaluations (probes/status never touch the frozen
-                # components), so control latency stays bounded by one
-                # component evaluation even under a long batch.
-                engine.evaluate_admitted_phased(
-                    handles, between=worker.service_control
-                )
+                while True:
+                    try:
+                        # The worker services its control lane between
+                        # component evaluations (probes/status never
+                        # touch the frozen components), so control
+                        # latency stays bounded by one component
+                        # evaluation even under a long batch.
+                        self._engines[home].evaluate_admitted_phased(
+                            handles, between=worker.service_control
+                        )
+                        return
+                    except ConcurrencyError:
+                        # Failover: the shard died before this
+                        # evaluation committed (no reply, no
+                        # resolutions), so re-running it on the
+                        # components' new home replays the identical
+                        # admitted-but-unevaluated state — outcomes
+                        # match a service whose shard never died.
+                        moved = self._failover_rehome(home, handles)
+                        if moved is None:
+                            raise
+                        with self._tables:
+                            # Keep the freeze rule airtight across the
+                            # move: the components count as busy on the
+                            # new home before they stop counting on the
+                            # old one.
+                            self._busy[moved].update(frozen)
+                            self._busy[home].difference_update(frozen)
+                            self._tables.notify_all()
+                        home = moved
             except BaseException as error:  # noqa: BLE001 - surfaced at drain
                 with self._tables:
                     self._errors.append(error)
                 raise
             finally:
                 with self._tables:
-                    self._busy[target].difference_update(frozen)
+                    self._busy[home].difference_update(frozen)
                     self._eval_outstanding -= 1
                     self._tables.notify_all()
 
@@ -1137,10 +1432,163 @@ class ShardedCoordinationService:
                     pass
             raise
 
+    # ------------------------------------------------------------------
+    # Failover (remote executor)
+    # ------------------------------------------------------------------
+    def _handle_shard_death(
+        self, proxy, orphans: List[QueryHandle]
+    ) -> bool:
+        """Death hook: re-home a dead shard's components to a survivor.
+
+        Runs exactly once per shard death, on whichever thread first
+        observed the broken transport (see
+        :attr:`~repro.core.transport.ShardProxy.on_death`) — possibly a
+        shard worker mid-job, so it must never take the router lock
+        (the router may be waiting out that very job).  It touches only
+        the tables lock and the survivor's control lane.  Returning
+        ``True`` re-homed the orphans (the proxy skips its default
+        rejection); anything else falls back to rejecting them with
+        the death reason — the process executor's established
+        semantics, and the terminal state when no shard survives.
+        """
+        target: Optional[int] = None
+        with self._tables:
+            survivors = [
+                index
+                for index, engine in enumerate(self._engines)
+                if engine is not proxy and getattr(engine, "alive", False)
+            ]
+            if survivors and orphans:
+                target = min(
+                    survivors, key=lambda index: (self._costs[index], index)
+                )
+        adopted = False
+        if target is not None:
+            receiver = self._engines[target]
+            try:
+                # Adoption rebuilds the component graph on the survivor
+                # from the queries themselves (the same release/adopt
+                # wire op migration uses), so nothing from the dead
+                # worker is needed.  The survivor's replica syncs
+                # lazily at its next evaluation's plan phase.
+                with receiver.lock:
+                    receiver.adopt(orphans)
+                adopted = True
+            except ReproError:
+                # The survivor died too (or refused); fall back to
+                # rejection — a later death hook for *it* would find
+                # no orphans to save here anyway.
+                adopted = False
+        with self._tables:
+            if adopted:
+                source = proxy.index
+                for handle in orphans:
+                    if self._shard_of.get(handle.query) != source:
+                        continue
+                    self._shard_of[handle.query] = target
+                    cost = self._query_cost.get(handle.query, 0)
+                    self._loads[source] -= 1
+                    self._loads[target] += 1
+                    self._costs[source] -= cost
+                    self._costs[target] += cost
+                self.failovers += len(orphans)
+            self._deaths += 1
+            self._tables.notify_all()
+        return adopted
+
+    def _failover_rehome(
+        self, shard: int, handles: Tuple[QueryHandle, ...]
+    ) -> Optional[int]:
+        """Where a failed evaluation's queries landed after failover.
+
+        Returns the surviving shard now holding them (the death hook
+        adopts a dead shard's orphans as one batch, so re-homed
+        batchmates share a destination), or ``None`` when the failure
+        is not a survivable shard death — the shard is still alive (a
+        genuine command failure), failover is off, the hook fell back
+        to rejection (the names are gone from the routing table), or
+        the hook never settled within the grace budget.
+        """
+        if not self._failover or getattr(self._engines[shard], "alive", True):
+            return None
+        names = [handle.query for handle in handles]
+
+        def settled() -> bool:
+            for name in names:
+                home = self._shard_of.get(name)
+                if home is not None and not getattr(
+                    self._engines[home], "alive", True
+                ):
+                    return False
+            return True
+
+        with self._tables:
+            if not self._tables.wait_for(settled, timeout=SHUTDOWN_GRACE):
+                return None
+            homes = {
+                home
+                for name in names
+                if (home := self._shard_of.get(name)) is not None
+            }
+        if not homes:
+            return None
+        return min(homes)
+
+    def _failover_settled(self) -> None:
+        """Wait until no pending query is routed to a dead shard.
+
+        The flush retry's barrier: re-homing must have landed before
+        the next round, or the survivors' flushes would miss the
+        adopted components and a drain could terminate early.
+        """
+
+        def settled() -> bool:
+            return all(
+                getattr(self._engines[home], "alive", True)
+                for home in self._shard_of.values()
+            )
+
+        with self._tables:
+            self._tables.wait_for(settled, timeout=SHUTDOWN_GRACE)
+
     def _flush_once(self) -> List[CoordinationResult]:
+        while True:
+            try:
+                return self._flush_round()
+            except ConcurrencyError:
+                # Failover: a shard died mid-flush.  Its components are
+                # re-homed (or rejected) by the death hook; restart the
+                # round over the survivors.  Safe because re-flushing is
+                # idempotent against an unchanged database — components
+                # whose sets already retired are gone, the rest land in
+                # the same pending state — though the service-level
+                # round may now retire more than one set on a survivor
+                # (DESIGN.md §13 documents the deviation; a drained
+                # outcome is unaffected).  Terminates: every retry
+                # requires another dead shard, and with none left alive
+                # the round itself raises.
+                if not self._failover:
+                    raise
+                alive = self.live_shards
+                if not alive or len(alive) == len(self._engines):
+                    # Nobody left to flush, or nobody died — the error
+                    # is a real worker failure either way.
+                    raise
+                self._failover_settled()
+
+    def _flush_round(self) -> List[CoordinationResult]:
+        targets = [
+            index
+            for index in range(len(self._engines))
+            if not self._failover
+            or getattr(self._engines[index], "alive", True)
+        ]
+        if not targets:
+            raise ConcurrencyError("no live shard left to flush")
         if self._workers is None:
             results = []
-            for engine in self._engines:
+            for index in targets:
+                engine = self._engines[index]
                 with engine.lock:
                     results.append(engine.flush())
             return results
@@ -1153,8 +1601,8 @@ class ShardedCoordinationService:
             return run
 
         futures = [
-            worker.post(flush_job(engine))
-            for worker, engine in zip(self._workers, self._engines)
+            self._workers[index].post(flush_job(self._engines[index]))
+            for index in targets
         ]
         return [future.result() for future in futures]
 
@@ -1343,13 +1791,24 @@ class ShardedCoordinationService:
         the frame CRC's job, not a stamp cross-check against a database
         the snapshot never promised to match.
         """
+        from ..db.storage import Tombstone
+
         for record in payload["relations"]:
             schema = wire.decode_schema(record["schema"])
             if schema.name not in self.db:
                 self.db.attach_relation(schema)
-            rows = wire.decode_rows(record["rows"])
-            if rows:
-                self.db.insert_many(schema.name, rows)
+            if record.get("reset"):
+                entries = wire.decode_rows(record["rows"])
+            else:
+                # Wire v3: a snapshot image's tail can carry tombstones
+                # (deletions not yet compacted away when the checkpoint
+                # ran) — replay them as deletes, same set semantics.
+                entries = wire.decode_tail(record["rows"])
+            for entry in entries:
+                if isinstance(entry, Tombstone):
+                    self.db.delete(schema.name, entry.row)
+                else:
+                    self.db.insert(schema.name, entry)
 
     def _replay_wal_record(self, record: Tuple) -> None:
         kind = record[0]
@@ -1357,6 +1816,10 @@ class ShardedCoordinationService:
             _, relation, rows = record
             if rows:
                 self.db.insert_many(relation, rows)
+        elif kind == "del":
+            _, relation, rows = record
+            for row in rows:
+                self.db.delete(relation, row)
         elif kind == "ddl":
             schema = record[1]
             if schema.name not in self.db:
@@ -1392,6 +1855,8 @@ class ShardedCoordinationService:
                     raise
         elif kind == "insert":
             self.insert(entry[1], entry[2])
+        elif kind == "delete":
+            self.delete(entry[1], entry[2])
         elif kind == "flush":
             self.flush()
         elif kind == "flush_drain":

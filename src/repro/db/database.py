@@ -50,9 +50,11 @@ from .stats import EngineStats
 from .storage import Relation, Row
 
 #: One structured mutation event handed to mutation listeners:
-#: ``("create_relation", RelationSchema)`` for DDL, or
+#: ``("create_relation", RelationSchema)`` for DDL,
 #: ``("insert", relation_name, (row, ...))`` with the tuple of rows a
-#: facade write actually added (duplicates excluded).
+#: facade write actually added (duplicates excluded), or
+#: ``("delete", relation_name, (row, ...))`` with the rows a facade
+#: delete actually removed (absent rows excluded).
 MutationEvent = Tuple
 
 
@@ -182,6 +184,23 @@ class Database:
             if added:
                 self._notify_mutation(("insert", name, added))
         return count
+
+    def delete(self, name: str, row: Iterable[Hashable]) -> bool:
+        """Delete one tuple from relation ``name``.
+
+        Set semantics mirror :meth:`insert`: deleting an absent row is
+        an idempotent no-op that fires no listeners.  A successful
+        delete notifies write listeners (replica invalidation) and
+        mutation listeners (the WAL tap) with a
+        ``("delete", name, (row,))`` event, exactly like an insert.
+        """
+        row = tuple(row)
+        with self.rw.write():
+            deleted = self.relation(name).delete(row)
+        if deleted:
+            self._notify_write()
+            self._notify_mutation(("delete", name, (row,)))
+        return deleted
 
     def add_write_listener(self, listener: Callable[[], None]) -> None:
         """Register a zero-argument callable fired after facade writes.

@@ -8,7 +8,7 @@ from pieces earlier layers already standardized on:
 * **write-ahead log** (:class:`WriteAheadLog`) — an append-only file of
   length-prefixed :mod:`repro.db.wire` frames (each frame carries its
   own CRC-32).  Two record kinds ride it, in commit order: *database
-  mutations* (``rows``/``ddl`` records, fed by
+  mutations* (``rows``/``del``/``ddl`` records, fed by
   :meth:`~repro.db.Database.add_mutation_listener`) and *service
   journal entries* (``j`` records wrapping the same
   :func:`~repro.db.wire.encode_journal` format the crash-replay tests
@@ -527,6 +527,10 @@ class DurableStore:
                 state.records.append(
                     ("rows", record["rel"], wire.decode_rows(record["rows"]))
                 )
+            elif kind == "del":
+                state.records.append(
+                    ("del", record["rel"], wire.decode_rows(record["rows"]))
+                )
             elif kind == "ddl":
                 state.records.append(
                     ("ddl", wire.decode_schema(record["schema"]))
@@ -553,10 +557,11 @@ class DurableStore:
         """WAL one database mutation event (the mutation-listener tap)."""
         kind = event[0]
         with self._mutex:
-            if kind == "insert":
+            if kind in ("insert", "delete"):
                 _, relation, rows = event
                 self._active_wal().append(
-                    {"k": "rows", "rel": relation,
+                    {"k": "rows" if kind == "insert" else "del",
+                     "rel": relation,
                      "rows": wire.encode_rows(rows)}
                 )
             elif kind == "create_relation":

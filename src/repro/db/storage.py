@@ -31,13 +31,40 @@ check, as does the plan cache in :mod:`repro.db.planner`.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
-from ..errors import ArityError
+from ..errors import ArityError, PreconditionError
 from .schema import RelationSchema
 from .stats import EngineStats
 
 Row = Tuple[Hashable, ...]
+
+
+class Tombstone:
+    """A deletion marker in a relation's mutation log.
+
+    The replica-sync protocol ships mutation-log *tails*; with deletion
+    in the model a tail entry is either a row (an insert) or one of
+    these (a delete of ``row``).  Replicas replay entries in order, so
+    a delete-then-reinsert of the same tuple lands correctly.
+    """
+
+    __slots__ = ("row",)
+
+    def __init__(self, row: Row) -> None:
+        self.row = row
+
+    def __repr__(self) -> str:
+        return f"Tombstone({self.row!r})"
+
+
+#: One mutation-log entry: an inserted row, or a :class:`Tombstone`.
+LogEntry = Union[Row, Tombstone]
+
+#: Log entries kept behind the live set after compaction, so replicas
+#: that are only slightly behind still catch up by tail instead of by
+#: full reset.
+_COMPACT_KEEP = 64
 
 
 class Relation:
@@ -51,6 +78,8 @@ class Relation:
         "_composites",
         "_distinct_cache",
         "_domain_cache",
+        "_log",
+        "log_start",
         "write_epoch",
         "stats",
     )
@@ -67,11 +96,22 @@ class Relation:
         # cached projection survives until the next insert.
         self._distinct_cache: Dict[Tuple[int, ...], Tuple[int, Set[Tuple[Hashable, ...]]]] = {}
         self._domain_cache: Optional[Tuple[int, Set[Hashable]]] = None
-        # Monotone mutation counter; bumped on every successful insert,
-        # regardless of which facade performed it.  Caches key their
-        # validity on this — globally via Database.data_version and
-        # per relation via Database.data_versions — so it must never
-        # be reset or decremented.
+        # The mutation log: every successful insert appends its row,
+        # every successful delete appends a Tombstone.  Entry i of the
+        # conceptual full log carries the mutation that bumped the
+        # epoch from i to i+1; only the suffix starting at ``log_start``
+        # is retained (deletes trigger compaction), so the invariant is
+        #     write_epoch == log_start + len(_log)
+        # For append-only relations the log is exactly the row list and
+        # ``log_start`` stays 0.
+        self._log: List[LogEntry] = []
+        self.log_start = 0
+        # Monotone mutation counter; bumped on every successful insert
+        # or delete, regardless of which facade performed it.  Caches
+        # key their validity on this — globally via
+        # Database.data_version and per relation via
+        # Database.data_versions — so it must never be reset or
+        # decremented.
         self.write_epoch = 0
         #: Engine counters this store reports into (``index_probes``,
         #: ``composite_indexes_built``).  Set by the owning
@@ -94,6 +134,7 @@ class Relation:
         index = len(self._rows)
         self._rows.append(row)
         self._row_set.add(row)
+        self._log.append(row)
         self.write_epoch += 1
         for position, bucket in self._indexes.items():
             bucket.setdefault(row[position], []).append(index)
@@ -106,34 +147,105 @@ class Relation:
         """Insert many tuples; returns the number actually inserted."""
         return sum(1 for row in rows if self.insert(row))
 
-    def replicate_from(self, source: "Relation") -> int:
-        """Append ``source``'s rows this store does not have yet.
+    def delete(self, row: Iterable[Hashable]) -> bool:
+        """Delete a tuple; returns ``False`` if it was not present.
 
-        The replica-sync primitive: relations are append-only (rows are
-        only ever added, in insertion order), so a replica that holds a
-        prefix of the authoritative row list catches up by copying the
-        tail — O(new rows), never O(relation).  Preserves insertion
-        order exactly, so scans (and therefore evaluation results) on
-        the replica are byte-identical to the source.  Returns the
-        number of rows copied; the caller holds whatever lock protects
-        ``source``.
+        Set semantics mirror :meth:`insert`: deleting an absent row is
+        an idempotent no-op (no epoch bump, no log entry), which is
+        what lenient crash-recovery replay relies on.  A successful
+        delete logs a :class:`Tombstone`, bumps the epoch, and drops
+        the positional indexes wholesale — row indexes shift when a row
+        leaves the list, and the lazy builds recreate them on the next
+        probe — then compacts the mutation log if tombstone churn has
+        let it outgrow the live set.
         """
-        copied = 0
-        for row in source.row_tail(len(self._rows)):
-            if self.insert(row):
-                copied += 1
-        return copied
+        row = tuple(row)
+        if row not in self._row_set:
+            return False
+        self._rows.remove(row)
+        self._row_set.discard(row)
+        self._indexes.clear()
+        self._composites.clear()
+        self._log.append(Tombstone(row))
+        self.write_epoch += 1
+        if len(self._log) > 2 * len(self._rows) + _COMPACT_KEEP:
+            del self._log[: len(self._log) - _COMPACT_KEEP]
+            self.log_start = self.write_epoch - len(self._log)
+        return True
 
-    def row_tail(self, start: int) -> List[Row]:
-        """The rows appended at or after index ``start``, in order.
+    def replicate_from(self, source: "Relation") -> int:
+        """Replay ``source``'s mutations this store has not seen yet.
+
+        The replica-sync primitive: a replica whose epoch trails the
+        source catches up by replaying the source's mutation-log tail
+        starting at its own epoch — O(new mutations), never
+        O(relation).  If the source has compacted that tail away (only
+        possible with deletions), the replica falls back to a full
+        :meth:`reset_to` of the source's live rows.  Either way the
+        replica's row order ends up byte-identical to the source's, so
+        scans (and therefore evaluation results) match exactly.
+        Returns the number of mutations applied (rows on reset); the
+        caller holds whatever lock protects ``source``.
+        """
+        try:
+            tail = source.row_tail(self.write_epoch)
+        except PreconditionError:
+            rows = list(source.scan())
+            self.reset_to(rows, source.write_epoch)
+            return len(rows)
+        applied = 0
+        for entry in tail:
+            if isinstance(entry, Tombstone):
+                if self.delete(entry.row):
+                    applied += 1
+            elif self.insert(entry):
+                applied += 1
+        return applied
+
+    def row_tail(self, start: int) -> List[LogEntry]:
+        """The mutations applied at or after epoch ``start``, in order.
 
         The serializable face of :meth:`replicate_from`: an in-process
-        replica copies the tail directly, while the process executor's
-        wire codec (:func:`repro.db.wire.build_sync`) encodes the same
-        tail into a sync payload shipped over the IPC boundary.  The
-        caller holds whatever lock protects this relation.
+        replica replays the tail directly, while the wire codec
+        (:func:`repro.db.wire.build_sync`) encodes the same tail into a
+        sync payload shipped over the IPC/TCP boundary.  Entries are
+        rows (inserts) or :class:`Tombstone` markers (deletes).  For an
+        append-only relation this is exactly the rows inserted at or
+        after row index ``start``.  Raises
+        :class:`~repro.errors.PreconditionError` when ``start``
+        predates the retained log (compaction discarded it) — callers
+        fall back to a full snapshot.  The caller holds whatever lock
+        protects this relation.
         """
-        return self._rows[start:]
+        if start < self.log_start:
+            raise PreconditionError(
+                f"relation {self.schema.name!r} mutation log starts at "
+                f"epoch {self.log_start}, tail from {start} was compacted "
+                "away"
+            )
+        return self._log[start - self.log_start:]
+
+    def reset_to(self, rows: Iterable[Row], epoch: int) -> None:
+        """Replace all state with ``rows`` at mutation epoch ``epoch``.
+
+        The full-snapshot fallback of the sync protocol: when a
+        replica's acknowledged epoch predates the source's retained
+        mutation log, the source ships its live rows plus its epoch and
+        the replica adopts them wholesale.  The row list is loaded in
+        the given order (so scans match the source), the mutation log
+        restarts empty at ``epoch``, and — because epochs stay monotone
+        (``epoch`` is the source's, always ahead of the replica's) —
+        epoch-keyed caches stay sound.
+        """
+        self._rows = [tuple(row) for row in rows]
+        self._row_set = set(self._rows)
+        self._indexes.clear()
+        self._composites.clear()
+        self._distinct_cache.clear()
+        self._domain_cache = None
+        self._log = []
+        self.log_start = epoch
+        self.write_epoch = epoch
 
     # ------------------------------------------------------------------
     # Lookup

@@ -24,10 +24,11 @@ between the router process and its shard worker processes:
   arbitrary objects across the trust boundary;
 * **replica sync** — :func:`build_sync` diffs a database against the
   per-relation stamp vector a replica last acknowledged and emits the
-  changed relations' schemas + row tails (:func:`apply_sync` replays
-  them into the replica, verifying row counts line up — relations are
-  append-only, so epochs equal row counts and a mismatch means
-  desync);
+  changed relations' schemas + mutation-log tails — inserts as plain
+  rows, deletes as tagged tombstone entries, and a full-rows *reset*
+  record when the source compacted the tail away (:func:`apply_sync`
+  replays them into the replica, verifying the mutation epochs line up
+  before and after — a mismatch means desync);
 * **queries, results, journal records** — entangled queries, chosen
   coordinating sets/assignments and the service's linearized journal
   entries (:func:`encode_journal` / :func:`decode_journal`) all have
@@ -48,18 +49,21 @@ import math
 import zlib
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from ..errors import WireError
+from ..errors import PreconditionError, WireError
 from ..logic import Atom, Constant, Variable
 from .database import Database
 from .schema import RelationSchema
+from .storage import Tombstone
 
 #: Frame header: magic + one version byte + CRC-32 of the payload
 #: (4 bytes, big-endian).  Bump the version whenever the frame layout
 #: or a payload shape changes incompatibly; a mismatched peer then
 #: fails at the first frame with a :class:`~repro.errors.WireError`.
-#: Version history: 1 = MAGIC+version+JSON, 2 = added the CRC-32.
+#: Version history: 1 = MAGIC+version+JSON, 2 = added the CRC-32,
+#: 3 = deletion-aware sync (tombstone tail entries, reset records,
+#: the ``delete`` journal op).
 MAGIC = b"EQ"
-VERSION = 2
+VERSION = 3
 
 #: Bytes before the payload: magic (2) + version (1) + CRC-32 (4).
 HEADER_SIZE = 7
@@ -171,6 +175,41 @@ def decode_rows(obj: List[List[Any]]) -> List[Tuple[Hashable, ...]]:
     return [tuple(decode_value(value) for value in row) for row in obj]
 
 
+def encode_tail(entries) -> List[Any]:
+    """Encode a mutation-log tail (:meth:`Relation.row_tail` output).
+
+    Inserts travel as plain row lists; deletes as tagged tombstone
+    records — mixed in order, because a delete-then-reinsert of the
+    same tuple within one tail must replay in sequence.
+    """
+    out: List[Any] = []
+    for entry in entries:
+        if isinstance(entry, Tombstone):
+            out.append(
+                {_TAG: "d", "v": [encode_value(v) for v in entry.row]}
+            )
+        else:
+            out.append([encode_value(value) for value in entry])
+    return out
+
+
+def decode_tail(obj: List[Any]) -> List[Any]:
+    """Invert :func:`encode_tail` into rows and ``Tombstone`` entries."""
+    entries: List[Any] = []
+    for item in obj:
+        if isinstance(item, dict):
+            if item.get(_TAG) != "d":
+                raise WireError(
+                    f"unknown sync tail entry tag {item.get(_TAG)!r}"
+                )
+            entries.append(
+                Tombstone(tuple(decode_value(v) for v in item["v"]))
+            )
+        else:
+            entries.append(tuple(decode_value(value) for value in item))
+    return entries
+
+
 def encode_stamps(stamps: Dict[str, int]) -> Dict[str, int]:
     """Encode a per-relation stamp vector (name → write epoch)."""
     return {str(name): int(epoch) for name, epoch in stamps.items()}
@@ -188,14 +227,18 @@ def build_sync(
 
     Returns ``(payload, new_stamps)`` where ``payload`` is ``None`` when
     nothing changed, or a sync message containing one record per changed
-    (or never-seen) relation — its schema, the row tail starting at the
-    replica's acknowledged row count, and the new epoch — plus the full
-    target stamp vector the replica must match after applying.
-    Relations are append-only and every insert bumps the epoch exactly
-    once, so the acknowledged epoch *is* the replica's row count — the
-    same identity :meth:`~repro.db.storage.Relation.replicate_from`
-    relies on.  The whole walk runs under one shared read acquisition
-    of ``db``.
+    (or never-seen) relation — its schema, the mutation-log tail
+    starting at the replica's acknowledged epoch, and the new epoch —
+    plus the full target stamp vector the replica must match after
+    applying.  Every successful insert or delete bumps the epoch
+    exactly once, so the acknowledged epoch indexes straight into the
+    source's mutation log — the same identity
+    :meth:`~repro.db.storage.Relation.replicate_from` relies on.  When
+    the source has compacted the tail away (deletion churn), the record
+    degrades to a full-snapshot *reset*: the live rows plus the target
+    epoch, applied via
+    :meth:`~repro.db.storage.Relation.reset_to`.  The whole walk runs
+    under one shared read acquisition of ``db``.
     """
     records: List[Dict[str, Any]] = []
     new_stamps = dict(stamps)
@@ -205,14 +248,26 @@ def build_sync(
             if new_stamps.get(name) == epoch:
                 continue
             start = new_stamps.get(name, 0)
-            records.append(
-                {
-                    "schema": encode_schema(relation.schema),
-                    "start": start,
-                    "rows": encode_rows(relation.row_tail(start)),
-                    "epoch": epoch,
-                }
-            )
+            try:
+                tail = relation.row_tail(start)
+            except PreconditionError:
+                records.append(
+                    {
+                        "schema": encode_schema(relation.schema),
+                        "reset": True,
+                        "rows": encode_rows(relation.scan()),
+                        "epoch": epoch,
+                    }
+                )
+            else:
+                records.append(
+                    {
+                        "schema": encode_schema(relation.schema),
+                        "start": start,
+                        "rows": encode_tail(tail),
+                        "epoch": epoch,
+                    }
+                )
             new_stamps[name] = epoch
     if not records:
         return None, new_stamps
@@ -223,15 +278,18 @@ def apply_sync(db: Database, payload: Dict[str, Any]) -> int:
     """Replay a :func:`build_sync` payload into a replica database.
 
     Attaches relations the replica has never seen (DDL propagates),
-    appends each record's row tail in order, and verifies the replica's
-    row count/epoch line up with the record before and after — then
+    replays each record's mutation-log tail in order — inserts and
+    tombstoned deletes — and verifies the replica's mutation epoch
+    lines up with the record before and after; *reset* records instead
+    load the source's full live row list at its epoch.  Then
     cross-checks the payload's full stamp vector against the replica,
     which also catches relations that should have been synced but were
     *missing* from the records.  Any desync raises
     :class:`~repro.errors.WireError` instead of letting the replica
-    silently evaluate against wrong data.  Returns the number of rows
-    applied.  The replica is single-owner (the calling shard), so rows
-    land directly on the relation stores.
+    silently evaluate against wrong data.  Returns the number of
+    mutations applied (rows loaded, for resets).  The replica is
+    single-owner (the calling shard), so mutations land directly on
+    the relation stores.
     """
     applied = 0
     for record in payload["relations"]:
@@ -240,13 +298,21 @@ def apply_sync(db: Database, payload: Dict[str, Any]) -> int:
             store = db.relation(schema.name)
         else:
             store = db.attach_relation(schema)
-        if len(store) != record["start"]:
+        if record.get("reset"):
+            rows = decode_rows(record["rows"])
+            store.reset_to(rows, record["epoch"])
+            applied += len(rows)
+            continue
+        if store.write_epoch != record["start"]:
             raise WireError(
-                f"replica desync on {schema.name!r}: replica holds "
-                f"{len(store)} rows, sync tail starts at {record['start']}"
+                f"replica desync on {schema.name!r}: replica at epoch "
+                f"{store.write_epoch}, sync tail starts at {record['start']}"
             )
-        for row in decode_rows(record["rows"]):
-            store.insert(row)
+        for entry in decode_tail(record["rows"]):
+            if isinstance(entry, Tombstone):
+                store.delete(entry.row)
+            else:
+                store.insert(entry)
             applied += 1
         if store.write_epoch != record["epoch"]:
             raise WireError(
@@ -433,9 +499,9 @@ def encode_journal(entries) -> List[Dict[str, Any]]:
             records.append(
                 {"op": "retract", "name": entry[1], "raised": bool(entry[2])}
             )
-        elif kind == "insert":
+        elif kind in ("insert", "delete"):
             records.append(
-                {"op": "insert", "relation": entry[1],
+                {"op": kind, "relation": entry[1],
                  "row": [encode_value(v) for v in entry[2]]}
             )
         elif kind in ("flush", "flush_drain"):
@@ -461,9 +527,9 @@ def decode_journal(records: List[Dict[str, Any]]) -> List[Tuple[Any, ...]]:
             )
         elif op == "retract":
             entries.append(("retract", record["name"], record["raised"]))
-        elif op == "insert":
+        elif op in ("insert", "delete"):
             entries.append(
-                ("insert", record["relation"],
+                (op, record["relation"],
                  tuple(decode_value(v) for v in record["row"]))
             )
         elif op in ("flush", "flush_drain"):

@@ -17,7 +17,7 @@ never-crashed service fed ``stream[:D]``.
 import random
 from typing import List, Tuple
 
-from repro.core.service import ShardedCoordinationService
+from repro.core.service import ServiceConfig, ShardedCoordinationService
 from repro.db import Database, RelationSchema
 from repro.errors import PreconditionError
 from repro.networks import member_name
@@ -77,7 +77,13 @@ def build_stream(seed: int, length: int = 220) -> List[StreamOp]:
                     ),
                 )
             )
-        elif roll < 0.32:
+        elif roll < 0.30:
+            # Deletions exercise the tombstone sync/WAL path; the row
+            # is reconstructed from the seed so absent-row deletes
+            # (already removed earlier in the stream) replay as the
+            # same journaled no-op.
+            ops.append(("delete", seed_rows()[rng.randrange(BASE_ROWS)]))
+        elif roll < 0.36:
             ops.append(("flush_drain",))
         else:
             index = rng.randrange(USER_SPAN)
@@ -108,6 +114,8 @@ def apply_op(service: ShardedCoordinationService, op: StreamOp) -> None:
             pass  # not pending — journaled as raised
     elif kind == "insert":
         service.insert("Members", op[1])
+    elif kind == "delete":
+        service.delete("Members", op[1])
     elif kind == "flush_drain":
         service.flush_drain()
     else:  # pragma: no cover - streams come from build_stream
@@ -124,7 +132,7 @@ def observables(service: ShardedCoordinationService) -> dict:
     """
     db = service.db
     relations = {
-        name: [list(row) for row in db.relation(name).row_tail(0)]
+        name: [list(row) for row in db.relation(name).scan()]
         for name in sorted(db._relations)
     }
     states = {}
@@ -141,7 +149,7 @@ def observables(service: ShardedCoordinationService) -> dict:
 
 def oracle_observables(stream: List[StreamOp]) -> dict:
     """What a never-crashed serial in-memory service observes."""
-    service = ShardedCoordinationService(fresh_db(), shards=2)
+    service = ShardedCoordinationService(fresh_db(), ServiceConfig(shards=2))
     try:
         for op in stream:
             apply_op(service, op)

@@ -146,6 +146,9 @@ def replay_into_oracle(journal, db):
         elif kind == "insert":
             engine.db.insert(entry[1], entry[2])
             raise_log.append(False)
+        elif kind == "delete":
+            engine.db.delete(entry[1], entry[2])
+            raise_log.append(False)
         elif kind == "flush_drain":
             while True:
                 result = engine.flush()

@@ -253,7 +253,7 @@ def test_client_disconnect_mid_stream_leaks_nothing():
             assert reply["state"] == "pending"
             # Abrupt disconnect: no shutdown op, no protocol goodbye —
             # the socket just dies with a resolution still owed.
-            client._sock.close()
+            client._conn._sock.close()
             _wait_connections(gateway, 0)
 
             # The submission is a service-side fact: a second client

@@ -1,0 +1,493 @@
+"""Remote TCP shard executor: equivalence, fuzz, failover, hygiene.
+
+The headline claim extends the process executor's:
+``ShardedCoordinationService(db, ServiceConfig(executor="remote",
+remote_shards=...))`` — each shard's engine on a :class:`ShardHost`
+reached over TCP with a warm-up snapshot and tombstone-aware sync —
+must produce byte-identical outcomes to the serial service and the
+single engine.  Asserted by:
+
+* deterministic equivalence streams and the multi-threaded
+  journal-replay fuzz (now with ``delete`` traffic), replayed from the
+  service's linearized journal into a single-engine oracle;
+* handshake/version-negotiation regressions: a peer speaking a foreign
+  wire version, a malformed hello, or plain garbage earns a clean
+  error reply — the host never crashes and keeps serving;
+* failover: killing a shard host mid-stream re-homes its components to
+  a survivor (handles stay pending, coordination continues) and a
+  ``kill -9`` fuzz against real host subprocesses checks the final and
+  recovered state against a never-crashed oracle on both snapshot
+  stores;
+
+plus an autouse fixture asserting no shard session, socket, or host
+subprocess leaks.
+"""
+
+import os
+import random
+import re
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import (
+    CoordinationEngine,
+    QueryState,
+    ServiceConfig,
+    ShardHost,
+    ShardedCoordinationService,
+)
+from repro.db import DurabilityConfig, wire
+from repro.errors import ConcurrencyError, PreconditionError
+from repro.networks import member_name
+from repro.workloads import members_database, partner_query
+
+from durable_testing import (
+    apply_op,
+    build_stream,
+    fresh_db,
+    observables,
+    oracle_observables,
+)
+from service_testing import (
+    DB_SIZE,
+    assert_invariants,
+    chosen_bytes,
+    partner_stream,
+    replay_into_oracle,
+    run_equivalent_streams,
+)
+
+DRAIN_TIMEOUT = 60.0
+SRC_DIR = Path(repro.__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def hosts():
+    """A shard-host factory whose teardown asserts session hygiene."""
+    created = []
+
+    def make(count):
+        batch = []
+        for _ in range(count):
+            host = ShardHost()
+            host.start()
+            created.append(host)
+            batch.append(host)
+        return batch
+
+    yield make
+    try:
+        deadline = time.monotonic() + 10.0
+        for host in created:
+            while host.session_count and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert host.session_count == 0, (
+                f"leaked shard sessions on {host.address}"
+            )
+    finally:
+        for host in created:
+            host.close()
+
+
+def remote_service(db, shard_hosts, **kwargs) -> ShardedCoordinationService:
+    config = ServiceConfig(
+        executor="remote",
+        remote_shards=tuple(host.address for host in shard_hosts),
+        **kwargs,
+    )
+    return ShardedCoordinationService(db, config)
+
+
+# ---------------------------------------------------------------------------
+# Blocking equivalence against the single-engine oracle
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(2))
+def test_partner_workload_equivalence_with_remote_workers(hosts, seed):
+    rng = random.Random(4000 + seed)
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    with remote_service(db, hosts(3), workers=3) as service:
+        assert service.backend_name == "tcp-replicated"
+        run_equivalent_streams(service, engine, partner_stream(rng, 50))
+        assert service.drain(timeout=DRAIN_TIMEOUT)
+
+
+def test_partner_workload_equivalence_with_serial_remote_shards(hosts):
+    rng = random.Random(41)
+    db = members_database(size=DB_SIZE, seed=2012)
+    engine = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    with remote_service(db, hosts(2)) as service:
+        run_equivalent_streams(service, engine, partner_stream(rng, 40))
+
+
+def test_warm_up_snapshot_makes_prestate_visible(hosts):
+    # Rows inserted before the service connects must be evaluated on
+    # the remote replicas without any explicit sync op: the connect-time
+    # warm-up ships them as one bulk snapshot.
+    db = members_database(size=DB_SIZE, seed=2012)
+    with remote_service(db, hosts(2)) as service:
+        a = service.submit(partner_query(member_name(1), [member_name(2)]))
+        b = service.submit(partner_query(member_name(2), [member_name(1)]))
+        assert a.state is QueryState.SATISFIED
+        assert set(b.satisfied_with) == {member_name(1), member_name(2)}
+
+
+@pytest.mark.parametrize("workers", [None, 2])
+def test_insert_and_delete_barrier_syncs_remote_replicas(hosts, workers):
+    # The deletion-aware sync path: a row deleted after admission must
+    # vanish from the remote replicas before the flush that would have
+    # used it; re-inserting it revives the coordination.
+    db = members_database(size=DB_SIZE, seed=2012)
+    oracle = CoordinationEngine(members_database(size=DB_SIZE, seed=2012))
+    kwargs = {"workers": workers} if workers else {}
+    extra = member_name(900)
+    row = (extra, "r", "i", 5)
+    with remote_service(db, hosts(2), **kwargs) as service:
+        query = partner_query(extra, [extra])
+        (service.submit_nowait if workers else service.submit)(query)
+        oracle.submit(query)
+        for target in (service, oracle.db):
+            target.insert("Members", row)
+        for target in (service, oracle.db):
+            assert target.delete("Members", row)
+        assert service.drain(timeout=DRAIN_TIMEOUT)
+        service_results = service.flush_drain()
+        while oracle.flush().chosen is not None:
+            pass
+        # The member row is gone again: nobody coordinates.
+        assert all(r.chosen is None for r in service_results)
+        assert set(service.pending()) == set(oracle.pending()) == {extra}
+        for target in (service, oracle.db):
+            target.insert("Members", row)
+        assert service.drain(timeout=DRAIN_TIMEOUT)
+        results = service.flush_drain()
+        oracle_result = oracle.flush()
+        assert chosen_bytes(oracle_result) in [
+            chosen_bytes(result) for result in results
+        ]
+        assert set(service.pending()) == set(oracle.pending()) == set()
+
+
+# ---------------------------------------------------------------------------
+# Journal-replay fuzz: interleaved streams (with deletes) vs the oracle
+# ---------------------------------------------------------------------------
+def _fuzz_client(service, thread_index, ops, errors):
+    rng = random.Random(9500 + thread_index)
+    base = 200 * thread_index
+    mine = [member_name(base + i) for i in range(15)]
+    others = [
+        member_name(200 * t + i)
+        for t in range(3)
+        if t != thread_index
+        for i in range(15)
+    ]
+    fuzz_row = lambda name: (name, "region-f", "interest-f", thread_index)
+    submitted = []
+    try:
+        for _ in range(ops):
+            roll = rng.random()
+            try:
+                if roll < 0.35:
+                    name = rng.choice(mine)
+                    partners = rng.sample(
+                        mine + others, k=rng.choice((0, 1, 1, 2))
+                    )
+                    service.submit(partner_query(name, partners))
+                    submitted.append(name)
+                elif roll < 0.55:
+                    name = rng.choice(mine)
+                    partners = rng.sample(mine, k=rng.choice((0, 1)))
+                    service.submit_nowait(partner_query(name, partners))
+                    submitted.append(name)
+                elif roll < 0.68 and submitted:
+                    service.retract(rng.choice(submitted))
+                elif roll < 0.78:
+                    service.insert("Members", fuzz_row(rng.choice(mine + others)))
+                elif roll < 0.86:
+                    # Deletes hit rows this fuzz inserted (or will) —
+                    # absent-row deletes are journaled no-ops on both
+                    # ends, so every interleaving stays replayable.
+                    service.delete("Members", fuzz_row(rng.choice(mine + others)))
+                elif roll < 0.93:
+                    service.flush_drain()
+                else:
+                    service.drain(timeout=DRAIN_TIMEOUT)
+            except PreconditionError:
+                pass  # journaled; the oracle replay must raise identically
+    except BaseException as error:  # noqa: BLE001 - reported by the test body
+        errors.append(error)
+
+
+def test_multithreaded_fuzz_matches_single_engine_oracle(hosts):
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = remote_service(db, hosts(3), workers=3)
+    service.journal = []
+    resolutions = Counter()
+
+    @service.on_resolved
+    def _collect(handle):
+        resolutions[
+            (handle.query, handle.state.value, tuple(handle.satisfied_with))
+        ] += 1
+
+    errors = []
+    threads = [
+        threading.Thread(
+            target=_fuzz_client, args=(service, t, 40, errors), daemon=True
+        )
+        for t in range(3)
+    ]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "fuzz client hung"
+        assert not errors, errors
+        assert service.drain(timeout=DRAIN_TIMEOUT)
+        assert_invariants(service)
+
+        journal = list(service.journal)
+        assert any(entry[0] == "delete" for entry in journal)
+        service_raises = [
+            entry[-1] for entry in journal if entry[0] in ("submit", "retract")
+        ]
+        oracle, oracle_resolutions, raise_log = replay_into_oracle(
+            journal, members_database(size=DB_SIZE, seed=2012)
+        )
+        assert db.sizes() == oracle.db.sizes()
+        oracle_raises = [
+            flag
+            for entry, flag in zip(journal, raise_log)
+            if entry[0] in ("submit", "retract")
+        ]
+        assert service_raises == oracle_raises
+        assert set(service.pending()) == set(oracle.pending())
+        assert resolutions == oracle_resolutions
+        for entry in journal:
+            if entry[0] == "submit":
+                name = entry[1].name
+                assert service.status(name) == oracle.status(name)
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Handshake and version negotiation (the host never crashes on garbage)
+# ---------------------------------------------------------------------------
+def _raw_roundtrip(address, payload: bytes) -> bytes:
+    """Send one length-prefixed payload; return the raw reply frame
+    (b"" when the host closed the connection instead)."""
+    with socket.create_connection(address, timeout=10) as sock:
+        sock.sendall(struct.pack(">I", len(payload)) + payload)
+        prefix = b""
+        while len(prefix) < 4:
+            chunk = sock.recv(4 - len(prefix))
+            if not chunk:
+                return b""
+            prefix += chunk
+        (length,) = struct.unpack(">I", prefix)
+        body = b""
+        while len(body) < length:
+            chunk = sock.recv(length - len(body))
+            if not chunk:
+                return b""
+            body += chunk
+        return body
+
+
+def _error_message(reply_frame: bytes) -> str:
+    reply = wire.loads(reply_frame)
+    assert reply.get("error") is not None, reply
+    return reply["error"]["message"]
+
+
+def test_host_rejects_foreign_wire_version_with_clear_error(hosts):
+    (host,) = hosts(1)
+    for foreign in (wire.VERSION - 1, wire.VERSION + 1):
+        frame = bytearray(wire.dumps({"op": "hello", "lane": "main"}))
+        frame[2] = foreign
+        message = _error_message(_raw_roundtrip(host.address, bytes(frame)))
+        # The reply is a *current-version* error frame naming both
+        # versions — the operator learns what to upgrade, and the host
+        # survives to serve a correctly-versioned session right after.
+        assert "version mismatch" in message
+        assert str(foreign) in message and str(wire.VERSION) in message
+    db = members_database(size=DB_SIZE, seed=2012)
+    with remote_service(db, [host]) as service:
+        assert service.submit(partner_query(member_name(1), [])).satisfied
+
+
+def test_host_rejects_malformed_hello_and_unknown_session(hosts):
+    (host,) = hosts(1)
+    assert "hello" in _error_message(
+        _raw_roundtrip(host.address, wire.dumps({"op": "evaluate"}))
+    )
+    assert "unknown session" in _error_message(
+        _raw_roundtrip(
+            host.address,
+            wire.dumps(
+                {"op": "hello", "lane": "control", "session": "no-such"}
+            ),
+        )
+    )
+
+
+def test_host_survives_garbage_frames(hosts):
+    (host,) = hosts(1)
+    rng = random.Random(13)
+    for size in (0, 1, 3, 7, 64, 500):
+        payload = bytes(rng.randrange(256) for _ in range(size))
+        reply = _raw_roundtrip(host.address, payload)
+        if reply:  # error reply, never a crash or a non-error decode
+            assert wire.loads(reply).get("error") is not None
+    db = members_database(size=DB_SIZE, seed=2012)
+    with remote_service(db, [host]) as service:
+        assert service.submit(partner_query(member_name(2), [])).satisfied
+
+
+# ---------------------------------------------------------------------------
+# Failover: a dead host's components re-home to a survivor
+# ---------------------------------------------------------------------------
+def test_dead_host_fails_over_and_coordination_continues(hosts):
+    pair = hosts(2)
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = remote_service(db, pair)
+    try:
+        handles = [
+            service.submit(partner_query(member_name(i), [member_name(500 + i)]))
+            for i in range(4)
+        ]
+        victim = service.shard_of(member_name(0))
+        orphaned = [
+            h for h in handles if service.shard_of(h.query) == victim
+        ]
+        pair[victim].close()  # abrupt: every connection drops mid-session
+
+        # The next arrival discovers the death and re-homes the orphans
+        # to the survivor — nothing is rejected.  The arrival is the
+        # partner one orphan has been waiting for, so the re-homed
+        # component completes its coordination on the new shard.
+        orphan = orphaned[0]
+        awaited = member_name(500 + int(orphan.query[-5:]))
+        service.insert("Members", (awaited, "r", "i", 1))
+        arrival = service.submit(partner_query(awaited, [orphan.query]))
+        assert service.failovers >= len(orphaned)
+        assert service.live_shards == (1 - victim,)
+        assert arrival.state is QueryState.SATISFIED
+        assert orphan.state is QueryState.SATISFIED
+        for handle in handles:
+            assert handle.state is not QueryState.REJECTED
+        survivor_home = 1 - victim
+        for name in service.pending():
+            assert service.shard_of(name) == survivor_home
+        assert service.drain(timeout=DRAIN_TIMEOUT)
+        service.flush_drain()
+        assert_invariants(service)
+    finally:
+        service.close()
+
+
+def test_no_survivor_left_raises_cleanly(hosts):
+    pair = hosts(2)
+    db = members_database(size=DB_SIZE, seed=2012)
+    service = remote_service(db, pair)
+    try:
+        service.submit(partner_query(member_name(0), [member_name(500)]))
+        for host in pair:
+            host.close()
+        with pytest.raises(ConcurrencyError):
+            service.submit(partner_query(member_name(1), []))
+        assert service.live_shards == ()
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# kill -9 fuzz: real host subprocesses, durable service, both stores
+# ---------------------------------------------------------------------------
+def _spawn_host_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-host", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"on ([\d.]+):(\d+)", line)
+    assert match, f"no bound address in {line!r}"
+    return process, (match.group(1), int(match.group(2)))
+
+
+@pytest.mark.parametrize("snapshot_store", ["file", "sqlite"])
+@pytest.mark.parametrize("seed", [2071, 2072])
+def test_host_kill9_failover_matches_never_crashed_oracle(
+    tmp_path, snapshot_store, seed
+):
+    """Kill -9 a real shard host mid-stream: the service fails over and
+    both its final state and its durable recovery match a never-crashed
+    oracle byte-for-byte."""
+    stream = build_stream(seed, length=120)
+    rng = random.Random(seed)
+    kill_at = rng.randrange(len(stream) // 3, 2 * len(stream) // 3)
+    config = DurabilityConfig(
+        dir=tmp_path / "durable", fsync="never", snapshot_store=snapshot_store
+    )
+    processes, addresses = [], []
+    for _ in range(3):
+        process, address = _spawn_host_process()
+        processes.append(process)
+        addresses.append(address)
+    try:
+        service = ShardedCoordinationService(
+            fresh_db(),
+            ServiceConfig(
+                executor="remote",
+                remote_shards=tuple(addresses),
+                durability=config,
+            ),
+        )
+        try:
+            victim = rng.randrange(len(processes))
+            for index, op in enumerate(stream):
+                if index == kill_at:
+                    processes[victim].kill()
+                    processes[victim].wait(timeout=30)
+                apply_op(service, op)
+            assert victim not in service.live_shards
+            assert len(service.live_shards) == 2
+            live = observables(service)
+        finally:
+            service.close()
+    finally:
+        for process in processes:
+            process.kill()
+            process.wait(timeout=30)
+
+    assert live == oracle_observables(stream)
+
+    # Durable recovery from the same directory (fresh thread-executor
+    # service) reconstructs the identical state — the failover left no
+    # holes in the journal.
+    recovered = ShardedCoordinationService(
+        fresh_db(), ServiceConfig(shards=2, durability=config)
+    )
+    try:
+        assert not recovered.recovered.empty
+        assert observables(recovered) == live
+    finally:
+        recovered.close()

@@ -229,3 +229,69 @@ def test_submit_many_survives_cross_shard_migration_of_batch_member():
     assert service.migrations >= 1
     assert set(service.pending()) == set(engine.pending())
     _assert_invariants(service)
+
+
+# ---------------------------------------------------------------------------
+# ServiceConfig: the typed configuration surface and the kwargs
+# deprecation path (both must construct identical services)
+# ---------------------------------------------------------------------------
+class TestServiceConfig:
+    def _db(self):
+        return members_database(size=DB_SIZE, seed=2012)
+
+    def test_config_object_constructs_without_warnings(self, recwarn):
+        from repro.core import ServiceConfig
+
+        config = ServiceConfig(shards=3, backend="replicated")
+        with ShardedCoordinationService(self._db(), config) as service:
+            assert service.shard_count == 3
+            assert service.config is config
+        deprecations = [
+            w for w in recwarn.list if w.category is DeprecationWarning
+        ]
+        assert not deprecations
+
+    def test_legacy_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="ServiceConfig"):
+            service = ShardedCoordinationService(self._db(), shards=3)
+        with service:
+            assert service.shard_count == 3
+
+    def test_legacy_positional_shards_still_works(self):
+        with ShardedCoordinationService(self._db(), 3) as service:
+            assert service.shard_count == 3
+
+    def test_config_and_kwargs_together_rejected(self):
+        from repro.core import ServiceConfig
+
+        with pytest.raises(PreconditionError):
+            ShardedCoordinationService(
+                self._db(), ServiceConfig(), shards=2
+            )
+
+    def test_unknown_kwarg_rejected_with_field_list(self):
+        with pytest.raises(PreconditionError, match="remote_shards"):
+            ShardedCoordinationService(self._db(), shard_count=2)
+
+    def test_evolve_returns_updated_frozen_copy(self):
+        from repro.core import ServiceConfig
+
+        base = ServiceConfig(shards=2)
+        grown = base.evolve(shards=4, backend="replicated")
+        assert (base.shards, grown.shards) == (2, 4)
+        assert grown.backend == "replicated"
+        with pytest.raises(Exception):
+            grown.shards = 5  # frozen
+
+    def test_remote_executor_requires_addresses(self):
+        from repro.core import ServiceConfig
+
+        with pytest.raises(PreconditionError, match="remote"):
+            ShardedCoordinationService(
+                self._db(), ServiceConfig(executor="remote")
+            )
+        with pytest.raises(PreconditionError, match="remote"):
+            ShardedCoordinationService(
+                self._db(),
+                ServiceConfig(remote_shards=(("127.0.0.1", 1),)),
+            )

@@ -337,6 +337,22 @@ def test_mutation_records_round_trip(tmp_path):
         reopened.close()
 
 
+def test_delete_mutation_records_round_trip(tmp_path):
+    store = make_store(tmp_path)
+    store.recover()
+    store.append_mutation(("insert", "user", (("zoe", 7),)))
+    store.append_mutation(("delete", "user", (("zoe", 7),)))
+    store.close()
+    reopened = make_store(tmp_path)
+    try:
+        state = reopened.recover()
+        kind, relation, rows = state.records[1]
+        assert (kind, relation) == ("del", "user")
+        assert rows == [("zoe", 7)]
+    finally:
+        reopened.close()
+
+
 def test_closed_store_refuses_appends(tmp_path):
     store = make_store(tmp_path)
     store.recover()

@@ -136,3 +136,75 @@ class TestEpochCaches:
         first = flights.domain()
         flights.insert((1, "Paris"))  # duplicate: epoch unchanged
         assert flights.domain() is first
+
+
+class TestDelete:
+    """Deletion: set semantics, tombstone log, compaction fallback."""
+
+    def test_delete_removes_and_reports(self, flights):
+        assert flights.delete((2, "Paris"))
+        assert not flights.contains((2, "Paris"))
+        assert list(flights.scan()) == [(1, "Paris"), (3, "Athens")]
+
+    def test_absent_delete_is_a_noop(self, flights):
+        epoch = flights.write_epoch
+        assert not flights.delete((9, "Rome"))
+        assert flights.write_epoch == epoch  # no log entry, no bump
+
+    def test_indexes_rebuild_after_delete(self, flights):
+        assert len(list(flights.match({1: "Paris"}))) == 2
+        flights.delete((1, "Paris"))
+        assert list(flights.match({1: "Paris"})) == [(2, "Paris")]
+        assert list(flights.match({0: 1})) == []
+
+    def test_tombstone_appears_in_row_tail(self, flights):
+        from repro.db.storage import Tombstone
+
+        epoch = flights.write_epoch
+        flights.delete((3, "Athens"))
+        (entry,) = flights.row_tail(epoch)
+        assert isinstance(entry, Tombstone)
+        assert entry.row == (3, "Athens")
+
+    def test_log_invariant_and_compaction(self):
+        from repro.db.storage import _COMPACT_KEEP
+
+        relation = Relation(RelationSchema("R", ["v"]))
+        # Churn: insert+delete far beyond the compaction threshold.
+        for i in range(3 * _COMPACT_KEEP):
+            relation.insert((i,))
+            relation.delete((i,))
+        assert relation.write_epoch == relation.log_start + len(
+            relation.row_tail(relation.log_start)
+        )
+        assert len(relation.row_tail(relation.log_start)) <= _COMPACT_KEEP
+
+    def test_compacted_tail_forces_snapshot_fallback(self):
+        from repro.errors import PreconditionError
+
+        source = Relation(RelationSchema("R", ["v"]))
+        replica = Relation(RelationSchema("R", ["v"]))
+        replica.replicate_from(source)
+        for i in range(500):
+            source.insert((i,))
+            if i % 2 == 0:
+                source.delete((i,))
+        assert source.log_start > 0
+        with pytest.raises(PreconditionError):
+            source.row_tail(0)
+        # The replica (at epoch 0) still converges via reset_to.
+        replica.replicate_from(source)
+        assert list(replica.scan()) == list(source.scan())
+        assert replica.write_epoch == source.write_epoch
+
+    def test_incremental_tombstone_replication_is_byte_identical(self):
+        source = Relation(RelationSchema("R", ["a", "b"]))
+        replica = Relation(RelationSchema("R", ["a", "b"]))
+        source.insert_many([(i, i % 3) for i in range(10)])
+        replica.replicate_from(source)
+        source.delete((4, 1))
+        source.insert((100, 0))
+        source.delete((7, 1))
+        applied = replica.replicate_from(source)
+        assert applied == 3
+        assert list(replica.scan()) == list(source.scan())

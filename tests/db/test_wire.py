@@ -94,6 +94,47 @@ def test_unsupported_values_and_corrupt_frames_raise():
         wire.dumps({"raw-object": object()})
 
 
+# ---------------------------------------------------------------------------
+# Version negotiation: a peer speaking any other wire version must be
+# rejected with a clear diagnostic, never a decode crash or garbage.
+# ---------------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=255))
+def test_foreign_version_bytes_rejected_with_clear_error(version):
+    frame = bytearray(wire.dumps({"op": "ping"}))
+    frame[2] = version
+    if version == wire.VERSION:
+        assert wire.loads(bytes(frame)) == {"op": "ping"}
+        return
+    with pytest.raises(WireError, match="version mismatch") as info:
+        wire.loads(bytes(frame))
+    # The error names both sides of the mismatch — an operator pairing
+    # a new router with an old shard host needs the numbers, not a
+    # generic "corrupt frame".
+    assert str(version) in str(info.value)
+    assert str(wire.VERSION) in str(info.value)
+
+
+def test_older_and_newer_peers_rejected_before_payload_decode():
+    # The version check happens before CRC/JSON decoding: a frame from
+    # a different version with a garbage body still earns the version
+    # diagnostic, not a CRC or JSON error.
+    for foreign in (1, wire.VERSION - 1, wire.VERSION + 1, 255):
+        if foreign == wire.VERSION:
+            continue
+        frame = wire.MAGIC + bytes((foreign,)) + b"\xff\xff\xff\xff{nope"
+        with pytest.raises(WireError, match="version mismatch"):
+            wire.loads(frame)
+
+
+@given(st.binary(max_size=80))
+def test_arbitrary_bytes_never_crash_the_decoder(data):
+    """Frame fuzz: any byte string decodes or raises WireError, only."""
+    try:
+        wire.loads(data)
+    except WireError:
+        pass
+
+
 @given(values, st.data())
 def test_flipped_byte_fails_crc(value, data):
     """Any single flipped byte raises a decode error, never garbage.
@@ -227,6 +268,38 @@ def test_sync_payload_replicates_byte_identically():
     assert replica.sizes() == source.sizes()
     assert replica.rows("Flights") == source.rows("Flights")
     assert replica.rows("Hotels") == source.rows("Hotels")
+    assert stamps3 == source.data_versions()
+
+
+def test_sync_ships_deletions_as_tombstone_tails():
+    source = _authoritative()
+    replica = Database(synchronized=False)
+    payload, stamps = wire.build_sync(source, {})
+    wire.apply_sync(replica, wire.loads(wire.dumps(payload)))
+
+    # A deletion rides the incremental tail as a tombstone entry and
+    # replays byte-identically (same surviving rows, same order).
+    source.delete("Flights", (101, "Zurich"))
+    source.insert("Flights", (103, "Athens"))
+    payload, stamps2 = wire.build_sync(source, stamps)
+    applied = wire.apply_sync(replica, wire.loads(wire.dumps(payload)))
+    assert applied == 2
+    assert replica.rows("Flights") == source.rows("Flights")
+    assert list(replica.relation("Flights").scan()) == list(
+        source.relation("Flights").scan()
+    )
+    assert stamps2 == source.data_versions()
+
+    # Compacted-away tail: the payload falls back to a full reset
+    # snapshot and the replica still converges byte-identically.
+    for i in range(600):
+        source.insert("Flights", (1000 + i, "Churn"))
+        source.delete("Flights", (1000 + i, "Churn"))
+    payload, stamps3 = wire.build_sync(source, stamps2)
+    wire.apply_sync(replica, wire.loads(wire.dumps(payload)))
+    assert list(replica.relation("Flights").scan()) == list(
+        source.relation("Flights").scan()
+    )
     assert stamps3 == source.data_versions()
 
 
