@@ -18,9 +18,10 @@ Subcommands:
   [--stats]`` —
   replay a query-lifecycle stream through a
   :class:`~repro.core.ShardedCoordinationService` (one operation per
-  line: ``submit <query>``, ``retract <name>``,
-  ``insert <relation> <value> ...``, ``delete <relation> <value> ...``,
-  ``flush``; ``#`` comments).
+  line: ``submit <query>``, ``batch <query>; <query>; ...``,
+  ``retract <name>``, ``insert <relation> <value> ...``,
+  ``delete <relation> <value> ...``, ``flush``, ``flush_drain``;
+  ``#`` comments).
   ``--workers N`` runs N shards on worker threads behind the
   concurrent executor; the replay stays deterministic because each
   line drains before the next is reported.  ``--backend replicated``
@@ -32,7 +33,14 @@ Subcommands:
   ``--executor remote`` places each shard on an already-running shard
   host (one ``--remote-shard HOST:PORT`` per shard, see
   ``shard-host`` below); a host that dies mid-run fails over: its
-  components re-home onto a survivor and coordination continues.
+  components re-home onto a survivor and coordination continues;
+* ``scenario [NAME] [--list] [--scale N] [--seed S] [--out PREFIX]``
+  — the scenario catalog (:mod:`repro.scenarios`): list the named
+  workloads, run one in-process through the sharded service (with the
+  same ``--shards/--workers/--backend/--executor`` knobs as ``online``
+  plus the ablation toggles ``--no-plan-cache`` and
+  ``--no-composite-indexes``), or export it with ``--out`` as a
+  database JSON + operations stream replayable by ``online``;
   ``--durable-dir DIR`` makes the service durable: the replay is
   write-ahead logged (with periodic snapshot + compaction
   checkpoints) into DIR, and a restart pointing at the same DIR
@@ -305,10 +313,14 @@ def _cmd_online(args: argparse.Namespace) -> int:
                 continue
             op, _, rest = line.partition(" ")
             rest = rest.strip()
-            if op not in ("submit", "retract", "insert", "delete", "flush"):
+            known = (
+                "submit", "batch", "retract", "insert", "delete",
+                "flush", "flush_drain",
+            )
+            if op not in known:
                 print(
                     f"error: line {lineno}: unknown operation {op!r} "
-                    "(expected submit/retract/insert/delete/flush)",
+                    f"(expected {'/'.join(known)})",
                     file=sys.stderr,
                 )
                 return 2
@@ -334,6 +346,30 @@ def _cmd_online(args: argparse.Namespace) -> int:
                         shard = service.shard_of(query.name)
                         print(f"{prefix} {query.name}: pending (shard {shard})")
                     drain_satisfied(f"{prefix} {query.name}")
+                elif op == "batch":
+                    # One admission pass for a ';'-separated query list
+                    # (submit_many): queries in the same batch see each
+                    # other before evaluation, so postcondition-free
+                    # queries can coordinate instead of retiring alone.
+                    flush_batch()
+                    queries = parse_queries(rest)
+                    for query in queries:
+                        query.validate(db.schema)
+                    handles = service.submit_many_nowait(queries)
+                    settle()
+                    for query, handle in zip(queries, handles):
+                        if handle.state is QueryState.REJECTED:
+                            print(
+                                f"{prefix} {query.name}: rejected "
+                                f"({handle.reason})"
+                            )
+                        elif handle.is_pending:
+                            shard = service.shard_of(query.name)
+                            print(
+                                f"{prefix} {query.name}: pending "
+                                f"(shard {shard})"
+                            )
+                    drain_satisfied(prefix)
                 elif op == "retract":
                     flush_batch()
                     service.retract(rest)
@@ -370,6 +406,14 @@ def _cmd_online(args: argparse.Namespace) -> int:
                 elif op == "flush":
                     flush_batch()
                     service.flush()
+                    settle()
+                    if not drain_satisfied(prefix):
+                        print(f"{prefix}: nothing coordinated")
+                elif op == "flush_drain":
+                    # Flush to fixpoint: placement-independent, the
+                    # form scenario streams use (see repro.scenarios).
+                    flush_batch()
+                    service.flush_drain()
                     settle()
                     if not drain_satisfied(prefix):
                         print(f"{prefix}: nothing coordinated")
@@ -513,6 +557,59 @@ def _cmd_shard_host(args: argparse.Namespace) -> int:
         print("interrupted")
     finally:
         shard_host.close()
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """Generate, run, or export a catalog scenario (repro.scenarios)."""
+    from .scenarios import SCENARIOS, drive, get_scenario, write_scenario
+
+    if args.list or args.name is None:
+        width = max(len(s.name) for s in SCENARIOS)
+        for scenario in SCENARIOS:
+            print(
+                f"{scenario.name:<{width}}  {scenario.title}\n"
+                f"{'':<{width}}  stresses {scenario.stresses} "
+                f"(default scale {scenario.default_scale})"
+            )
+        return 0
+    try:
+        scenario = get_scenario(args.name)
+    except KeyError as error:
+        raise ReproError(str(error.args[0])) from None
+    scale = args.scale if args.scale is not None else scenario.default_scale
+    db, events = scenario.build(scale, args.seed)
+    if args.out is not None:
+        db_path, ops_path = write_scenario(db, events, args.out)
+        print(
+            f"{scenario.name} (scale {scale}, seed {args.seed}): "
+            f"wrote {db_path} and {ops_path}\n"
+            f"replay: python -m repro online {db_path} {ops_path}"
+        )
+        return 0
+    config = ServiceConfig(
+        shards=args.shards,
+        workers=args.workers,
+        backend=args.backend,
+        executor=args.executor,
+        plan_cache=False if args.no_plan_cache else None,
+        composite_indexes=False if args.no_composite_indexes else None,
+    )
+    service = ShardedCoordinationService(db, config)
+    try:
+        run = drive(service, events)
+    finally:
+        service.close(raise_deferred=sys.exc_info()[0] is None)
+    rate = run.operations / run.seconds if run.seconds > 0 else float("inf")
+    print(
+        f"{scenario.name} (scale {scale}, seed {args.seed}): "
+        f"{run.operations} events, {run.resolved} resolved, "
+        f"{run.rejected} rejected, {run.pending} pending, "
+        f"{run.migrations} migrations "
+        f"({run.seconds:.3f}s, {rate:.0f} events/s)"
+    )
+    if args.stats:
+        _print_engine_stats(db)
     return 0
 
 
@@ -740,6 +837,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="size of the host's evaluation thread pool (default: 8)",
     )
     shard_host.set_defaults(func=_cmd_shard_host)
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="generate, run, or export a catalog scenario (repro.scenarios)",
+    )
+    scenario.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario name (omit or use --list to see the catalog)",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="print the scenario catalog"
+    )
+    scenario.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workload size (default: the scenario's default_scale)",
+    )
+    scenario.add_argument(
+        "--seed",
+        type=int,
+        default=2012,
+        metavar="S",
+        help="generator seed; same seed, same stream (default: 2012)",
+    )
+    scenario.add_argument(
+        "--out",
+        default=None,
+        metavar="PREFIX",
+        help="instead of running, write PREFIX.db.json + PREFIX.ops "
+        "for later replay with the online subcommand",
+    )
+    scenario.add_argument(
+        "--shards", type=int, default=4, help="engine shards (default: 4)"
+    )
+    scenario.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N shards on worker threads (default: serial)",
+    )
+    scenario.add_argument(
+        "--backend",
+        choices=["shared", "replicated"],
+        default="shared",
+        help="storage backend (default: shared)",
+    )
+    scenario.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="shard executor (default: thread)",
+    )
+    scenario.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="ablate the query-plan cache (recompile every evaluation)",
+    )
+    scenario.add_argument(
+        "--no-composite-indexes",
+        action="store_true",
+        help="ablate composite indexes (single-column probe + residual "
+        "filter on multi-column lookups)",
+    )
+    scenario.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine counters after the run",
+    )
+    scenario.set_defaults(func=_cmd_scenario)
 
     demo = subparsers.add_parser("demo", help="run the built-in example")
     demo.set_defaults(func=_cmd_demo)

@@ -118,6 +118,8 @@ def _host_main(connection, control, options: dict) -> None:
         check_safety=options["check_safety"],
         reuse_groundings=options["reuse_groundings"],
         reuse_component_states=options["reuse_component_states"],
+        plan_cache=options.get("plan_cache", True),
+        composite_indexes=options.get("composite_indexes", True),
     )
     if control is not None:
         session.phased = True
@@ -169,6 +171,8 @@ class ProcessShardExecutor(ShardProxy):
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
         control_lane: bool = True,
+        plan_cache: bool = True,
+        composite_indexes: bool = True,
     ) -> None:
         ctx = _mp_context()
         parent_end, child_end = ctx.Pipe(duplex=True)
@@ -187,6 +191,8 @@ class ProcessShardExecutor(ShardProxy):
                     "check_safety": check_safety,
                     "reuse_groundings": reuse_groundings,
                     "reuse_component_states": reuse_component_states,
+                    "plan_cache": plan_cache,
+                    "composite_indexes": composite_indexes,
                 },
             ),
             name=f"repro-shard-proc-{index}",

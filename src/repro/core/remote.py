@@ -318,6 +318,10 @@ class ShardHost:
                 reuse_component_states=bool(
                     options.get("reuse_component_states", True)
                 ),
+                plan_cache=bool(options.get("plan_cache", True)),
+                composite_indexes=bool(
+                    options.get("composite_indexes", True)
+                ),
             )
             self._sessions[token] = session
         else:
@@ -371,6 +375,8 @@ class RemoteShardTransport(ShardProxy):
         control_lane: bool = True,
         timeout: Optional[float] = None,
         connect_retries: int = 10,
+        plan_cache: bool = True,
+        composite_indexes: bool = True,
     ) -> None:
         self.host, self.port = parse_address(address)
         self.session = uuid.uuid4().hex
@@ -378,6 +384,8 @@ class RemoteShardTransport(ShardProxy):
             "check_safety": check_safety,
             "reuse_groundings": reuse_groundings,
             "reuse_component_states": reuse_component_states,
+            "plan_cache": plan_cache,
+            "composite_indexes": composite_indexes,
         }
         self._endpoint = self._connect(
             "main", options, timeout, connect_retries

@@ -205,11 +205,31 @@ class ServiceConfig:
     durability: DurabilitySpec = None
     control_lane: bool = True
     remote_shards: Tuple[Address, ...] = ()
+    #: Ablation toggles (``None`` inherits the database's current
+    #: setting, which defaults to on).  ``plan_cache=False`` recompiles
+    #: every evaluation's plan; ``composite_indexes=False`` degrades
+    #: multi-column probes to single-column probe + residual filter.
+    #: Both are result-identical — they exist so the ablation harness
+    #: can price each feature (DESIGN.md §14).
+    plan_cache: Optional[bool] = None
+    composite_indexes: Optional[bool] = None
+    #: Placement policy for routing and rebalancing: ``"cost"``
+    #: (default) balances evaluation-cost scores
+    #: (:meth:`ShardedCoordinationService.shard_cost_scores`);
+    #: ``"pending"`` restores the pre-cost policy of balancing raw
+    #: pending counts.  Placement never changes outcomes, only which
+    #: shard does the work.
+    placement: str = "cost"
 
     def __post_init__(self) -> None:
         # Normalize: accept any iterable of addresses, store a tuple so
         # the config stays hashable/frozen.
         object.__setattr__(self, "remote_shards", tuple(self.remote_shards))
+        if self.placement not in ("cost", "pending"):
+            raise PreconditionError(
+                f"unknown placement policy {self.placement!r} "
+                "(expected 'cost' or 'pending')"
+            )
 
     def evolve(self, **changes: Any) -> "ServiceConfig":
         """A copy of this config with ``changes`` applied."""
@@ -371,6 +391,16 @@ class ShardedCoordinationService:
         control_lane = config.control_lane
         remote_shards = config.remote_shards
 
+        # Apply the ablation toggles before any backend/executor is
+        # built, so lazily created replicas and worker-process sessions
+        # inherit the effective settings.
+        if config.plan_cache is not None or config.composite_indexes is not None:
+            db.configure(
+                plan_cache=config.plan_cache,
+                composite_indexes=config.composite_indexes,
+            )
+        self._placement = config.placement
+
         self.executor = resolve_executor(executor)
         if remote_shards and self.executor != "remote":
             raise PreconditionError(
@@ -425,6 +455,8 @@ class ShardedCoordinationService:
                                 reuse_groundings=reuse_groundings,
                                 reuse_component_states=reuse_component_states,
                                 control_lane=control_lane,
+                                plan_cache=db.plan_cache_enabled,
+                                composite_indexes=db.composite_indexes_enabled,
                             )
                         )
                     else:
@@ -437,6 +469,8 @@ class ShardedCoordinationService:
                                 reuse_groundings=reuse_groundings,
                                 reuse_component_states=reuse_component_states,
                                 control_lane=control_lane,
+                                plan_cache=db.plan_cache_enabled,
+                                composite_indexes=db.composite_indexes_enabled,
                             )
                         )
             except BaseException:
@@ -621,6 +655,23 @@ class ShardedCoordinationService:
             for index, worker in enumerate(self._workers):
                 scores[index] += self.MAILBOX_DEPTH_WEIGHT * worker.depth
         return tuple(scores)
+
+    def _placement_scores(self) -> Tuple[int, ...]:
+        """Per-shard load scores under the configured placement policy.
+
+        ``"cost"`` (default) is :meth:`shard_cost_scores`; ``"pending"``
+        is raw pending counts plus mailbox depth — the pre-cost policy,
+        kept as an ablation baseline so the matrix can price cost-based
+        placement against it.
+        """
+        if self._placement == "pending":
+            with self._tables:
+                scores = list(self._loads)
+            if self._workers is not None:
+                for index, worker in enumerate(self._workers):
+                    scores[index] += worker.depth
+            return tuple(scores)
+        return self.shard_cost_scores()
 
     def probe(self, shard: int) -> Tuple[str, ...]:
         """Round-trip a control-lane probe to one shard's worker.
@@ -1105,14 +1156,14 @@ class ShardedCoordinationService:
         if self._ops_since_rebalance < self.REBALANCE_INTERVAL:
             return
         self._ops_since_rebalance = 0
-        scores = self.shard_cost_scores()
+        scores = self._placement_scores()
         if max(scores) - min(scores) >= self.REBALANCE_THRESHOLD:
             self._rebalance_locked(max_moves=4)
 
     def _rebalance_locked(self, max_moves: int) -> int:
         moved = 0
         for _ in range(max_moves):
-            scores = self.shard_cost_scores()
+            scores = self._placement_scores()
             candidates = (
                 self.live_shards if self._failover else range(len(scores))
             )
@@ -1129,12 +1180,19 @@ class ShardedCoordinationService:
                 components = engine.components()
             with self._tables:
                 busy = set(self._busy[hot])
-                weights = {
-                    component: sum(
-                        self._query_cost.get(name, 1) for name in component
-                    )
-                    for component in components
-                }
+                if self._placement == "pending":
+                    # Pending placement weighs a component by member
+                    # count — the unit its scores are denominated in.
+                    weights = {
+                        component: len(component) for component in components
+                    }
+                else:
+                    weights = {
+                        component: sum(
+                            self._query_cost.get(name, 1) for name in component
+                        )
+                        for component in components
+                    }
             # A component moves only when its evaluation-cost weight is
             # at most half the hot–cold score gap, so each move strictly
             # narrows the gap and the loop terminates.
@@ -1330,9 +1388,11 @@ class ShardedCoordinationService:
         scores are a pure function of the stream (mailboxes are empty
         at routing time), so placement stays deterministic there and
         reproducible across processes.  Placement is unobservable in
-        outcomes either way; this only evens the *work*.
+        outcomes either way; this only evens the *work*.  Under
+        ``placement="pending"`` the scores are raw pending counts
+        instead (see :meth:`_placement_scores`).
         """
-        scores = self.shard_cost_scores()
+        scores = self._placement_scores()
         candidates = (
             self.live_shards if self._failover else range(len(scores))
         )

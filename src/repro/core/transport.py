@@ -213,8 +213,15 @@ class WorkerSession:
         check_safety: bool = True,
         reuse_groundings: bool = False,
         reuse_component_states: bool = True,
+        plan_cache: bool = True,
+        composite_indexes: bool = True,
     ) -> None:
         self.replica = Database(synchronized=False)
+        # Ablation toggles travel with the session options so a
+        # toggled-off feature is off wherever evaluation actually runs.
+        self.replica.configure(
+            plan_cache=plan_cache, composite_indexes=composite_indexes
+        )
         self.engine = CoordinationEngine(
             self.replica,
             check_safety=check_safety,

@@ -129,9 +129,18 @@ class _Replica:
 
     __slots__ = ("db", "stamps", "token", "syncs", "rows_copied")
 
-    def __init__(self) -> None:
+    def __init__(self, source: Optional[Database] = None) -> None:
         #: Lock-free private instance; only the owning shard reads it.
         self.db = Database(synchronized=False)
+        if source is not None:
+            # Replicas evaluate in the authoritative store's stead, so
+            # they inherit its ablation toggles (plan cache, composite
+            # indexes) — otherwise a toggled-off feature would silently
+            # stay on wherever evaluation actually runs.
+            self.db.configure(
+                plan_cache=source.plan_cache_enabled,
+                composite_indexes=source.composite_indexes_enabled,
+            )
         #: Authoritative per-relation stamps as of the last sync.
         self.stamps: Dict[str, int] = {}
         #: Backend write token as of the last sync.  Real tokens are
@@ -217,7 +226,7 @@ class ReplicatedBackend:
         replica across the service's component migrations.
         """
         while len(self._replicas) <= shard:
-            self._replicas.append(_Replica())
+            self._replicas.append(_Replica(self.db))
         return _ReplicaReader(self, self._replicas[shard])
 
     def replica_stats(self) -> List[Dict[str, int]]:

@@ -89,6 +89,10 @@ class Database:
         for store in self._relations.values():
             store.stats = self.stats
         self._evaluator = Evaluator(self._relations, self.stats)
+        # Ablation toggles (see :meth:`configure`).  Mirrored onto every
+        # relation / the planner so the hot paths read a local flag.
+        self.plan_cache_enabled = True
+        self.composite_indexes_enabled = True
         #: Readers–writer lock over the instance: reads (evaluation,
         #: scans, stamps) share, writes (inserts, DDL) exclude.  The
         #: engine counters in :attr:`stats` are deliberately outside
@@ -135,6 +139,7 @@ class Database:
             self.schema.add(relation_schema)
             store = Relation(relation_schema)
             store.stats = self.stats
+            store.composites_enabled = self.composite_indexes_enabled
             self._relations[relation_schema.name] = store
         self._notify_write()
         self._notify_mutation(("create_relation", relation_schema))
@@ -261,6 +266,32 @@ class Database:
             return
         for listener in list(self._mutation_listeners):
             listener(event)
+
+    def configure(
+        self,
+        *,
+        plan_cache: Optional[bool] = None,
+        composite_indexes: Optional[bool] = None,
+    ) -> None:
+        """Apply ablation toggles in place (``None`` leaves one as-is).
+
+        ``plan_cache=False`` makes every evaluation recompile its plan;
+        ``composite_indexes=False`` routes multi-column probes through a
+        single-column index plus residual filtering.  Both modes are
+        result-identical to the defaults — compilation is a pure
+        function of shape + statistics, and the storage fallback
+        preserves row order — so flipping them changes cost only, which
+        is exactly what the ablation harness measures.  Taken under the
+        write lock so no evaluation observes a half-applied flip.
+        """
+        with self.rw.write():
+            if plan_cache is not None:
+                self.plan_cache_enabled = plan_cache
+                self._evaluator.planner.set_cache_enabled(plan_cache)
+            if composite_indexes is not None:
+                self.composite_indexes_enabled = composite_indexes
+                for store in self._relations.values():
+                    store.set_composite_indexes(composite_indexes)
 
     def data_version(self) -> int:
         """A monotone stamp of the database contents.

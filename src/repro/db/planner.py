@@ -399,16 +399,24 @@ class Planner:
     pure function of data both observe under the read lock.
     """
 
-    __slots__ = ("_relations", "_stats", "_plans")
+    __slots__ = ("_relations", "_stats", "_plans", "cache_enabled")
 
     def __init__(self, relations: Dict[str, Relation], stats: EngineStats) -> None:
         self._relations = relations
         self._stats = stats
         self._plans: Dict[QueryShape, CompiledPlan] = {}
+        #: Ablation toggle (see :meth:`set_cache_enabled`): when
+        #: ``False`` every evaluation recompiles its plan from scratch.
+        #: Compilation is a pure function of the shape and the current
+        #: statistics, so results are identical — only cost changes.
+        self.cache_enabled = True
 
     def plan_for(self, query: ConjunctiveQuery) -> CompiledPlan:
         """The (cached or freshly compiled) plan for ``query``."""
         shape = query.shape()
+        if not self.cache_enabled:
+            self._stats.plan_cache_misses += 1
+            return compile_plan(shape, self._relations)
         plan = self._plans.get(shape)
         if plan is not None and plan.still_valid(self._relations):
             self._stats.plan_cache_hits += 1
@@ -417,6 +425,17 @@ class Planner:
         plan = compile_plan(shape, self._relations)
         self._plans[shape] = plan
         return plan
+
+    def set_cache_enabled(self, enabled: bool) -> None:
+        """Enable/disable the plan cache (the ablation toggle).
+
+        Disabling also drops any cached plans, so a later re-enable
+        starts cold.  Safe to flip before serving; the caller owns
+        synchronization if the database is already shared.
+        """
+        self.cache_enabled = enabled
+        if not enabled:
+            self._plans.clear()
 
     def cached_plans(self) -> int:
         """Number of cached plans (introspection/tests)."""

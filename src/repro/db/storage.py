@@ -76,6 +76,7 @@ class Relation:
         "_row_set",
         "_indexes",
         "_composites",
+        "composites_enabled",
         "_distinct_cache",
         "_domain_cache",
         "_log",
@@ -92,6 +93,12 @@ class Relation:
         self._indexes: Dict[int, Dict[Hashable, List[int]]] = {}
         # position tuple (sorted, len >= 2) -> value tuple -> row indexes
         self._composites: Dict[Tuple[int, ...], Dict[Tuple[Hashable, ...], List[int]]] = {}
+        #: Ablation toggle (see :meth:`set_composite_indexes`): when
+        #: ``False``, multi-column probes fall back to a single-column
+        #: probe plus residual filtering instead of building composite
+        #: indexes.  Results are identical either way; only the cost
+        #: profile changes.
+        self.composites_enabled = True
         # positions tuple -> (epoch, projection set); epoch-stamped so a
         # cached projection survives until the next insert.
         self._distinct_cache: Dict[Tuple[int, ...], Tuple[int, Set[Tuple[Hashable, ...]]]] = {}
@@ -331,9 +338,36 @@ class Relation:
         if len(bindings) == 1:
             ((position, value),) = bindings.items()
             return self._index_for(position).get(value)
-        positions = tuple(sorted(bindings))
+        positions = sorted(bindings)
+        if not self.composites_enabled:
+            # Ablation fallback: probe the first column's index, then
+            # residual-filter in index (= insertion) order so callers
+            # observe exactly the rows, in exactly the order, the
+            # composite bucket would have held.
+            hits = self._index_for(positions[0]).get(bindings[positions[0]])
+            if not hits:
+                return None
+            rest = [(p, bindings[p]) for p in positions[1:]]
+            rows = self._rows
+            out = [i for i in hits if all(rows[i][p] == v for p, v in rest)]
+            return out or None
         key = tuple(bindings[p] for p in positions)
-        return self._composite_index_for(positions).get(key)
+        return self._composite_index_for(tuple(positions)).get(key)
+
+    def set_composite_indexes(self, enabled: bool) -> None:
+        """Enable/disable composite indexes (the ablation toggle).
+
+        Disabling drops any composite indexes already built and routes
+        multi-column probes through the single-column fallback in
+        :meth:`_hits_for`.  Match results (rows *and* their order) are
+        unchanged in either mode, so flipping this cannot alter
+        evaluation output — only its cost.  The caller owns
+        synchronization (flip before serving, or under the facade's
+        write lock).
+        """
+        self.composites_enabled = enabled
+        if not enabled:
+            self._composites.clear()
 
     def count_match(self, bindings: Dict[int, Hashable]) -> int:
         """Number of tuples matching the bindings.

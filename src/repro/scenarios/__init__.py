@@ -1,0 +1,34 @@
+"""Scenario suite: named workload streams and the machinery to run them.
+
+The catalog (:mod:`.catalog`) names four workload generators with
+qualitatively different coordination-graph shapes; the runner
+(:mod:`.runner`) interprets their shared event vocabulary against a
+:class:`~repro.core.ShardedCoordinationService`; the renderer
+(:mod:`.render`) writes a scenario to the CLI's on-disk formats for
+``python -m repro online`` replay.  DESIGN.md §14 documents the
+catalog and the ablation methodology built on it.
+"""
+
+from .catalog import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    partner_events,
+    scenario_names,
+)
+from .render import render_event, render_query, render_stream, write_scenario
+from .runner import ScenarioRun, drive
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+    "drive",
+    "get_scenario",
+    "partner_events",
+    "render_event",
+    "render_query",
+    "render_stream",
+    "scenario_names",
+    "write_scenario",
+]

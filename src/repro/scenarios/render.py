@@ -1,0 +1,92 @@
+"""Serialise a scenario to the CLI's on-disk formats.
+
+A scenario on disk is two files: the database as the JSON spec of
+:mod:`repro.db.io`, and the event stream in the ``online`` subcommand's
+line format (one operation per line).  :func:`render_event` is the
+inverse of the CLI's stream parser for every event the catalog emits,
+so ``scenario NAME --out PREFIX`` followed by
+``online PREFIX.db.json PREFIX.ops`` replays exactly the stream the
+in-process runner would drive.
+
+Queries round-trip through their ``str()`` form — the parser's own
+textual syntax (string constants quoted, integers bare, variables
+lowercase) — prefixed with ``name:`` so replay keeps the original
+query names.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from ..core import EntangledQuery
+from ..db import Database, save_database
+
+
+def render_query(query: EntangledQuery) -> str:
+    """``name: {posts} heads :- body`` — the parser's input syntax."""
+    return f"{query.name}: {query}"
+
+
+def _render_value(value) -> str:
+    """One insert/delete operand, as the stream parser reads it back.
+
+    The parser tokenizes with :func:`shlex.split` then tries
+    :func:`ast.literal_eval`, falling back to the raw string.  Plain
+    identifier-like strings therefore render bare; everything else
+    (integers, strings with spaces or literal-looking content) renders
+    as a shell-quoted Python literal so the fallback never misfires.
+    """
+    if isinstance(value, str) and value.isidentifier():
+        return value
+    literal = repr(value)
+    try:
+        if ast.literal_eval(literal) == value:
+            return f'"{literal}"' if "'" in literal else literal
+    except (ValueError, SyntaxError):  # pragma: no cover - repr is a literal
+        pass
+    raise ValueError(f"cannot render stream value {value!r}")
+
+
+def render_event(event: tuple) -> str:
+    """One catalog event as one ``online`` stream line."""
+    kind = event[0]
+    if kind == "submit":
+        return f"submit {render_query(event[1])}"
+    if kind == "submit_many":
+        return "batch " + "; ".join(render_query(q) for q in event[1])
+    if kind == "retract":
+        return f"retract {event[1]}"
+    if kind in ("insert", "delete"):
+        values = " ".join(_render_value(v) for v in event[2])
+        return f"{kind} {event[1]} {values}"
+    if kind == "flush_drain":
+        return "flush_drain"
+    if kind == "flush":
+        return "flush"
+    raise ValueError(f"cannot render scenario event {event!r}")
+
+
+def render_stream(events: Iterable[tuple]) -> str:
+    """The whole stream, one line per event, trailing newline."""
+    return "".join(render_event(event) + "\n" for event in events)
+
+
+def write_scenario(
+    db: Database, events: Iterable[tuple], prefix: str
+) -> Tuple[Path, Path]:
+    """Write ``PREFIX.db.json`` + ``PREFIX.ops``; return both paths."""
+    db_path = Path(f"{prefix}.db.json")
+    ops_path = Path(f"{prefix}.ops")
+    save_database(db, db_path)
+    ops_path.write_text(render_stream(events), encoding="utf-8")
+    return db_path, ops_path
+
+
+__all__: List[str] = [
+    "render_event",
+    "render_query",
+    "render_stream",
+    "write_scenario",
+]

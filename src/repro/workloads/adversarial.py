@@ -1,0 +1,127 @@
+"""Adversarial merge-maximizer: a tournament of cross-shard merges.
+
+The sharded service places edge-free arrivals on the least-loaded
+shard and merges components when an arrival's edges span shards.  This
+workload is built to make that machinery work as hard as possible: it
+submits ``n`` mutually unconnected *leaf* queries (spread across all
+shards by default placement), then a binary tournament of *linker*
+queries, each posting to two previously submitted queries — so every
+linker merges two live components, and about half of those merges
+cross a shard boundary and force a migration.  After ``n - 1`` linkers
+the whole workload is one giant component.
+
+No query ever resolves: every query carries one postcondition naming
+``nobody``, a participant that never arrives, so no coordinating set
+exists and components only grow.  (Two posts to the same absent name
+do *not* create an edge — edges come from post/head unification — so
+the ghost blocks resolution without connecting anything.)  A final
+retraction wave then exercises ``retract`` — O(component) — against
+the giant component, and a drain sweeps up nothing, by construction.
+
+Database schema::
+
+    Anchors(node, weight)
+
+Query shapes.  Leaf ``v`` and linker ``u`` over children ``a, b``::
+
+    {R(y0, nobody)}                          R(x, v)  :-  Anchors(v, x)
+    {R(y1, a), R(y2, b), R(y0, nobody)}      R(x, u)  :-  Anchors(u, x)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..core import EntangledQuery
+from ..db import Database, DatabaseBuilder
+from ..logic import Atom, Variable
+
+ANSWER_RELATION = "R"
+
+#: The participant that never arrives; what keeps every component open.
+GHOST = "nobody"
+
+
+def node_name(index: int) -> str:
+    """Canonical synthetic node name for ``index``."""
+    return f"node{index:04d}"
+
+
+def tournament_database(leaves: int) -> Database:
+    """One ``Anchors`` row per tournament node (leaves and linkers).
+
+    Every query body selects its own anchor row, so bodies are always
+    satisfiable — resolution is blocked purely by the ghost post, never
+    by the database.
+    """
+    builder = DatabaseBuilder()
+    builder.table("Anchors", ["node", "weight"], key="node")
+    total = max(2 * leaves - 1, 1)
+    builder.rows("Anchors", [(node_name(i), i) for i in range(total)])
+    return builder.build()
+
+
+def leaf_query(name: str) -> EntangledQuery:
+    """A tournament leaf: no edges to anyone, ghost-blocked."""
+    value = Variable("x")
+    body = [Atom("Anchors", [name, value])]
+    posts = [Atom(ANSWER_RELATION, [Variable("y0"), GHOST])]
+    head = [Atom(ANSWER_RELATION, [value, name])]
+    return EntangledQuery(name, posts, head, body)
+
+
+def linker_query(name: str, left: str, right: str) -> EntangledQuery:
+    """A tournament linker: merges the components of ``left``/``right``."""
+    value = Variable("x")
+    body = [Atom("Anchors", [name, value])]
+    posts = [
+        Atom(ANSWER_RELATION, [Variable("y1"), left]),
+        Atom(ANSWER_RELATION, [Variable("y2"), right]),
+        Atom(ANSWER_RELATION, [Variable("y0"), GHOST]),
+    ]
+    head = [Atom(ANSWER_RELATION, [value, name])]
+    return EntangledQuery(name, posts, head, body)
+
+
+def merge_tournament_events(
+    leaves: int,
+    seed: int = 2012,
+    retract_fraction: float = 0.25,
+) -> Tuple[Database, List[tuple]]:
+    """Database plus a deterministic journal-style event stream.
+
+    Leaves arrive in shuffled order; each tournament round shuffles the
+    survivors before pairing them, so consecutive merges join
+    components that default placement scattered over different shards.
+    After the tournament, ``retract_fraction`` of all queries are
+    withdrawn in shuffled order (each retraction landing on the giant
+    component), and a final ``("flush_drain",)`` closes the stream.
+    """
+    rng = random.Random(seed)
+    db = tournament_database(leaves)
+    events: List[tuple] = []
+    names = [node_name(i) for i in range(leaves)]
+    order = list(names)
+    rng.shuffle(order)
+    for name in order:
+        events.append(("submit", leaf_query(name)))
+    next_node = leaves
+    level = list(names)
+    while len(level) > 1:
+        rng.shuffle(level)
+        survivors: List[str] = []
+        if len(level) % 2:
+            survivors.append(level.pop())
+        for i in range(0, len(level), 2):
+            linker = node_name(next_node)
+            next_node += 1
+            events.append(("submit", linker_query(linker, level[i], level[i + 1])))
+            survivors.append(linker)
+        level = survivors
+    everyone = [node_name(i) for i in range(next_node)]
+    rng.shuffle(everyone)
+    for name in everyone[: int(len(everyone) * retract_fraction)]:
+        events.append(("retract", name))
+    events.append(("flush_drain",))
+    return db, events

@@ -1,0 +1,228 @@
+"""Keyword-search coordination: queries entangled through shared entities.
+
+Fakas et al.'s object summaries for relational keyword search
+(PAPERS.md) motivate the shape: a *searcher* asks for a document
+covering two keywords (entities), and coordinates with the *owners* of
+those entities — the curators whose approval the search result needs.
+Entity popularity follows the scale-free generators of
+:mod:`repro.networks`, so a handful of hub entities appear in a large
+share of documents and are searched disproportionately often.
+
+Database schema::
+
+    Mentions(entity, doc)     # entity FIRST: the high-fanout column
+    Owners(entity, owner)
+
+Query shapes.  Searcher ``s`` looking for entities ``e1, e2`` (owned by
+``o1, o2``) submits::
+
+    {R(y0, o1), R(y1, o2)}  R(d, s)  :-  Mentions(e1, d), Mentions(e2, d)
+
+and owner ``o`` stands ready with the postcondition-free::
+
+    {}  R(e, o)  :-  Owners(e, o)
+
+The searcher's second body atom arrives with *both* columns bound
+(entity by constant, ``d`` by the first atom), i.e. it is a two-column
+composite-index probe.  With composite indexes ablated away the probe
+degrades to the entity column's single-column bucket — which for a hub
+entity holds a large slice of all documents — plus a residual scan, so
+this workload is the one that prices composite indexes.  Many searchers
+posting to the same popular owners form star-shaped coordination
+components around the hubs, qualitatively unlike the partner workloads'
+list and scale-free partner graphs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import EntangledQuery
+from ..db import Database, DatabaseBuilder
+from ..logic import Atom, Variable
+from ..networks import scale_free_digraph
+
+ANSWER_RELATION = "R"
+
+
+def entity_name(index: int) -> str:
+    """Canonical synthetic entity name for ``index``."""
+    return f"entity{index:04d}"
+
+
+def owner_name(index: int) -> str:
+    """Canonical synthetic owner (curator) name for ``index``."""
+    return f"owner{index:03d}"
+
+
+def searcher_name(index: int) -> str:
+    """Canonical synthetic searcher name for ``index``."""
+    return f"seeker{index:05d}"
+
+
+def doc_name(index: int) -> str:
+    """Canonical synthetic document name for ``index``."""
+    return f"doc{index:05d}"
+
+
+def keyword_database(
+    entities: int = 40,
+    docs: int = 400,
+    owners: int = 12,
+    mentions_per_doc: int = 3,
+    seed: int = 2012,
+) -> Database:
+    """The corpus the searchers run against.
+
+    Entity popularity is drawn from a scale-free graph's in-degrees
+    (preferential attachment), so mention counts are heavy-tailed: hub
+    entities land in many documents.  ``entity`` is deliberately the
+    *first* ``Mentions`` column — the single-column fallback of an
+    ablated composite probe lands on its (large, for hubs) bucket.
+    """
+    rng = random.Random(seed)
+    graph = scale_free_digraph(entities, out_degree=2, seed=seed)
+    # Popularity multiset: entity i appears in_degree(i) + 1 times, the
+    # same smoothing preferential attachment itself uses.
+    attachment: List[int] = []
+    for node in sorted(graph.nodes()):
+        attachment.extend([node] * (graph.in_degree(node) + 1))
+    builder = DatabaseBuilder()
+    builder.table("Mentions", ["entity", "doc"])
+    builder.table("Owners", ["entity", "owner"], key="entity")
+    mention_rows: List[Tuple[str, str]] = []
+    for index in range(docs):
+        mentioned = set()
+        guard = 0
+        while len(mentioned) < mentions_per_doc and guard < 50 * mentions_per_doc:
+            mentioned.add(rng.choice(attachment))
+            guard += 1
+        for entity in sorted(mentioned):
+            mention_rows.append((entity_name(entity), doc_name(index)))
+    builder.rows("Mentions", mention_rows)
+    builder.rows(
+        "Owners",
+        [(entity_name(i), owner_name(i % owners)) for i in range(entities)],
+    )
+    return builder.build()
+
+
+def search_query(
+    searcher: str,
+    entities: Sequence[str],
+    owners: Sequence[str],
+) -> EntangledQuery:
+    """One searcher's query (shape documented in the module docstring).
+
+    ``owners`` lists the owners the searcher must coordinate with
+    (deduplicated by the caller — two entities may share an owner).
+    """
+    doc = Variable("d")
+    body = [Atom("Mentions", [entity, doc]) for entity in entities]
+    posts = [
+        Atom(ANSWER_RELATION, [Variable(f"y{i}"), owner])
+        for i, owner in enumerate(owners)
+    ]
+    head = [Atom(ANSWER_RELATION, [doc, searcher])]
+    return EntangledQuery(searcher, posts, head, body)
+
+
+def owner_query(owner: str) -> EntangledQuery:
+    """One owner's standing query: coordinate on any owned entity."""
+    entity = Variable("e")
+    body = [Atom("Owners", [entity, owner])]
+    head = [Atom(ANSWER_RELATION, [entity, owner])]
+    return EntangledQuery(owner, (), head, body)
+
+
+def keyword_events(
+    searchers: int,
+    entities: int = 40,
+    docs: int = 400,
+    owners: int = 12,
+    round_every: int = 8,
+    seed: int = 2012,
+) -> Tuple[Database, List[tuple]]:
+    """Database plus a deterministic journal-style event stream.
+
+    Each searcher picks a random document and searches for two of its
+    entities (so every search body is satisfiable, and hub entities —
+    present in many documents — are picked often).  Searchers arrive
+    *before* their owners, accumulating as pending stars; every
+    ``round_every`` searchers the owners they need arrive as one
+    ``submit_many`` sweep.  The batch matters: an owner's standing
+    query has no postconditions, so submitted alone it retires
+    instantly — arriving *together*, the owners join every waiting
+    star's evaluation.  A head satisfies exactly one postcondition in
+    a coordinating set, so each sweep retires one searcher per arriving
+    owner (ties broken by the largest-candidate criterion); the rest of
+    a star stays pending until a later sweep re-submits its owners.
+    Owner names recur across sweeps; that is legal because an owner
+    query always retires in its own sweep, freeing the name.  The
+    steady backlog of partially drained stars is intended — it keeps
+    every flush sweep and rebalance pass working against live state.
+
+    Events are ``("submit", query)``, ``("submit_many", (query, ...))``
+    and a final ``("flush_drain",)`` — the service-journal vocabulary
+    the scenario runner and the oracle replayer share.
+    """
+    db = keyword_database(
+        entities=entities, docs=docs, owners=owners, seed=seed
+    )
+    rng = random.Random(seed + 1)
+    mentions: Dict[str, List[str]] = {}
+    for entity, doc in db.rows("Mentions"):
+        mentions.setdefault(doc, []).append(entity)
+    eligible = sorted(doc for doc, names in mentions.items() if len(names) >= 2)
+    events: List[tuple] = []
+    owner_of = dict(db.rows("Owners"))
+    due: List[str] = []  # owners needed since the last sweep, in need order
+    seen = set()
+    for index in range(searchers):
+        doc = rng.choice(eligible)
+        pair = rng.sample(sorted(mentions[doc]), 2)
+        needed = sorted({owner_of[entity] for entity in pair})
+        for owner in needed:
+            if owner not in seen:
+                seen.add(owner)
+                due.append(owner)
+        events.append(("submit", search_query(searcher_name(index), pair, needed)))
+        if (index + 1) % round_every == 0:
+            events.append(("submit_many", tuple(owner_query(o) for o in due)))
+            due = []
+            seen = set()
+    if due:
+        events.append(("submit_many", tuple(owner_query(o) for o in due)))
+    events.append(("flush_drain",))
+    return db, events
+
+
+def keyword_workload(
+    searchers: int,
+    entities: int = 40,
+    docs: int = 400,
+    owners: int = 12,
+    round_every: int = 8,
+    seed: int = 2012,
+) -> Tuple[Database, List[EntangledQuery]]:
+    """The :func:`keyword_events` stream flattened to a query list.
+
+    For batch consumers (``scc_coordinate``, simple tests) that want
+    the arrival order without the event framing.
+    """
+    db, events = keyword_events(
+        searchers,
+        entities=entities,
+        docs=docs,
+        owners=owners,
+        round_every=round_every,
+        seed=seed,
+    )
+    queries: List[EntangledQuery] = []
+    for event in events:
+        if event[0] == "submit":
+            queries.append(event[1])
+        elif event[0] == "submit_many":
+            queries.extend(event[1])
+    return db, queries

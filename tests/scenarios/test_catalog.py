@@ -1,0 +1,100 @@
+"""Tests for the scenario catalog and the stream runner."""
+
+import pytest
+
+from repro.core import ServiceConfig, ShardedCoordinationService
+from repro.scenarios import (
+    SCENARIOS,
+    drive,
+    get_scenario,
+    render_stream,
+    scenario_names,
+)
+
+#: Small scales so the whole matrix of catalog tests stays sub-second.
+SMOKE_SCALE = {
+    "partner": 48,
+    "keyword": 24,
+    "marketplace": 80,
+    "adversarial": 16,
+}
+
+
+class TestCatalog:
+    def test_names_in_catalog_order(self):
+        assert scenario_names() == (
+            "partner",
+            "keyword",
+            "marketplace",
+            "adversarial",
+        )
+
+    def test_get_scenario_roundtrip(self):
+        for scenario in SCENARIOS:
+            assert get_scenario(scenario.name) is scenario
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+    def test_builds_are_deterministic(self, name):
+        scenario = get_scenario(name)
+        scale = SMOKE_SCALE[name]
+        db_a, events_a = scenario.build(scale, 7)
+        db_b, events_b = scenario.build(scale, 7)
+        assert render_stream(events_a) == render_stream(events_b)
+        for relation in db_a.schema.names():
+            assert sorted(db_a.rows(relation)) == sorted(db_b.rows(relation))
+
+    @pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+    def test_seed_changes_the_stream(self, name):
+        scenario = get_scenario(name)
+        scale = SMOKE_SCALE[name]
+        _, events_a = scenario.build(scale, 1)
+        _, events_b = scenario.build(scale, 2)
+        assert render_stream(events_a) != render_stream(events_b)
+
+    @pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+    def test_streams_end_with_flush_drain(self, name):
+        scenario = get_scenario(name)
+        _, events = scenario.build(SMOKE_SCALE[name], 2012)
+        assert events[-1] == ("flush_drain",)
+        assert all(event[0] != "flush" for event in events)
+
+
+class TestDrive:
+    @pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+    def test_runs_every_scenario(self, name):
+        scenario = get_scenario(name)
+        db, events = scenario.build(SMOKE_SCALE[name], 2012)
+        service = ShardedCoordinationService(db, ServiceConfig(shards=4))
+        try:
+            run = drive(service, events)
+        finally:
+            service.close()
+        assert run.operations == len(events)
+        if name == "marketplace":
+            assert run.pending == 0  # stream retracts every dangler
+        if name == "adversarial":
+            assert run.resolved == 0  # ghost-blocked by construction
+
+    def test_plain_flush_is_rejected(self):
+        scenario = get_scenario("partner")
+        db, _ = scenario.build(16, 2012)
+        service = ShardedCoordinationService(db, ServiceConfig(shards=2))
+        try:
+            with pytest.raises(AssertionError, match="flush_drain"):
+                drive(service, [("flush",)])
+        finally:
+            service.close()
+
+    def test_rejections_are_counted_not_raised(self):
+        scenario = get_scenario("partner")
+        db, events = scenario.build(16, 2012)
+        service = ShardedCoordinationService(db, ServiceConfig(shards=2))
+        try:
+            run = drive(service, events + [("retract", "no-such-query")])
+        finally:
+            service.close()
+        assert run.rejected >= 1

@@ -1,0 +1,73 @@
+"""Tests for the scenario renderer: on-disk round-trips."""
+
+import pytest
+
+from repro.core import parse_queries, parse_query
+from repro.db import load_database
+from repro.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    render_event,
+    render_query,
+    render_stream,
+    write_scenario,
+)
+
+
+class TestRenderQuery:
+    @pytest.mark.parametrize("name", [s.name for s in SCENARIOS])
+    def test_every_catalog_query_roundtrips(self, name):
+        scenario = get_scenario(name)
+        _, events = scenario.build(24, 2012)
+        queries = []
+        for event in events:
+            if event[0] == "submit":
+                queries.append(event[1])
+            elif event[0] == "submit_many":
+                queries.extend(event[1])
+        assert queries
+        for query in queries:
+            assert parse_query(render_query(query)) == query
+
+
+class TestRenderEvent:
+    def test_retract_and_flush_drain(self):
+        assert render_event(("retract", "user00003")) == "retract user00003"
+        assert render_event(("flush_drain",)) == "flush_drain"
+
+    def test_insert_delete_values(self):
+        assert (
+            render_event(("insert", "Riders", ("rider00001", "north")))
+            == "insert Riders rider00001 north"
+        )
+        assert (
+            render_event(("delete", "Anchors", ("node0001", 7)))
+            == "delete Anchors node0001 7"
+        )
+
+    def test_submit_many_renders_as_batch_line(self):
+        scenario = get_scenario("keyword")
+        _, events = scenario.build(16, 2012)
+        batch = next(e for e in events if e[0] == "submit_many")
+        line = render_event(batch)
+        assert line.startswith("batch ")
+        parsed = parse_queries(line[len("batch "):])
+        assert tuple(parsed) == tuple(batch[1])
+
+    def test_unknown_event_is_an_error(self):
+        with pytest.raises(ValueError):
+            render_event(("frobnicate", "x"))
+
+
+class TestWriteScenario:
+    def test_writes_replayable_files(self, tmp_path):
+        scenario = get_scenario("marketplace")
+        db, events = scenario.build(40, 2012)
+        db_path, ops_path = write_scenario(
+            db, events, str(tmp_path / "mk")
+        )
+        reloaded = load_database(db_path)
+        assert sorted(reloaded.schema.names()) == sorted(db.schema.names())
+        text = ops_path.read_text(encoding="utf-8")
+        assert text == render_stream(events)
+        assert text.endswith("flush_drain\n")

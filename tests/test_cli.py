@@ -269,3 +269,77 @@ class TestStatsFlag:
         out = capsys.readouterr().out
         assert "engine stats:" in out
         assert "inserts:" in out
+
+
+class TestOnlineBatchAndDrainOps:
+    def test_batch_line_admits_together(self, db_file, tmp_path, capsys):
+        # Two queries that only coordinate when admitted in one pass:
+        # serial submits would retire the postcondition-free one alone.
+        path = tmp_path / "batch.ops"
+        path.write_text(
+            "batch g: {R(Chris, x)} R(Gwyneth, x) :- "
+            "Flights(x, 'Zurich'); c: {} R(Chris, y) :- "
+            "Flights(y, 'Zurich')\n"
+        )
+        assert main(["online", db_file, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "satisfied {c, g}" in out
+
+    def test_flush_drain_line(self, db_file, tmp_path, capsys):
+        path = tmp_path / "drain.ops"
+        path.write_text(
+            """
+            submit a: {R(y, 'b')} R(x, 'a') :- Flights(x, 'Zurich')
+            flush_drain
+            """
+        )
+        assert main(["online", db_file, str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flush_drain: nothing coordinated" in out
+
+
+class TestScenario:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("partner", "keyword", "marketplace", "adversarial"):
+            assert name in out
+
+    def test_bare_scenario_lists_too(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "marketplace" in capsys.readouterr().out
+
+    def test_unknown_name_is_clean_error(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_runs_a_scenario_in_process(self, capsys):
+        assert main(
+            ["scenario", "marketplace", "--scale", "40", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "marketplace (scale 40, seed 2012):" in out
+        assert "0 pending" in out
+
+    def test_ablation_toggles_accepted(self, capsys):
+        assert main(
+            [
+                "scenario", "keyword", "--scale", "16",
+                "--no-plan-cache", "--no-composite-indexes", "--stats",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "composite indexes built: 0" in out
+
+    def test_out_writes_replayable_files(self, tmp_path, capsys):
+        prefix = str(tmp_path / "adv")
+        assert main(
+            ["scenario", "adversarial", "--scale", "8", "--out", prefix]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"{prefix}.db.json" in out
+        assert main(
+            ["online", f"{prefix}.db.json", f"{prefix}.ops"]
+        ) == 0
+        replay = capsys.readouterr().out
+        assert "pending" in replay

@@ -1,0 +1,86 @@
+"""Unit tests for the adversarial merge-maximizer workload."""
+
+from repro.core import (
+    CoordinationGraph,
+    ServiceConfig,
+    ShardedCoordinationService,
+    is_safe,
+)
+from repro.workloads import (
+    leaf_query,
+    linker_query,
+    merge_tournament_events,
+    node_name,
+    tournament_database,
+)
+
+
+class TestQueryShapes:
+    def test_leaf_is_ghost_blocked_and_edge_free(self):
+        graph = CoordinationGraph.build(
+            [leaf_query(node_name(0)), leaf_query(node_name(1))]
+        )
+        assert graph.graph.edge_count() == 0
+
+    def test_linker_bridges_its_children(self):
+        queries = [
+            leaf_query(node_name(0)),
+            leaf_query(node_name(1)),
+            linker_query(node_name(2), node_name(0), node_name(1)),
+        ]
+        graph = CoordinationGraph.build(queries)
+        assert graph.graph.successors(node_name(2)) == {
+            node_name(0),
+            node_name(1),
+        }
+
+    def test_queries_are_safe(self):
+        assert is_safe(
+            [
+                leaf_query(node_name(0)),
+                linker_query(node_name(2), node_name(0), node_name(1)),
+            ]
+        )
+
+
+class TestEvents:
+    def test_deterministic_under_seed(self):
+        _, a = merge_tournament_events(16, seed=3)
+        _, b = merge_tournament_events(16, seed=3)
+        assert [repr(e) for e in a] == [repr(e) for e in b]
+
+    def test_tournament_emits_n_minus_one_linkers(self):
+        leaves = 16
+        _, events = merge_tournament_events(leaves)
+        submits = [e for e in events if e[0] == "submit"]
+        assert len(submits) == 2 * leaves - 1
+
+    def test_forces_migrations_and_resolves_nothing(self):
+        leaves = 24
+        db, events = merge_tournament_events(leaves)
+        service = ShardedCoordinationService(db, ServiceConfig(shards=4))
+        resolved = []
+        service.on_resolved(
+            lambda h: resolved.append(h.query) if h.satisfied else None
+        )
+        retractions = 0
+        for event in events:
+            kind = event[0]
+            if kind == "submit":
+                service.submit(event[1])
+            elif kind == "retract":
+                service.retract(event[1])
+                retractions += 1
+            elif kind == "flush_drain":
+                service.flush_drain()
+        # The ghost postcondition blocks every coordinating set; the
+        # only departures are the final retraction wave.
+        assert resolved == []
+        assert retractions > 0
+        assert service.migrations >= leaves // 2
+        assert len(service.pending()) == (2 * leaves - 1) - retractions
+        service.close()
+
+    def test_anchor_rows_cover_all_tournament_nodes(self):
+        db = tournament_database(8)
+        assert len(list(db.rows("Anchors"))) == 15

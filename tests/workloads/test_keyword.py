@@ -1,0 +1,94 @@
+"""Unit tests for the keyword-search coordination workload."""
+
+from repro.core import CoordinationEngine, is_safe
+from repro.workloads import (
+    keyword_database,
+    keyword_events,
+    keyword_workload,
+    owner_query,
+    search_query,
+)
+
+
+class TestQueryShapes:
+    def test_search_query_shape(self):
+        q = search_query("s", ["entity0001", "entity0002"], ["owner001"])
+        assert len(q.body) == 2
+        assert len(q.postconditions) == 1
+        # Both body atoms share the document variable.
+        assert q.body[0].terms[1] == q.body[1].terms[1]
+
+    def test_owner_query_has_no_postconditions(self):
+        q = owner_query("owner000")
+        assert q.postconditions == ()
+        assert q.body[0].relation == "Owners"
+
+    def test_workload_is_safe(self):
+        # Owner names recur across sweeps (each sweep's owner retires
+        # before the name returns), so deduplicate by name before the
+        # whole-set safety check.
+        _, queries = keyword_workload(16)
+        first = {}
+        for query in queries:
+            first.setdefault(query.name, query)
+        assert is_safe(list(first.values()))
+
+
+class TestDatabase:
+    def test_deterministic_under_seed(self):
+        a = keyword_database(seed=7)
+        b = keyword_database(seed=7)
+        assert sorted(a.rows("Mentions")) == sorted(b.rows("Mentions"))
+        assert sorted(a.rows("Owners")) == sorted(b.rows("Owners"))
+
+    def test_entity_is_first_mentions_column(self):
+        db = keyword_database(entities=10, docs=40)
+        for entity, doc in db.rows("Mentions"):
+            assert entity.startswith("entity")
+            assert doc.startswith("doc")
+
+    def test_mentions_are_heavy_tailed(self):
+        # The most-mentioned (hub) entity should dwarf the median one.
+        db = keyword_database(entities=40, docs=400)
+        counts = {}
+        for entity, _ in db.rows("Mentions"):
+            counts[entity] = counts.get(entity, 0) + 1
+        ordered = sorted(counts.values())
+        assert ordered[-1] >= 4 * ordered[len(ordered) // 2]
+
+
+class TestEvents:
+    def test_deterministic_under_seed(self):
+        _, a = keyword_events(24, seed=5)
+        _, b = keyword_events(24, seed=5)
+        assert [repr(e) for e in a] == [repr(e) for e in b]
+
+    def test_vocabulary_and_terminal_drain(self):
+        _, events = keyword_events(24)
+        kinds = {e[0] for e in events}
+        assert kinds == {"submit", "submit_many", "flush_drain"}
+        assert events[-1] == ("flush_drain",)
+
+    def test_owner_sweeps_progressively_drain_stars(self):
+        # One head satisfies one postcondition, so each sweep retires
+        # one searcher per arriving owner; repeated sweeps make
+        # progress while a backlog of partially drained stars remains.
+        db, events = keyword_events(40, round_every=8)
+        engine = CoordinationEngine(db)
+        resolved = []
+        # Engine handles carry the query *name* (the service's carry
+        # the query object).
+        engine.on_resolved(
+            lambda h: resolved.append(h.query) if h.satisfied else None
+        )
+        for event in events:
+            if event[0] == "submit":
+                engine.submit(event[1])
+            elif event[0] == "submit_many":
+                engine.submit_many(list(event[1]))
+            elif event[0] == "flush_drain":
+                while engine.flush().chosen is not None:
+                    pass
+        seekers = [name for name in resolved if name.startswith("seeker")]
+        assert len(seekers) >= 5
+        assert 0 < len(engine.pending()) < 40

@@ -1,0 +1,85 @@
+"""Unit tests for the marketplace/ride-matching workload."""
+
+from collections import Counter
+
+from repro.core import CoordinationEngine, is_safe
+from repro.workloads import (
+    ZONES,
+    driver_query,
+    marketplace_database,
+    marketplace_events,
+    rider_query,
+)
+
+
+class TestQueryShapes:
+    def test_match_is_a_two_query_coordinating_set(self):
+        db = marketplace_database()
+        db.insert("Riders", ("rider00000", "north"))
+        db.insert("Drivers", ("driver00000", "north"))
+        engine = CoordinationEngine(db)
+        engine.submit(rider_query("rider00000", "driver00000"))
+        handle = engine.submit(driver_query("driver00000", "rider00000"))
+        assert handle.satisfied
+        assert set(handle.satisfied_with) == {"rider00000", "driver00000"}
+
+    def test_zone_mismatch_blocks_the_match(self):
+        db = marketplace_database()
+        db.insert("Riders", ("rider00000", "north"))
+        db.insert("Drivers", ("driver00000", "south"))
+        engine = CoordinationEngine(db)
+        engine.submit(rider_query("rider00000", "driver00000"))
+        handle = engine.submit(driver_query("driver00000", "rider00000"))
+        assert not handle.satisfied
+
+    def test_queries_are_safe(self):
+        assert is_safe(
+            [rider_query("r", "d"), driver_query("d", "r")]
+        )
+
+
+class TestEvents:
+    def test_deterministic_under_seed(self):
+        _, a = marketplace_events(120, seed=9)
+        _, b = marketplace_events(120, seed=9)
+        assert [repr(e) for e in a] == [repr(e) for e in b]
+
+    def test_churn_mix_is_heavy(self):
+        # The point of the workload: retract and delete traffic at
+        # scale, not the occasional targeted-test cleanup.
+        _, events = marketplace_events(300)
+        kinds = Counter(e[0] for e in events)
+        assert kinds["retract"] >= 30
+        assert kinds["delete"] >= 60
+        assert kinds["flush_drain"] >= 2
+        assert events[-1] == ("flush_drain",)
+
+    def test_all_zones_are_catalogued(self):
+        _, events = marketplace_events(400)
+        zones = {
+            row[1]
+            for e in events
+            if e[0] == "insert"
+            for row in [e[2]]
+        }
+        assert zones <= set(ZONES)
+
+    def test_stream_fully_settles(self):
+        # Every dangling request is retracted at the end, so a serial
+        # replay leaves nothing pending.
+        db, events = marketplace_events(150)
+        engine = CoordinationEngine(db)
+        for event in events:
+            kind = event[0]
+            if kind == "submit":
+                engine.submit(event[1])
+            elif kind == "retract":
+                engine.retract(event[1])
+            elif kind == "insert":
+                engine.db.insert(event[1], event[2])
+            elif kind == "delete":
+                engine.db.delete(event[1], event[2])
+            elif kind == "flush_drain":
+                while engine.flush().chosen is not None:
+                    pass
+        assert engine.pending() == ()
